@@ -1,0 +1,76 @@
+// Figure 10: number of ambiguous patterns vs sample size, for several
+// noise levels. Paper: ambiguous counts fall steeply with the sample size
+// and rise with the degree of noise.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "nmine/eval/table.h"
+#include "nmine/eval/timer.h"
+#include "nmine/gen/matrix_generator.h"
+#include "nmine/gen/noise_model.h"
+#include "nmine/gen/sequence_generator.h"
+#include "nmine/mining/border_collapse_miner.h"
+#include "nmine/mining/symbol_scan.h"
+
+using namespace nmine;
+using namespace nmine::benchutil;
+
+int main() {
+  WallTimer timer;
+  const size_t m = 20;
+  const double tau = 0.30;
+
+  Rng rng(505);
+  GeneratorConfig config;
+  config.num_sequences = 2000;
+  config.min_length = 40;
+  config.max_length = 60;
+  config.alphabet_size = m;
+  InMemorySequenceDatabase standard = GenerateDatabase(config, &rng);
+  for (size_t k = 2; k <= 8; ++k) {
+    PlantIntoDatabase(RandomPattern(k, 0, m, &rng), 0.45, &standard, &rng);
+  }
+
+  const double alphas[] = {0.1, 0.2, 0.3};
+  const size_t sample_sizes[] = {50, 100, 200, 400, 800, 1600};
+
+  Table fig10({"samples", "ambiguous (a=0.1)", "ambiguous (a=0.2)",
+               "ambiguous (a=0.3)"});
+  std::vector<std::vector<size_t>> counts(
+      std::size(sample_sizes), std::vector<size_t>(std::size(alphas), 0));
+
+  for (size_t ai = 0; ai < std::size(alphas); ++ai) {
+    Rng noise_rng(606);
+    InMemorySequenceDatabase test =
+        ApplyUniformNoise(standard, alphas[ai], m, &noise_rng);
+    CompatibilityMatrix c = UniformNoiseMatrix(m, alphas[ai]);
+    for (size_t si = 0; si < std::size(sample_sizes); ++si) {
+      MinerOptions options;
+      options.min_threshold = tau;
+      options.space.max_span = 8;
+      options.max_level = 8;
+      options.delta = 1e-4;
+      options.sample_size = sample_sizes[si];
+      options.seed = 17;
+      Rng sample_rng(options.seed);
+      SymbolScanResult phase1 =
+          ScanSymbolsAndSample(test, c, options.sample_size, &sample_rng);
+      SampleClassification cls = ClassifySamplePatterns(
+          phase1.sample.records(), c, phase1.symbol_match, Metric::kMatch,
+          options);
+      counts[si][ai] = cls.ambiguous.size();
+    }
+  }
+  for (size_t si = 0; si < std::size(sample_sizes); ++si) {
+    fig10.AddRow({Table::Int(static_cast<long long>(sample_sizes[si])),
+                  Table::Int(static_cast<long long>(counts[si][0])),
+                  Table::Int(static_cast<long long>(counts[si][1])),
+                  Table::Int(static_cast<long long>(counts[si][2]))});
+  }
+  std::cout << "Figure 10: ambiguous patterns vs sample size "
+               "(min_match = 0.30, 1 - delta = 0.9999)\n";
+  fig10.Print(std::cout);
+  std::printf("\n[done in %.1f s]\n", timer.Seconds());
+  return 0;
+}

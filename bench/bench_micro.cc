@@ -1,0 +1,190 @@
+// Microbenchmarks (google-benchmark) for the hot paths: sliding-window
+// match computation, trie-batched counting vs naive counting, the Phase-1
+// symbol scan, and the varint codec.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "nmine/core/match.h"
+#include "nmine/db/format.h"
+#include "nmine/gen/matrix_generator.h"
+#include "nmine/gen/sequence_generator.h"
+#include "nmine/lattice/halfway.h"
+#include "nmine/lattice/pattern_counter.h"
+#include "nmine/mining/symbol_scan.h"
+
+namespace nmine {
+namespace {
+
+CompatibilityMatrix Matrix20() { return UniformNoiseMatrix(20, 0.2); }
+
+InMemorySequenceDatabase MakeDb(size_t n, size_t len) {
+  Rng rng(1);
+  GeneratorConfig config;
+  config.num_sequences = n;
+  config.min_length = len;
+  config.max_length = len;
+  config.alphabet_size = 20;
+  return GenerateDatabase(config, &rng);
+}
+
+std::vector<Pattern> MakePatterns(size_t count, size_t k) {
+  Rng rng(2);
+  std::vector<Pattern> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(RandomPattern(k, 0, 20, &rng));
+  }
+  return out;
+}
+
+void BM_SequenceMatch(benchmark::State& state) {
+  CompatibilityMatrix c = Matrix20();
+  Rng rng(3);
+  Sequence seq = RandomSequence(static_cast<size_t>(state.range(0)), 20,
+                                &rng);
+  Pattern p = RandomPattern(8, 0, 20, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SequenceMatch(c, p, seq));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(seq.size()));
+}
+BENCHMARK(BM_SequenceMatch)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_TrieBatchCount(benchmark::State& state) {
+  CompatibilityMatrix c = Matrix20();
+  InMemorySequenceDatabase db = MakeDb(50, 100);
+  std::vector<Pattern> patterns =
+      MakePatterns(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CountMatchesInRecords(db.records(), c, patterns));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrieBatchCount)->Arg(16)->Arg(256)->Arg(2048);
+
+// Mining-realistic batch: level-(k+1) candidates are right-extensions of
+// shared frequent prefixes, so the trie evaluates each prefix once per
+// window. (On unrelated random patterns with a dense matrix the naive
+// loop wins — see BM_NaiveBatchCount.)
+void BM_TrieBatchCountSharedPrefixes(benchmark::State& state) {
+  CompatibilityMatrix c = Matrix20();
+  InMemorySequenceDatabase db = MakeDb(50, 100);
+  Rng rng(7);
+  std::vector<Pattern> patterns;
+  const size_t groups = static_cast<size_t>(state.range(0)) / 20;
+  for (size_t g = 0; g < groups; ++g) {
+    Pattern prefix = RandomPattern(4, 0, 20, &rng);
+    for (SymbolId sym = 0; sym < 20; ++sym) {
+      std::vector<SymbolId> body = prefix.body();
+      body.push_back(sym);
+      patterns.push_back(Pattern(std::move(body)));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CountMatchesInRecords(db.records(), c, patterns));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(patterns.size()));
+}
+BENCHMARK(BM_TrieBatchCountSharedPrefixes)->Arg(320)->Arg(2048);
+
+void BM_NaiveBatchCountSharedPrefixes(benchmark::State& state) {
+  CompatibilityMatrix c = Matrix20();
+  InMemorySequenceDatabase db = MakeDb(50, 100);
+  Rng rng(7);
+  std::vector<Pattern> patterns;
+  const size_t groups = static_cast<size_t>(state.range(0)) / 20;
+  for (size_t g = 0; g < groups; ++g) {
+    Pattern prefix = RandomPattern(4, 0, 20, &rng);
+    for (SymbolId sym = 0; sym < 20; ++sym) {
+      std::vector<SymbolId> body = prefix.body();
+      body.push_back(sym);
+      patterns.push_back(Pattern(std::move(body)));
+    }
+  }
+  for (auto _ : state) {
+    std::vector<double> out(patterns.size(), 0.0);
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      for (const SequenceRecord& r : db.records()) {
+        out[i] += SequenceMatch(c, patterns[i], r.symbols);
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(patterns.size()));
+}
+BENCHMARK(BM_NaiveBatchCountSharedPrefixes)->Arg(320)->Arg(2048);
+
+void BM_NaiveBatchCount(benchmark::State& state) {
+  CompatibilityMatrix c = Matrix20();
+  InMemorySequenceDatabase db = MakeDb(50, 100);
+  std::vector<Pattern> patterns =
+      MakePatterns(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    std::vector<double> out(patterns.size(), 0.0);
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      for (const SequenceRecord& r : db.records()) {
+        out[i] += SequenceMatch(c, patterns[i], r.symbols);
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NaiveBatchCount)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_SymbolScan(benchmark::State& state) {
+  CompatibilityMatrix c = Matrix20();
+  InMemorySequenceDatabase db =
+      MakeDb(static_cast<size_t>(state.range(0)), 200);
+  for (auto _ : state) {
+    Rng rng(4);
+    benchmark::DoNotOptimize(ScanSymbolsAndSample(db, c, 0, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(db.TotalSymbols()));
+}
+BENCHMARK(BM_SymbolScan)->Arg(100)->Arg(1000);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  std::vector<uint64_t> values;
+  Rng rng(5);
+  for (int i = 0; i < 1024; ++i) {
+    values.push_back(rng.UniformInt(1u << 20));
+  }
+  for (auto _ : state) {
+    std::string buf;
+    for (uint64_t v : values) {
+      dbformat::PutVarint64(v, &buf);
+    }
+    const char* pos = buf.data();
+    const char* end = buf.data() + buf.size();
+    uint64_t out = 0;
+    uint64_t sum = 0;
+    while (pos < end && dbformat::GetVarint64(&pos, end, &out)) {
+      sum += out;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+void BM_HalfwayGeneration(benchmark::State& state) {
+  Rng rng(6);
+  Pattern p2 = RandomPattern(static_cast<size_t>(state.range(0)), 0, 20,
+                             &rng);
+  Pattern p1({p2[0]});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HalfwayPatterns(p1, p2, /*contiguous=*/false, 4096));
+  }
+}
+BENCHMARK(BM_HalfwayGeneration)->Arg(6)->Arg(10)->Arg(14);
+
+}  // namespace
+}  // namespace nmine

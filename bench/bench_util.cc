@@ -1,0 +1,91 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "nmine/eval/calibration.h"
+#include "nmine/gen/sequence_generator.h"
+
+namespace nmine {
+namespace benchutil {
+
+RobustnessWorkload MakeRobustnessStandard(uint64_t seed) {
+  Rng rng(seed);
+  GeneratorConfig config;
+  config.num_sequences = 400;
+  config.min_length = 40;
+  config.max_length = 60;
+  config.alphabet_size = kRobustnessAlphabet;
+  RobustnessWorkload w;
+  w.standard = GenerateDatabase(config, &rng);
+
+  const double supports[] = {0.4, 0.2, 0.1};
+  for (size_t k = 2; k <= kRobustnessMaxLevel; ++k) {
+    for (double s : supports) {
+      Pattern p = RandomPattern(k, /*max_gap=*/0, kRobustnessAlphabet, &rng);
+      PlantIntoDatabase(p, s, &w.standard, &rng);
+      w.planted.push_back(std::move(p));
+    }
+  }
+  return w;
+}
+
+void PlantIntoDatabase(const Pattern& p, double prob,
+                       InMemorySequenceDatabase* db, Rng* rng) {
+  std::vector<SequenceRecord> records = db->records();
+  for (SequenceRecord& r : records) {
+    if (r.symbols.size() < p.length()) continue;
+    if (!rng->Bernoulli(prob)) continue;
+    size_t offset = rng->UniformInt(r.symbols.size() - p.length() + 1);
+    PlantPattern(p, offset, &r.symbols);
+  }
+  *db = InMemorySequenceDatabase::FromRecords(std::move(records));
+}
+
+MinerOptions RobustnessOptions() {
+  MinerOptions o;
+  o.min_threshold = kRobustnessThreshold;
+  o.space.max_span = kRobustnessMaxLevel;
+  o.space.max_gap = 0;
+  o.max_level = kRobustnessMaxLevel;
+  o.max_candidates_per_level = 200000;
+  return o;
+}
+
+MiningResult MineReference(const InMemorySequenceDatabase& standard) {
+  LevelwiseMiner miner(Metric::kSupport, RobustnessOptions());
+  return miner.Mine(standard,
+                    CompatibilityMatrix::Identity(kRobustnessAlphabet));
+}
+
+MiningResult MineSupportModel(const InMemorySequenceDatabase& test) {
+  LevelwiseMiner miner(Metric::kSupport, RobustnessOptions());
+  return miner.Mine(test, CompatibilityMatrix::Identity(kRobustnessAlphabet));
+}
+
+MiningResult MineMatchModelRaw(const InMemorySequenceDatabase& test,
+                               const CompatibilityMatrix& c) {
+  LevelwiseMiner miner(Metric::kMatch, RobustnessOptions());
+  return miner.Mine(test, c);
+}
+
+MiningResult MineMatchModelCalibrated(const InMemorySequenceDatabase& test,
+                                      const CompatibilityMatrix& c,
+                                      CalibrationMode mode) {
+  LevelwiseMiner miner(Metric::kMatch, RobustnessOptions());
+  MatchCalibration calibration(c, mode);
+  const double tau = kRobustnessThreshold;
+  return miner.MineWithThreshold(
+      test, c, [&calibration, tau](const Pattern& p) {
+        return calibration.ThresholdFor(p, tau);
+      });
+}
+
+std::string QualityCell(const ModelQuality& q) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%5.1f%% / %5.1f%%", q.accuracy * 100.0,
+                q.completeness * 100.0);
+  return buf;
+}
+
+}  // namespace benchutil
+}  // namespace nmine

@@ -1,0 +1,92 @@
+// Protein-motif recovery under BLOSUM50 mutation noise.
+//
+// The paper's motivating scenario (Section 1 / Figure 1): a conserved
+// motif is planted in protein-like sequences; amino acids then mutate
+// according to a realistic substitution model (BLOSUM50). The classical
+// support model loses the motif; the match model — driven by the
+// BLOSUM-derived compatibility matrix — restores it. A gapped
+// Zinc-Finger-like signature (C x x C ... H x x H) is planted as well to
+// exercise eternal-symbol patterns.
+//
+// Run: ./build/examples/protein_motifs
+#include <cstdio>
+#include <iostream>
+
+#include "nmine/bio/amino_acids.h"
+#include "nmine/bio/blosum.h"
+#include "nmine/gen/noise_model.h"
+#include "nmine/eval/calibration.h"
+#include "nmine/gen/sequence_generator.h"
+#include "nmine/mining/levelwise_miner.h"
+
+using namespace nmine;
+
+int main() {
+  Alphabet aa = AminoAcidAlphabet();
+  Rng rng(2024);
+
+  // A conserved contiguous motif and a gapped Zinc-Finger-like signature.
+  Pattern motif = *Pattern::Parse("N K V D M T Q", aa);
+  Pattern zinc = *Pattern::Parse("C * * C * * * * H * * H", aa);
+
+  GeneratorConfig config;
+  config.num_sequences = 400;
+  config.min_length = 60;
+  config.max_length = 90;
+  config.alphabet_size = kNumAminoAcids;
+  config.planted = {motif, zinc};
+  config.plant_probability = 0.6;
+  InMemorySequenceDatabase standard = GenerateDatabase(config, &rng);
+
+  // Mutate every residue through the BLOSUM50 channel. Temperature 0.5
+  // keeps roughly three quarters of residues intact — noisy enough that
+  // exact occurrences of a 7-residue motif become rare.
+  const double temperature = 0.5;
+  EmissionModel channel(BlosumEmissionRows(temperature));
+  InMemorySequenceDatabase observed = channel.Apply(standard, &rng);
+  CompatibilityMatrix compat = BlosumCompatibilityMatrix(temperature);
+  std::printf("BLOSUM50 channel: average identity mass %.3f\n",
+              BlosumDiagonalMass(temperature));
+
+  MinerOptions options;
+  options.min_threshold = 0.25;
+  options.space.max_span = 12;
+  options.space.max_gap = 4;
+  options.max_level = 7;
+
+  // Support model on the mutated data: the motif's exact occurrences
+  // are shredded by the mutations.
+  LevelwiseMiner support_miner(Metric::kSupport, options);
+  MiningResult support_result =
+      support_miner.Mine(observed, CompatibilityMatrix::Identity(20));
+
+  // Match model with the BLOSUM-derived compatibility matrix. The
+  // threshold is calibrated for the expected per-residue match deflation
+  // (eval/calibration.h) — the match model knows the mutation behaviour,
+  // the support baseline does not.
+  MatchCalibration calibration(compat);
+  LevelwiseMiner match_miner(Metric::kMatch, options);
+  MiningResult match_result = match_miner.MineWithThreshold(
+      observed, compat, [&](const Pattern& p) {
+        return calibration.ThresholdFor(p, options.min_threshold);
+      });
+
+  auto report = [&](const char* name, const MiningResult& r) {
+    std::printf("\n%s: %zu frequent patterns, border:\n", name,
+                r.frequent.size());
+    for (const Pattern& p : r.border.ToSortedVector()) {
+      std::printf("  %s\n", p.ToString(aa).c_str());
+    }
+  };
+  report("Support model (mutated data)", support_result);
+  report("Match model (mutated data)", match_result);
+
+  // Did each model keep the planted motif's 6-symbol prefix?
+  Pattern probe = *Pattern::Parse("N K V D M T", aa);
+  std::printf("\nPlanted motif prefix '%s':\n", probe.ToString(aa).c_str());
+  std::printf("  support model recovered: %s\n",
+              support_result.border.Covers(probe) ? "yes" : "NO (concealed)");
+  std::printf("  match model recovered:   %s\n",
+              match_result.border.Covers(probe) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "nmine/bio/amino_acids.h"
+
+#include <cstring>
+
+namespace nmine {
+
+const char* AminoAcidLetters() { return "ARNDCQEGHILKMFPSTWYV"; }
+
+Alphabet AminoAcidAlphabet() {
+  std::vector<std::string> names;
+  names.reserve(kNumAminoAcids);
+  const char* letters = AminoAcidLetters();
+  for (size_t i = 0; i < kNumAminoAcids; ++i) {
+    names.emplace_back(1, letters[i]);
+  }
+  return Alphabet(names);
+}
+
+Sequence ProteinToSequence(const char* letters) {
+  Sequence seq;
+  const char* table = AminoAcidLetters();
+  for (const char* p = letters; *p != '\0'; ++p) {
+    const char* hit = std::strchr(table, *p);
+    if (hit != nullptr) {
+      seq.push_back(static_cast<SymbolId>(hit - table));
+    }
+  }
+  return seq;
+}
+
+}  // namespace nmine

@@ -1,0 +1,27 @@
+#ifndef NMINE_BIO_AMINO_ACIDS_H_
+#define NMINE_BIO_AMINO_ACIDS_H_
+
+#include <cstddef>
+
+#include "nmine/core/alphabet.h"
+#include "nmine/core/sequence.h"
+
+namespace nmine {
+
+/// Number of standard amino acids.
+inline constexpr size_t kNumAminoAcids = 20;
+
+/// One-letter amino acid codes in BLOSUM matrix order:
+/// A R N D C Q E G H I L K M F P S T W Y V.
+const char* AminoAcidLetters();
+
+/// Alphabet of the 20 amino acids (single-letter names, BLOSUM order).
+Alphabet AminoAcidAlphabet();
+
+/// Converts a protein string such as "AMTKYQ" to symbol ids. Unknown
+/// letters are skipped.
+Sequence ProteinToSequence(const char* letters);
+
+}  // namespace nmine
+
+#endif  // NMINE_BIO_AMINO_ACIDS_H_

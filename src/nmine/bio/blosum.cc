@@ -1,0 +1,102 @@
+#include "nmine/bio/blosum.h"
+
+#include <cmath>
+
+namespace nmine {
+
+const std::array<std::array<int, kNumAminoAcids>, kNumAminoAcids>&
+Blosum50Scores() {
+  // Order: A R N D C Q E G H I L K M F P S T W Y V
+  static const std::array<std::array<int, kNumAminoAcids>, kNumAminoAcids>
+      kScores = {{
+          {{5, -2, -1, -2, -1, -1, -1, 0, -2, -1, -2, -1, -1, -3, -1, 1, 0,
+            -3, -2, 0}},
+          {{-2, 7, -1, -2, -4, 1, 0, -3, 0, -4, -3, 3, -2, -3, -3, -1, -1,
+            -3, -1, -3}},
+          {{-1, -1, 7, 2, -2, 0, 0, 0, 1, -3, -4, 0, -2, -4, -2, 1, 0, -4,
+            -2, -3}},
+          {{-2, -2, 2, 8, -4, 0, 2, -1, -1, -4, -4, -1, -4, -5, -1, 0, -1,
+            -5, -3, -4}},
+          {{-1, -4, -2, -4, 13, -3, -3, -3, -3, -2, -2, -3, -2, -2, -4, -1,
+            -1, -5, -3, -1}},
+          {{-1, 1, 0, 0, -3, 7, 2, -2, 1, -3, -2, 2, 0, -4, -1, 0, -1, -1,
+            -1, -3}},
+          {{-1, 0, 0, 2, -3, 2, 6, -3, 0, -4, -3, 1, -2, -3, -1, -1, -1, -3,
+            -2, -3}},
+          {{0, -3, 0, -1, -3, -2, -3, 8, -2, -4, -4, -2, -3, -4, -2, 0, -2,
+            -3, -3, -4}},
+          {{-2, 0, 1, -1, -3, 1, 0, -2, 10, -4, -3, 0, -1, -1, -2, -1, -2,
+            -3, 2, -4}},
+          {{-1, -4, -3, -4, -2, -3, -4, -4, -4, 5, 2, -3, 2, 0, -3, -3, -1,
+            -3, -1, 4}},
+          {{-2, -3, -4, -4, -2, -2, -3, -4, -3, 2, 5, -3, 3, 1, -4, -3, -1,
+            -2, -1, 1}},
+          {{-1, 3, 0, -1, -3, 2, 1, -2, 0, -3, -3, 6, -2, -4, -1, 0, -1, -3,
+            -2, -3}},
+          {{-1, -2, -2, -4, -2, 0, -2, -3, -1, 2, 3, -2, 7, 0, -3, -2, -1,
+            -1, 0, 1}},
+          {{-3, -3, -4, -5, -2, -4, -3, -4, -1, 0, 1, -4, 0, 8, -4, -3, -2,
+            1, 4, -1}},
+          {{-1, -3, -2, -1, -4, -1, -1, -2, -2, -3, -4, -1, -3, -4, 10, -1,
+            -1, -4, -3, -3}},
+          {{1, -1, 1, 0, -1, 0, -1, 0, -1, -3, -3, 0, -2, -3, -1, 5, 2, -4,
+            -2, -2}},
+          {{0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 2, 5,
+            -3, -2, 0}},
+          {{-3, -3, -4, -5, -5, -1, -3, -3, -3, -3, -2, -3, -1, 1, -4, -4,
+            -3, 15, 2, -3}},
+          {{-2, -1, -2, -3, -3, -1, -2, -3, 2, -1, -1, -2, 0, 4, -3, -2, -2,
+            2, 8, -1}},
+          {{0, -3, -3, -4, -1, -3, -3, -4, -4, 4, 1, -3, 1, -1, -3, -2, 0,
+            -3, -1, 5}},
+      }};
+  return kScores;
+}
+
+std::vector<std::vector<double>> BlosumEmissionRows(double temperature) {
+  const auto& scores = Blosum50Scores();
+  std::vector<std::vector<double>> rows(
+      kNumAminoAcids, std::vector<double>(kNumAminoAcids, 0.0));
+  for (size_t i = 0; i < kNumAminoAcids; ++i) {
+    double total = 0.0;
+    for (size_t j = 0; j < kNumAminoAcids; ++j) {
+      double propensity = std::exp2(static_cast<double>(scores[i][j]) /
+                                    (2.0 * temperature));
+      rows[i][j] = propensity;
+      total += propensity;
+    }
+    for (double& v : rows[i]) v /= total;
+  }
+  return rows;
+}
+
+CompatibilityMatrix BlosumCompatibilityMatrix(double temperature) {
+  const auto& scores = Blosum50Scores();
+  CompatibilityMatrix c(kNumAminoAcids);
+  for (size_t j = 0; j < kNumAminoAcids; ++j) {  // observed
+    double total = 0.0;
+    std::vector<double> col(kNumAminoAcids);
+    for (size_t i = 0; i < kNumAminoAcids; ++i) {
+      col[i] = std::exp2(static_cast<double>(scores[i][j]) /
+                         (2.0 * temperature));
+      total += col[i];
+    }
+    for (size_t i = 0; i < kNumAminoAcids; ++i) {
+      c.Set(static_cast<SymbolId>(i), static_cast<SymbolId>(j),
+            col[i] / total);
+    }
+  }
+  return c;
+}
+
+double BlosumDiagonalMass(double temperature) {
+  CompatibilityMatrix c = BlosumCompatibilityMatrix(temperature);
+  double total = 0.0;
+  for (size_t i = 0; i < kNumAminoAcids; ++i) {
+    SymbolId d = static_cast<SymbolId>(i);
+    total += c(d, d);
+  }
+  return total / static_cast<double>(kNumAminoAcids);
+}
+
+}  // namespace nmine

@@ -1,0 +1,39 @@
+#ifndef NMINE_BIO_BLOSUM_H_
+#define NMINE_BIO_BLOSUM_H_
+
+#include <array>
+#include <vector>
+
+#include "nmine/bio/amino_acids.h"
+#include "nmine/core/compatibility_matrix.h"
+
+namespace nmine {
+
+/// The BLOSUM50 log-odds scores (half-bit units) in AminoAcidLetters()
+/// order. The paper (Section 5.1) uses BLOSUM50 [10] as its realistic
+/// amino-acid mutation model; we embed the matrix since the original data
+/// is public. Symmetric.
+const std::array<std::array<int, kNumAminoAcids>, kNumAminoAcids>&
+Blosum50Scores();
+
+/// Converts the BLOSUM log-odds into a row-stochastic substitution
+/// (emission) model P(observed | true): a BLOSUM score s is a half-bit
+/// log-odds, so the implied joint propensity is 2^(s / 2) (uniform
+/// background frequencies are assumed; see DESIGN.md). `temperature`
+/// sharpens (< 1) or flattens (> 1) the distribution:
+/// row[i][j] ∝ 2^(s_ij / (2 * temperature)).
+std::vector<std::vector<double>> BlosumEmissionRows(double temperature);
+
+/// The compatibility matrix induced by the BLOSUM50 model: the posterior
+/// P(true | observed) under uniform priors, i.e. the column-normalized
+/// propensities. Column-stochastic by construction.
+CompatibilityMatrix BlosumCompatibilityMatrix(double temperature);
+
+/// Average diagonal mass of BlosumCompatibilityMatrix(temperature):
+/// the expected probability that an observed amino acid is its true self.
+/// Useful for picking a temperature comparable to a given noise level.
+double BlosumDiagonalMass(double temperature);
+
+}  // namespace nmine
+
+#endif  // NMINE_BIO_BLOSUM_H_

@@ -1,0 +1,87 @@
+#include "nmine/bio/fasta.h"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace nmine {
+
+bool ParseFasta(const std::string& text, std::vector<FastaRecord>* records,
+                std::string* error) {
+  records->clear();
+  std::istringstream in(text);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();  // tolerate CRLF
+    }
+    if (line.empty() || line[0] == ';') {
+      continue;  // blank or comment
+    }
+    if (line[0] == '>') {
+      FastaRecord record;
+      record.header = line.substr(1);
+      records->push_back(std::move(record));
+      continue;
+    }
+    if (records->empty()) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) +
+                 ": sequence data before the first '>' header";
+      }
+      return false;
+    }
+    for (char ch : line) {
+      if (!std::isspace(static_cast<unsigned char>(ch))) {
+        records->back().residues.push_back(ch);
+      }
+    }
+  }
+  return true;
+}
+
+IoResult ReadFastaFile(const std::string& path,
+                       std::vector<FastaRecord>* records) {
+  std::ifstream in(path);
+  if (!in) {
+    return IoResult::Error("cannot open for reading: " + path);
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::string error;
+  if (!ParseFasta(text, records, &error)) {
+    return IoResult::Error(path + ": " + error);
+  }
+  return IoResult::Ok();
+}
+
+InMemorySequenceDatabase FastaToDatabase(
+    const std::vector<FastaRecord>& records, size_t* skipped) {
+  InMemorySequenceDatabase db;
+  const char* table = AminoAcidLetters();
+  size_t dropped = 0;
+  for (const FastaRecord& record : records) {
+    Sequence seq;
+    seq.reserve(record.residues.size());
+    for (char ch : record.residues) {
+      char upper =
+          static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      const char* hit = std::strchr(table, upper);
+      if (hit != nullptr && upper != '\0') {
+        seq.push_back(static_cast<SymbolId>(hit - table));
+      } else {
+        ++dropped;
+      }
+    }
+    db.Add(std::move(seq));
+  }
+  if (skipped != nullptr) {
+    *skipped = dropped;
+  }
+  return db;
+}
+
+}  // namespace nmine

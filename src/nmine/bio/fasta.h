@@ -1,0 +1,37 @@
+#ifndef NMINE_BIO_FASTA_H_
+#define NMINE_BIO_FASTA_H_
+
+#include <string>
+#include <vector>
+
+#include "nmine/bio/amino_acids.h"
+#include "nmine/db/format.h"
+#include "nmine/db/in_memory_database.h"
+
+namespace nmine {
+
+/// One FASTA record: the header line (without '>') and the raw residues.
+struct FastaRecord {
+  std::string header;
+  std::string residues;
+};
+
+/// Parses FASTA-formatted text ('>' headers, sequence lines, ';' comments
+/// ignored). Whitespace inside sequence lines is dropped. Returns false on
+/// structural errors (residues before the first header).
+bool ParseFasta(const std::string& text, std::vector<FastaRecord>* records,
+                std::string* error);
+
+/// Reads a FASTA file from disk.
+IoResult ReadFastaFile(const std::string& path,
+                       std::vector<FastaRecord>* records);
+
+/// Converts FASTA records to a sequence database over the 20-amino-acid
+/// alphabet. Unknown residues (B, Z, X, U, O, gaps, lower-case handled by
+/// upcasing) are skipped; `*skipped` (optional) receives the count.
+InMemorySequenceDatabase FastaToDatabase(
+    const std::vector<FastaRecord>& records, size_t* skipped);
+
+}  // namespace nmine
+
+#endif  // NMINE_BIO_FASTA_H_

@@ -1,0 +1,61 @@
+#ifndef NMINE_CORE_ALPHABET_H_
+#define NMINE_CORE_ALPHABET_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "nmine/core/symbol.h"
+
+namespace nmine {
+
+/// Bidirectional mapping between human-readable symbol names and dense
+/// SymbolIds. An Alphabet is immutable once built except through Intern().
+///
+/// Example:
+///   Alphabet a({"A", "C", "G", "T"});
+///   a.Id("G");            // 2
+///   a.Name(0);            // "A"
+class Alphabet {
+ public:
+  /// Creates an empty alphabet.
+  Alphabet() = default;
+
+  /// Creates an alphabet from `names`. Duplicate names are rejected (the
+  /// constructor keeps the first occurrence and ignores repeats).
+  explicit Alphabet(const std::vector<std::string>& names);
+
+  /// Creates the anonymous alphabet {d1, d2, ..., dm} used throughout the
+  /// paper's examples (note: names are 1-based, ids are 0-based).
+  static Alphabet Anonymous(size_t m);
+
+  Alphabet(const Alphabet&) = default;
+  Alphabet& operator=(const Alphabet&) = default;
+  Alphabet(Alphabet&&) = default;
+  Alphabet& operator=(Alphabet&&) = default;
+
+  /// Returns the id for `name`, interning it if new.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id for `name`, or std::nullopt if unknown.
+  std::optional<SymbolId> Id(std::string_view name) const;
+
+  /// Returns the name of `id`. `id` must be a valid symbol id or kWildcard
+  /// (rendered as "*").
+  const std::string& Name(SymbolId id) const;
+
+  /// Number of distinct symbols m.
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_CORE_ALPHABET_H_

@@ -1,0 +1,34 @@
+#ifndef NMINE_CORE_MATCH_H_
+#define NMINE_CORE_MATCH_H_
+
+#include <cstddef>
+
+#include "nmine/core/compatibility_matrix.h"
+#include "nmine/core/pattern.h"
+#include "nmine/core/sequence.h"
+
+namespace nmine {
+
+/// Match of pattern `p` in the length-l segment of `seq` starting at
+/// `offset` (Definition 3.5): the product of C(p[i], seq[offset + i]).
+/// Precondition: offset + p.length() <= seq.size().
+double SegmentMatch(const CompatibilityMatrix& c, const Pattern& p,
+                    const Sequence& seq, size_t offset);
+
+/// Match of pattern `p` in sequence `seq` (Definition 3.6): the maximum
+/// segment match over all sliding-window positions. Returns 0 when the
+/// sequence is shorter than the pattern. The inner product short-circuits
+/// on a zero factor (Algorithm 4.2 behaviour), which makes the common
+/// sparse-matrix case run in near-linear time.
+double SequenceMatch(const CompatibilityMatrix& c, const Pattern& p,
+                     const Sequence& seq);
+
+/// Classical (binary) support of `p` in `seq`: 1.0 if some window of `seq`
+/// matches `p` exactly (wildcards match anything), else 0.0. Identical to
+/// SequenceMatch under the identity matrix; provided separately so the
+/// support model does not pay for probability arithmetic.
+double SequenceSupport(const Pattern& p, const Sequence& seq);
+
+}  // namespace nmine
+
+#endif  // NMINE_CORE_MATCH_H_

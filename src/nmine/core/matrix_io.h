@@ -1,0 +1,44 @@
+#ifndef NMINE_CORE_MATRIX_IO_H_
+#define NMINE_CORE_MATRIX_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "nmine/core/compatibility_matrix.h"
+
+namespace nmine {
+
+/// Text format for compatibility matrices, used by the CLI and handy for
+/// experiments:
+///
+///   # comment lines and blank lines are ignored
+///   m
+///   C(d1,d1) C(d1,d2) ... C(d1,dm)     <- row-major: row = true symbol
+///   ...
+///   C(dm,d1) ...          C(dm,dm)
+///
+/// Reading validates shape and column-stochasticity.
+struct MatrixIoResult {
+  bool ok = true;
+  std::string message;
+};
+
+/// Parses a matrix from `text`. On failure returns nullopt and fills
+/// `*error`.
+std::optional<CompatibilityMatrix> ParseCompatibilityMatrix(
+    const std::string& text, MatrixIoResult* error);
+
+/// Reads a matrix file.
+std::optional<CompatibilityMatrix> ReadCompatibilityMatrixFile(
+    const std::string& path, MatrixIoResult* error);
+
+/// Serializes `c` in the text format (6 significant digits).
+std::string FormatCompatibilityMatrix(const CompatibilityMatrix& c);
+
+/// Writes `c` to `path` (overwrites).
+MatrixIoResult WriteCompatibilityMatrixFile(const std::string& path,
+                                            const CompatibilityMatrix& c);
+
+}  // namespace nmine
+
+#endif  // NMINE_CORE_MATRIX_IO_H_

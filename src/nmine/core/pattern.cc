@@ -1,0 +1,132 @@
+#include "nmine/core/pattern.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace nmine {
+namespace {
+
+size_t CountSymbols(const std::vector<SymbolId>& body) {
+  size_t k = 0;
+  for (SymbolId s : body) {
+    if (!IsWildcard(s)) ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+Pattern::Pattern(std::vector<SymbolId> body)
+    : body_(std::move(body)), num_symbols_(CountSymbols(body_)) {
+  assert(IsValidBody(body_));
+}
+
+Pattern::Pattern(std::initializer_list<SymbolId> body)
+    : Pattern(std::vector<SymbolId>(body)) {}
+
+bool Pattern::IsValidBody(const std::vector<SymbolId>& body) {
+  if (body.empty()) return false;
+  if (IsWildcard(body.front()) || IsWildcard(body.back())) return false;
+  for (SymbolId s : body) {
+    if (!IsWildcard(s) && s < 0) return false;
+  }
+  return true;
+}
+
+std::optional<Pattern> Pattern::Trimmed(std::vector<SymbolId> body) {
+  size_t begin = 0;
+  size_t end = body.size();
+  while (begin < end && IsWildcard(body[begin])) ++begin;
+  while (end > begin && IsWildcard(body[end - 1])) --end;
+  if (begin == end) return std::nullopt;
+  std::vector<SymbolId> trimmed(body.begin() + static_cast<long>(begin),
+                                body.begin() + static_cast<long>(end));
+  if (!IsValidBody(trimmed)) return std::nullopt;
+  return Pattern(std::move(trimmed));
+}
+
+std::optional<Pattern> Pattern::Parse(std::string_view text,
+                                      const Alphabet& alphabet) {
+  std::istringstream in{std::string(text)};
+  std::vector<SymbolId> body;
+  std::string token;
+  while (in >> token) {
+    if (token == "*") {
+      body.push_back(kWildcard);
+    } else {
+      std::optional<SymbolId> id = alphabet.Id(token);
+      if (!id.has_value()) return std::nullopt;
+      body.push_back(*id);
+    }
+  }
+  if (!IsValidBody(body)) return std::nullopt;
+  return Pattern(std::move(body));
+}
+
+bool Pattern::IsSubpatternOf(const Pattern& other) const {
+  if (length() > other.length()) return false;
+  const size_t l = length();
+  const size_t max_offset = other.length() - l;
+  for (size_t j = 0; j <= max_offset; ++j) {
+    bool ok = true;
+    for (size_t i = 0; i < l; ++i) {
+      SymbolId mine = body_[i];
+      if (!IsWildcard(mine) && mine != other.body_[i + j]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+bool Pattern::IsImmediateSubpatternOf(const Pattern& other) const {
+  return NumSymbols() + 1 == other.NumSymbols() && IsSubpatternOf(other);
+}
+
+std::vector<Pattern> Pattern::ImmediateSubpatterns() const {
+  std::vector<Pattern> result;
+  if (NumSymbols() <= 1) return result;
+  for (size_t p = 0; p < body_.size(); ++p) {
+    if (IsWildcard(body_[p])) continue;
+    std::vector<SymbolId> body = body_;
+    body[p] = kWildcard;
+    std::optional<Pattern> sub = Trimmed(std::move(body));
+    if (sub.has_value() &&
+        std::find(result.begin(), result.end(), *sub) == result.end()) {
+      result.push_back(std::move(*sub));
+    }
+  }
+  return result;
+}
+
+std::string Pattern::ToString(const Alphabet& alphabet) const {
+  std::string out;
+  for (size_t i = 0; i < body_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += alphabet.Name(body_[i]);
+  }
+  return out;
+}
+
+std::string Pattern::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < body_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += IsWildcard(body_[i]) ? "*" : std::to_string(body_[i]);
+  }
+  return out;
+}
+
+size_t Pattern::Hash() const {
+  size_t h = 1469598103934665603ull;  // FNV offset basis
+  for (SymbolId s : body_) {
+    h ^= static_cast<size_t>(static_cast<uint32_t>(s));
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace nmine

@@ -1,0 +1,115 @@
+#ifndef NMINE_CORE_PATTERN_H_
+#define NMINE_CORE_PATTERN_H_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nmine/core/alphabet.h"
+#include "nmine/core/symbol.h"
+
+namespace nmine {
+
+/// A sequential pattern (Definition 3.2): an ordered list of symbols, each
+/// either a symbol of the alphabet or the eternal symbol `*` (kWildcard).
+/// Invariants: non-empty; neither the first nor the last position is `*`.
+///
+/// Terminology (as in the paper):
+///  * length  — total number of positions, including `*`;
+///  * k-pattern — a pattern with k non-eternal symbols (NumSymbols() == k).
+class Pattern {
+ public:
+  /// Creates an empty (invalid) pattern; usable only as a placeholder.
+  Pattern() = default;
+
+  /// Creates a pattern from `body`. Precondition: IsValidBody(body).
+  explicit Pattern(std::vector<SymbolId> body);
+  Pattern(std::initializer_list<SymbolId> body);
+
+  /// True if `body` is non-empty, has non-`*` endpoints, and every non-`*`
+  /// entry is a non-negative symbol id.
+  static bool IsValidBody(const std::vector<SymbolId>& body);
+
+  /// Builds a pattern from `body` after stripping leading/trailing
+  /// wildcards. Returns nullopt if nothing remains.
+  static std::optional<Pattern> Trimmed(std::vector<SymbolId> body);
+
+  /// Parses a whitespace-separated pattern such as "C * * C H" against
+  /// `alphabet` ("*" is the eternal symbol). Returns nullopt on unknown
+  /// names or invalid shape.
+  static std::optional<Pattern> Parse(std::string_view text,
+                                      const Alphabet& alphabet);
+
+  Pattern(const Pattern&) = default;
+  Pattern& operator=(const Pattern&) = default;
+  Pattern(Pattern&&) = default;
+  Pattern& operator=(Pattern&&) = default;
+
+  /// Total number of positions l (including eternal symbols).
+  size_t length() const { return body_.size(); }
+
+  /// Number of non-eternal symbols k (the pattern's level in the lattice).
+  size_t NumSymbols() const { return num_symbols_; }
+
+  /// True for default-constructed placeholders.
+  bool empty() const { return body_.empty(); }
+
+  SymbolId operator[](size_t i) const { return body_[i]; }
+  const std::vector<SymbolId>& body() const { return body_; }
+
+  /// Definition 3.3: this pattern P is a subpattern of `other` (P') if P can
+  /// be aligned at some offset inside P' such that every position of P is
+  /// either `*` or equals the corresponding position of P'. Every pattern is
+  /// a subpattern of itself.
+  bool IsSubpatternOf(const Pattern& other) const;
+
+  /// True if this is a subpattern of `other` with exactly one fewer
+  /// non-eternal symbol (an edge of the lattice).
+  bool IsImmediateSubpatternOf(const Pattern& other) const;
+
+  /// All distinct immediate subpatterns: each obtained by deleting one
+  /// non-eternal symbol (replacing an interior one with `*`, or dropping an
+  /// endpoint together with adjacent wildcards). Empty for 1-patterns.
+  std::vector<Pattern> ImmediateSubpatterns() const;
+
+  /// Renders using `alphabet` names, e.g. "d1 * d3".
+  std::string ToString(const Alphabet& alphabet) const;
+
+  /// Renders using raw ids, e.g. "0 * 2".
+  std::string ToString() const;
+
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.body_ == b.body_;
+  }
+  friend bool operator!=(const Pattern& a, const Pattern& b) {
+    return !(a == b);
+  }
+
+  /// Deterministic ordering (by length, then lexicographic); used to make
+  /// mining output stable.
+  friend bool operator<(const Pattern& a, const Pattern& b) {
+    if (a.body_.size() != b.body_.size())
+      return a.body_.size() < b.body_.size();
+    return a.body_ < b.body_;
+  }
+
+  /// FNV-1a style hash over the body.
+  size_t Hash() const;
+
+ private:
+  std::vector<SymbolId> body_;
+  size_t num_symbols_ = 0;
+};
+
+/// Hash functor for unordered containers keyed by Pattern.
+struct PatternHash {
+  size_t operator()(const Pattern& p) const { return p.Hash(); }
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_CORE_PATTERN_H_

@@ -1,0 +1,26 @@
+#ifndef NMINE_CORE_SEQUENCE_H_
+#define NMINE_CORE_SEQUENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nmine/core/symbol.h"
+
+namespace nmine {
+
+/// A sequence of observed symbols (Definition 3.1). Unlike a Pattern, a
+/// Sequence never contains the eternal symbol.
+using Sequence = std::vector<SymbolId>;
+
+/// Identifier of a sequence within a database.
+using SequenceId = int64_t;
+
+/// One (Sid, S) tuple of a sequence database (Definition 3.1).
+struct SequenceRecord {
+  SequenceId id = 0;
+  Sequence symbols;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_CORE_SEQUENCE_H_

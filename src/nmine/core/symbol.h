@@ -1,0 +1,22 @@
+#ifndef NMINE_CORE_SYMBOL_H_
+#define NMINE_CORE_SYMBOL_H_
+
+#include <cstdint>
+
+namespace nmine {
+
+/// Identifier of a symbol in the alphabet Theta = {d_0, ..., d_{m-1}}.
+/// Valid symbol ids are dense non-negative integers in [0, m).
+using SymbolId = int32_t;
+
+/// The eternal ("don't care") symbol `*` of Definition 3.2. It may appear at
+/// interior positions of a Pattern but never in a Sequence, and never as the
+/// first or last position of a Pattern.
+inline constexpr SymbolId kWildcard = -1;
+
+/// Returns true if `s` denotes the eternal symbol.
+inline constexpr bool IsWildcard(SymbolId s) { return s == kWildcard; }
+
+}  // namespace nmine
+
+#endif  // NMINE_CORE_SYMBOL_H_

@@ -1,0 +1,156 @@
+#include "nmine/db/disk_database.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace nmine {
+namespace {
+
+/// Buffered LEB128 reader over an std::ifstream.
+class BufferedVarintReader {
+ public:
+  explicit BufferedVarintReader(std::ifstream* in) : in_(in) {}
+
+  /// Reads `n` raw bytes into `out`. Returns false on EOF/short read.
+  bool ReadRaw(char* out, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      int byte = NextByte();
+      if (byte < 0) return false;
+      out[i] = static_cast<char>(byte);
+    }
+    return true;
+  }
+
+  /// Reads one varint. Returns false on EOF or overlong encoding.
+  bool ReadVarint64(uint64_t* value) {
+    uint64_t result = 0;
+    int shift = 0;
+    while (shift <= 63) {
+      int byte = NextByte();
+      if (byte < 0) return false;
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        *value = result;
+        return true;
+      }
+      shift += 7;
+    }
+    return false;
+  }
+
+  /// True when the underlying stream is exhausted and the buffer is empty.
+  bool AtEof() {
+    if (pos_ < len_) return false;
+    Refill();
+    return pos_ >= len_;
+  }
+
+ private:
+  static constexpr size_t kBufferSize = 1 << 16;
+
+  int NextByte() {
+    if (pos_ >= len_) {
+      Refill();
+      if (pos_ >= len_) return -1;
+    }
+    return static_cast<uint8_t>(buffer_[pos_++]);
+  }
+
+  void Refill() {
+    if (!in_->good()) return;
+    in_->read(buffer_, kBufferSize);
+    len_ = static_cast<size_t>(in_->gcount());
+    pos_ = 0;
+  }
+
+  std::ifstream* in_;
+  char buffer_[kBufferSize];
+  size_t pos_ = 0;
+  size_t len_ = 0;
+};
+
+}  // namespace
+
+DiskSequenceDatabase::DiskSequenceDatabase(std::string path)
+    : path_(std::move(path)) {}
+
+std::unique_ptr<DiskSequenceDatabase> DiskSequenceDatabase::Open(
+    const std::string& path, IoResult* error) {
+  std::unique_ptr<DiskSequenceDatabase> db(new DiskSequenceDatabase(path));
+  size_t n = 0;
+  uint64_t total = 0;
+  IoResult r = db->StreamFile(/*visitor=*/nullptr, &n, &total);
+  if (!r.ok) {
+    if (error != nullptr) *error = r;
+    return nullptr;
+  }
+  db->num_sequences_ = n;
+  db->total_symbols_ = total;
+  if (error != nullptr) *error = IoResult::Ok();
+  return db;
+}
+
+void DiskSequenceDatabase::Scan(const Visitor& visitor) const {
+  CountScan();
+  size_t n = 0;
+  uint64_t total = 0;
+  // Open() already validated the file; a concurrent truncation would stop
+  // the scan early, which the caller observes via NumSequences mismatch.
+  StreamFile(&visitor, &n, &total);
+}
+
+IoResult DiskSequenceDatabase::StreamFile(const Visitor* visitor,
+                                          size_t* num_sequences,
+                                          uint64_t* total_symbols) const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    return IoResult::Error("cannot open for reading: " + path_);
+  }
+  BufferedVarintReader reader(&in);
+  char magic[sizeof(dbformat::kMagic)];
+  if (!reader.ReadRaw(magic, sizeof(magic)) ||
+      std::memcmp(magic, dbformat::kMagic, sizeof(magic)) != 0) {
+    return IoResult::Error("bad magic: not an nmine sequence database");
+  }
+  char version = 0;
+  if (!reader.ReadRaw(&version, 1) ||
+      static_cast<uint8_t>(version) != dbformat::kVersion) {
+    return IoResult::Error("unsupported format version");
+  }
+  uint64_t count = 0;
+  if (!reader.ReadVarint64(&count)) {
+    return IoResult::Error("truncated sequence count");
+  }
+  SequenceRecord record;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    uint64_t len = 0;
+    if (!reader.ReadVarint64(&id) || !reader.ReadVarint64(&len)) {
+      return IoResult::Error("truncated record header at sequence " +
+                             std::to_string(i));
+    }
+    record.id = static_cast<SequenceId>(id);
+    record.symbols.clear();
+    record.symbols.reserve(len);
+    for (uint64_t j = 0; j < len; ++j) {
+      uint64_t sym = 0;
+      if (!reader.ReadVarint64(&sym)) {
+        return IoResult::Error("truncated symbols at sequence " +
+                               std::to_string(i));
+      }
+      record.symbols.push_back(static_cast<SymbolId>(sym));
+    }
+    *total_symbols += record.symbols.size();
+    ++*num_sequences;
+    if (visitor != nullptr) {
+      (*visitor)(record);
+    }
+  }
+  if (!reader.AtEof()) {
+    return IoResult::Error("trailing garbage after last record");
+  }
+  return IoResult::Ok();
+}
+
+}  // namespace nmine

@@ -1,0 +1,48 @@
+#ifndef NMINE_DB_DISK_DATABASE_H_
+#define NMINE_DB_DISK_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nmine/db/format.h"
+#include "nmine/db/sequence_database.h"
+
+namespace nmine {
+
+/// A disk-resident sequence database: the paper's operating assumption
+/// ("we assume disk-resident data that is far beyond the memory capacity",
+/// Section 2.2). Every Scan() streams the file through a fixed-size buffer;
+/// only one sequence is materialized at a time.
+class DiskSequenceDatabase : public SequenceDatabase {
+ public:
+  /// Opens `path`, validating the header and pre-scanning once (not counted)
+  /// to establish NumSequences/TotalSymbols. On failure returns nullptr and
+  /// fills `*error`.
+  static std::unique_ptr<DiskSequenceDatabase> Open(const std::string& path,
+                                                    IoResult* error);
+
+  DiskSequenceDatabase(const DiskSequenceDatabase&) = delete;
+  DiskSequenceDatabase& operator=(const DiskSequenceDatabase&) = delete;
+
+  size_t NumSequences() const override { return num_sequences_; }
+  void Scan(const Visitor& visitor) const override;
+  uint64_t TotalSymbols() const override { return total_symbols_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit DiskSequenceDatabase(std::string path);
+
+  /// Streams the file, invoking `visitor` per record when non-null.
+  IoResult StreamFile(const Visitor* visitor, size_t* num_sequences,
+                      uint64_t* total_symbols) const;
+
+  std::string path_;
+  size_t num_sequences_ = 0;
+  uint64_t total_symbols_ = 0;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_DB_DISK_DATABASE_H_

@@ -1,0 +1,63 @@
+#ifndef NMINE_DB_FORMAT_H_
+#define NMINE_DB_FORMAT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nmine/core/sequence.h"
+
+namespace nmine {
+
+/// Result of an I/O operation; `ok == false` carries a diagnostic message.
+struct IoResult {
+  bool ok = true;
+  std::string message;
+
+  static IoResult Ok() { return {true, ""}; }
+  static IoResult Error(std::string msg) { return {false, std::move(msg)}; }
+};
+
+/// Binary on-disk layout of a sequence database (little-endian):
+///
+///   magic     "NMSQ"            4 bytes
+///   version   u8                currently 1
+///   count     varint            number of sequences
+///   repeated count times:
+///     id      varint            sequence id
+///     len     varint            number of symbols
+///     symbols len x varint      symbol ids
+///
+/// Varints are LEB128 (7 bits per byte, high bit = continuation).
+namespace dbformat {
+
+inline constexpr char kMagic[4] = {'N', 'M', 'S', 'Q'};
+inline constexpr uint8_t kVersion = 1;
+
+/// Appends `value` as LEB128 to `out`.
+void PutVarint64(uint64_t value, std::string* out);
+
+/// Decodes a LEB128 varint from [*pos, end). Advances *pos past the varint.
+/// Returns false on truncation or overlong (> 10 byte) encodings.
+bool GetVarint64(const char** pos, const char* end, uint64_t* value);
+
+/// Serializes `records` into the binary layout.
+std::string EncodeDatabase(const std::vector<SequenceRecord>& records);
+
+/// Parses a full database image produced by EncodeDatabase.
+IoResult DecodeDatabase(const std::string& bytes,
+                        std::vector<SequenceRecord>* records);
+
+/// Writes `records` to `path` (overwrites).
+IoResult WriteDatabaseFile(const std::string& path,
+                           const std::vector<SequenceRecord>& records);
+
+/// Reads a database file written by WriteDatabaseFile.
+IoResult ReadDatabaseFile(const std::string& path,
+                          std::vector<SequenceRecord>* records);
+
+}  // namespace dbformat
+}  // namespace nmine
+
+#endif  // NMINE_DB_FORMAT_H_

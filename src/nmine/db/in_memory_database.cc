@@ -1,0 +1,44 @@
+#include "nmine/db/in_memory_database.h"
+
+namespace nmine {
+
+InMemorySequenceDatabase InMemorySequenceDatabase::FromSequences(
+    std::vector<Sequence> sequences) {
+  InMemorySequenceDatabase db;
+  db.records_.reserve(sequences.size());
+  for (Sequence& s : sequences) {
+    db.Add(std::move(s));
+  }
+  return db;
+}
+
+InMemorySequenceDatabase InMemorySequenceDatabase::FromRecords(
+    std::vector<SequenceRecord> records) {
+  InMemorySequenceDatabase db;
+  db.records_ = std::move(records);
+  for (const SequenceRecord& r : db.records_) {
+    db.total_symbols_ += r.symbols.size();
+  }
+  return db;
+}
+
+void InMemorySequenceDatabase::Add(Sequence sequence) {
+  SequenceRecord record;
+  record.id = static_cast<SequenceId>(records_.size());
+  record.symbols = std::move(sequence);
+  Add(std::move(record));
+}
+
+void InMemorySequenceDatabase::Add(SequenceRecord record) {
+  total_symbols_ += record.symbols.size();
+  records_.push_back(std::move(record));
+}
+
+void InMemorySequenceDatabase::Scan(const Visitor& visitor) const {
+  CountScan();
+  for (const SequenceRecord& r : records_) {
+    visitor(r);
+  }
+}
+
+}  // namespace nmine

@@ -1,0 +1,44 @@
+#ifndef NMINE_DB_IN_MEMORY_DATABASE_H_
+#define NMINE_DB_IN_MEMORY_DATABASE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "nmine/db/sequence_database.h"
+
+namespace nmine {
+
+/// A sequence database held entirely in memory. Used for samples (Phase 1
+/// keeps the sample memory-resident) and for laptop-scale experiment data.
+class InMemorySequenceDatabase : public SequenceDatabase {
+ public:
+  InMemorySequenceDatabase() = default;
+
+  /// Builds a database from raw sequences; ids are assigned 0..N-1.
+  static InMemorySequenceDatabase FromSequences(
+      std::vector<Sequence> sequences);
+
+  /// Builds a database from explicit records.
+  static InMemorySequenceDatabase FromRecords(
+      std::vector<SequenceRecord> records);
+
+  /// Appends a sequence with the next dense id.
+  void Add(Sequence sequence);
+  void Add(SequenceRecord record);
+
+  size_t NumSequences() const override { return records_.size(); }
+  void Scan(const Visitor& visitor) const override;
+  uint64_t TotalSymbols() const override { return total_symbols_; }
+
+  /// Direct access (no scan accounting); for tests and sample storage.
+  const std::vector<SequenceRecord>& records() const { return records_; }
+
+ private:
+  std::vector<SequenceRecord> records_;
+  uint64_t total_symbols_ = 0;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_DB_IN_MEMORY_DATABASE_H_

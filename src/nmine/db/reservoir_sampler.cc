@@ -1,0 +1,53 @@
+#include "nmine/db/reservoir_sampler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace nmine {
+
+SequentialSampler::SequentialSampler(size_t n, size_t population, Rng* rng)
+    : n_(n), population_(population), rng_(rng) {
+  sample_.reserve(n < population ? n : population);
+}
+
+bool SequentialSampler::Offer(const SequenceRecord& record) {
+  assert(seen_ < population_);
+  size_t remaining_slots = n_ > sample_.size() ? n_ - sample_.size() : 0;
+  size_t remaining_population = population_ - seen_;
+  ++seen_;
+  if (remaining_slots == 0) return false;
+  // Select with probability (n - j) / (N - i).
+  double p = static_cast<double>(remaining_slots) /
+             static_cast<double>(remaining_population);
+  if (rng_->UniformDouble() < p) {
+    sample_.push_back(record);
+    return true;
+  }
+  return false;
+}
+
+InMemorySequenceDatabase SequentialSampler::TakeDatabase() {
+  return InMemorySequenceDatabase::FromRecords(std::move(sample_));
+}
+
+ReservoirSampler::ReservoirSampler(size_t n, Rng* rng) : n_(n), rng_(rng) {
+  sample_.reserve(n);
+}
+
+void ReservoirSampler::Offer(const SequenceRecord& record) {
+  ++seen_;
+  if (sample_.size() < n_) {
+    sample_.push_back(record);
+    return;
+  }
+  uint64_t slot = rng_->UniformInt(seen_);
+  if (slot < n_) {
+    sample_[slot] = record;
+  }
+}
+
+InMemorySequenceDatabase ReservoirSampler::TakeDatabase() {
+  return InMemorySequenceDatabase::FromRecords(std::move(sample_));
+}
+
+}  // namespace nmine

@@ -1,0 +1,64 @@
+#ifndef NMINE_DB_RESERVOIR_SAMPLER_H_
+#define NMINE_DB_RESERVOIR_SAMPLER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nmine/core/sequence.h"
+#include "nmine/db/in_memory_database.h"
+#include "nmine/stats/random.h"
+
+namespace nmine {
+
+/// Sequential random sampler used by Phase 1 (Algorithm 4.1, lines 12-16,
+/// after Vitter [27]): when the population size N is known in advance, the
+/// i-th element is selected with probability (n - j) / (N - i), where j
+/// elements have been chosen among the first i. Produces exactly
+/// min(n, N) samples, each subset of size n equally likely.
+class SequentialSampler {
+ public:
+  /// `n` is the memory capacity (sample size); `population` is N.
+  SequentialSampler(size_t n, size_t population, Rng* rng);
+
+  /// Offers the next element in population order; returns true if selected.
+  /// Must be called exactly `population` times.
+  bool Offer(const SequenceRecord& record);
+
+  /// Selected sample, in population order.
+  const std::vector<SequenceRecord>& sample() const { return sample_; }
+
+  /// Moves the sample into an in-memory database.
+  InMemorySequenceDatabase TakeDatabase();
+
+ private:
+  size_t n_;
+  size_t population_;
+  size_t seen_ = 0;
+  Rng* rng_;
+  std::vector<SequenceRecord> sample_;
+};
+
+/// Classic Algorithm-R reservoir sampler for streams of unknown length:
+/// keeps the first n elements, then replaces a uniformly random slot with
+/// probability n / i for the i-th element.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t n, Rng* rng);
+
+  void Offer(const SequenceRecord& record);
+
+  const std::vector<SequenceRecord>& sample() const { return sample_; }
+  size_t seen() const { return seen_; }
+
+  InMemorySequenceDatabase TakeDatabase();
+
+ private:
+  size_t n_;
+  size_t seen_ = 0;
+  Rng* rng_;
+  std::vector<SequenceRecord> sample_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_DB_RESERVOIR_SAMPLER_H_

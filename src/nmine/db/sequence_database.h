@@ -1,0 +1,50 @@
+#ifndef NMINE_DB_SEQUENCE_DATABASE_H_
+#define NMINE_DB_SEQUENCE_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "nmine/core/sequence.h"
+
+namespace nmine {
+
+/// Abstract sequence database (Definition 3.1) with scan accounting.
+///
+/// The paper's central cost metric is the number of full passes ("scans")
+/// over the (potentially disk-resident) sequence database. Every call to
+/// Scan() increments a counter that miners report in their results, so the
+/// metric is measured identically for in-memory and on-disk databases.
+class SequenceDatabase {
+ public:
+  using Visitor = std::function<void(const SequenceRecord&)>;
+
+  virtual ~SequenceDatabase() = default;
+
+  /// Number of sequences N.
+  virtual size_t NumSequences() const = 0;
+
+  /// Visits every sequence once, in storage order. Counts one scan.
+  virtual void Scan(const Visitor& visitor) const = 0;
+
+  /// Total number of symbols across all sequences.
+  virtual uint64_t TotalSymbols() const = 0;
+
+  /// Full passes performed since construction / the last reset.
+  int64_t scan_count() const { return scan_count_; }
+  void ResetScanCount() { scan_count_ = 0; }
+
+ protected:
+  SequenceDatabase() = default;
+  SequenceDatabase(const SequenceDatabase&) = default;
+  SequenceDatabase& operator=(const SequenceDatabase&) = default;
+
+  /// Implementations call this at the start of each full pass.
+  void CountScan() const { ++scan_count_; }
+
+ private:
+  mutable int64_t scan_count_ = 0;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_DB_SEQUENCE_DATABASE_H_

@@ -1,0 +1,43 @@
+#include "nmine/eval/calibration.h"
+
+namespace nmine {
+
+MatchCalibration::MatchCalibration(const CompatibilityMatrix& c,
+                                   CalibrationMode mode) {
+  const size_t m = c.size();
+  deflation_.assign(m, 1.0);
+  for (size_t d = 0; d < m; ++d) {
+    SymbolId sd = static_cast<SymbolId>(d);
+    if (mode == CalibrationMode::kDiagonalSurvival) {
+      deflation_[d] = c(sd, sd);
+      continue;
+    }
+    // Row sum of C recovers the emission normalizer under uniform priors:
+    // P(obs = x | true = d) = C(d, x) / sum_y C(d, y).
+    double row_sum = 0.0;
+    for (const CompatibilityMatrix::Entry& e : c.RowNonZeros(sd)) {
+      row_sum += e.value;
+    }
+    if (row_sum <= 0.0) {
+      deflation_[d] = 0.0;
+      continue;
+    }
+    double g = 0.0;
+    for (const CompatibilityMatrix::Entry& e : c.RowNonZeros(sd)) {
+      g += (e.value / row_sum) * e.value;
+    }
+    deflation_[d] = g;
+  }
+}
+
+double MatchCalibration::PatternDeflation(const Pattern& p) const {
+  double g = 1.0;
+  for (size_t i = 0; i < p.length(); ++i) {
+    SymbolId s = p[i];
+    if (IsWildcard(s)) continue;
+    g *= deflation_[static_cast<size_t>(s)];
+  }
+  return g;
+}
+
+}  // namespace nmine

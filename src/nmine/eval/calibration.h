@@ -1,0 +1,77 @@
+#ifndef NMINE_EVAL_CALIBRATION_H_
+#define NMINE_EVAL_CALIBRATION_H_
+
+#include <vector>
+
+#include "nmine/core/compatibility_matrix.h"
+#include "nmine/core/pattern.h"
+
+namespace nmine {
+
+/// Noise-deflation calibration for the match metric.
+///
+/// Under a noise channel, the match of a pattern is systematically
+/// deflated relative to its noise-free support: for each pattern position
+/// holding symbol d, the expected contribution of that position is
+///
+///   g_d = E_obs[C(d, obs) | true = d] = sum_x P(obs = x | true = d) C(d, x)
+///
+/// (for the paper's uniform channel g = (1-alpha)^2 + alpha^2/(m-1), which
+/// is strictly below the support survival rate (1-alpha)). Comparing the
+/// raw match of a k-pattern against the same threshold as its noise-free
+/// support therefore under-selects long patterns; an unbiased comparison
+/// scales the threshold by the pattern's total expected deflation
+/// Prod_i g_{d_i}. The match model has the knowledge required for this
+/// correction (the compatibility matrix); the support baseline does not —
+/// which is precisely the asymmetry the paper's robustness experiments
+/// exploit. See EXPERIMENTS.md for the full derivation and why the
+/// paper's Figure-7 shapes require this step.
+/// How the per-symbol deflation is estimated.
+enum class CalibrationMode {
+  /// g_d = E[C(d, obs) | true = d]: the unbiased expectation, including
+  /// partial credit from substitutions. The right choice for concentrated
+  /// channels (few likely substitutions with sizable posteriors), where
+  /// partial credit genuinely carries signal.
+  kExpectedDeflation,
+  /// g_d = C(d, d): the survival probability of an unperturbed position.
+  /// A tighter threshold for wide channels (e.g. uniform noise over many
+  /// symbols), where per-substitution posteriors are tiny and the
+  /// expectation-based threshold would sink below the background
+  /// partial-credit floor, flooding the candidate space with
+  /// substitution variants.
+  kDiagonalSurvival,
+};
+
+class MatchCalibration {
+ public:
+  /// Derives per-symbol deflations from `c`. For kExpectedDeflation the
+  /// emission probabilities are recovered by row-normalizing C (exact
+  /// when symbol priors are uniform, which matches the paper's Section-5
+  /// setup).
+  explicit MatchCalibration(
+      const CompatibilityMatrix& c,
+      CalibrationMode mode = CalibrationMode::kExpectedDeflation);
+
+  /// Expected per-position deflation of symbol d.
+  double SymbolDeflation(SymbolId d) const {
+    return deflation_[static_cast<size_t>(d)];
+  }
+
+  /// Total expected deflation of `p`: product over non-eternal positions.
+  double PatternDeflation(const Pattern& p) const;
+
+  /// The calibrated threshold for `p` given a noise-free (support-scale)
+  /// threshold: base_threshold * PatternDeflation(p).
+  double ThresholdFor(const Pattern& p, double base_threshold) const {
+    return base_threshold * PatternDeflation(p);
+  }
+
+  const std::vector<double>& deflations() const { return deflation_; }
+
+ private:
+  std::vector<double> deflation_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_EVAL_CALIBRATION_H_

@@ -1,0 +1,41 @@
+#include "nmine/eval/metrics.h"
+
+namespace nmine {
+
+ModelQuality CompareResultSets(const PatternSet& discovered,
+                               const PatternSet& reference) {
+  ModelQuality q;
+  q.discovered = discovered.size();
+  q.reference = reference.size();
+  q.common = discovered.IntersectionSize(reference);
+  q.accuracy = q.discovered == 0
+                   ? 1.0
+                   : static_cast<double>(q.common) /
+                         static_cast<double>(q.discovered);
+  q.completeness = q.reference == 0
+                       ? 1.0
+                       : static_cast<double>(q.common) /
+                             static_cast<double>(q.reference);
+  return q;
+}
+
+PatternSet FilterByLevel(const PatternSet& s, size_t num_symbols) {
+  PatternSet out;
+  for (const Pattern& p : s) {
+    if (p.NumSymbols() == num_symbols) {
+      out.Insert(p);
+    }
+  }
+  return out;
+}
+
+double ErrorRate(const PatternSet& discovered, const PatternSet& reference) {
+  if (reference.empty()) return 0.0;
+  size_t common = discovered.IntersectionSize(reference);
+  size_t mislabeled =
+      (discovered.size() - common) + (reference.size() - common);
+  return static_cast<double>(mislabeled) /
+         static_cast<double>(reference.size());
+}
+
+}  // namespace nmine

@@ -1,0 +1,37 @@
+#ifndef NMINE_EVAL_METRICS_H_
+#define NMINE_EVAL_METRICS_H_
+
+#include <cstddef>
+
+#include "nmine/lattice/pattern_set.h"
+
+namespace nmine {
+
+/// Section 5.1's quality measures for a discovered pattern set R' against
+/// the reference set R mined from the noise-free standard database:
+///   accuracy     = |R' ∩ R| / |R'|  (how selective the model is)
+///   completeness = |R' ∩ R| / |R|   (how well it covers the expectation)
+struct ModelQuality {
+  double accuracy = 1.0;
+  double completeness = 1.0;
+  size_t discovered = 0;  // |R'|
+  size_t reference = 0;   // |R|
+  size_t common = 0;      // |R' ∩ R|
+};
+
+/// Computes accuracy/completeness of `discovered` against `reference`.
+/// Empty sets yield the conventional value 1 for the affected ratio.
+ModelQuality CompareResultSets(const PatternSet& discovered,
+                               const PatternSet& reference);
+
+/// Restricts `s` to patterns with exactly `num_symbols` non-eternal
+/// symbols (Figure 7(c)/(d) evaluate quality per pattern length).
+PatternSet FilterByLevel(const PatternSet& s, size_t num_symbols);
+
+/// Error rate of Section 5.5: mislabeled patterns (in exactly one of the
+/// two sets) over the number of reference frequent patterns.
+double ErrorRate(const PatternSet& discovered, const PatternSet& reference);
+
+}  // namespace nmine
+
+#endif  // NMINE_EVAL_METRICS_H_

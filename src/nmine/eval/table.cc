@@ -1,0 +1,77 @@
+#include "nmine/eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace nmine {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::Int(long long value) { return std::to_string(value); }
+
+void Table::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell << std::string(widths[c] - cell.size(), ' ');
+    }
+    out << " |\n";
+  };
+  print_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void Table::PrintCsv(std::ostream& out) const {
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      const std::string& cell = row[c];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        out << '"';
+        for (char ch : cell) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cell;
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace nmine

@@ -1,0 +1,40 @@
+#ifndef NMINE_EVAL_TABLE_H_
+#define NMINE_EVAL_TABLE_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nmine {
+
+/// Minimal aligned-console / CSV table used by the benchmark harnesses to
+/// print the series behind every figure of the paper.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string Num(double value, int precision = 4);
+  static std::string Int(long long value);
+
+  /// Writes an aligned, pipe-separated table.
+  void Print(std::ostream& out) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void PrintCsv(std::ostream& out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_EVAL_TABLE_H_

@@ -1,0 +1,11 @@
+#include "nmine/eval/timer.h"
+
+namespace nmine {
+
+double WallTimer::Seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace nmine

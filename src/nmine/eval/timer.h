@@ -1,0 +1,24 @@
+#ifndef NMINE_EVAL_TIMER_H_
+#define NMINE_EVAL_TIMER_H_
+
+#include <chrono>
+
+namespace nmine {
+
+/// Wall-clock stopwatch for experiment harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds since construction or the last Reset().
+  double Seconds() const;
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_EVAL_TIMER_H_

@@ -1,0 +1,72 @@
+#include "nmine/gen/noise_model.h"
+
+#include <cassert>
+
+namespace nmine {
+
+Sequence ApplyUniformNoise(const Sequence& seq, double alpha, size_t m,
+                           Rng* rng) {
+  assert(m >= 2);
+  Sequence out;
+  out.reserve(seq.size());
+  for (SymbolId s : seq) {
+    if (rng->Bernoulli(alpha)) {
+      // Substitute with a uniformly chosen *different* symbol.
+      SymbolId sub = static_cast<SymbolId>(rng->UniformInt(m - 1));
+      if (sub >= s) ++sub;
+      out.push_back(sub);
+    } else {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+InMemorySequenceDatabase ApplyUniformNoise(const InMemorySequenceDatabase& db,
+                                           double alpha, size_t m, Rng* rng) {
+  InMemorySequenceDatabase out;
+  for (const SequenceRecord& r : db.records()) {
+    SequenceRecord noisy;
+    noisy.id = r.id;
+    noisy.symbols = ApplyUniformNoise(r.symbols, alpha, m, rng);
+    out.Add(std::move(noisy));
+  }
+  return out;
+}
+
+EmissionModel::EmissionModel(std::vector<std::vector<double>> rows)
+    : rows_(std::move(rows)) {
+  samplers_.reserve(rows_.size());
+  for (const std::vector<double>& row : rows_) {
+    assert(row.size() == rows_.size());
+    samplers_.emplace_back(row);
+  }
+}
+
+SymbolId EmissionModel::Emit(SymbolId true_sym, Rng* rng) const {
+  return static_cast<SymbolId>(
+      samplers_[static_cast<size_t>(true_sym)].Sample(*rng));
+}
+
+Sequence EmissionModel::Apply(const Sequence& seq, Rng* rng) const {
+  Sequence out;
+  out.reserve(seq.size());
+  for (SymbolId s : seq) {
+    out.push_back(Emit(s, rng));
+  }
+  return out;
+}
+
+InMemorySequenceDatabase EmissionModel::Apply(
+    const InMemorySequenceDatabase& db, Rng* rng) const {
+  InMemorySequenceDatabase out;
+  for (const SequenceRecord& r : db.records()) {
+    SequenceRecord noisy;
+    noisy.id = r.id;
+    noisy.symbols = Apply(r.symbols, rng);
+    out.Add(std::move(noisy));
+  }
+  return out;
+}
+
+}  // namespace nmine

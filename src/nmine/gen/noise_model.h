@@ -1,0 +1,55 @@
+#ifndef NMINE_GEN_NOISE_MODEL_H_
+#define NMINE_GEN_NOISE_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nmine/core/sequence.h"
+#include "nmine/db/in_memory_database.h"
+#include "nmine/stats/random.h"
+
+namespace nmine {
+
+/// The uniform noise channel of Section 5.1: each symbol stays itself with
+/// probability 1 - alpha and is substituted by each of the other m - 1
+/// symbols with probability alpha / (m - 1). Sequence lengths are
+/// preserved.
+Sequence ApplyUniformNoise(const Sequence& seq, double alpha, size_t m,
+                           Rng* rng);
+
+/// Applies the uniform channel to every sequence of `db`, producing the
+/// "test database" counterpart of a "standard database".
+InMemorySequenceDatabase ApplyUniformNoise(const InMemorySequenceDatabase& db,
+                                           double alpha, size_t m, Rng* rng);
+
+/// A general memoryless substitution channel: emission[i][j] =
+/// Prob(observed = d_j | true = d_i). Rows must be probability
+/// distributions. Used for the BLOSUM50 mutation experiments.
+class EmissionModel {
+ public:
+  /// Precondition: `rows` is square and row-stochastic.
+  explicit EmissionModel(std::vector<std::vector<double>> rows);
+
+  size_t size() const { return samplers_.size(); }
+
+  /// Probability of observing `observed` when the true symbol is `true_sym`.
+  double Probability(SymbolId true_sym, SymbolId observed) const {
+    return rows_[static_cast<size_t>(true_sym)]
+                [static_cast<size_t>(observed)];
+  }
+
+  SymbolId Emit(SymbolId true_sym, Rng* rng) const;
+  Sequence Apply(const Sequence& seq, Rng* rng) const;
+  InMemorySequenceDatabase Apply(const InMemorySequenceDatabase& db,
+                                 Rng* rng) const;
+
+  const std::vector<std::vector<double>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::vector<double>> rows_;
+  std::vector<DiscreteSampler> samplers_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_GEN_NOISE_MODEL_H_

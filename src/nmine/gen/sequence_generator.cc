@@ -1,0 +1,74 @@
+#include "nmine/gen/sequence_generator.h"
+
+#include <cassert>
+#include <optional>
+
+namespace nmine {
+
+Sequence RandomSequence(size_t length, size_t m, Rng* rng) {
+  Sequence seq(length);
+  for (size_t i = 0; i < length; ++i) {
+    seq[i] = static_cast<SymbolId>(rng->UniformInt(m));
+  }
+  return seq;
+}
+
+Sequence WeightedRandomSequence(size_t length, const DiscreteSampler& dist,
+                                Rng* rng) {
+  Sequence seq(length);
+  for (size_t i = 0; i < length; ++i) {
+    seq[i] = static_cast<SymbolId>(dist.Sample(*rng));
+  }
+  return seq;
+}
+
+Pattern RandomPattern(size_t num_symbols, size_t max_gap, size_t m,
+                      Rng* rng) {
+  assert(num_symbols >= 1);
+  std::vector<SymbolId> body;
+  body.push_back(static_cast<SymbolId>(rng->UniformInt(m)));
+  for (size_t i = 1; i < num_symbols; ++i) {
+    size_t gap = max_gap == 0 ? 0 : rng->UniformInt(max_gap + 1);
+    body.insert(body.end(), gap, kWildcard);
+    body.push_back(static_cast<SymbolId>(rng->UniformInt(m)));
+  }
+  return Pattern(std::move(body));
+}
+
+void PlantPattern(const Pattern& p, size_t offset, Sequence* seq) {
+  assert(offset + p.length() <= seq->size());
+  for (size_t i = 0; i < p.length(); ++i) {
+    SymbolId s = p[i];
+    if (!IsWildcard(s)) {
+      (*seq)[offset + i] = s;
+    }
+  }
+}
+
+InMemorySequenceDatabase GenerateDatabase(const GeneratorConfig& config,
+                                          Rng* rng) {
+  InMemorySequenceDatabase db;
+  std::optional<DiscreteSampler> weighted;
+  if (!config.symbol_weights.empty()) {
+    assert(config.symbol_weights.size() == config.alphabet_size);
+    weighted.emplace(config.symbol_weights);
+  }
+  for (size_t i = 0; i < config.num_sequences; ++i) {
+    size_t length = static_cast<size_t>(rng->UniformRange(
+        static_cast<int64_t>(config.min_length),
+        static_cast<int64_t>(config.max_length)));
+    Sequence seq = weighted.has_value()
+                       ? WeightedRandomSequence(length, *weighted, rng)
+                       : RandomSequence(length, config.alphabet_size, rng);
+    for (const Pattern& p : config.planted) {
+      if (p.length() > length) continue;
+      if (!rng->Bernoulli(config.plant_probability)) continue;
+      size_t offset = rng->UniformInt(length - p.length() + 1);
+      PlantPattern(p, offset, &seq);
+    }
+    db.Add(std::move(seq));
+  }
+  return db;
+}
+
+}  // namespace nmine

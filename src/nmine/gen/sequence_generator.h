@@ -1,0 +1,59 @@
+#ifndef NMINE_GEN_SEQUENCE_GENERATOR_H_
+#define NMINE_GEN_SEQUENCE_GENERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nmine/core/pattern.h"
+#include "nmine/core/sequence.h"
+#include "nmine/db/in_memory_database.h"
+#include "nmine/stats/random.h"
+
+namespace nmine {
+
+/// Generates a uniform random sequence of `length` symbols over an
+/// alphabet of size m.
+Sequence RandomSequence(size_t length, size_t m, Rng* rng);
+
+/// Generates a random sequence with symbol i drawn proportionally to
+/// weights[i] (real alphabets are skewed; Zipf-like weights make symbol
+/// matches vary, which drives the restricted-spread experiments).
+Sequence WeightedRandomSequence(size_t length, const DiscreteSampler& dist,
+                                Rng* rng);
+
+/// Generates a random pattern with `num_symbols` non-eternal symbols over
+/// an alphabet of size m, inserting gaps of up to `max_gap` eternal symbols
+/// between consecutive symbols (0 for contiguous patterns).
+Pattern RandomPattern(size_t num_symbols, size_t max_gap, size_t m, Rng* rng);
+
+/// Overwrites `seq` starting at `offset` with the non-eternal symbols of
+/// `p` (eternal positions leave the background symbol untouched).
+/// Precondition: offset + p.length() <= seq->size().
+void PlantPattern(const Pattern& p, size_t offset, Sequence* seq);
+
+/// Configuration of a synthetic "standard database" (the noise-free data
+/// of Section 5.1) with patterns planted at a controlled frequency.
+struct GeneratorConfig {
+  size_t num_sequences = 1000;
+  size_t min_length = 50;
+  size_t max_length = 100;
+  size_t alphabet_size = 20;
+
+  /// Patterns to plant. Each sequence receives pattern i with probability
+  /// plant_probability (independently); position is uniform.
+  std::vector<Pattern> planted;
+  double plant_probability = 0.25;
+
+  /// Optional background symbol weights (size alphabet_size). Empty means
+  /// uniform. Need not be normalized.
+  std::vector<double> symbol_weights;
+};
+
+/// Generates the standard database: uniform background with planted
+/// patterns. Sequences too short for a pattern simply skip it.
+InMemorySequenceDatabase GenerateDatabase(const GeneratorConfig& config,
+                                          Rng* rng);
+
+}  // namespace nmine
+
+#endif  // NMINE_GEN_SEQUENCE_GENERATOR_H_

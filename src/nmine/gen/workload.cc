@@ -1,0 +1,48 @@
+#include "nmine/gen/workload.h"
+
+#include "nmine/gen/matrix_generator.h"
+#include "nmine/gen/noise_model.h"
+
+namespace nmine {
+
+InMemorySequenceDatabase MakeStandardDatabase(
+    const WorkloadSpec& spec, std::vector<Pattern>* planted) {
+  Rng rng(spec.seed);
+  GeneratorConfig config;
+  config.num_sequences = spec.num_sequences;
+  config.min_length = spec.min_length;
+  config.max_length = spec.max_length;
+  config.alphabet_size = spec.alphabet_size;
+  config.plant_probability = spec.plant_probability;
+  for (size_t i = 0; i < spec.num_planted; ++i) {
+    size_t k = static_cast<size_t>(
+        rng.UniformRange(static_cast<int64_t>(spec.planted_symbols_min),
+                         static_cast<int64_t>(spec.planted_symbols_max)));
+    config.planted.push_back(
+        RandomPattern(k, spec.planted_max_gap, spec.alphabet_size, &rng));
+  }
+  if (planted != nullptr) {
+    *planted = config.planted;
+  }
+  return GenerateDatabase(config, &rng);
+}
+
+NoisyWorkload MakeUniformNoiseWorkload(const WorkloadSpec& spec,
+                                       double alpha) {
+  NoisyWorkload w;
+  w.standard = MakeStandardDatabase(spec, &w.planted);
+  if (alpha > 0.0) {
+    // The noise stream is seeded independently of the generator stream so
+    // the standard database is bit-identical across alphas.
+    Rng noise_rng(spec.seed ^ 0x9e3779b97f4a7c15ull);
+    w.test = ApplyUniformNoise(w.standard, alpha, spec.alphabet_size,
+                               &noise_rng);
+    w.matrix = UniformNoiseMatrix(spec.alphabet_size, alpha);
+  } else {
+    w.test = w.standard;
+    w.matrix = CompatibilityMatrix::Identity(spec.alphabet_size);
+  }
+  return w;
+}
+
+}  // namespace nmine

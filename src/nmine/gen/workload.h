@@ -1,0 +1,60 @@
+#ifndef NMINE_GEN_WORKLOAD_H_
+#define NMINE_GEN_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nmine/core/compatibility_matrix.h"
+#include "nmine/core/pattern.h"
+#include "nmine/db/in_memory_database.h"
+#include "nmine/gen/sequence_generator.h"
+
+namespace nmine {
+
+/// Specification of the Section-5 experimental setup: a "standard
+/// database" (noise-free, with patterns planted at a controlled frequency)
+/// from which "test databases" are derived by pushing every sequence
+/// through a noise channel.
+struct WorkloadSpec {
+  size_t num_sequences = 600;
+  size_t min_length = 60;
+  size_t max_length = 120;
+  size_t alphabet_size = 20;  // amino acids in the paper
+
+  /// Number of random patterns to plant and their shapes.
+  size_t num_planted = 4;
+  size_t planted_symbols_min = 6;
+  size_t planted_symbols_max = 10;
+  size_t planted_max_gap = 0;
+
+  /// Probability that a given sequence carries a given planted pattern.
+  double plant_probability = 0.3;
+
+  uint64_t seed = 7;
+};
+
+/// A standard/test database pair under the uniform noise channel of
+/// Section 5.1, together with the matching compatibility matrix.
+struct NoisyWorkload {
+  InMemorySequenceDatabase standard;  // noise-free
+  InMemorySequenceDatabase test;      // observed (after the channel)
+  CompatibilityMatrix matrix;         // C for the channel (posterior)
+  std::vector<Pattern> planted;
+
+  NoisyWorkload() : matrix(2) {}
+};
+
+/// Builds the standard database for `spec` (deterministic given the seed)
+/// and returns the planted patterns through `*planted`.
+InMemorySequenceDatabase MakeStandardDatabase(const WorkloadSpec& spec,
+                                              std::vector<Pattern>* planted);
+
+/// Builds the full standard/test pair for noise level `alpha`. The same
+/// spec and seed always produce the same standard database, so workloads
+/// with different alphas share their ground truth.
+NoisyWorkload MakeUniformNoiseWorkload(const WorkloadSpec& spec, double alpha);
+
+}  // namespace nmine
+
+#endif  // NMINE_GEN_WORKLOAD_H_

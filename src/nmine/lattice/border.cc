@@ -1,0 +1,57 @@
+#include "nmine/lattice/border.h"
+
+#include <algorithm>
+
+namespace nmine {
+
+bool Border::Insert(const Pattern& p) {
+  for (const Pattern& e : elements_) {
+    if (p.IsSubpatternOf(e)) {
+      return false;  // subsumed by an existing maximal element
+    }
+  }
+  // p is maximal; evict elements it subsumes.
+  elements_.erase(std::remove_if(elements_.begin(), elements_.end(),
+                                 [&p](const Pattern& e) {
+                                   return e.IsSubpatternOf(p);
+                                 }),
+                  elements_.end());
+  elements_.push_back(p);
+  return true;
+}
+
+bool Border::Covers(const Pattern& p) const {
+  for (const Pattern& e : elements_) {
+    if (p.IsSubpatternOf(e)) return true;
+  }
+  return false;
+}
+
+bool Border::ContainsElement(const Pattern& p) const {
+  return std::find(elements_.begin(), elements_.end(), p) != elements_.end();
+}
+
+size_t Border::MaxLevel() const {
+  size_t level = 0;
+  for (const Pattern& e : elements_) {
+    level = std::max(level, e.NumSymbols());
+  }
+  return level;
+}
+
+size_t Border::MinLevel() const {
+  if (elements_.empty()) return 0;
+  size_t level = elements_.front().NumSymbols();
+  for (const Pattern& e : elements_) {
+    level = std::min(level, e.NumSymbols());
+  }
+  return level;
+}
+
+std::vector<Pattern> Border::ToSortedVector() const {
+  std::vector<Pattern> out = elements_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace nmine

@@ -1,0 +1,54 @@
+#ifndef NMINE_LATTICE_BORDER_H_
+#define NMINE_LATTICE_BORDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nmine/core/pattern.h"
+
+namespace nmine {
+
+/// A border in the sub-/super-pattern lattice (Mannila & Toivonen's notion,
+/// Section 3): an antichain of patterns, maintained as the set of *maximal*
+/// elements. The paper uses two: FQT (maximal known-frequent patterns) and
+/// INFQT (maximal ambiguous patterns).
+///
+/// Invariant: no element is a subpattern of another element.
+class Border {
+ public:
+  Border() = default;
+
+  /// Inserts `p`, dropping it if it is subsumed (a subpattern of an existing
+  /// element) and evicting existing elements that `p` subsumes. This is the
+  /// "remove from FQT any sub-pattern of P" maintenance of Algorithm 4.2.
+  /// Returns true if `p` became a border element.
+  bool Insert(const Pattern& p);
+
+  /// True if `p` lies on or below the border (is a subpattern of some
+  /// element, or an element itself).
+  bool Covers(const Pattern& p) const;
+
+  /// True if `p` is itself a border element.
+  bool ContainsElement(const Pattern& p) const;
+
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  void clear() { elements_.clear(); }
+
+  /// Maximum number of non-eternal symbols among elements (0 when empty).
+  size_t MaxLevel() const;
+  /// Minimum number of non-eternal symbols among elements (0 when empty).
+  size_t MinLevel() const;
+
+  const std::vector<Pattern>& elements() const { return elements_; }
+
+  /// Elements sorted by (length, lexicographic).
+  std::vector<Pattern> ToSortedVector() const;
+
+ private:
+  std::vector<Pattern> elements_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_LATTICE_BORDER_H_

@@ -1,0 +1,79 @@
+#include "nmine/lattice/candidate_gen.h"
+
+namespace nmine {
+
+bool InSpace(const Pattern& p, const PatternSpaceOptions& opts) {
+  if (p.length() > opts.max_span) return false;
+  size_t run = 0;
+  for (size_t i = 0; i < p.length(); ++i) {
+    if (IsWildcard(p[i])) {
+      if (++run > opts.max_gap) return false;
+    } else {
+      run = 0;
+    }
+  }
+  return true;
+}
+
+std::vector<Pattern> Level1Candidates(const std::vector<SymbolId>& symbols) {
+  std::vector<Pattern> out;
+  out.reserve(symbols.size());
+  for (SymbolId s : symbols) {
+    out.push_back(Pattern({s}));
+  }
+  return out;
+}
+
+std::vector<Pattern> RightExtensions(const Pattern& p,
+                                     const std::vector<SymbolId>& symbols,
+                                     const PatternSpaceOptions& opts) {
+  std::vector<Pattern> out;
+  for (size_t gap = 0; gap <= opts.max_gap; ++gap) {
+    if (p.length() + gap + 1 > opts.max_span) break;
+    for (SymbolId s : symbols) {
+      std::vector<SymbolId> body = p.body();
+      body.insert(body.end(), gap, kWildcard);
+      body.push_back(s);
+      out.push_back(Pattern(std::move(body)));
+    }
+  }
+  return out;
+}
+
+Pattern GeneratingPrefix(const Pattern& p) {
+  if (p.NumSymbols() <= 1) return Pattern();
+  std::vector<SymbolId> body = p.body();
+  body.pop_back();  // last position is never eternal
+  while (!body.empty() && IsWildcard(body.back())) {
+    body.pop_back();
+  }
+  return Pattern(std::move(body));
+}
+
+std::vector<Pattern> NextLevelCandidates(
+    const std::vector<Pattern>& level_k,
+    const std::vector<SymbolId>& symbols, const PatternSpaceOptions& opts,
+    const std::function<bool(const Pattern&)>& subpattern_ok,
+    size_t max_out) {
+  std::vector<Pattern> out;
+  for (const Pattern& p : level_k) {
+    if (out.size() >= max_out) break;
+    for (Pattern& candidate : RightExtensions(p, symbols, opts)) {
+      if (out.size() >= max_out) break;
+      bool keep = true;
+      for (const Pattern& sub : candidate.ImmediateSubpatterns()) {
+        if (!InSpace(sub, opts)) continue;
+        if (!subpattern_ok(sub)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) {
+        out.push_back(std::move(candidate));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nmine

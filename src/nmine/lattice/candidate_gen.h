@@ -1,0 +1,68 @@
+#ifndef NMINE_LATTICE_CANDIDATE_GEN_H_
+#define NMINE_LATTICE_CANDIDATE_GEN_H_
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "nmine/core/pattern.h"
+
+namespace nmine {
+
+/// Shape of the pattern search space.
+///
+/// Two modes are used in the experiments (see DESIGN.md):
+///  * gapped (`max_gap > 0`): patterns may contain runs of up to `max_gap`
+///    eternal symbols between non-eternal ones — faithful to Definition 3.2
+///    (e.g. the Zinc-Finger signature C**C...H**H);
+///  * contiguous (`max_gap == 0`): no eternal symbols; required for the
+///    long-pattern experiments where the gapped lattice is astronomically
+///    large.
+struct PatternSpaceOptions {
+  /// Maximum total pattern length l (including eternal symbols).
+  size_t max_span = 32;
+  /// Maximum number of consecutive eternal symbols between two non-eternal
+  /// symbols. 0 means contiguous patterns only.
+  size_t max_gap = 0;
+};
+
+/// True if `p` lies inside the bounded pattern space: length <= max_span
+/// and no eternal run longer than max_gap.
+bool InSpace(const Pattern& p, const PatternSpaceOptions& opts);
+
+/// The level-1 candidates: one 1-pattern per symbol.
+std::vector<Pattern> Level1Candidates(const std::vector<SymbolId>& symbols);
+
+/// All right-extensions of `p`: append g eternal symbols (0 <= g <=
+/// max_gap) followed by one symbol from `symbols`, subject to
+/// `opts.max_span`. Every (k+1)-pattern is the right-extension of exactly
+/// one k-pattern (its "generating prefix": drop the last symbol and the
+/// trailing gap), so generating from all frequent k-patterns enumerates
+/// each candidate exactly once.
+std::vector<Pattern> RightExtensions(const Pattern& p,
+                                     const std::vector<SymbolId>& symbols,
+                                     const PatternSpaceOptions& opts);
+
+/// Generating prefix of `p`: `p` minus its last non-eternal symbol and the
+/// eternal run before it. Returns an empty Pattern for 1-patterns.
+Pattern GeneratingPrefix(const Pattern& p);
+
+/// Level-(k+1) candidates from the frequent level-k patterns `level_k`,
+/// Apriori-pruned: a candidate survives iff every immediate subpattern
+/// *inside the pattern space* satisfies `subpattern_ok` (membership in
+/// "frequent", or in "frequent-or-ambiguous" during the sample phase).
+/// Subpatterns that fall outside the space (e.g. deleting an interior
+/// symbol merges two gaps past max_gap) were never counted and cannot be
+/// used for pruning. Output order is deterministic.
+/// At most `max_out` candidates are returned (generation stops at the
+/// cap); callers treat an output of exactly `max_out` as truncation.
+std::vector<Pattern> NextLevelCandidates(
+    const std::vector<Pattern>& level_k,
+    const std::vector<SymbolId>& symbols, const PatternSpaceOptions& opts,
+    const std::function<bool(const Pattern&)>& subpattern_ok,
+    size_t max_out = std::numeric_limits<size_t>::max());
+
+}  // namespace nmine
+
+#endif  // NMINE_LATTICE_CANDIDATE_GEN_H_

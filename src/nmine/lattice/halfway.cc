@@ -1,0 +1,142 @@
+#include "nmine/lattice/halfway.h"
+
+#include <cassert>
+#include <deque>
+
+#include "nmine/lattice/pattern_set.h"
+
+namespace nmine {
+namespace {
+
+/// Offsets at which p1 embeds into p2 (Definition 3.3 alignments).
+std::vector<size_t> EmbeddingOffsets(const Pattern& p1, const Pattern& p2) {
+  std::vector<size_t> offsets;
+  if (p1.length() > p2.length()) return offsets;
+  const size_t max_offset = p2.length() - p1.length();
+  for (size_t j = 0; j <= max_offset; ++j) {
+    bool ok = true;
+    for (size_t i = 0; i < p1.length(); ++i) {
+      SymbolId mine = p1[i];
+      if (!IsWildcard(mine) && mine != p2[i + j]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) offsets.push_back(j);
+  }
+  return offsets;
+}
+
+/// Emits the pattern obtained from p2 by keeping exactly the non-eternal
+/// positions in `keep` (a sorted position list) and blanking the rest.
+void EmitKept(const Pattern& p2, const std::vector<size_t>& keep,
+              PatternSet* out, std::vector<Pattern>* ordered, size_t cap) {
+  if (ordered->size() >= cap) return;
+  std::vector<SymbolId> body(p2.length(), kWildcard);
+  for (size_t pos : keep) {
+    body[pos] = p2[pos];
+  }
+  std::optional<Pattern> q = Pattern::Trimmed(std::move(body));
+  if (q.has_value() && out->Insert(*q)) {
+    ordered->push_back(std::move(*q));
+  }
+}
+
+}  // namespace
+
+std::vector<Pattern> HalfwayPatterns(const Pattern& p1, const Pattern& p2,
+                                     bool contiguous, size_t cap) {
+  assert(p1.IsSubpatternOf(p2));
+  const size_t k1 = p1.NumSymbols();
+  const size_t k2 = p2.NumSymbols();
+  assert(k1 < k2);
+  const size_t target = (k1 + k2 + 1) / 2;  // ceil((k1 + k2) / 2)
+
+  PatternSet seen;
+  std::vector<Pattern> ordered;
+
+  if (contiguous) {
+    // Substrings of p2 of length `target` that contain p1's embedding.
+    for (size_t j : EmbeddingOffsets(p1, p2)) {
+      if (target < p1.length() || target > p2.length()) continue;
+      size_t lo = (j + p1.length() > target) ? j + p1.length() - target : 0;
+      size_t hi = j;
+      if (hi + target > p2.length()) hi = p2.length() - target;
+      for (size_t a = lo; a <= hi && ordered.size() < cap; ++a) {
+        std::vector<size_t> keep;
+        keep.reserve(target);
+        for (size_t t = a; t < a + target; ++t) keep.push_back(t);
+        EmitKept(p2, keep, &seen, &ordered, cap);
+      }
+    }
+    return ordered;
+  }
+
+  // Gapped mode: fix an embedding of p1 into p2; keep all positions backing
+  // p1's non-eternal symbols, then choose (target - k1) of p2's remaining
+  // non-eternal positions.
+  for (size_t j : EmbeddingOffsets(p1, p2)) {
+    std::vector<size_t> required;
+    for (size_t i = 0; i < p1.length(); ++i) {
+      if (!IsWildcard(p1[i])) required.push_back(i + j);
+    }
+    std::vector<size_t> optional_pos;
+    for (size_t t = 0; t < p2.length(); ++t) {
+      if (IsWildcard(p2[t])) continue;
+      bool is_required = false;
+      for (size_t r : required) {
+        if (r == t) {
+          is_required = true;
+          break;
+        }
+      }
+      if (!is_required) optional_pos.push_back(t);
+    }
+    const size_t r = target - k1;  // extras to keep
+    if (r > optional_pos.size()) continue;
+    // Enumerate r-combinations of optional_pos in lexicographic order.
+    std::vector<size_t> idx(r);
+    for (size_t i = 0; i < r; ++i) idx[i] = i;
+    while (ordered.size() < cap) {
+      std::vector<size_t> keep = required;
+      for (size_t i : idx) keep.push_back(optional_pos[i]);
+      EmitKept(p2, keep, &seen, &ordered, cap);
+      if (r == 0) break;
+      // Advance the combination.
+      size_t i = r;
+      while (i > 0) {
+        --i;
+        if (idx[i] != i + optional_pos.size() - r) {
+          ++idx[i];
+          for (size_t t = i + 1; t < r; ++t) idx[t] = idx[t - 1] + 1;
+          break;
+        }
+        if (i == 0) {
+          i = r;  // exhausted
+          break;
+        }
+      }
+      if (i == r) break;
+    }
+    if (ordered.size() >= cap) break;
+  }
+  return ordered;
+}
+
+std::vector<size_t> BisectionOrder(size_t lo, size_t hi) {
+  std::vector<size_t> order;
+  if (lo > hi) return order;
+  std::deque<std::pair<size_t, size_t>> queue;
+  queue.emplace_back(lo, hi);
+  while (!queue.empty()) {
+    auto [a, b] = queue.front();
+    queue.pop_front();
+    size_t mid = (a + b + 1) / 2;
+    order.push_back(mid);
+    if (mid > a) queue.emplace_back(a, mid - 1);
+    if (mid < b) queue.emplace_back(mid + 1, b);
+  }
+  return order;
+}
+
+}  // namespace nmine

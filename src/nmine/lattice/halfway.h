@@ -1,0 +1,31 @@
+#ifndef NMINE_LATTICE_HALFWAY_H_
+#define NMINE_LATTICE_HALFWAY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nmine/core/pattern.h"
+
+namespace nmine {
+
+/// Algorithm 4.4 (Halfway): all i-patterns that are superpatterns of `p1`
+/// and subpatterns of `p2`, where i = ceil((k1 + k2) / 2) and k1, k2 are
+/// the non-eternal symbol counts of p1, p2. Preconditions: p1 is a
+/// subpattern of p2 and k1 < k2. Returns at most `cap` distinct patterns
+/// (the memory budget of Algorithm 4.3); deterministic order.
+///
+/// When `contiguous` is true, only gap-free halfway patterns are produced
+/// (the contiguous mining mode restricts the lattice to substrings).
+std::vector<Pattern> HalfwayPatterns(const Pattern& p1, const Pattern& p2,
+                                     bool contiguous, size_t cap);
+
+/// The probing order of Algorithm 4.3: levels of [lo, hi] arranged by
+/// collapsing power — the halfway level first (ceil of the midpoint, as in
+/// Algorithm 4.4), then the two quarterway levels, then the 1/8 levels,
+/// etc. (breadth-first bisection). Every level in [lo, hi] appears exactly
+/// once. Example: BisectionOrder(1, 9) = {5, 3, 8, 2, 4, 7, 9, 1, 6}.
+std::vector<size_t> BisectionOrder(size_t lo, size_t hi);
+
+}  // namespace nmine
+
+#endif  // NMINE_LATTICE_HALFWAY_H_

@@ -1,0 +1,199 @@
+#include "nmine/lattice/pattern_counter.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace nmine {
+
+PatternTrie::PatternTrie(const std::vector<Pattern>& patterns)
+    : num_patterns_(patterns.size()) {
+  nodes_.emplace_back();  // root
+  for (size_t pi = 0; pi < patterns.size(); ++pi) {
+    const Pattern& p = patterns[pi];
+    int32_t node = 0;
+    for (size_t i = 0; i < p.length(); ++i) {
+      SymbolId s = p[i];
+      auto& children = nodes_[static_cast<size_t>(node)].children;
+      auto it = std::lower_bound(
+          children.begin(), children.end(), s,
+          [](const std::pair<SymbolId, int32_t>& e, SymbolId key) {
+            return e.first < key;
+          });
+      if (it != children.end() && it->first == s) {
+        node = it->second;
+      } else {
+        int32_t child = static_cast<int32_t>(nodes_.size());
+        // Insert before growing nodes_: `it` is invalidated by emplace_back
+        // only through `children`, which emplace_back may also move; compute
+        // the index first.
+        size_t insert_at = static_cast<size_t>(it - children.begin());
+        nodes_.emplace_back();
+        auto& fresh_children = nodes_[static_cast<size_t>(node)].children;
+        fresh_children.insert(
+            fresh_children.begin() + static_cast<long>(insert_at),
+            {s, child});
+        node = child;
+      }
+    }
+    nodes_[static_cast<size_t>(node)].pattern_indices.push_back(
+        static_cast<int32_t>(pi));
+  }
+}
+
+void PatternTrie::BestMatches(const CompatibilityMatrix& c,
+                              const Sequence& seq,
+                              std::vector<double>* best) const {
+  best->assign(num_patterns_, 0.0);
+  for (size_t offset = 0; offset < seq.size(); ++offset) {
+    WalkMatch(c, seq, offset, 0, 1.0, best);
+  }
+}
+
+void PatternTrie::WalkMatch(const CompatibilityMatrix& c, const Sequence& seq,
+                            size_t offset, size_t node, double product,
+                            std::vector<double>* best) const {
+  const Node& n = nodes_[node];
+  for (int32_t pi : n.pattern_indices) {
+    double& slot = (*best)[static_cast<size_t>(pi)];
+    if (product > slot) slot = product;
+  }
+  if (offset >= seq.size()) return;  // window exhausted; deeper needs symbols
+  SymbolId observed = seq[offset];
+  for (const auto& [sym, child] : n.children) {
+    double factor = IsWildcard(sym) ? 1.0 : c(sym, observed);
+    if (factor == 0.0) continue;
+    WalkMatch(c, seq, offset + 1, static_cast<size_t>(child),
+              product * factor, best);
+  }
+}
+
+void PatternTrie::BestSupports(const Sequence& seq,
+                               std::vector<double>* best) const {
+  best->assign(num_patterns_, 0.0);
+  for (size_t offset = 0; offset < seq.size(); ++offset) {
+    WalkSupport(seq, offset, 0, best);
+  }
+}
+
+void PatternTrie::WalkSupport(const Sequence& seq, size_t offset, size_t node,
+                              std::vector<double>* best) const {
+  const Node& n = nodes_[node];
+  for (int32_t pi : n.pattern_indices) {
+    (*best)[static_cast<size_t>(pi)] = 1.0;
+  }
+  if (offset >= seq.size()) return;
+  SymbolId observed = seq[offset];
+  for (const auto& [sym, child] : n.children) {
+    if (IsWildcard(sym) || sym == observed) {
+      WalkSupport(seq, offset + 1, static_cast<size_t>(child), best);
+    }
+  }
+}
+
+namespace {
+
+/// Strategy selection: the trie wins when zero entries prune whole
+/// subtrees (sparse matrices; exact-match supports behave like an
+/// identity matrix), while on dense matrices nothing prunes and the flat
+/// per-pattern sliding-window loop is faster (no recursion, better
+/// locality). The 0.5 cut-off is empirical; see bench_micro.
+bool UseTrieForMatrix(const CompatibilityMatrix& c) {
+  return c.Sparsity() >= 0.5;
+}
+
+/// Per-sequence evaluator: either the trie or the naive per-pattern loop.
+class BatchEvaluator {
+ public:
+  BatchEvaluator(const std::vector<Pattern>& patterns,
+                 const CompatibilityMatrix* c)
+      : patterns_(patterns), c_(c) {
+    if (c == nullptr || UseTrieForMatrix(*c)) {
+      trie_.emplace(patterns);
+    }
+  }
+
+  void Best(const Sequence& seq, std::vector<double>* best) const {
+    if (trie_.has_value()) {
+      if (c_ != nullptr) {
+        trie_->BestMatches(*c_, seq, best);
+      } else {
+        trie_->BestSupports(seq, best);
+      }
+      return;
+    }
+    best->resize(patterns_.size());
+    for (size_t i = 0; i < patterns_.size(); ++i) {
+      (*best)[i] = SequenceMatch(*c_, patterns_[i], seq);
+    }
+  }
+
+ private:
+  const std::vector<Pattern>& patterns_;
+  const CompatibilityMatrix* c_;
+  std::optional<PatternTrie> trie_;
+};
+
+std::vector<double> AverageOverDb(const SequenceDatabase& db,
+                                  const std::vector<Pattern>& patterns,
+                                  const CompatibilityMatrix* c) {
+  BatchEvaluator evaluator(patterns, c);
+  std::vector<double> totals(patterns.size(), 0.0);
+  std::vector<double> best;
+  db.Scan([&](const SequenceRecord& r) {
+    evaluator.Best(r.symbols, &best);
+    for (size_t i = 0; i < totals.size(); ++i) {
+      totals[i] += best[i];
+    }
+  });
+  const double n = static_cast<double>(db.NumSequences());
+  if (n > 0) {
+    for (double& t : totals) t /= n;
+  }
+  return totals;
+}
+
+std::vector<double> AverageOverRecords(
+    const std::vector<SequenceRecord>& records,
+    const std::vector<Pattern>& patterns, const CompatibilityMatrix* c) {
+  BatchEvaluator evaluator(patterns, c);
+  std::vector<double> totals(patterns.size(), 0.0);
+  std::vector<double> best;
+  for (const SequenceRecord& r : records) {
+    evaluator.Best(r.symbols, &best);
+    for (size_t i = 0; i < totals.size(); ++i) {
+      totals[i] += best[i];
+    }
+  }
+  const double n = static_cast<double>(records.size());
+  if (n > 0) {
+    for (double& t : totals) t /= n;
+  }
+  return totals;
+}
+
+}  // namespace
+
+std::vector<double> CountMatches(const SequenceDatabase& db,
+                                 const CompatibilityMatrix& c,
+                                 const std::vector<Pattern>& patterns) {
+  return AverageOverDb(db, patterns, &c);
+}
+
+std::vector<double> CountSupports(const SequenceDatabase& db,
+                                  const std::vector<Pattern>& patterns) {
+  return AverageOverDb(db, patterns, nullptr);
+}
+
+std::vector<double> CountMatchesInRecords(
+    const std::vector<SequenceRecord>& records, const CompatibilityMatrix& c,
+    const std::vector<Pattern>& patterns) {
+  return AverageOverRecords(records, patterns, &c);
+}
+
+std::vector<double> CountSupportsInRecords(
+    const std::vector<SequenceRecord>& records,
+    const std::vector<Pattern>& patterns) {
+  return AverageOverRecords(records, patterns, nullptr);
+}
+
+}  // namespace nmine

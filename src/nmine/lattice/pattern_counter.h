@@ -1,0 +1,78 @@
+#ifndef NMINE_LATTICE_PATTERN_COUNTER_H_
+#define NMINE_LATTICE_PATTERN_COUNTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nmine/core/compatibility_matrix.h"
+#include "nmine/core/match.h"
+#include "nmine/core/pattern.h"
+#include "nmine/db/sequence_database.h"
+
+namespace nmine {
+
+/// Prefix-sharing counter for batches of candidate patterns.
+///
+/// A batch of candidates (one Apriori level, or one border-collapsing probe
+/// set) is arranged in a trie keyed by pattern positions (the eternal
+/// symbol is an ordinary edge label). For every window offset of a
+/// sequence, one depth-first walk evaluates all candidates at once,
+/// multiplying compatibility factors and short-circuiting on zero, so
+/// candidates sharing a prefix share the work. Semantics are identical to
+/// calling SequenceMatch per pattern (the naive oracle used in tests).
+class PatternTrie {
+ public:
+  /// Builds a trie over `patterns`. Duplicates are allowed (they share a
+  /// node and both receive results).
+  explicit PatternTrie(const std::vector<Pattern>& patterns);
+
+  size_t num_patterns() const { return num_patterns_; }
+
+  /// Sets (*best)[i] to the match of pattern i in `seq` (Definition 3.6).
+  /// `best` is resized to the number of patterns.
+  void BestMatches(const CompatibilityMatrix& c, const Sequence& seq,
+                   std::vector<double>* best) const;
+
+  /// Binary support variant: (*best)[i] is 1.0 if pattern i occurs exactly
+  /// in `seq`, else 0.0.
+  void BestSupports(const Sequence& seq, std::vector<double>* best) const;
+
+ private:
+  struct Node {
+    // Sorted by symbol for deterministic traversal; small linear scans beat
+    // hashing at the fan-outs seen in mining workloads.
+    std::vector<std::pair<SymbolId, int32_t>> children;
+    std::vector<int32_t> pattern_indices;  // patterns ending at this node
+  };
+
+  void WalkMatch(const CompatibilityMatrix& c, const Sequence& seq,
+                 size_t offset, size_t node, double product,
+                 std::vector<double>* best) const;
+  void WalkSupport(const Sequence& seq, size_t offset, size_t node,
+                   std::vector<double>* best) const;
+
+  std::vector<Node> nodes_;
+  size_t num_patterns_ = 0;
+};
+
+/// Match of every pattern in `patterns` over the whole database
+/// (Definition 3.7), computed in ONE scan.
+std::vector<double> CountMatches(const SequenceDatabase& db,
+                                 const CompatibilityMatrix& c,
+                                 const std::vector<Pattern>& patterns);
+
+/// Support of every pattern over the whole database, in one scan.
+std::vector<double> CountSupports(const SequenceDatabase& db,
+                                  const std::vector<Pattern>& patterns);
+
+/// In-memory variants used for the sample (no scan is charged).
+std::vector<double> CountMatchesInRecords(
+    const std::vector<SequenceRecord>& records, const CompatibilityMatrix& c,
+    const std::vector<Pattern>& patterns);
+std::vector<double> CountSupportsInRecords(
+    const std::vector<SequenceRecord>& records,
+    const std::vector<Pattern>& patterns);
+
+}  // namespace nmine
+
+#endif  // NMINE_LATTICE_PATTERN_COUNTER_H_

@@ -1,0 +1,29 @@
+#include "nmine/lattice/pattern_set.h"
+
+#include <algorithm>
+
+namespace nmine {
+
+PatternSet::PatternSet(const std::vector<Pattern>& patterns) {
+  for (const Pattern& p : patterns) {
+    Insert(p);
+  }
+}
+
+std::vector<Pattern> PatternSet::ToSortedVector() const {
+  std::vector<Pattern> out(set_.begin(), set_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t PatternSet::IntersectionSize(const PatternSet& other) const {
+  const PatternSet& small = size() <= other.size() ? *this : other;
+  const PatternSet& large = size() <= other.size() ? other : *this;
+  size_t n = 0;
+  for (const Pattern& p : small) {
+    if (large.Contains(p)) ++n;
+  }
+  return n;
+}
+
+}  // namespace nmine

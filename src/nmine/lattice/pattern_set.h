@@ -1,0 +1,47 @@
+#ifndef NMINE_LATTICE_PATTERN_SET_H_
+#define NMINE_LATTICE_PATTERN_SET_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "nmine/core/pattern.h"
+
+namespace nmine {
+
+/// Hash map keyed by Pattern.
+template <typename V>
+using PatternMap = std::unordered_map<Pattern, V, PatternHash>;
+
+/// A set of patterns with deterministic export order.
+class PatternSet {
+ public:
+  PatternSet() = default;
+  explicit PatternSet(const std::vector<Pattern>& patterns);
+
+  /// Returns true if the pattern was newly inserted.
+  bool Insert(const Pattern& p) { return set_.insert(p).second; }
+  bool Contains(const Pattern& p) const { return set_.count(p) > 0; }
+  bool Erase(const Pattern& p) { return set_.erase(p) > 0; }
+
+  size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+  void clear() { set_.clear(); }
+
+  /// Elements sorted by (length, lexicographic) for stable output.
+  std::vector<Pattern> ToSortedVector() const;
+
+  /// Set intersection size |this ∩ other|.
+  size_t IntersectionSize(const PatternSet& other) const;
+
+  auto begin() const { return set_.begin(); }
+  auto end() const { return set_.end(); }
+
+ private:
+  std::unordered_set<Pattern, PatternHash> set_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_LATTICE_PATTERN_SET_H_

@@ -1,0 +1,221 @@
+#include "nmine/mining/border_collapse_miner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "nmine/lattice/halfway.h"
+#include "nmine/lattice/pattern_counter.h"
+#include "nmine/lattice/pattern_set.h"
+#include "nmine/mining/levelwise_miner.h"
+#include "nmine/mining/symbol_scan.h"
+
+namespace nmine {
+namespace {
+
+double PatternSpread(const Pattern& p,
+                     const std::vector<double>& symbol_match) {
+  double r = 1.0;
+  for (size_t i = 0; i < p.length(); ++i) {
+    SymbolId s = p[i];
+    if (IsWildcard(s)) continue;
+    double sm = symbol_match[static_cast<size_t>(s)];
+    if (sm < r) r = sm;
+  }
+  return r;
+}
+
+}  // namespace
+
+SampleClassification ClassifySamplePatterns(
+    const std::vector<SequenceRecord>& records, const CompatibilityMatrix& c,
+    const std::vector<double>& symbol_match, Metric metric,
+    const MinerOptions& options) {
+  SampleClassification out;
+  const size_t m = c.size();
+  const size_t n = records.size();
+  const double unit_eps =
+      n > 0 ? ChernoffEpsilon(1.0, options.delta, n) : 0.0;
+
+  std::vector<SymbolId> all_symbols(m);
+  for (size_t i = 0; i < m; ++i) all_symbols[i] = static_cast<SymbolId>(i);
+
+  // keep = frequent-or-ambiguous patterns, the Apriori-viable set for
+  // candidate generation (Section 4.2: "P may be considered a candidate
+  // pattern iff every sub-pattern of P is either frequent or ambiguous").
+  PatternSet keep;
+  std::vector<Pattern> keep_level;
+  std::vector<SymbolId> keep_symbols;
+
+  std::vector<Pattern> candidates = Level1Candidates(all_symbols);
+  for (size_t level = 1; level <= options.max_level && !candidates.empty();
+       ++level) {
+    std::vector<double> values =
+        metric == Metric::kMatch
+            ? CountMatchesInRecords(records, c, candidates)
+            : CountSupportsInRecords(records, candidates);
+    LevelStats stats;
+    stats.level = level;
+    stats.num_candidates = candidates.size();
+    keep_level.clear();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const Pattern& p = candidates[i];
+      double spread = options.use_restricted_spread
+                          ? PatternSpread(p, symbol_match)
+                          : 1.0;
+      double eps =
+          n > 0 ? ChernoffEpsilon(spread, options.delta, n) : 0.0;
+      PatternLabel label =
+          ClassifyMatch(values[i], options.min_threshold, eps);
+      PatternLabel unit_label =
+          ClassifyMatch(values[i], options.min_threshold, unit_eps);
+      if (unit_label == PatternLabel::kAmbiguous) {
+        ++out.ambiguous_with_unit_spread;
+      }
+      if (label == PatternLabel::kInfrequent) continue;
+      out.sample_values[p] = values[i];
+      keep.Insert(p);
+      keep_level.push_back(p);
+      if (level == 1) keep_symbols.push_back(p[0]);
+      if (label == PatternLabel::kFrequent) {
+        out.frequent.push_back(p);
+        out.fqt.Insert(p);
+        ++stats.num_frequent;
+      } else {
+        out.ambiguous.push_back(p);
+        out.infqt.Insert(p);
+      }
+    }
+    out.level_stats.push_back(stats);
+    if (keep_level.empty()) break;
+    candidates = NextLevelCandidates(
+        keep_level, keep_symbols, options.space,
+        [&keep](const Pattern& sub) { return keep.Contains(sub); },
+        options.max_candidates_per_level);
+    if (candidates.size() >= options.max_candidates_per_level) {
+      out.truncated = true;
+    }
+  }
+  return out;
+}
+
+MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
+                                       const CompatibilityMatrix& c) const {
+  auto start = std::chrono::steady_clock::now();
+  int64_t scans_before = db.scan_count();
+  MiningResult result;
+  Rng rng(options_.seed);
+
+  // ---- Phase 1: symbol matches + sample, one scan (Algorithm 4.1).
+  SymbolScanResult phase1 =
+      metric_ == Metric::kMatch
+          ? ScanSymbolsAndSample(db, c, options_.sample_size, &rng)
+          : ScanSymbolSupports(db, c.size(), options_.sample_size, &rng);
+  result.symbol_match = phase1.symbol_match;
+
+  // ---- Phase 2: classify patterns on the in-memory sample.
+  SampleClassification cls =
+      ClassifySamplePatterns(phase1.sample.records(), c, phase1.symbol_match,
+                             metric_, options_);
+  result.level_stats = cls.level_stats;
+  result.truncated = cls.truncated;
+  result.ambiguous_after_sample = cls.ambiguous.size();
+  result.ambiguous_with_unit_spread = cls.ambiguous_with_unit_spread;
+  result.accepted_from_sample = cls.frequent.size();
+
+  // Sample-frequent patterns are accepted with probability 1 - delta
+  // (Claim 4.1); they carry their sample estimates.
+  for (const Pattern& p : cls.frequent) {
+    result.frequent.Insert(p);
+    result.values[p] = cls.sample_values[p];
+  }
+
+  // ---- Phase 3: border collapsing over the ambiguous region
+  // (Algorithm 4.3). The ambiguous set is probed in bisection order of
+  // lattice levels — the halfway layer has the highest collapsing power —
+  // batched by the memory budget; every probe scan is followed by Apriori
+  // closure over the remaining ambiguous patterns.
+  std::vector<Pattern> ambiguous = cls.ambiguous;
+  while (!ambiguous.empty()) {
+    // Group the remaining ambiguous patterns by level.
+    std::map<size_t, std::vector<const Pattern*>> by_level;
+    for (const Pattern& p : ambiguous) {
+      by_level[p.NumSymbols()].push_back(&p);
+    }
+    const size_t lo = by_level.begin()->first;
+    const size_t hi = by_level.rbegin()->first;
+
+    // Fill the probe set in bisection order until memory is full.
+    std::vector<Pattern> probe;
+    PatternSet probe_set;
+    for (size_t level : BisectionOrder(lo, hi)) {
+      auto it = by_level.find(level);
+      if (it == by_level.end()) continue;
+      for (const Pattern* p : it->second) {
+        if (probe.size() >= options_.max_counters_per_scan) break;
+        probe.push_back(*p);
+        probe_set.Insert(*p);
+      }
+      if (probe.size() >= options_.max_counters_per_scan) break;
+    }
+    if (probe.empty()) {
+      // Degenerate memory budget; probe at least one pattern so the loop
+      // always makes progress.
+      probe.push_back(ambiguous.front());
+      probe_set.Insert(ambiguous.front());
+    }
+
+    // One scan of the full database for the whole probe set.
+    std::vector<double> values =
+        metric_ == Metric::kMatch ? CountMatches(db, c, probe)
+                                  : CountSupports(db, probe);
+
+    std::vector<Pattern> probed_frequent;
+    std::vector<Pattern> probed_infrequent;
+    for (size_t i = 0; i < probe.size(); ++i) {
+      if (values[i] >= options_.min_threshold) {
+        result.frequent.Insert(probe[i]);
+        result.values[probe[i]] = values[i];  // exact value
+        probed_frequent.push_back(probe[i]);
+      } else {
+        probed_infrequent.push_back(probe[i]);
+      }
+    }
+
+    // Apriori closure: subpatterns of a frequent probe are frequent;
+    // superpatterns of an infrequent probe are infrequent.
+    std::vector<Pattern> remaining;
+    remaining.reserve(ambiguous.size());
+    for (const Pattern& p : ambiguous) {
+      if (probe_set.Contains(p)) continue;  // resolved directly
+      bool resolved = false;
+      for (const Pattern& f : probed_frequent) {
+        if (p.IsSubpatternOf(f)) {
+          result.frequent.Insert(p);
+          result.values[p] = cls.sample_values[p];  // sample estimate
+          resolved = true;
+          break;
+        }
+      }
+      if (!resolved) {
+        for (const Pattern& q : probed_infrequent) {
+          if (q.IsSubpatternOf(p)) {
+            resolved = true;  // infrequent; drop
+            break;
+          }
+        }
+      }
+      if (!resolved) remaining.push_back(p);
+    }
+    ambiguous = std::move(remaining);
+  }
+
+  BuildBorder(&result);
+  result.scans = db.scan_count() - scans_before;
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+}  // namespace nmine

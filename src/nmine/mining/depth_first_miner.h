@@ -1,0 +1,43 @@
+#ifndef NMINE_MINING_DEPTH_FIRST_MINER_H_
+#define NMINE_MINING_DEPTH_FIRST_MINER_H_
+
+#include "nmine/core/compatibility_matrix.h"
+#include "nmine/db/sequence_database.h"
+#include "nmine/mining/miner_options.h"
+#include "nmine/mining/mining_result.h"
+
+namespace nmine {
+
+/// Depth-first projection-based miner — the memory-resident alternative
+/// the paper surveys in Section 2.2 (Agarwal et al. [1], FreeSpan, SPADE:
+/// "the depth-first approaches generally perform better than breadth-first
+/// ones if the data is memory-resident").
+///
+/// The database is loaded once (a single accounted scan) and each lattice
+/// node keeps a *projection*: for every sequence, the list of window
+/// positions with a non-zero partial match and their running products.
+/// Extending a pattern to the right multiplies each surviving window by
+/// one more compatibility factor — no window is ever re-scanned from the
+/// start. A branch is pruned as soon as its match drops below the
+/// threshold (Apriori), so the recursion visits exactly the classical
+/// candidate tree but with O(1) incremental cost per (window, extension).
+///
+/// Restrictions: the pattern space options (max_span/max_gap/max_level)
+/// are honoured; results are identical to LevelwiseMiner. Memory is
+/// O(total windows) for the root projection and shrinks with depth.
+class DepthFirstMiner {
+ public:
+  DepthFirstMiner(Metric metric, const MinerOptions& options)
+      : metric_(metric), options_(options) {}
+
+  MiningResult Mine(const SequenceDatabase& db,
+                    const CompatibilityMatrix& c) const;
+
+ private:
+  Metric metric_;
+  MinerOptions options_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_MINING_DEPTH_FIRST_MINER_H_

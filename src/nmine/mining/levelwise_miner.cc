@@ -1,0 +1,144 @@
+#include "nmine/mining/levelwise_miner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "nmine/lattice/pattern_counter.h"
+
+namespace nmine {
+namespace {
+
+using CountFn =
+    std::function<std::vector<double>(const std::vector<Pattern>&)>;
+using ThresholdFn = std::function<double(const Pattern&)>;
+
+/// Shared level-wise loop: `count` evaluates a batch of candidates (and
+/// charges a scan when running against a database).
+MiningResult RunLevelwise(size_t m, const ThresholdFn& threshold_of,
+                          const PatternSpaceOptions& space, size_t max_level,
+                          size_t max_candidates, const CountFn& count) {
+  auto start = std::chrono::steady_clock::now();
+  MiningResult result;
+
+  std::vector<SymbolId> all_symbols(m);
+  for (size_t i = 0; i < m; ++i) all_symbols[i] = static_cast<SymbolId>(i);
+
+  std::vector<Pattern> candidates = Level1Candidates(all_symbols);
+  std::vector<SymbolId> frequent_symbols;
+  std::vector<Pattern> frequent_level;
+
+  for (size_t level = 1; level <= max_level && !candidates.empty(); ++level) {
+    std::vector<double> values = count(candidates);
+    LevelStats stats;
+    stats.level = level;
+    stats.num_candidates = candidates.size();
+    frequent_level.clear();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (values[i] >= threshold_of(candidates[i])) {
+        frequent_level.push_back(candidates[i]);
+        result.frequent.Insert(candidates[i]);
+        result.values[candidates[i]] = values[i];
+        if (level == 1) {
+          frequent_symbols.push_back(candidates[i][0]);
+        }
+      }
+    }
+    stats.num_frequent = frequent_level.size();
+    result.level_stats.push_back(stats);
+    if (frequent_level.empty()) break;
+    candidates = NextLevelCandidates(
+        frequent_level, frequent_symbols, space,
+        [&result](const Pattern& sub) {
+          return result.frequent.Contains(sub);
+        },
+        max_candidates);
+    if (candidates.size() >= max_candidates) {
+      result.truncated = true;
+    }
+  }
+
+  BuildBorder(&result);
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+}  // namespace
+
+void BuildBorder(MiningResult* result) {
+  // Insert longest-first so shorter patterns are subsumed immediately and
+  // evictions are rare.
+  std::vector<Pattern> sorted = result->frequent.ToSortedVector();
+  std::reverse(sorted.begin(), sorted.end());
+  result->border.clear();
+  for (const Pattern& p : sorted) {
+    result->border.Insert(p);
+  }
+}
+
+MiningResult LevelwiseMiner::Mine(const SequenceDatabase& db,
+                                  const CompatibilityMatrix& c) const {
+  CountFn count;
+  if (metric_ == Metric::kMatch) {
+    count = [&db, &c](const std::vector<Pattern>& patterns) {
+      return CountMatches(db, c, patterns);
+    };
+  } else {
+    count = [&db](const std::vector<Pattern>& patterns) {
+      return CountSupports(db, patterns);
+    };
+  }
+  int64_t scans_before = db.scan_count();
+  const double threshold = options_.min_threshold;
+  MiningResult result = RunLevelwise(
+      c.size(), [threshold](const Pattern&) { return threshold; },
+      options_.space, options_.max_level, options_.max_candidates_per_level,
+      count);
+  result.scans = db.scan_count() - scans_before;
+  return result;
+}
+
+MiningResult LevelwiseMiner::MineRecords(
+    const std::vector<SequenceRecord>& records,
+    const CompatibilityMatrix& c) const {
+  CountFn count;
+  if (metric_ == Metric::kMatch) {
+    count = [&records, &c](const std::vector<Pattern>& patterns) {
+      return CountMatchesInRecords(records, c, patterns);
+    };
+  } else {
+    count = [&records](const std::vector<Pattern>& patterns) {
+      return CountSupportsInRecords(records, patterns);
+    };
+  }
+  const double threshold = options_.min_threshold;
+  return RunLevelwise(
+      c.size(), [threshold](const Pattern&) { return threshold; },
+      options_.space, options_.max_level, options_.max_candidates_per_level,
+      count);
+}
+
+MiningResult LevelwiseMiner::MineWithThreshold(
+    const SequenceDatabase& db, const CompatibilityMatrix& c,
+    const std::function<double(const Pattern&)>& threshold_of) const {
+  CountFn count;
+  if (metric_ == Metric::kMatch) {
+    count = [&db, &c](const std::vector<Pattern>& patterns) {
+      return CountMatches(db, c, patterns);
+    };
+  } else {
+    count = [&db](const std::vector<Pattern>& patterns) {
+      return CountSupports(db, patterns);
+    };
+  }
+  int64_t scans_before = db.scan_count();
+  MiningResult result = RunLevelwise(
+      c.size(), threshold_of, options_.space, options_.max_level,
+      options_.max_candidates_per_level, count);
+  result.scans = db.scan_count() - scans_before;
+  return result;
+}
+
+}  // namespace nmine

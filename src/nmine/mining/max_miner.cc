@@ -1,0 +1,195 @@
+#include "nmine/mining/max_miner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "nmine/lattice/pattern_counter.h"
+#include "nmine/lattice/pattern_set.h"
+#include "nmine/mining/levelwise_miner.h"
+
+namespace nmine {
+namespace {
+
+constexpr size_t kMaxJumpsPerScan = 512;
+
+/// Prefix of a contiguous pattern (all but the last symbol), or an empty
+/// pattern for 1-patterns.
+Pattern ContiguousPrefix(const Pattern& p) {
+  if (p.length() <= 1) return Pattern();
+  std::vector<SymbolId> body(p.body().begin(), p.body().end() - 1);
+  return Pattern(std::move(body));
+}
+
+/// Suffix of a contiguous pattern (all but the first symbol).
+Pattern ContiguousSuffix(const Pattern& p) {
+  if (p.length() <= 1) return Pattern();
+  std::vector<SymbolId> body(p.body().begin() + 1, p.body().end());
+  return Pattern(std::move(body));
+}
+
+/// Builds look-ahead "jump" candidates by overlap-joining the frequent
+/// level-k patterns into maximal chains, following the highest-value
+/// successor at each step (the sequential analogue of Max-Miner's
+/// head-union-tail counting).
+std::vector<Pattern> BuildJumps(const std::vector<Pattern>& frontier,
+                                const PatternMap<double>& values,
+                                size_t max_span, size_t min_symbols) {
+  std::vector<Pattern> jumps;
+  if (frontier.empty() || frontier.front().length() < 2) return jumps;
+
+  PatternMap<std::vector<size_t>> by_prefix;
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    by_prefix[ContiguousPrefix(frontier[i])].push_back(i);
+  }
+  auto value_of = [&values](const Pattern& p) {
+    auto it = values.find(p);
+    return it == values.end() ? 1.0 : it->second;
+  };
+
+  PatternSet seen;
+  for (const Pattern& start : frontier) {
+    if (jumps.size() >= kMaxJumpsPerScan) break;
+    std::vector<SymbolId> chain = start.body();
+    Pattern tail = start;
+    while (chain.size() < max_span) {
+      auto it = by_prefix.find(ContiguousSuffix(tail));
+      if (it == by_prefix.end()) break;
+      // Greedy: extend with the highest-value overlapping pattern.
+      const Pattern* best = nullptr;
+      double best_value = -1.0;
+      for (size_t idx : it->second) {
+        double v = value_of(frontier[idx]);
+        if (v > best_value) {
+          best_value = v;
+          best = &frontier[idx];
+        }
+      }
+      if (best == nullptr) break;
+      chain.push_back((*best)[best->length() - 1]);
+      tail = *best;
+    }
+    if (chain.size() >= min_symbols) {
+      Pattern jump(std::move(chain));
+      if (seen.Insert(jump)) {
+        jumps.push_back(std::move(jump));
+      }
+    }
+  }
+  return jumps;
+}
+
+}  // namespace
+
+MiningResult MaxMiner::Mine(const SequenceDatabase& db,
+                            const CompatibilityMatrix& c) const {
+  auto start = std::chrono::steady_clock::now();
+  int64_t scans_before = db.scan_count();
+  MiningResult result;
+  const size_t m = c.size();
+  const bool contiguous = options_.space.max_gap == 0;
+
+  auto count = [&](const std::vector<Pattern>& patterns) {
+    return metric_ == Metric::kMatch ? CountMatches(db, c, patterns)
+                                     : CountSupports(db, patterns);
+  };
+
+  // Patterns certified frequent by a counted look-ahead jump: anything they
+  // cover is frequent by Apriori and need not be counted.
+  Border certified;
+
+  std::vector<SymbolId> all_symbols(m);
+  for (size_t i = 0; i < m; ++i) all_symbols[i] = static_cast<SymbolId>(i);
+
+  std::vector<Pattern> candidates = Level1Candidates(all_symbols);
+  std::vector<SymbolId> frequent_symbols;
+  std::vector<Pattern> frontier;
+  PatternMap<double> frontier_values;
+
+  for (size_t level = 1;
+       level <= options_.max_level && !candidates.empty(); ++level) {
+    // Split candidates into covered (frequent via a certified jump) and
+    // those that must be counted.
+    std::vector<Pattern> to_count;
+    std::vector<Pattern> covered;
+    for (Pattern& cand : candidates) {
+      if (certified.Covers(cand)) {
+        covered.push_back(std::move(cand));
+      } else {
+        to_count.push_back(std::move(cand));
+      }
+    }
+
+    // Look-ahead jumps piggyback on the same scan.
+    std::vector<Pattern> jumps;
+    if (contiguous && level >= 2) {
+      jumps = BuildJumps(frontier, frontier_values, options_.space.max_span,
+                         /*min_symbols=*/level + 2);
+      // Jumps already certified are pointless to recount.
+      jumps.erase(std::remove_if(jumps.begin(), jumps.end(),
+                                 [&certified](const Pattern& j) {
+                                   return certified.Covers(j);
+                                 }),
+                  jumps.end());
+    }
+
+    LevelStats stats;
+    stats.level = level;
+    stats.num_candidates = to_count.size() + covered.size();
+
+    std::vector<Pattern> batch = to_count;
+    batch.insert(batch.end(), jumps.begin(), jumps.end());
+    std::vector<double> values;
+    if (!batch.empty()) {
+      values = count(batch);  // one scan serves candidates and jumps
+    }
+
+    frontier.clear();
+    frontier_values.clear();
+    for (size_t i = 0; i < to_count.size(); ++i) {
+      if (values[i] >= options_.min_threshold) {
+        frontier.push_back(to_count[i]);
+        frontier_values[to_count[i]] = values[i];
+        result.frequent.Insert(to_count[i]);
+        result.values[to_count[i]] = values[i];
+        if (level == 1) frequent_symbols.push_back(to_count[i][0]);
+      }
+    }
+    for (Pattern& p : covered) {
+      result.frequent.Insert(p);
+      frontier.push_back(std::move(p));  // certified frequent, no value
+    }
+    for (size_t j = 0; j < jumps.size(); ++j) {
+      double v = values[to_count.size() + j];
+      if (v >= options_.min_threshold) {
+        certified.Insert(jumps[j]);
+        result.frequent.Insert(jumps[j]);
+        result.values[jumps[j]] = v;
+      }
+    }
+    stats.num_frequent = frontier.size();
+    result.level_stats.push_back(stats);
+
+    if (frontier.empty()) break;
+    candidates = NextLevelCandidates(
+        frontier, frequent_symbols, options_.space,
+        [&result](const Pattern& sub) {
+          return result.frequent.Contains(sub);
+        },
+        options_.max_candidates_per_level);
+    if (candidates.size() >= options_.max_candidates_per_level) {
+      result.truncated = true;
+    }
+  }
+
+  // Every pattern covered by a certified jump is frequent; they are already
+  // in `result.frequent` because covered candidates are enumerated level by
+  // level. The border is therefore complete.
+  BuildBorder(&result);
+  result.scans = db.scan_count() - scans_before;
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+}  // namespace nmine

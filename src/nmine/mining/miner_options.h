@@ -1,0 +1,64 @@
+#ifndef NMINE_MINING_MINER_OPTIONS_H_
+#define NMINE_MINING_MINER_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "nmine/lattice/candidate_gen.h"
+
+namespace nmine {
+
+/// Which significance metric drives the mining.
+enum class Metric {
+  kSupport,  // classical exact-occurrence frequency
+  kMatch,    // the paper's noise-compensated metric (Definition 3.7)
+};
+
+const char* ToString(Metric metric);
+
+/// Options shared by all miners. Probabilistic-algorithm knobs are ignored
+/// by the deterministic miners.
+struct MinerOptions {
+  /// min_match (or min_support) threshold qualifying frequent patterns.
+  double min_threshold = 0.001;
+
+  /// Shape of the pattern space (span / gap limits, Definition 3.2).
+  PatternSpaceOptions space;
+
+  /// Safety cap on the number of lattice levels explored.
+  size_t max_level = std::numeric_limits<size_t>::max();
+
+  /// Guardrail: maximum candidates generated per lattice level. When the
+  /// Chernoff band is wider than the threshold (tiny samples), the set of
+  /// frequent-or-ambiguous patterns stops shrinking level over level and
+  /// candidate generation would grow as m^k; this cap bounds the blow-up.
+  /// Hitting it sets MiningResult::truncated (results may then miss
+  /// patterns). Choose sample sizes so that epsilon < min_threshold to
+  /// stay exact.
+  size_t max_candidates_per_level = 2000000;
+
+  // --- Probabilistic algorithm (Section 4) ---
+
+  /// Number of sample sequences that fit in memory (Phase 1).
+  size_t sample_size = 1000;
+
+  /// Chernoff-bound failure probability; the paper uses 1 - delta = 0.9999.
+  double delta = 1e-4;
+
+  /// Restrict the spread R to the minimum single-symbol match (Claim 4.2)
+  /// instead of the default R = 1.
+  bool use_restricted_spread = true;
+
+  /// Memory budget: maximum number of pattern counters maintained during
+  /// one scan of the full database ("until the memory is filled up",
+  /// Algorithm 4.3). Also batches the Toivonen baseline's verification.
+  size_t max_counters_per_scan = 200000;
+
+  /// Seed for sampling (Phase 1 is the only randomized step).
+  uint64_t seed = 42;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_MINING_MINER_OPTIONS_H_

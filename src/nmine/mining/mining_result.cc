@@ -1,0 +1,17 @@
+#include "nmine/mining/mining_result.h"
+
+#include "nmine/mining/miner_options.h"
+
+namespace nmine {
+
+const char* ToString(Metric metric) {
+  switch (metric) {
+    case Metric::kSupport:
+      return "support";
+    case Metric::kMatch:
+      return "match";
+  }
+  return "unknown";
+}
+
+}  // namespace nmine

@@ -1,0 +1,83 @@
+#include "nmine/mining/symbol_scan.h"
+
+#include <cstdint>
+
+#include "nmine/db/reservoir_sampler.h"
+
+namespace nmine {
+
+SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
+                                      const CompatibilityMatrix& c,
+                                      size_t sample_size, Rng* rng) {
+  const size_t m = c.size();
+  const size_t n_seq = db.NumSequences();
+  SymbolScanResult result;
+  result.symbol_match.assign(m, 0.0);
+
+  SequentialSampler sampler(sample_size, n_seq, rng);
+
+  // Epoch-stamped per-sequence state avoids O(m) clearing per sequence.
+  std::vector<double> max_match(m, 0.0);
+  std::vector<uint64_t> max_match_epoch(m, 0);
+  std::vector<uint64_t> seen_epoch(m, 0);  // distinct-symbol flags
+  uint64_t epoch = 0;
+
+  db.Scan([&](const SequenceRecord& record) {
+    ++epoch;
+    for (SymbolId observed : record.symbols) {
+      size_t oi = static_cast<size_t>(observed);
+      if (seen_epoch[oi] == epoch) continue;  // first occurrence only
+      seen_epoch[oi] = epoch;
+      for (const CompatibilityMatrix::Entry& e : c.ColumnNonZeros(observed)) {
+        size_t ti = static_cast<size_t>(e.symbol);
+        if (max_match_epoch[ti] != epoch) {
+          max_match_epoch[ti] = epoch;
+          max_match[ti] = e.value;
+        } else if (e.value > max_match[ti]) {
+          max_match[ti] = e.value;
+        }
+      }
+    }
+    for (size_t d = 0; d < m; ++d) {
+      if (max_match_epoch[d] == epoch) {
+        result.symbol_match[d] +=
+            max_match[d] / static_cast<double>(n_seq);
+      }
+    }
+    if (sample_size > 0) {
+      sampler.Offer(record);
+    }
+  });
+
+  result.sample = sampler.TakeDatabase();
+  return result;
+}
+
+SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
+                                    size_t sample_size, Rng* rng) {
+  const size_t n_seq = db.NumSequences();
+  SymbolScanResult result;
+  result.symbol_match.assign(m, 0.0);
+
+  SequentialSampler sampler(sample_size, n_seq, rng);
+  std::vector<uint64_t> seen_epoch(m, 0);
+  uint64_t epoch = 0;
+
+  db.Scan([&](const SequenceRecord& record) {
+    ++epoch;
+    for (SymbolId observed : record.symbols) {
+      size_t oi = static_cast<size_t>(observed);
+      if (seen_epoch[oi] == epoch) continue;
+      seen_epoch[oi] = epoch;
+      result.symbol_match[oi] += 1.0 / static_cast<double>(n_seq);
+    }
+    if (sample_size > 0) {
+      sampler.Offer(record);
+    }
+  });
+
+  result.sample = sampler.TakeDatabase();
+  return result;
+}
+
+}  // namespace nmine

@@ -1,0 +1,44 @@
+#ifndef NMINE_MINING_SYMBOL_SCAN_H_
+#define NMINE_MINING_SYMBOL_SCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nmine/core/compatibility_matrix.h"
+#include "nmine/db/in_memory_database.h"
+#include "nmine/db/sequence_database.h"
+#include "nmine/stats/random.h"
+
+namespace nmine {
+
+/// Output of Phase 1 (Algorithm 4.1): per-symbol matches plus the random
+/// sample drawn in the same pass.
+struct SymbolScanResult {
+  /// match[d] for every symbol d (Definition 3.7 applied to 1-patterns).
+  std::vector<double> symbol_match;
+
+  /// The in-memory sample (min(sample_size, N) sequences, uniform).
+  InMemorySequenceDatabase sample;
+};
+
+/// Phase 1 of the probabilistic algorithm: in ONE scan of `db`, computes
+/// the match of every individual symbol and draws `sample_size` sequences
+/// by sequential random sampling (Vitter). Implements the distinct-symbol
+/// optimization of Section 4.1: within a sequence, only the first
+/// occurrence of each distinct observed symbol updates max_match, giving
+/// O(N * min(l*m, l + m^2)) total work.
+///
+/// When `sample_size == 0` no sample is kept (useful for computing symbol
+/// matches alone).
+SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
+                                      const CompatibilityMatrix& c,
+                                      size_t sample_size, Rng* rng);
+
+/// Support-model analogue: symbol_match[d] is the fraction of sequences in
+/// which d occurs at least once.
+SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
+                                    size_t sample_size, Rng* rng);
+
+}  // namespace nmine
+
+#endif  // NMINE_MINING_SYMBOL_SCAN_H_

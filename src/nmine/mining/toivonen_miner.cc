@@ -1,0 +1,96 @@
+#include "nmine/mining/toivonen_miner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "nmine/lattice/pattern_counter.h"
+#include "nmine/lattice/pattern_set.h"
+#include "nmine/mining/border_collapse_miner.h"
+#include "nmine/mining/levelwise_miner.h"
+#include "nmine/mining/symbol_scan.h"
+
+namespace nmine {
+
+MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
+                                 const CompatibilityMatrix& c) const {
+  auto start = std::chrono::steady_clock::now();
+  int64_t scans_before = db.scan_count();
+  MiningResult result;
+  Rng rng(options_.seed);
+
+  // Phase 1 and Phase 2 are shared with the probabilistic algorithm; the
+  // baselines differ only in how ambiguous patterns are finalized.
+  SymbolScanResult phase1 =
+      metric_ == Metric::kMatch
+          ? ScanSymbolsAndSample(db, c, options_.sample_size, &rng)
+          : ScanSymbolSupports(db, c.size(), options_.sample_size, &rng);
+  result.symbol_match = phase1.symbol_match;
+
+  SampleClassification cls =
+      ClassifySamplePatterns(phase1.sample.records(), c, phase1.symbol_match,
+                             metric_, options_);
+  result.level_stats = cls.level_stats;
+  result.truncated = cls.truncated;
+  result.ambiguous_after_sample = cls.ambiguous.size();
+  result.ambiguous_with_unit_spread = cls.ambiguous_with_unit_spread;
+  result.accepted_from_sample = cls.frequent.size();
+
+  for (const Pattern& p : cls.frequent) {
+    result.frequent.Insert(p);
+    result.values[p] = cls.sample_values[p];
+  }
+
+  // Level-wise finalization: verify ambiguous patterns against the full
+  // database from the LOWEST level upward, pruning superpatterns of
+  // verified-infrequent patterns along the way. Each batch of at most
+  // max_counters_per_scan counters costs one scan.
+  std::map<size_t, std::vector<Pattern>> by_level;
+  for (const Pattern& p : cls.ambiguous) {
+    by_level[p.NumSymbols()].push_back(p);
+  }
+  std::vector<Pattern> infrequent_so_far;
+
+  for (auto& [level, patterns] : by_level) {
+    (void)level;
+    std::vector<Pattern> todo;
+    for (const Pattern& p : patterns) {
+      bool dead = false;
+      for (const Pattern& q : infrequent_so_far) {
+        if (q.IsSubpatternOf(p)) {
+          dead = true;
+          break;
+        }
+      }
+      if (!dead) todo.push_back(p);
+    }
+    size_t pos = 0;
+    while (pos < todo.size()) {
+      size_t batch_end =
+          std::min(todo.size(), pos + options_.max_counters_per_scan);
+      std::vector<Pattern> batch(todo.begin() + static_cast<long>(pos),
+                                 todo.begin() + static_cast<long>(batch_end));
+      std::vector<double> values =
+          metric_ == Metric::kMatch ? CountMatches(db, c, batch)
+                                    : CountSupports(db, batch);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (values[i] >= options_.min_threshold) {
+          result.frequent.Insert(batch[i]);
+          result.values[batch[i]] = values[i];
+        } else {
+          infrequent_so_far.push_back(batch[i]);
+        }
+      }
+      pos = batch_end;
+    }
+  }
+
+  BuildBorder(&result);
+  result.scans = db.scan_count() - scans_before;
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+}  // namespace nmine

@@ -1,0 +1,33 @@
+#ifndef NMINE_MINING_TOIVONEN_MINER_H_
+#define NMINE_MINING_TOIVONEN_MINER_H_
+
+#include "nmine/core/compatibility_matrix.h"
+#include "nmine/db/sequence_database.h"
+#include "nmine/mining/miner_options.h"
+#include "nmine/mining/mining_result.h"
+
+namespace nmine {
+
+/// The "sampling-based level-wise search" baseline of Section 5.6
+/// (Toivonen [25], Srikant & Agrawal [23]): identical Phase 1 and Phase 2
+/// to the probabilistic algorithm, but the ambiguous patterns left after
+/// sampling are verified against the full database LEVEL BY LEVEL (lowest
+/// level first), batched by the memory budget — the strategy the paper
+/// shows to be inefficient when patterns are long, because the match value
+/// changes very little from level to level near the border.
+class ToivonenMiner {
+ public:
+  ToivonenMiner(Metric metric, const MinerOptions& options)
+      : metric_(metric), options_(options) {}
+
+  MiningResult Mine(const SequenceDatabase& db,
+                    const CompatibilityMatrix& c) const;
+
+ private:
+  Metric metric_;
+  MinerOptions options_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_MINING_TOIVONEN_MINER_H_

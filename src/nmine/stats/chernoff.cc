@@ -1,0 +1,35 @@
+#include "nmine/stats/chernoff.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace nmine {
+
+const char* ToString(PatternLabel label) {
+  switch (label) {
+    case PatternLabel::kFrequent:
+      return "frequent";
+    case PatternLabel::kAmbiguous:
+      return "ambiguous";
+    case PatternLabel::kInfrequent:
+      return "infrequent";
+  }
+  return "unknown";
+}
+
+double ChernoffEpsilon(double spread, double delta, size_t n) {
+  assert(n > 0);
+  assert(delta > 0.0 && delta < 1.0);
+  assert(spread >= 0.0);
+  return std::sqrt(spread * spread * std::log(1.0 / delta) /
+                   (2.0 * static_cast<double>(n)));
+}
+
+PatternLabel ClassifyMatch(double sample_match, double min_match,
+                           double epsilon) {
+  if (sample_match > min_match + epsilon) return PatternLabel::kFrequent;
+  if (sample_match < min_match - epsilon) return PatternLabel::kInfrequent;
+  return PatternLabel::kAmbiguous;
+}
+
+}  // namespace nmine

@@ -1,0 +1,37 @@
+#ifndef NMINE_STATS_CHERNOFF_H_
+#define NMINE_STATS_CHERNOFF_H_
+
+#include <cstddef>
+#include <string>
+
+namespace nmine {
+
+/// Label assigned to a pattern after the sample phase (Claim 4.1).
+enum class PatternLabel {
+  kFrequent,    // sample match > min_match + epsilon
+  kAmbiguous,   // within [min_match - epsilon, min_match + epsilon]
+  kInfrequent,  // sample match < min_match - epsilon
+};
+
+const char* ToString(PatternLabel label);
+
+/// The additive Chernoff/Hoeffding bound of Section 4:
+///
+///   epsilon = sqrt(R^2 * ln(1/delta) / (2 n))
+///
+/// With probability 1 - delta the true mean of a random variable with
+/// spread R lies within epsilon of the mean of n independent observations.
+/// `spread` is R (1 by default; Claim 4.2 restricts it to the minimum
+/// single-symbol match of the pattern). Preconditions: n > 0,
+/// 0 < delta < 1, spread >= 0.
+double ChernoffEpsilon(double spread, double delta, size_t n);
+
+/// Three-way classification of a pattern from its match in the sample
+/// (Claim 4.1). Boundary values are labelled ambiguous, the conservative
+/// choice (they get re-examined against the full database).
+PatternLabel ClassifyMatch(double sample_match, double min_match,
+                           double epsilon);
+
+}  // namespace nmine
+
+#endif  // NMINE_STATS_CHERNOFF_H_

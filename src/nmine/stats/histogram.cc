@@ -1,0 +1,58 @@
+#include "nmine/stats/histogram.h"
+
+#include <cassert>
+
+namespace nmine {
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(bins > 0);
+  assert(lo < hi);
+}
+
+size_t Histogram::BinIndex(double value) const {
+  if (value < lo_) return 0;
+  size_t bin = static_cast<size_t>((value - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  return bin;
+}
+
+void Histogram::Add(double value) {
+  if (total_ == 0) {
+    min_seen_ = max_seen_ = value;
+  } else {
+    if (value < min_seen_) min_seen_ = value;
+    if (value > max_seen_) max_seen_ = value;
+  }
+  ++counts_[BinIndex(value)];
+  ++total_;
+  sum_ += value;
+}
+
+double Histogram::BinLow(size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::BinHigh(size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::Fraction(size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+double Histogram::CumulativeFraction(double x) const {
+  if (total_ == 0) return 0.0;
+  size_t last = BinIndex(x);
+  uint64_t acc = 0;
+  for (size_t b = 0; b <= last; ++b) {
+    acc += counts_[b];
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+}  // namespace nmine

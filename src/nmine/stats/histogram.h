@@ -1,0 +1,58 @@
+#ifndef NMINE_STATS_HISTOGRAM_H_
+#define NMINE_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nmine {
+
+/// Fixed-width-bin histogram over [lo, hi). Values outside the range are
+/// clamped into the first/last bin. Used for the missing-pattern
+/// distribution of Figure 13 and diagnostic summaries.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins covering [lo, hi). Preconditions:
+  /// bins > 0, lo < hi.
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double value);
+
+  size_t num_bins() const { return counts_.size(); }
+  uint64_t count(size_t bin) const { return counts_[bin]; }
+  uint64_t total() const { return total_; }
+
+  /// Inclusive lower edge of `bin`.
+  double BinLow(size_t bin) const;
+  /// Exclusive upper edge of `bin`.
+  double BinHigh(size_t bin) const;
+
+  /// Fraction of observations in `bin` (0 when empty).
+  double Fraction(size_t bin) const;
+
+  /// Fraction of observations in bins up to and including the bin that
+  /// contains x (bin-resolution approximation of the CDF).
+  double CumulativeFraction(double x) const;
+
+  double min_seen() const { return min_seen_; }
+  double max_seen() const { return max_seen_; }
+  double mean() const {
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+  }
+
+ private:
+  size_t BinIndex(double value) const;
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_STATS_HISTOGRAM_H_

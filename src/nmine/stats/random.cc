@@ -1,0 +1,27 @@
+#include "nmine/stats/random.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nmine {
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  cumulative_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+    cumulative_.push_back(total);
+  }
+  assert(total > 0.0);
+}
+
+size_t DiscreteSampler::Sample(Rng& rng) const {
+  double u = rng.UniformDouble() * cumulative_.back();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+}  // namespace nmine

@@ -1,0 +1,64 @@
+#ifndef NMINE_STATS_RANDOM_H_
+#define NMINE_STATS_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace nmine {
+
+/// Deterministic random number generator used by every randomized component
+/// (generators, samplers, noise channels). All experiments take explicit
+/// seeds so results are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() { return unit_(engine_); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    std::uniform_int_distribution<uint64_t> d(0, n - 1);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Derives an independent child generator; handy for giving each
+  /// experiment repetition its own stream.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+/// Samples from a fixed discrete distribution by inverse-CDF binary search.
+/// Weights need not be normalized.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  /// Returns an index in [0, weights.size()) with probability proportional
+  /// to its weight.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_STATS_RANDOM_H_

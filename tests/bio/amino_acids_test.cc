@@ -1,0 +1,45 @@
+#include "nmine/bio/amino_acids.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace nmine {
+namespace {
+
+TEST(AminoAcidsTest, TwentyDistinctLetters) {
+  const char* letters = AminoAcidLetters();
+  EXPECT_EQ(std::strlen(letters), kNumAminoAcids);
+  for (size_t i = 0; i < kNumAminoAcids; ++i) {
+    for (size_t j = i + 1; j < kNumAminoAcids; ++j) {
+      EXPECT_NE(letters[i], letters[j]);
+    }
+  }
+}
+
+TEST(AminoAcidsTest, AlphabetRoundTrips) {
+  Alphabet a = AminoAcidAlphabet();
+  EXPECT_EQ(a.size(), kNumAminoAcids);
+  EXPECT_EQ(*a.Id("A"), 0);
+  EXPECT_EQ(*a.Id("V"), 19);
+  EXPECT_EQ(a.Name(4), "C");  // cysteine
+  EXPECT_EQ(a.Name(8), "H");  // histidine
+}
+
+TEST(AminoAcidsTest, ProteinToSequence) {
+  // The paper's Figure 1 fragment starts "A M T K Y Q V ...".
+  Sequence s = ProteinToSequence("AMTKYQV");
+  Alphabet a = AminoAcidAlphabet();
+  ASSERT_EQ(s.size(), 7u);
+  EXPECT_EQ(s[0], *a.Id("A"));
+  EXPECT_EQ(s[1], *a.Id("M"));
+  EXPECT_EQ(s[6], *a.Id("V"));
+}
+
+TEST(AminoAcidsTest, UnknownLettersAreSkipped) {
+  Sequence s = ProteinToSequence("A?B M");  // '?', 'B', ' ' are not AAs
+  EXPECT_EQ(s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,97 @@
+#include "nmine/bio/blosum.h"
+
+#include <gtest/gtest.h>
+
+namespace nmine {
+namespace {
+
+TEST(BlosumTest, MatrixIsSymmetric) {
+  const auto& s = Blosum50Scores();
+  for (size_t i = 0; i < kNumAminoAcids; ++i) {
+    for (size_t j = 0; j < kNumAminoAcids; ++j) {
+      EXPECT_EQ(s[i][j], s[j][i]) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(BlosumTest, DiagonalIsPositiveAndLargest) {
+  const auto& s = Blosum50Scores();
+  for (size_t i = 0; i < kNumAminoAcids; ++i) {
+    EXPECT_GT(s[i][i], 0);
+    for (size_t j = 0; j < kNumAminoAcids; ++j) {
+      if (i != j) {
+        EXPECT_LT(s[i][j], s[i][i]);
+      }
+    }
+  }
+}
+
+TEST(BlosumTest, KnownConservativeSubstitutions) {
+  // The paper's intro: N-D, K-R and V-I mutations are relatively likely.
+  // In BLOSUM50 all three pairs score positive (conservative).
+  Alphabet a = AminoAcidAlphabet();
+  const auto& s = Blosum50Scores();
+  auto score = [&](const char* x, const char* y) {
+    return s[static_cast<size_t>(*a.Id(x))][static_cast<size_t>(*a.Id(y))];
+  };
+  EXPECT_GT(score("N", "D"), 0);
+  EXPECT_GT(score("K", "R"), 0);
+  EXPECT_GT(score("V", "I"), 0);
+  // A dissimilar pair for contrast.
+  EXPECT_LT(score("C", "D"), 0);
+}
+
+TEST(BlosumTest, EmissionRowsAreStochastic) {
+  for (double t : {0.5, 1.0, 2.0}) {
+    std::vector<std::vector<double>> rows = BlosumEmissionRows(t);
+    ASSERT_EQ(rows.size(), kNumAminoAcids);
+    for (const auto& row : rows) {
+      double sum = 0.0;
+      for (double v : row) {
+        EXPECT_GT(v, 0.0);
+        sum += v;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(BlosumTest, CompatibilityMatrixIsValid) {
+  CompatibilityMatrix c = BlosumCompatibilityMatrix(1.0);
+  EXPECT_TRUE(c.Validate().ok) << c.Validate().message;
+  EXPECT_EQ(c.size(), kNumAminoAcids);
+}
+
+TEST(BlosumTest, DiagonalDominatesPerColumn) {
+  CompatibilityMatrix c = BlosumCompatibilityMatrix(1.0);
+  for (SymbolId j = 0; j < static_cast<SymbolId>(kNumAminoAcids); ++j) {
+    for (SymbolId i = 0; i < static_cast<SymbolId>(kNumAminoAcids); ++i) {
+      if (i != j) {
+        EXPECT_GT(c(j, j), c(i, j)) << "column " << j;
+      }
+    }
+  }
+}
+
+TEST(BlosumTest, LowerTemperatureSharpensDiagonal) {
+  double sharp = BlosumDiagonalMass(0.5);
+  double normal = BlosumDiagonalMass(1.0);
+  double flat = BlosumDiagonalMass(2.0);
+  EXPECT_GT(sharp, normal);
+  EXPECT_GT(normal, flat);
+  EXPECT_GT(flat, 1.0 / kNumAminoAcids);  // always better than chance
+}
+
+TEST(BlosumTest, NToDBeatsNToC) {
+  // A likely mutation (N->D) has a larger compatibility than an unlikely
+  // one (N->C).
+  Alphabet a = AminoAcidAlphabet();
+  CompatibilityMatrix c = BlosumCompatibilityMatrix(1.0);
+  SymbolId n = *a.Id("N");
+  SymbolId d = *a.Id("D");
+  SymbolId cc = *a.Id("C");
+  EXPECT_GT(c(n, d), c(n, cc));
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,43 @@
+#include "nmine/core/alphabet.h"
+
+#include <gtest/gtest.h>
+
+namespace nmine {
+namespace {
+
+TEST(AlphabetTest, InternAndLookup) {
+  Alphabet a;
+  EXPECT_TRUE(a.empty());
+  SymbolId x = a.Intern("A");
+  SymbolId y = a.Intern("C");
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 1);
+  EXPECT_EQ(a.Intern("A"), x);  // idempotent
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.Name(x), "A");
+  EXPECT_EQ(*a.Id("C"), y);
+  EXPECT_FALSE(a.Id("G").has_value());
+}
+
+TEST(AlphabetTest, ConstructorDeduplicates) {
+  Alphabet a({"A", "B", "A", "C"});
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(*a.Id("A"), 0);
+  EXPECT_EQ(*a.Id("C"), 2);
+}
+
+TEST(AlphabetTest, AnonymousNaming) {
+  Alphabet a = Alphabet::Anonymous(3);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.Name(0), "d1");
+  EXPECT_EQ(a.Name(2), "d3");
+  EXPECT_EQ(*a.Id("d2"), 1);
+}
+
+TEST(AlphabetTest, WildcardRendersAsStar) {
+  Alphabet a = Alphabet::Anonymous(2);
+  EXPECT_EQ(a.Name(kWildcard), "*");
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,106 @@
+#include "nmine/core/compatibility_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+TEST(CompatibilityMatrixTest, Figure2EntriesAndAsymmetry) {
+  CompatibilityMatrix c = testutil::Figure2Matrix();
+  EXPECT_EQ(c.size(), 5u);
+  // "C(d1, d2) = 0.1 and C(d2, d1) = 0.05" (Section 3).
+  EXPECT_DOUBLE_EQ(c(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(c(1, 0), 0.05);
+  EXPECT_DOUBLE_EQ(c(0, 0), 0.9);
+  EXPECT_DOUBLE_EQ(c(0, 2), 0.0);  // "impossible that a d1 may turn to a d3"
+}
+
+TEST(CompatibilityMatrixTest, Figure2ColumnsAreStochastic) {
+  MatrixValidation v = testutil::Figure2Matrix().Validate();
+  EXPECT_TRUE(v.ok) << v.message;
+}
+
+TEST(CompatibilityMatrixTest, WildcardIsFullyCompatible) {
+  CompatibilityMatrix c = testutil::Figure2Matrix();
+  for (SymbolId obs = 0; obs < 5; ++obs) {
+    EXPECT_DOUBLE_EQ(c(kWildcard, obs), 1.0);
+  }
+}
+
+TEST(CompatibilityMatrixTest, IdentityIsNoiseFree) {
+  CompatibilityMatrix c = CompatibilityMatrix::Identity(4);
+  EXPECT_TRUE(c.IsIdentity());
+  EXPECT_TRUE(c.Validate().ok);
+  EXPECT_DOUBLE_EQ(c(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(c(2, 3), 0.0);
+  EXPECT_FALSE(testutil::Figure2Matrix().IsIdentity());
+}
+
+TEST(CompatibilityMatrixTest, ValidateRejectsNonStochasticColumn) {
+  CompatibilityMatrix c = CompatibilityMatrix::Identity(3);
+  c.Set(0, 1, 0.5);  // column 1 now sums to 1.5
+  MatrixValidation v = c.Validate();
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.message.find("column"), std::string::npos);
+}
+
+TEST(CompatibilityMatrixTest, ValidateRejectsOutOfRangeEntry) {
+  CompatibilityMatrix c = CompatibilityMatrix::Identity(3);
+  c.Set(0, 0, 1.5);
+  EXPECT_FALSE(c.Validate().ok);
+  c.Set(0, 0, -0.2);
+  EXPECT_FALSE(c.Validate().ok);
+}
+
+TEST(CompatibilityMatrixTest, ZeroMatrixFailsValidation) {
+  CompatibilityMatrix c(3);
+  EXPECT_FALSE(c.Validate().ok);
+}
+
+TEST(CompatibilityMatrixTest, Sparsity) {
+  EXPECT_DOUBLE_EQ(CompatibilityMatrix::Identity(4).Sparsity(), 12.0 / 16.0);
+  // Figure 2 has 9 zero entries out of 25.
+  EXPECT_DOUBLE_EQ(testutil::Figure2Matrix().Sparsity(), 9.0 / 25.0);
+}
+
+TEST(CompatibilityMatrixTest, ColumnNonZeros) {
+  CompatibilityMatrix c = testutil::Figure2Matrix();
+  // Observed d1: true values d1 (0.9), d2 (0.05), d3 (0.05).
+  const auto& col = c.ColumnNonZeros(0);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col[0].symbol, 0);
+  EXPECT_DOUBLE_EQ(col[0].value, 0.9);
+  EXPECT_EQ(col[1].symbol, 1);
+  EXPECT_DOUBLE_EQ(col[1].value, 0.05);
+  EXPECT_EQ(col[2].symbol, 2);
+  EXPECT_DOUBLE_EQ(col[2].value, 0.05);
+}
+
+TEST(CompatibilityMatrixTest, RowNonZeros) {
+  CompatibilityMatrix c = testutil::Figure2Matrix();
+  // True d5 can be observed as d3 (0.15) or d5 (0.85).
+  const auto& row = c.RowNonZeros(4);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].symbol, 2);
+  EXPECT_DOUBLE_EQ(row[0].value, 0.15);
+  EXPECT_EQ(row[1].symbol, 4);
+  EXPECT_DOUBLE_EQ(row[1].value, 0.85);
+}
+
+TEST(CompatibilityMatrixTest, MaxInColumn) {
+  CompatibilityMatrix c = testutil::Figure2Matrix();
+  EXPECT_DOUBLE_EQ(c.MaxInColumn(0), 0.9);
+  EXPECT_DOUBLE_EQ(c.MaxInColumn(3), 0.75);
+}
+
+TEST(CompatibilityMatrixTest, SetInvalidatesIndex) {
+  CompatibilityMatrix c = testutil::Figure2Matrix();
+  EXPECT_DOUBLE_EQ(c.MaxInColumn(0), 0.9);  // builds the index
+  c.Set(4, 0, 0.95);
+  EXPECT_DOUBLE_EQ(c.MaxInColumn(0), 0.95);  // rebuilt after Set
+}
+
+}  // namespace
+}  // namespace nmine

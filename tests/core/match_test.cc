@@ -1,0 +1,92 @@
+#include "nmine/core/match.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::Figure2Matrix;
+using testutil::P;
+
+TEST(MatchTest, SegmentMatchPaperExample) {
+  // "the match of P1 = d1*d2 in s = d1d2d2 is 0.9 * 1 * 0.8 = 0.72".
+  CompatibilityMatrix c = Figure2Matrix();
+  Sequence s = {0, 1, 1};
+  EXPECT_DOUBLE_EQ(SegmentMatch(c, P({0, -1, 1}), s, 0), 0.72);
+}
+
+TEST(MatchTest, SegmentMatchZeroFactorShortCircuits) {
+  // "P2 = d1d2d5 does not match s because ... x C(d5, d2) = 0".
+  CompatibilityMatrix c = Figure2Matrix();
+  Sequence s = {0, 1, 1};
+  EXPECT_DOUBLE_EQ(SegmentMatch(c, P({0, 1, 4}), s, 0), 0.0);
+}
+
+TEST(MatchTest, SequenceMatchSlidesWindowPaperExample) {
+  // M(d1d2, d1d2d2d3d4d1) = max{0.72, 0.08, 0.005, 0, 0} = 0.72.
+  CompatibilityMatrix c = Figure2Matrix();
+  Sequence s = {0, 1, 1, 2, 3, 0};
+  Pattern p = P({0, 1});
+  EXPECT_DOUBLE_EQ(SequenceMatch(c, p, s), 0.72);
+  // Check the individual windows the paper lists.
+  EXPECT_DOUBLE_EQ(SegmentMatch(c, p, s, 0), 0.72);
+  EXPECT_DOUBLE_EQ(SegmentMatch(c, p, s, 1), 0.08);
+  EXPECT_DOUBLE_EQ(SegmentMatch(c, p, s, 2), 0.005);
+  EXPECT_DOUBLE_EQ(SegmentMatch(c, p, s, 3), 0.0);
+  EXPECT_DOUBLE_EQ(SegmentMatch(c, p, s, 4), 0.0);
+}
+
+TEST(MatchTest, SequenceShorterThanPatternHasZeroMatch) {
+  CompatibilityMatrix c = Figure2Matrix();
+  Sequence s = {0};
+  EXPECT_DOUBLE_EQ(SequenceMatch(c, P({0, 1}), s), 0.0);
+  EXPECT_DOUBLE_EQ(SequenceSupport(P({0, 1}), s), 0.0);
+}
+
+TEST(MatchTest, WildcardPositionsCostNothing) {
+  CompatibilityMatrix c = Figure2Matrix();
+  Sequence s = {0, 4, 4, 1};  // d1 d5 d5 d2
+  EXPECT_DOUBLE_EQ(SequenceMatch(c, P({0, -1, -1, 1}), s), 0.9 * 0.8);
+}
+
+TEST(MatchTest, MatchEqualsSupportUnderIdentityMatrix) {
+  // Section 3, observation 3: noise-free environment degenerates to
+  // support.
+  CompatibilityMatrix id = CompatibilityMatrix::Identity(5);
+  Sequence s = {0, 1, 2, 0, 3};
+  for (const Pattern& p :
+       {P({0, 1}), P({1, -1, 0}), P({2, 3}), P({3, 0}), P({0, 1, 2, 0, 3})}) {
+    EXPECT_DOUBLE_EQ(SequenceMatch(id, p, s), SequenceSupport(p, s))
+        << p.ToString();
+  }
+}
+
+TEST(MatchTest, SupportIsBinary) {
+  Sequence s = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(SequenceSupport(P({0, 1}), s), 1.0);
+  EXPECT_DOUBLE_EQ(SequenceSupport(P({0, -1, 2}), s), 1.0);
+  EXPECT_DOUBLE_EQ(SequenceSupport(P({1, 0}), s), 0.0);
+}
+
+TEST(MatchTest, AprioriOnSegments) {
+  // Claim 3.1: M(P, s) >= M(P', s) whenever P is a subpattern of P'.
+  CompatibilityMatrix c = Figure2Matrix();
+  Sequence s = {0, 1, 2, 3, 0, 1};
+  Pattern super = P({0, 1, 2});
+  for (const Pattern& sub : super.ImmediateSubpatterns()) {
+    EXPECT_GE(SequenceMatch(c, sub, s), SequenceMatch(c, super, s))
+        << sub.ToString();
+  }
+}
+
+TEST(MatchTest, MatchIsAtMostOne) {
+  CompatibilityMatrix c = Figure2Matrix();
+  Sequence s = {0, 0, 1, 2, 3, 4, 4};
+  EXPECT_LE(SequenceMatch(c, P({0, 1, 2}), s), 1.0);
+  EXPECT_GE(SequenceMatch(c, P({0, 1, 2}), s), 0.0);
+}
+
+}  // namespace
+}  // namespace nmine

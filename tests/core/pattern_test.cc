@@ -1,0 +1,163 @@
+#include "nmine/core/pattern.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::P;
+
+TEST(PatternTest, BasicProperties) {
+  Pattern p = P({0, -1, 2});
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_EQ(p.NumSymbols(), 2u);
+  EXPECT_EQ(p[0], 0);
+  EXPECT_TRUE(IsWildcard(p[1]));
+  EXPECT_EQ(p[2], 2);
+  EXPECT_FALSE(p.empty());
+}
+
+TEST(PatternTest, DefaultConstructedIsEmpty) {
+  Pattern p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.length(), 0u);
+  EXPECT_EQ(p.NumSymbols(), 0u);
+}
+
+TEST(PatternTest, ValidBodyRules) {
+  EXPECT_TRUE(Pattern::IsValidBody({0}));
+  EXPECT_TRUE(Pattern::IsValidBody({0, kWildcard, 1}));
+  EXPECT_FALSE(Pattern::IsValidBody({}));
+  EXPECT_FALSE(Pattern::IsValidBody({kWildcard, 0}));   // leading *
+  EXPECT_FALSE(Pattern::IsValidBody({0, kWildcard}));   // trailing *
+  EXPECT_FALSE(Pattern::IsValidBody({kWildcard}));      // only *
+  EXPECT_FALSE(Pattern::IsValidBody({0, -7, 1}));       // bogus id
+}
+
+TEST(PatternTest, TrimmedStripsWildcards) {
+  std::optional<Pattern> p =
+      Pattern::Trimmed({kWildcard, kWildcard, 3, kWildcard, 1, kWildcard});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, P({3, -1, 1}));
+}
+
+TEST(PatternTest, TrimmedAllWildcardsIsNullopt) {
+  EXPECT_FALSE(Pattern::Trimmed({kWildcard, kWildcard}).has_value());
+  EXPECT_FALSE(Pattern::Trimmed({}).has_value());
+}
+
+TEST(PatternTest, ParseAgainstAlphabet) {
+  Alphabet a = Alphabet::Anonymous(5);
+  std::optional<Pattern> p = Pattern::Parse("d1 * d3", a);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, P({0, -1, 2}));
+  EXPECT_FALSE(Pattern::Parse("d1 dX", a).has_value());  // unknown name
+  EXPECT_FALSE(Pattern::Parse("* d1", a).has_value());   // leading *
+  EXPECT_FALSE(Pattern::Parse("", a).has_value());
+}
+
+TEST(PatternTest, SubpatternDefinition33) {
+  // Examples from Section 3: d1*d3 and d1**d4d5 are subpatterns of
+  // d1*d3d4d5; d1d2 is not.
+  Pattern big = P({0, -1, 2, 3, 4});
+  EXPECT_TRUE(P({0, -1, 2}).IsSubpatternOf(big));
+  EXPECT_TRUE(P({0, -1, -1, 3, 4}).IsSubpatternOf(big));
+  EXPECT_FALSE(P({0, 1}).IsSubpatternOf(big));
+}
+
+TEST(PatternTest, SubpatternAllowsOffsets) {
+  Pattern big = P({5, 0, 1, 2});
+  EXPECT_TRUE(P({0, 1}).IsSubpatternOf(big));   // offset 1
+  EXPECT_TRUE(P({1, 2}).IsSubpatternOf(big));   // offset 2
+  EXPECT_TRUE(P({5}).IsSubpatternOf(big));      // offset 0
+  EXPECT_FALSE(P({2, 1}).IsSubpatternOf(big));  // order matters
+}
+
+TEST(PatternTest, SubpatternIsReflexive) {
+  Pattern p = P({0, -1, 2, 2});
+  EXPECT_TRUE(p.IsSubpatternOf(p));
+}
+
+TEST(PatternTest, SubpatternWildcardMustMatchSomething) {
+  // The wildcard consumes exactly one position.
+  EXPECT_FALSE(P({0, -1, 1}).IsSubpatternOf(P({0, 1})));
+  EXPECT_TRUE(P({0, -1, 1}).IsSubpatternOf(P({0, 9, 1})));
+}
+
+TEST(PatternTest, LongerIsNeverSubpatternOfShorter) {
+  EXPECT_FALSE(P({0, 1, 2}).IsSubpatternOf(P({0, 1})));
+}
+
+TEST(PatternTest, ImmediateSubpattern) {
+  Pattern big = P({0, 1, 2});
+  EXPECT_TRUE(P({0, 1}).IsImmediateSubpatternOf(big));
+  EXPECT_TRUE(P({0, -1, 2}).IsImmediateSubpatternOf(big));
+  EXPECT_FALSE(P({0}).IsImmediateSubpatternOf(big));  // two levels down
+  EXPECT_FALSE(big.IsImmediateSubpatternOf(big));
+}
+
+TEST(PatternTest, ImmediateSubpatternsOfContiguousTriple) {
+  std::vector<Pattern> subs = P({0, 1, 2}).ImmediateSubpatterns();
+  // Deleting each of the three symbols: {1 2}, {0 * 2}, {0 1}.
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_NE(std::find(subs.begin(), subs.end(), P({1, 2})), subs.end());
+  EXPECT_NE(std::find(subs.begin(), subs.end(), P({0, -1, 2})), subs.end());
+  EXPECT_NE(std::find(subs.begin(), subs.end(), P({0, 1})), subs.end());
+}
+
+TEST(PatternTest, ImmediateSubpatternsTrimCascadingWildcards) {
+  // Deleting the symbol after a gap trims the whole gap.
+  std::vector<Pattern> subs = P({0, -1, 1, 2}).ImmediateSubpatterns();
+  // Delete 0 -> {1 2}; delete 1 -> {0 * * 2} -> stays (interior);
+  // delete 2 -> {0 * 1}.
+  EXPECT_NE(std::find(subs.begin(), subs.end(), P({1, 2})), subs.end());
+  EXPECT_NE(std::find(subs.begin(), subs.end(), P({0, -1, -1, 2})),
+            subs.end());
+  EXPECT_NE(std::find(subs.begin(), subs.end(), P({0, -1, 1})), subs.end());
+  EXPECT_EQ(subs.size(), 3u);
+}
+
+TEST(PatternTest, ImmediateSubpatternsDeduplicate) {
+  // Both deletions of {5 5} yield the same 1-pattern {5}.
+  std::vector<Pattern> subs = P({5, 5}).ImmediateSubpatterns();
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0], P({5}));
+}
+
+TEST(PatternTest, ImmediateSubpatternsOfSingletonEmpty) {
+  EXPECT_TRUE(P({3}).ImmediateSubpatterns().empty());
+}
+
+TEST(PatternTest, EverySubIsImmediateSubpattern) {
+  Pattern big = P({4, -1, 2, 7, 7});
+  for (const Pattern& sub : big.ImmediateSubpatterns()) {
+    EXPECT_TRUE(sub.IsImmediateSubpatternOf(big))
+        << sub.ToString() << " vs " << big.ToString();
+  }
+}
+
+TEST(PatternTest, EqualityAndHash) {
+  EXPECT_EQ(P({0, -1, 2}), P({0, -1, 2}));
+  EXPECT_NE(P({0, -1, 2}), P({0, 2}));
+  EXPECT_EQ(P({0, -1, 2}).Hash(), P({0, -1, 2}).Hash());
+  EXPECT_NE(P({0, 1}).Hash(), P({1, 0}).Hash());
+}
+
+TEST(PatternTest, OrderingIsByLengthThenLex) {
+  EXPECT_LT(P({9}), P({0, 1}));
+  EXPECT_LT(P({0, 1}), P({0, 2}));
+  EXPECT_LT(P({0, -1, 1}), P({0, 0, 0}));  // wildcard (-1) sorts first
+}
+
+TEST(PatternTest, ToStringForms) {
+  Alphabet a = Alphabet::Anonymous(5);
+  EXPECT_EQ(P({0, -1, 2}).ToString(a), "d1 * d3");
+  EXPECT_EQ(P({0, -1, 2}).ToString(), "0 * 2");
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,119 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nmine/db/disk_database.h"
+#include "nmine/db/format.h"
+#include "nmine/db/in_memory_database.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(InMemoryDatabaseTest, BasicAccounting) {
+  InMemorySequenceDatabase db = testutil::Figure4Database();
+  EXPECT_EQ(db.NumSequences(), 4u);
+  EXPECT_EQ(db.TotalSymbols(), 4u + 3u + 4u + 2u);
+  EXPECT_EQ(db.records()[2].id, 2);
+}
+
+TEST(InMemoryDatabaseTest, ScanVisitsInOrderAndCounts) {
+  InMemorySequenceDatabase db = testutil::Figure4Database();
+  EXPECT_EQ(db.scan_count(), 0);
+  std::vector<SequenceId> ids;
+  db.Scan([&](const SequenceRecord& r) { ids.push_back(r.id); });
+  EXPECT_EQ(ids, (std::vector<SequenceId>{0, 1, 2, 3}));
+  EXPECT_EQ(db.scan_count(), 1);
+  db.Scan([](const SequenceRecord&) {});
+  EXPECT_EQ(db.scan_count(), 2);
+  db.ResetScanCount();
+  EXPECT_EQ(db.scan_count(), 0);
+}
+
+TEST(InMemoryDatabaseTest, EmptyDatabase) {
+  InMemorySequenceDatabase db;
+  EXPECT_EQ(db.NumSequences(), 0u);
+  size_t visits = 0;
+  db.Scan([&](const SequenceRecord&) { ++visits; });
+  EXPECT_EQ(visits, 0u);
+  EXPECT_EQ(db.scan_count(), 1);
+}
+
+TEST(DiskDatabaseTest, RoundTripsThroughDisk) {
+  InMemorySequenceDatabase mem = testutil::Figure4Database();
+  std::string path = TempPath("roundtrip.nmsq");
+  ASSERT_TRUE(dbformat::WriteDatabaseFile(path, mem.records()).ok);
+
+  IoResult error;
+  std::unique_ptr<DiskSequenceDatabase> disk =
+      DiskSequenceDatabase::Open(path, &error);
+  ASSERT_NE(disk, nullptr) << error.message;
+  EXPECT_EQ(disk->NumSequences(), mem.NumSequences());
+  EXPECT_EQ(disk->TotalSymbols(), mem.TotalSymbols());
+
+  std::vector<SequenceRecord> seen;
+  disk->Scan([&](const SequenceRecord& r) { seen.push_back(r); });
+  ASSERT_EQ(seen.size(), mem.records().size());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].id, mem.records()[i].id);
+    EXPECT_EQ(seen[i].symbols, mem.records()[i].symbols);
+  }
+  EXPECT_EQ(disk->scan_count(), 1);  // Open's pre-scan is not counted
+  std::remove(path.c_str());
+}
+
+TEST(DiskDatabaseTest, OpenMissingFileFails) {
+  IoResult error;
+  EXPECT_EQ(DiskSequenceDatabase::Open("/nonexistent/nope.nmsq", &error),
+            nullptr);
+  EXPECT_FALSE(error.ok);
+}
+
+TEST(DiskDatabaseTest, OpenRejectsBadMagic) {
+  std::string path = TempPath("badmagic.nmsq");
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("JUNKJUNKJUNK", f);
+    std::fclose(f);
+  }
+  IoResult error;
+  EXPECT_EQ(DiskSequenceDatabase::Open(path, &error), nullptr);
+  EXPECT_NE(error.message.find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DiskDatabaseTest, OpenRejectsTruncatedFile) {
+  InMemorySequenceDatabase mem = testutil::Figure4Database();
+  std::string bytes = dbformat::EncodeDatabase(mem.records());
+  std::string path = TempPath("truncated.nmsq");
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size() - 3, f);  // drop the tail
+    std::fclose(f);
+  }
+  IoResult error;
+  EXPECT_EQ(DiskSequenceDatabase::Open(path, &error), nullptr);
+  EXPECT_FALSE(error.ok);
+  std::remove(path.c_str());
+}
+
+TEST(DiskDatabaseTest, EmptyDatabaseRoundTrips) {
+  std::string path = TempPath("empty.nmsq");
+  ASSERT_TRUE(dbformat::WriteDatabaseFile(path, {}).ok);
+  IoResult error;
+  std::unique_ptr<DiskSequenceDatabase> disk =
+      DiskSequenceDatabase::Open(path, &error);
+  ASSERT_NE(disk, nullptr) << error.message;
+  EXPECT_EQ(disk->NumSequences(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,108 @@
+#include "nmine/db/format.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nmine {
+namespace dbformat {
+namespace {
+
+TEST(VarintTest, RoundTripsRepresentativeValues) {
+  const uint64_t values[] = {0,    1,       127,        128,
+                             300,  16383,   16384,      (1ull << 32) - 1,
+                             1ull << 32,    ~0ull};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(v, &buf);
+    const char* pos = buf.data();
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&pos, buf.data() + buf.size(), &out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(pos, buf.data() + buf.size());
+  }
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  std::string buf;
+  PutVarint64(42, &buf);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint64(128, &buf);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(1ull << 60, &buf);
+  const char* pos = buf.data();
+  uint64_t out = 0;
+  EXPECT_FALSE(GetVarint64(&pos, buf.data() + buf.size() - 1, &out));
+}
+
+TEST(VarintTest, EmptyInputFails) {
+  const char* pos = nullptr;
+  uint64_t out = 0;
+  EXPECT_FALSE(GetVarint64(&pos, pos, &out));
+}
+
+TEST(FormatTest, EncodeDecodeRoundTrip) {
+  std::vector<SequenceRecord> records = testutil::Figure4Database().records();
+  std::string bytes = EncodeDatabase(records);
+  std::vector<SequenceRecord> decoded;
+  IoResult r = DecodeDatabase(bytes, &decoded);
+  ASSERT_TRUE(r.ok) << r.message;
+  ASSERT_EQ(decoded.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(decoded[i].id, records[i].id);
+    EXPECT_EQ(decoded[i].symbols, records[i].symbols);
+  }
+}
+
+TEST(FormatTest, DecodeRejectsBadMagic) {
+  std::vector<SequenceRecord> decoded;
+  IoResult r = DecodeDatabase("XXXXYYYYZZZZ", &decoded);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("magic"), std::string::npos);
+}
+
+TEST(FormatTest, DecodeRejectsShortHeader) {
+  std::vector<SequenceRecord> decoded;
+  EXPECT_FALSE(DecodeDatabase("NM", &decoded).ok);
+}
+
+TEST(FormatTest, DecodeRejectsWrongVersion) {
+  std::string bytes = EncodeDatabase({});
+  bytes[4] = 99;  // version byte
+  std::vector<SequenceRecord> decoded;
+  IoResult r = DecodeDatabase(bytes, &decoded);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("version"), std::string::npos);
+}
+
+TEST(FormatTest, DecodeRejectsTrailingGarbage) {
+  std::string bytes =
+      EncodeDatabase(testutil::Figure4Database().records()) + "garbage";
+  std::vector<SequenceRecord> decoded;
+  IoResult r = DecodeDatabase(bytes, &decoded);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("trailing"), std::string::npos);
+}
+
+TEST(FormatTest, DecodeRejectsTruncatedRecords) {
+  std::string bytes = EncodeDatabase(testutil::Figure4Database().records());
+  for (size_t cut : {bytes.size() - 1, bytes.size() - 2, size_t{6}}) {
+    std::vector<SequenceRecord> decoded;
+    EXPECT_FALSE(DecodeDatabase(bytes.substr(0, cut), &decoded).ok)
+        << "cut=" << cut;
+  }
+}
+
+TEST(FormatTest, WriteToUnwritablePathFails) {
+  IoResult r = WriteDatabaseFile("/nonexistent-dir/x.nmsq", {});
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace dbformat
+}  // namespace nmine

@@ -1,0 +1,125 @@
+#include "nmine/db/reservoir_sampler.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nmine {
+namespace {
+
+SequenceRecord Rec(SequenceId id) {
+  SequenceRecord r;
+  r.id = id;
+  r.symbols = {static_cast<SymbolId>(id % 7)};
+  return r;
+}
+
+TEST(SequentialSamplerTest, TakesExactlyNWhenPopulationLarger) {
+  Rng rng(1);
+  SequentialSampler s(10, 100, &rng);
+  for (SequenceId i = 0; i < 100; ++i) {
+    s.Offer(Rec(i));
+  }
+  EXPECT_EQ(s.sample().size(), 10u);
+}
+
+TEST(SequentialSamplerTest, TakesAllWhenPopulationSmaller) {
+  Rng rng(2);
+  SequentialSampler s(10, 4, &rng);
+  for (SequenceId i = 0; i < 4; ++i) {
+    s.Offer(Rec(i));
+  }
+  ASSERT_EQ(s.sample().size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.sample()[i].id, static_cast<SequenceId>(i));
+  }
+}
+
+TEST(SequentialSamplerTest, SampleIsInPopulationOrder) {
+  Rng rng(3);
+  SequentialSampler s(20, 200, &rng);
+  for (SequenceId i = 0; i < 200; ++i) {
+    s.Offer(Rec(i));
+  }
+  for (size_t i = 1; i < s.sample().size(); ++i) {
+    EXPECT_LT(s.sample()[i - 1].id, s.sample()[i].id);
+  }
+}
+
+TEST(SequentialSamplerTest, MarginalInclusionIsUniform) {
+  // Each element must be selected with probability n/N = 0.25; chi-square
+  // smoke test over 2000 repetitions.
+  constexpr size_t kN = 20;
+  constexpr size_t kPick = 5;
+  constexpr int kReps = 2000;
+  std::vector<int> hits(kN, 0);
+  Rng rng(4);
+  for (int rep = 0; rep < kReps; ++rep) {
+    SequentialSampler s(kPick, kN, &rng);
+    for (SequenceId i = 0; i < static_cast<SequenceId>(kN); ++i) {
+      if (s.Offer(Rec(i))) {
+        ++hits[static_cast<size_t>(i)];
+      }
+    }
+  }
+  const double expected = kReps * static_cast<double>(kPick) / kN;  // 500
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(hits[i], expected, 5 * std::sqrt(expected)) << "index " << i;
+  }
+}
+
+TEST(SequentialSamplerTest, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    Rng rng(seed);
+    SequentialSampler s(5, 50, &rng);
+    for (SequenceId i = 0; i < 50; ++i) s.Offer(Rec(i));
+    std::vector<SequenceId> ids;
+    for (const auto& r : s.sample()) ids.push_back(r.id);
+    return ids;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // overwhelmingly likely
+}
+
+TEST(ReservoirSamplerTest, KeepsFirstNThenSubsamples) {
+  Rng rng(5);
+  ReservoirSampler s(8, &rng);
+  for (SequenceId i = 0; i < 8; ++i) s.Offer(Rec(i));
+  ASSERT_EQ(s.sample().size(), 8u);
+  for (SequenceId i = 8; i < 1000; ++i) s.Offer(Rec(i));
+  EXPECT_EQ(s.sample().size(), 8u);
+  EXPECT_EQ(s.seen(), 1000u);
+}
+
+TEST(ReservoirSamplerTest, MarginalInclusionIsUniform) {
+  constexpr size_t kN = 25;
+  constexpr size_t kPick = 5;
+  constexpr int kReps = 2000;
+  std::vector<int> hits(kN, 0);
+  Rng rng(6);
+  for (int rep = 0; rep < kReps; ++rep) {
+    ReservoirSampler s(kPick, &rng);
+    for (SequenceId i = 0; i < static_cast<SequenceId>(kN); ++i) {
+      s.Offer(Rec(i));
+    }
+    for (const auto& r : s.sample()) {
+      ++hits[static_cast<size_t>(r.id)];
+    }
+  }
+  const double expected = kReps * static_cast<double>(kPick) / kN;  // 400
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(hits[i], expected, 5 * std::sqrt(expected)) << "index " << i;
+  }
+}
+
+TEST(SamplerTest, TakeDatabaseMovesSample) {
+  Rng rng(9);
+  SequentialSampler s(3, 10, &rng);
+  for (SequenceId i = 0; i < 10; ++i) s.Offer(Rec(i));
+  InMemorySequenceDatabase db = s.TakeDatabase();
+  EXPECT_EQ(db.NumSequences(), 3u);
+}
+
+}  // namespace
+}  // namespace nmine

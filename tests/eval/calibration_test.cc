@@ -1,0 +1,87 @@
+#include "nmine/eval/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "nmine/gen/matrix_generator.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::P;
+
+TEST(CalibrationTest, IdentityMatrixHasNoDeflation) {
+  MatchCalibration cal(CompatibilityMatrix::Identity(4));
+  for (SymbolId d = 0; d < 4; ++d) {
+    EXPECT_DOUBLE_EQ(cal.SymbolDeflation(d), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(cal.PatternDeflation(P({0, 1, 2})), 1.0);
+}
+
+TEST(CalibrationTest, UniformChannelExpectedDeflation) {
+  // g = (1-alpha)^2 + alpha^2 / (m-1) for the uniform channel.
+  const double alpha = 0.2;
+  const size_t m = 20;
+  MatchCalibration cal(UniformNoiseMatrix(m, alpha));
+  const double expected =
+      (1 - alpha) * (1 - alpha) + alpha * alpha / (m - 1);
+  for (SymbolId d = 0; d < static_cast<SymbolId>(m); ++d) {
+    EXPECT_NEAR(cal.SymbolDeflation(d), expected, 1e-12);
+  }
+}
+
+TEST(CalibrationTest, DiagonalSurvivalMode) {
+  const double alpha = 0.3;
+  MatchCalibration cal(UniformNoiseMatrix(10, alpha),
+                       CalibrationMode::kDiagonalSurvival);
+  for (SymbolId d = 0; d < 10; ++d) {
+    EXPECT_DOUBLE_EQ(cal.SymbolDeflation(d), 1.0 - alpha);
+  }
+}
+
+TEST(CalibrationTest, SurvivalIsLooserThanExpectedDeflation) {
+  // C(d,d) >= g always, so the survival threshold is the higher (tighter
+  // acceptance) of the two.
+  CompatibilityMatrix c = UniformNoiseMatrix(20, 0.25);
+  MatchCalibration expected(c, CalibrationMode::kExpectedDeflation);
+  MatchCalibration survival(c, CalibrationMode::kDiagonalSurvival);
+  for (SymbolId d = 0; d < 20; ++d) {
+    EXPECT_GT(survival.SymbolDeflation(d), expected.SymbolDeflation(d));
+  }
+}
+
+TEST(CalibrationTest, PatternDeflationIsProductOverNonWildcards) {
+  MatchCalibration cal(UniformNoiseMatrix(5, 0.2));
+  double g = cal.SymbolDeflation(0);
+  EXPECT_NEAR(cal.PatternDeflation(P({0, 1})), g * g, 1e-12);
+  // Wildcards cost nothing.
+  EXPECT_NEAR(cal.PatternDeflation(P({0, -1, 1})), g * g, 1e-12);
+  EXPECT_NEAR(cal.PatternDeflation(P({0, -1, -1, 1, 2})), g * g * g, 1e-12);
+}
+
+TEST(CalibrationTest, ThresholdScalesWithDeflation) {
+  MatchCalibration cal(UniformNoiseMatrix(5, 0.2));
+  Pattern p = P({0, 1, 2});
+  EXPECT_NEAR(cal.ThresholdFor(p, 0.4), 0.4 * cal.PatternDeflation(p),
+              1e-12);
+}
+
+TEST(CalibrationTest, AsymmetricMatrix) {
+  // Figure-2 matrix: deflation differs per symbol (rows differ).
+  MatchCalibration cal(testutil::Figure2Matrix());
+  // Row d1 = {0.9, 0.1, 0, 0, 0}, row sum 1 -> g = 0.81 + 0.01 = 0.82.
+  EXPECT_NEAR(cal.SymbolDeflation(0), 0.82, 1e-12);
+  // Row d5 = {0, 0, 0.15, 0, 0.85}, row sum 1 -> g = 0.0225 + 0.7225.
+  EXPECT_NEAR(cal.SymbolDeflation(4), 0.745, 1e-12);
+}
+
+TEST(CalibrationTest, ZeroRowYieldsZeroDeflation) {
+  CompatibilityMatrix c = CompatibilityMatrix::Identity(3);
+  c.Set(1, 1, 0.0);  // symbol 1 never the true value of anything
+  c.Set(0, 1, 1.0);  // keep column 1 stochastic
+  MatchCalibration cal(c);
+  EXPECT_DOUBLE_EQ(cal.SymbolDeflation(1), 0.0);
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,54 @@
+#include "nmine/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::P;
+
+TEST(MetricsTest, AccuracyAndCompleteness) {
+  PatternSet reference({P({0}), P({1}), P({2}), P({3})});
+  PatternSet discovered({P({0}), P({1}), P({9})});
+  ModelQuality q = CompareResultSets(discovered, reference);
+  EXPECT_EQ(q.common, 2u);
+  EXPECT_DOUBLE_EQ(q.accuracy, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(q.completeness, 2.0 / 4.0);
+}
+
+TEST(MetricsTest, PerfectRecovery) {
+  PatternSet s({P({0}), P({1, 2})});
+  ModelQuality q = CompareResultSets(s, s);
+  EXPECT_DOUBLE_EQ(q.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(q.completeness, 1.0);
+}
+
+TEST(MetricsTest, EmptySetsUseConventionalOne) {
+  PatternSet empty;
+  PatternSet some({P({0})});
+  EXPECT_DOUBLE_EQ(CompareResultSets(empty, some).accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(CompareResultSets(empty, some).completeness, 0.0);
+  EXPECT_DOUBLE_EQ(CompareResultSets(some, empty).completeness, 1.0);
+}
+
+TEST(MetricsTest, FilterByLevel) {
+  PatternSet s({P({0}), P({1}), P({0, 1}), P({0, -1, 2}), P({0, 1, 2})});
+  EXPECT_EQ(FilterByLevel(s, 1).size(), 2u);
+  EXPECT_EQ(FilterByLevel(s, 2).size(), 2u);  // {0 1} and {0 * 2}
+  EXPECT_EQ(FilterByLevel(s, 3).size(), 1u);
+  EXPECT_EQ(FilterByLevel(s, 4).size(), 0u);
+}
+
+TEST(MetricsTest, ErrorRate) {
+  PatternSet reference({P({0}), P({1}), P({2}), P({3})});
+  PatternSet discovered({P({0}), P({1}), P({9})});
+  // 2 misses + 1 false positive over 4 reference patterns.
+  EXPECT_DOUBLE_EQ(ErrorRate(discovered, reference), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(ErrorRate(reference, reference), 0.0);
+  EXPECT_DOUBLE_EQ(ErrorRate(discovered, PatternSet()), 0.0);
+}
+
+}  // namespace
+}  // namespace nmine

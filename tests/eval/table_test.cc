@@ -1,0 +1,51 @@
+#include "nmine/eval/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace nmine {
+namespace {
+
+TEST(TableTest, AlignedOutput) {
+  Table t({"alpha", "value"});
+  t.AddRow({"0.1", "12"});
+  t.AddRow({"0.25", "3"});
+  std::ostringstream out;
+  t.Print(out);
+  std::string s = out.str();
+  EXPECT_NE(s.find("| alpha | value |"), std::string::npos);
+  EXPECT_NE(s.find("| 0.25  | 3     |"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsPadAndLongRowsTruncate) {
+  Table t({"a", "b"});
+  t.AddRow({"1"});
+  t.AddRow({"1", "2", "3"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream out;
+  t.Print(out);  // must not crash; the "3" is dropped
+  EXPECT_EQ(out.str().find("3"), std::string::npos);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::Num(0.123456, 3), "0.123");
+  EXPECT_EQ(Table::Num(2.0, 1), "2.0");
+  EXPECT_EQ(Table::Int(42), "42");
+  EXPECT_EQ(Table::Int(-7), "-7");
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"name", "note"});
+  t.AddRow({"plain", "with,comma"});
+  t.AddRow({"quote\"inside", "x"});
+  std::ostringstream out;
+  t.PrintCsv(out);
+  std::string s = out.str();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(s.find("name,note\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,100 @@
+#include "nmine/gen/noise_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nmine/gen/sequence_generator.h"
+
+namespace nmine {
+namespace {
+
+TEST(UniformNoiseTest, PreservesLength) {
+  Rng rng(1);
+  Sequence s = RandomSequence(500, 6, &rng);
+  Sequence noisy = ApplyUniformNoise(s, 0.3, 6, &rng);
+  EXPECT_EQ(noisy.size(), s.size());
+}
+
+TEST(UniformNoiseTest, AlphaZeroIsIdentity) {
+  Rng rng(2);
+  Sequence s = RandomSequence(100, 6, &rng);
+  EXPECT_EQ(ApplyUniformNoise(s, 0.0, 6, &rng), s);
+}
+
+TEST(UniformNoiseTest, SubstitutionRateIsAlpha) {
+  Rng rng(3);
+  const size_t n = 20000;
+  Sequence s(n, 2);  // all the same symbol
+  Sequence noisy = ApplyUniformNoise(s, 0.25, 10, &rng);
+  size_t changed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (noisy[i] != s[i]) ++changed;
+  }
+  EXPECT_NEAR(static_cast<double>(changed) / n, 0.25,
+              5 * std::sqrt(0.25 * 0.75 / n));
+}
+
+TEST(UniformNoiseTest, SubstitutionsNeverKeepTheSymbol) {
+  // The channel draws a *different* symbol: the observed rate of change
+  // equals alpha exactly, not alpha * (m-1)/m.
+  Rng rng(4);
+  Sequence s(5000, 0);
+  Sequence noisy = ApplyUniformNoise(s, 1.0, 4, &rng);
+  for (SymbolId sym : noisy) {
+    EXPECT_NE(sym, 0);
+    EXPECT_GE(sym, 1);
+    EXPECT_LT(sym, 4);
+  }
+}
+
+TEST(UniformNoiseTest, DatabaseVariantKeepsIdsAndCount) {
+  Rng rng(5);
+  InMemorySequenceDatabase db = InMemorySequenceDatabase::FromSequences(
+      {{0, 1, 2}, {3, 4}, {5, 5, 5, 5}});
+  InMemorySequenceDatabase noisy = ApplyUniformNoise(db, 0.5, 6, &rng);
+  ASSERT_EQ(noisy.NumSequences(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(noisy.records()[i].id, db.records()[i].id);
+    EXPECT_EQ(noisy.records()[i].symbols.size(),
+              db.records()[i].symbols.size());
+  }
+}
+
+TEST(EmissionModelTest, EmitFollowsRowDistribution) {
+  EmissionModel model({{0.0, 1.0}, {0.5, 0.5}});
+  Rng rng(6);
+  // True symbol 0 always emits 1.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(model.Emit(0, &rng), 1);
+  }
+  // True symbol 1 emits both with equal rate.
+  int ones = 0;
+  const int reps = 10000;
+  for (int i = 0; i < reps; ++i) {
+    ones += model.Emit(1, &rng);
+  }
+  EXPECT_NEAR(ones, reps / 2, 5 * std::sqrt(reps * 0.25));
+}
+
+TEST(EmissionModelTest, ProbabilityAccessor) {
+  EmissionModel model({{0.9, 0.1}, {0.2, 0.8}});
+  EXPECT_DOUBLE_EQ(model.Probability(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(model.Probability(1, 0), 0.2);
+  EXPECT_EQ(model.size(), 2u);
+}
+
+TEST(EmissionModelTest, ApplyPreservesShape) {
+  EmissionModel model({{1.0, 0.0}, {0.0, 1.0}});  // identity channel
+  Rng rng(7);
+  Sequence s = {0, 1, 1, 0};
+  EXPECT_EQ(model.Apply(s, &rng), s);
+  InMemorySequenceDatabase db =
+      InMemorySequenceDatabase::FromSequences({{0, 1}, {1}});
+  InMemorySequenceDatabase out = model.Apply(db, &rng);
+  EXPECT_EQ(out.records()[0].symbols, (Sequence{0, 1}));
+  EXPECT_EQ(out.records()[1].symbols, (Sequence{1}));
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,100 @@
+#include "nmine/gen/sequence_generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nmine/core/match.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::P;
+
+TEST(SequenceGeneratorTest, RandomSequenceShapeAndRange) {
+  Rng rng(1);
+  Sequence s = RandomSequence(100, 7, &rng);
+  EXPECT_EQ(s.size(), 100u);
+  for (SymbolId sym : s) {
+    EXPECT_GE(sym, 0);
+    EXPECT_LT(sym, 7);
+  }
+}
+
+TEST(SequenceGeneratorTest, RandomSequenceIsRoughlyUniform) {
+  Rng rng(2);
+  std::vector<int> counts(4, 0);
+  Sequence s = RandomSequence(8000, 4, &rng);
+  for (SymbolId sym : s) ++counts[static_cast<size_t>(sym)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, 2000, 5 * std::sqrt(8000 * 0.25 * 0.75));
+  }
+}
+
+TEST(SequenceGeneratorTest, RandomPatternShape) {
+  Rng rng(3);
+  Pattern contiguous = RandomPattern(5, 0, 9, &rng);
+  EXPECT_EQ(contiguous.NumSymbols(), 5u);
+  EXPECT_EQ(contiguous.length(), 5u);
+
+  Pattern gapped = RandomPattern(4, 2, 9, &rng);
+  EXPECT_EQ(gapped.NumSymbols(), 4u);
+  EXPECT_GE(gapped.length(), 4u);
+  EXPECT_LE(gapped.length(), 4u + 3u * 2u);
+}
+
+TEST(SequenceGeneratorTest, PlantPatternOverwritesNonWildcardOnly) {
+  Sequence s = {9, 9, 9, 9, 9};
+  PlantPattern(P({0, -1, 2}), 1, &s);
+  EXPECT_EQ(s, (Sequence{9, 0, 9, 2, 9}));
+}
+
+TEST(SequenceGeneratorTest, PlantedPatternIsFoundBySupport) {
+  Rng rng(4);
+  GeneratorConfig config;
+  config.num_sequences = 200;
+  config.min_length = 30;
+  config.max_length = 40;
+  config.alphabet_size = 20;
+  config.planted = {P({1, 2, 3, 4, 5, 6})};
+  config.plant_probability = 0.5;
+  InMemorySequenceDatabase db = GenerateDatabase(config, &rng);
+  double hits = 0;
+  db.Scan([&](const SequenceRecord& r) {
+    hits += SequenceSupport(config.planted[0], r.symbols);
+  });
+  double support = hits / static_cast<double>(db.NumSequences());
+  // Planted at 0.5 plus (negligible) background occurrences.
+  EXPECT_NEAR(support, 0.5, 0.12);
+}
+
+TEST(SequenceGeneratorTest, LengthBoundsRespected) {
+  Rng rng(5);
+  GeneratorConfig config;
+  config.num_sequences = 50;
+  config.min_length = 10;
+  config.max_length = 12;
+  config.alphabet_size = 4;
+  InMemorySequenceDatabase db = GenerateDatabase(config, &rng);
+  db.Scan([](const SequenceRecord& r) {
+    EXPECT_GE(r.symbols.size(), 10u);
+    EXPECT_LE(r.symbols.size(), 12u);
+  });
+}
+
+TEST(SequenceGeneratorTest, DeterministicGivenSeed) {
+  GeneratorConfig config;
+  config.num_sequences = 10;
+  config.alphabet_size = 5;
+  Rng a(6);
+  Rng b(6);
+  InMemorySequenceDatabase da = GenerateDatabase(config, &a);
+  InMemorySequenceDatabase dbb = GenerateDatabase(config, &b);
+  for (size_t i = 0; i < da.records().size(); ++i) {
+    EXPECT_EQ(da.records()[i].symbols, dbb.records()[i].symbols);
+  }
+}
+
+}  // namespace
+}  // namespace nmine

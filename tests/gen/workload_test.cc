@@ -1,0 +1,71 @@
+#include "nmine/gen/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace nmine {
+namespace {
+
+TEST(WorkloadTest, StandardDatabaseIsDeterministic) {
+  WorkloadSpec spec;
+  spec.num_sequences = 30;
+  spec.seed = 9;
+  std::vector<Pattern> p1;
+  std::vector<Pattern> p2;
+  InMemorySequenceDatabase a = MakeStandardDatabase(spec, &p1);
+  InMemorySequenceDatabase b = MakeStandardDatabase(spec, &p2);
+  EXPECT_EQ(p1, p2);
+  ASSERT_EQ(a.NumSequences(), b.NumSequences());
+  for (size_t i = 0; i < a.records().size(); ++i) {
+    EXPECT_EQ(a.records()[i].symbols, b.records()[i].symbols);
+  }
+}
+
+TEST(WorkloadTest, StandardDatabaseSharedAcrossAlphas) {
+  WorkloadSpec spec;
+  spec.num_sequences = 25;
+  spec.seed = 10;
+  NoisyWorkload w1 = MakeUniformNoiseWorkload(spec, 0.1);
+  NoisyWorkload w2 = MakeUniformNoiseWorkload(spec, 0.4);
+  for (size_t i = 0; i < w1.standard.records().size(); ++i) {
+    EXPECT_EQ(w1.standard.records()[i].symbols,
+              w2.standard.records()[i].symbols);
+  }
+}
+
+TEST(WorkloadTest, AlphaZeroTestEqualsStandard) {
+  WorkloadSpec spec;
+  spec.num_sequences = 15;
+  NoisyWorkload w = MakeUniformNoiseWorkload(spec, 0.0);
+  for (size_t i = 0; i < w.standard.records().size(); ++i) {
+    EXPECT_EQ(w.standard.records()[i].symbols, w.test.records()[i].symbols);
+  }
+  EXPECT_TRUE(w.matrix.IsIdentity());
+}
+
+TEST(WorkloadTest, MatrixMatchesChannel) {
+  WorkloadSpec spec;
+  spec.alphabet_size = 10;
+  NoisyWorkload w = MakeUniformNoiseWorkload(spec, 0.3);
+  EXPECT_DOUBLE_EQ(w.matrix(0, 0), 0.7);
+  EXPECT_DOUBLE_EQ(w.matrix(1, 0), 0.3 / 9.0);
+  EXPECT_TRUE(w.matrix.Validate().ok);
+}
+
+TEST(WorkloadTest, PlantedPatternsHaveRequestedShape) {
+  WorkloadSpec spec;
+  spec.num_planted = 5;
+  spec.planted_symbols_min = 4;
+  spec.planted_symbols_max = 6;
+  spec.planted_max_gap = 0;
+  std::vector<Pattern> planted;
+  MakeStandardDatabase(spec, &planted);
+  ASSERT_EQ(planted.size(), 5u);
+  for (const Pattern& p : planted) {
+    EXPECT_GE(p.NumSymbols(), 4u);
+    EXPECT_LE(p.NumSymbols(), 6u);
+    EXPECT_EQ(p.length(), p.NumSymbols());  // contiguous
+  }
+}
+
+}  // namespace
+}  // namespace nmine

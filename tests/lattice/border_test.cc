@@ -1,0 +1,86 @@
+#include "nmine/lattice/border.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::P;
+
+TEST(BorderTest, InsertKeepsMaximalOnly) {
+  Border b;
+  EXPECT_TRUE(b.Insert(P({0, 1, 2})));
+  EXPECT_FALSE(b.Insert(P({0, 1})));  // subsumed
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b.Insert(P({3, 4})));  // incomparable
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(BorderTest, InsertEvictsSubsumedElements) {
+  Border b;
+  b.Insert(P({0, 1}));
+  b.Insert(P({1, 2}));
+  EXPECT_TRUE(b.Insert(P({0, 1, 2})));  // subsumes both
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b.ContainsElement(P({0, 1, 2})));
+}
+
+TEST(BorderTest, CoversIsDownwardClosure) {
+  Border b;
+  b.Insert(P({0, 1, 2, 3}));
+  EXPECT_TRUE(b.Covers(P({0, 1})));
+  EXPECT_TRUE(b.Covers(P({1, -1, 3})));
+  EXPECT_TRUE(b.Covers(P({0, 1, 2, 3})));  // itself
+  EXPECT_FALSE(b.Covers(P({3, 0})));
+  EXPECT_FALSE(b.Covers(P({0, 1, 2, 3, 4})));
+}
+
+TEST(BorderTest, PaperFigure3Border) {
+  // "the border should consist of three patterns: d1d2d3, d1d2**d5,
+  // and d1**d4" when those are the maximal frequent patterns.
+  Border b;
+  // Insert the whole frequent downset in arbitrary order.
+  for (const Pattern& p :
+       {P({0}), P({1}), P({2}), P({3}), P({4}), P({0, 1}), P({0, -1, 2}),
+        P({1, 2}), P({0, -1, -1, 3}), P({0, 1, -1, -1, 4}), P({0, 1, 2}),
+        P({1, -1, -1, 4})}) {
+    b.Insert(p);
+  }
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b.ContainsElement(P({0, 1, 2})));
+  EXPECT_TRUE(b.ContainsElement(P({0, 1, -1, -1, 4})));
+  EXPECT_TRUE(b.ContainsElement(P({0, -1, -1, 3})));
+}
+
+TEST(BorderTest, Levels) {
+  Border b;
+  EXPECT_EQ(b.MaxLevel(), 0u);
+  EXPECT_EQ(b.MinLevel(), 0u);
+  b.Insert(P({0, 1, 2}));
+  b.Insert(P({7}));
+  EXPECT_EQ(b.MaxLevel(), 3u);
+  EXPECT_EQ(b.MinLevel(), 1u);
+}
+
+TEST(BorderTest, ClearAndSortedExport) {
+  Border b;
+  b.Insert(P({5}));
+  b.Insert(P({1, 2}));
+  std::vector<Pattern> v = b.ToSortedVector();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], P({5}));
+  b.clear();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BorderTest, ReinsertingElementIsNoOp) {
+  Border b;
+  EXPECT_TRUE(b.Insert(P({0, 1})));
+  EXPECT_FALSE(b.Insert(P({0, 1})));
+  EXPECT_EQ(b.size(), 1u);
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,99 @@
+// Equivalence of the right-extension candidate generator with a
+// first-principles definition: the level-(k+1) candidates are exactly the
+// (k+1)-patterns of the space whose generating prefix is frequent and
+// whose in-space immediate subpatterns all satisfy the predicate.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "nmine/lattice/candidate_gen.h"
+#include "nmine/lattice/pattern_set.h"
+#include "nmine/stats/random.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+class CandidateEquivalenceProperty
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CandidateEquivalenceProperty, MatchesFirstPrinciplesDefinition) {
+  Rng rng(GetParam());
+  const size_t m = 3;
+  PatternSpaceOptions opts;
+  opts.max_span = 4;
+  opts.max_gap = GetParam() % 2;
+
+  std::vector<Pattern> space = testutil::EnumeratePatterns(m, opts);
+
+  // Pick a random "frequent" subset per level, downward-closed within the
+  // space (drop patterns whose in-space immediate subpatterns were culled)
+  // so the setup is Apriori-consistent.
+  PatternSet frequent;
+  std::vector<Pattern> ordered = space;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Pattern& a, const Pattern& b) {
+              return a.NumSymbols() < b.NumSymbols();
+            });
+  for (const Pattern& p : ordered) {
+    if (!rng.Bernoulli(0.7)) continue;
+    bool closed = true;
+    for (const Pattern& sub : p.ImmediateSubpatterns()) {
+      if (InSpace(sub, opts) && !frequent.Contains(sub)) {
+        closed = false;
+        break;
+      }
+    }
+    if (closed) frequent.Insert(p);
+  }
+
+  // Frequent symbols and per-level frequent lists.
+  std::vector<SymbolId> symbols;
+  for (size_t d = 0; d < m; ++d) {
+    if (frequent.Contains(Pattern({static_cast<SymbolId>(d)}))) {
+      symbols.push_back(static_cast<SymbolId>(d));
+    }
+  }
+
+  for (size_t k = 1; k + 1 <= opts.max_span; ++k) {
+    std::vector<Pattern> level_k;
+    for (const Pattern& p : frequent) {
+      if (p.NumSymbols() == k) level_k.push_back(p);
+    }
+    std::sort(level_k.begin(), level_k.end());
+    std::vector<Pattern> generated = NextLevelCandidates(
+        level_k, symbols, opts,
+        [&frequent](const Pattern& sub) { return frequent.Contains(sub); });
+    PatternSet generated_set(generated);
+
+    // First principles: all (k+1)-patterns of the space whose generating
+    // prefix is frequent, whose last symbol is a frequent symbol, and
+    // whose in-space immediate subpatterns are all frequent.
+    PatternSet expected;
+    for (const Pattern& p : space) {
+      if (p.NumSymbols() != k + 1) continue;
+      if (!frequent.Contains(GeneratingPrefix(p))) continue;
+      SymbolId last = p[p.length() - 1];
+      if (std::find(symbols.begin(), symbols.end(), last) == symbols.end()) {
+        continue;
+      }
+      bool ok = true;
+      for (const Pattern& sub : p.ImmediateSubpatterns()) {
+        if (InSpace(sub, opts) && !frequent.Contains(sub)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) expected.Insert(p);
+    }
+
+    EXPECT_EQ(generated_set.ToSortedVector(), expected.ToSortedVector())
+        << "level " << k + 1 << " gap " << opts.max_gap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, CandidateEquivalenceProperty,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace nmine

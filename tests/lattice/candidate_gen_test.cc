@@ -1,0 +1,125 @@
+#include "nmine/lattice/candidate_gen.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "nmine/lattice/pattern_set.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::P;
+
+TEST(CandidateGenTest, Level1) {
+  std::vector<Pattern> c = Level1Candidates({0, 2, 4});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], P({0}));
+  EXPECT_EQ(c[1], P({2}));
+  EXPECT_EQ(c[2], P({4}));
+}
+
+TEST(CandidateGenTest, InSpaceChecksSpanAndGap) {
+  PatternSpaceOptions opts;
+  opts.max_span = 4;
+  opts.max_gap = 1;
+  EXPECT_TRUE(InSpace(P({0, 1, 2, 3}), opts));
+  EXPECT_FALSE(InSpace(P({0, 1, 2, 3, 4}), opts));     // span 5
+  EXPECT_TRUE(InSpace(P({0, -1, 1}), opts));           // gap 1
+  EXPECT_FALSE(InSpace(P({0, -1, -1, 1}), opts));      // gap 2
+}
+
+TEST(CandidateGenTest, RightExtensionsContiguous) {
+  PatternSpaceOptions opts;
+  opts.max_span = 3;
+  opts.max_gap = 0;
+  std::vector<Pattern> ext = RightExtensions(P({0, 1}), {0, 1}, opts);
+  ASSERT_EQ(ext.size(), 2u);
+  EXPECT_EQ(ext[0], P({0, 1, 0}));
+  EXPECT_EQ(ext[1], P({0, 1, 1}));
+}
+
+TEST(CandidateGenTest, RightExtensionsWithGaps) {
+  PatternSpaceOptions opts;
+  opts.max_span = 4;
+  opts.max_gap = 2;
+  std::vector<Pattern> ext = RightExtensions(P({0, 1}), {5}, opts);
+  // gap 0 -> {0 1 5}; gap 1 -> {0 1 * 5}; gap 2 would need span 5 > 4.
+  ASSERT_EQ(ext.size(), 2u);
+  EXPECT_EQ(ext[0], P({0, 1, 5}));
+  EXPECT_EQ(ext[1], P({0, 1, -1, 5}));
+}
+
+TEST(CandidateGenTest, RightExtensionsRespectMaxSpan) {
+  PatternSpaceOptions opts;
+  opts.max_span = 2;
+  opts.max_gap = 3;
+  EXPECT_TRUE(RightExtensions(P({0, 1}), {0, 1}, opts).empty());
+}
+
+TEST(CandidateGenTest, GeneratingPrefixInvertsExtension) {
+  PatternSpaceOptions opts;
+  opts.max_span = 8;
+  opts.max_gap = 2;
+  Pattern base = P({3, -1, 4, 5});
+  for (const Pattern& ext : RightExtensions(base, {0, 7}, opts)) {
+    EXPECT_EQ(GeneratingPrefix(ext), base) << ext.ToString();
+  }
+}
+
+TEST(CandidateGenTest, GeneratingPrefixOfSingletonIsEmpty) {
+  EXPECT_TRUE(GeneratingPrefix(P({3})).empty());
+}
+
+TEST(CandidateGenTest, NextLevelAprioriPrunes) {
+  PatternSpaceOptions opts;
+  opts.max_span = 3;
+  opts.max_gap = 0;
+  // Frequent 2-patterns: {0 1} and {1 2}. Candidate {0 1 2} needs {0 1},
+  // {1 2}, and {0 * 2}; the latter is outside the contiguous space so it is
+  // skipped, and the candidate survives.
+  PatternSet frequent({P({0, 1}), P({1, 2})});
+  std::vector<Pattern> next = NextLevelCandidates(
+      {P({0, 1}), P({1, 2})}, {0, 1, 2}, opts,
+      [&frequent](const Pattern& sub) { return frequent.Contains(sub); });
+  EXPECT_NE(std::find(next.begin(), next.end(), P({0, 1, 2})), next.end());
+  // {0 1 0} requires {1 0}, which is infrequent -> pruned.
+  EXPECT_EQ(std::find(next.begin(), next.end(), P({0, 1, 0})), next.end());
+}
+
+TEST(CandidateGenTest, NextLevelChecksWildcardSubpatterns) {
+  PatternSpaceOptions opts;
+  opts.max_span = 3;
+  opts.max_gap = 1;
+  // In gapped mode {0 * 2} IS in the space, so candidate {0 1 2} is pruned
+  // unless {0 * 2} is frequent too.
+  PatternSet frequent({P({0, 1}), P({1, 2})});
+  std::vector<Pattern> next = NextLevelCandidates(
+      {P({0, 1})}, {2}, opts,
+      [&frequent](const Pattern& sub) { return frequent.Contains(sub); });
+  EXPECT_EQ(std::find(next.begin(), next.end(), P({0, 1, 2})), next.end());
+
+  frequent.Insert(P({0, -1, 2}));
+  next = NextLevelCandidates(
+      {P({0, 1})}, {2}, opts,
+      [&frequent](const Pattern& sub) { return frequent.Contains(sub); });
+  EXPECT_NE(std::find(next.begin(), next.end(), P({0, 1, 2})), next.end());
+}
+
+TEST(CandidateGenTest, EveryCandidateGeneratedExactlyOnce) {
+  PatternSpaceOptions opts;
+  opts.max_span = 4;
+  opts.max_gap = 1;
+  std::vector<Pattern> level = {P({0, 1}), P({0, -1, 1}), P({1, 0}),
+                                P({1, -1, 0})};
+  std::vector<Pattern> next = NextLevelCandidates(
+      level, {0, 1}, opts, [](const Pattern&) { return true; });
+  PatternSet seen;
+  for (const Pattern& p : next) {
+    EXPECT_TRUE(seen.Insert(p)) << "duplicate " << p.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,117 @@
+#include "nmine/lattice/halfway.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "nmine/lattice/pattern_set.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::P;
+
+TEST(HalfwayTest, PaperFigure6Example) {
+  // Section 4.3: with d1 on FQT and d1d2d3d4d5 on INFQT, "the patterns
+  // d1d2d3, d1d2*d4, d1d2**d5, d1*d3d4, d1*d3*d5, and d1**d4d5 are
+  // ambiguous patterns on the halfway layer".
+  std::vector<Pattern> half =
+      HalfwayPatterns(P({0}), P({0, 1, 2, 3, 4}), /*contiguous=*/false,
+                      /*cap=*/1000);
+  PatternSet set(half);
+  EXPECT_EQ(set.size(), 6u);
+  EXPECT_TRUE(set.Contains(P({0, 1, 2})));
+  EXPECT_TRUE(set.Contains(P({0, 1, -1, 3})));
+  EXPECT_TRUE(set.Contains(P({0, 1, -1, -1, 4})));
+  EXPECT_TRUE(set.Contains(P({0, -1, 2, 3})));
+  EXPECT_TRUE(set.Contains(P({0, -1, 2, -1, 4})));
+  EXPECT_TRUE(set.Contains(P({0, -1, -1, 3, 4})));
+}
+
+TEST(HalfwayTest, TargetLevelIsCeilOfMidpoint) {
+  // k1 = 1, k2 = 5 -> i = 3; k1 = 1, k2 = 4 -> i = ceil(2.5) = 3.
+  std::vector<Pattern> half =
+      HalfwayPatterns(P({0}), P({0, 1, 2, 3}), false, 1000);
+  ASSERT_FALSE(half.empty());
+  for (const Pattern& p : half) {
+    EXPECT_EQ(p.NumSymbols(), 3u);
+  }
+}
+
+TEST(HalfwayTest, ResultsAreStrictlyBetweenParents) {
+  Pattern lo = P({2, 3});
+  Pattern hi = P({1, 2, 3, 4, 5, 6});
+  for (const Pattern& p : HalfwayPatterns(lo, hi, false, 1000)) {
+    EXPECT_TRUE(lo.IsSubpatternOf(p)) << p.ToString();
+    EXPECT_TRUE(p.IsSubpatternOf(hi)) << p.ToString();
+    EXPECT_GT(p.NumSymbols(), lo.NumSymbols());
+    EXPECT_LT(p.NumSymbols(), hi.NumSymbols());
+  }
+}
+
+TEST(HalfwayTest, ContiguousModeProducesSubstrings) {
+  std::vector<Pattern> half =
+      HalfwayPatterns(P({1, 2}), P({0, 1, 2, 3, 4}), /*contiguous=*/true,
+                      1000);
+  // target = ceil((2+5)/2) = 4; substrings of length 4 containing "1 2":
+  // {0 1 2 3} and {1 2 3 4}.
+  PatternSet set(half);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(P({0, 1, 2, 3})));
+  EXPECT_TRUE(set.Contains(P({1, 2, 3, 4})));
+}
+
+TEST(HalfwayTest, CapLimitsOutput) {
+  std::vector<Pattern> half =
+      HalfwayPatterns(P({0}), P({0, 1, 2, 3, 4, 5, 6, 7}), false, 3);
+  EXPECT_EQ(half.size(), 3u);
+}
+
+TEST(HalfwayTest, WildcardParentPatterns) {
+  // Parents may themselves contain wildcards.
+  Pattern lo = P({0, -1, 2});
+  Pattern hi = P({0, 1, 2, 3, 4});
+  for (const Pattern& p : HalfwayPatterns(lo, hi, false, 1000)) {
+    EXPECT_TRUE(lo.IsSubpatternOf(p)) << p.ToString();
+    EXPECT_TRUE(p.IsSubpatternOf(hi)) << p.ToString();
+    EXPECT_EQ(p.NumSymbols(), 4u);  // ceil((2+5)/2)
+  }
+}
+
+TEST(HalfwayTest, MultipleEmbeddingsDeduplicate) {
+  // p1 embeds into p2 at two offsets; results must still be unique.
+  std::vector<Pattern> half =
+      HalfwayPatterns(P({1}), P({1, 0, 1, 0}), false, 1000);
+  PatternSet seen;
+  for (const Pattern& p : half) {
+    EXPECT_TRUE(seen.Insert(p)) << "duplicate " << p.ToString();
+  }
+}
+
+TEST(BisectionOrderTest, DocumentedExample) {
+  EXPECT_EQ(BisectionOrder(1, 9),
+            (std::vector<size_t>{5, 3, 8, 2, 4, 7, 9, 1, 6}));
+}
+
+TEST(BisectionOrderTest, CoversEveryLevelExactlyOnce) {
+  std::vector<size_t> order = BisectionOrder(3, 17);
+  std::vector<size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<size_t> expected;
+  for (size_t i = 3; i <= 17; ++i) expected.push_back(i);
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(BisectionOrderTest, SingletonAndEmpty) {
+  EXPECT_EQ(BisectionOrder(4, 4), std::vector<size_t>{4});
+  EXPECT_TRUE(BisectionOrder(5, 4).empty());
+}
+
+TEST(BisectionOrderTest, FirstElementIsMidpoint) {
+  EXPECT_EQ(BisectionOrder(10, 20).front(), 15u);
+  EXPECT_EQ(BisectionOrder(1, 2).front(), 2u);  // ceil
+}
+
+}  // namespace
+}  // namespace nmine

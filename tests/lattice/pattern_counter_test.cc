@@ -1,0 +1,141 @@
+#include "nmine/lattice/pattern_counter.h"
+
+#include <gtest/gtest.h>
+
+#include "nmine/gen/sequence_generator.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::Figure2Matrix;
+using testutil::Figure4Database;
+using testutil::NaiveMatches;
+using testutil::NaiveSupports;
+using testutil::P;
+
+TEST(PatternTrieTest, SinglePatternMatchesSequenceMatch) {
+  CompatibilityMatrix c = Figure2Matrix();
+  PatternTrie trie({P({0, 1})});
+  std::vector<double> best;
+  trie.BestMatches(c, {0, 1, 1, 2, 3, 0}, &best);
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_DOUBLE_EQ(best[0], 0.72);  // the Section-3 example
+}
+
+TEST(PatternTrieTest, SharedPrefixesComputeCorrectly) {
+  CompatibilityMatrix c = Figure2Matrix();
+  std::vector<Pattern> patterns = {P({0, 1}), P({0, 1, 2}), P({0, -1, 2}),
+                                   P({1}), P({1, 1})};
+  PatternTrie trie(patterns);
+  Sequence s = {0, 1, 2, 0, 1};
+  std::vector<double> best;
+  trie.BestMatches(c, s, &best);
+  std::vector<double> expected = NaiveMatches(
+      {{0, s}}, c, patterns);
+  ASSERT_EQ(best.size(), expected.size());
+  for (size_t i = 0; i < best.size(); ++i) {
+    EXPECT_DOUBLE_EQ(best[i], expected[i]) << patterns[i].ToString();
+  }
+}
+
+TEST(PatternTrieTest, DuplicatePatternsBothReceiveResults) {
+  CompatibilityMatrix c = Figure2Matrix();
+  PatternTrie trie({P({0, 1}), P({0, 1})});
+  std::vector<double> best;
+  trie.BestMatches(c, {0, 1}, &best);
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_DOUBLE_EQ(best[0], best[1]);
+  EXPECT_GT(best[0], 0.0);
+}
+
+TEST(PatternTrieTest, SupportsAreBinary) {
+  PatternTrie trie({P({0, 1}), P({1, 0}), P({0, -1, 0})});
+  std::vector<double> best;
+  trie.BestSupports({0, 1, 0}, &best);
+  EXPECT_DOUBLE_EQ(best[0], 1.0);
+  EXPECT_DOUBLE_EQ(best[1], 1.0);
+  EXPECT_DOUBLE_EQ(best[2], 1.0);
+  trie.BestSupports({0, 0, 0}, &best);
+  EXPECT_DOUBLE_EQ(best[0], 0.0);
+  EXPECT_DOUBLE_EQ(best[1], 0.0);
+  EXPECT_DOUBLE_EQ(best[2], 1.0);
+}
+
+TEST(CountersTest, OneScanPerBatch) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  CountMatches(db, c, {P({0}), P({1}), P({0, 1})});
+  EXPECT_EQ(db.scan_count(), 1);
+  CountSupports(db, {P({0}), P({1})});
+  EXPECT_EQ(db.scan_count(), 2);
+}
+
+TEST(CountersTest, MatchesPaperFigure4cSpotChecks) {
+  // Hand-verified cells of Figure 4(c): match(d1d2) = 0.2025 (paper rounds
+  // to 0.203) and match(d2d1) = 0.39125 (paper: 0.391).
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  std::vector<double> v = CountMatches(db, c, {P({0, 1}), P({1, 0})});
+  EXPECT_NEAR(v[0], 0.2025, 1e-12);
+  EXPECT_NEAR(v[1], 0.39125, 1e-12);
+}
+
+TEST(CountersTest, SupportsMatchPaperFigure4c) {
+  // support(d1d2) = 0.25, support(d2d1) = 0.50, support(d4d2) = 0.50.
+  InMemorySequenceDatabase db = Figure4Database();
+  std::vector<double> v =
+      CountSupports(db, {P({0, 1}), P({1, 0}), P({3, 1})});
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.50);
+  EXPECT_DOUBLE_EQ(v[2], 0.50);
+}
+
+TEST(CountersTest, EmptyDatabaseYieldsZeros) {
+  InMemorySequenceDatabase db;
+  CompatibilityMatrix c = Figure2Matrix();
+  std::vector<double> v = CountMatches(db, c, {P({0})});
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+class TrieVsNaiveProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrieVsNaiveProperty, RandomBatchesAgreeWithNaiveOracle) {
+  Rng rng(GetParam());
+  const size_t m = 5;
+  CompatibilityMatrix c = Figure2Matrix();
+
+  // Random database.
+  std::vector<SequenceRecord> records;
+  const size_t num_seq = 1 + rng.UniformInt(8);
+  for (size_t i = 0; i < num_seq; ++i) {
+    SequenceRecord r;
+    r.id = static_cast<SequenceId>(i);
+    r.symbols = RandomSequence(1 + rng.UniformInt(20), m, &rng);
+    records.push_back(std::move(r));
+  }
+
+  // Random pattern batch (with wildcards).
+  std::vector<Pattern> patterns;
+  const size_t num_patterns = 1 + rng.UniformInt(30);
+  for (size_t i = 0; i < num_patterns; ++i) {
+    patterns.push_back(
+        RandomPattern(1 + rng.UniformInt(4), /*max_gap=*/2, m, &rng));
+  }
+
+  std::vector<double> trie_match = CountMatchesInRecords(records, c, patterns);
+  std::vector<double> naive_match = NaiveMatches(records, c, patterns);
+  std::vector<double> trie_sup = CountSupportsInRecords(records, patterns);
+  std::vector<double> naive_sup = NaiveSupports(records, patterns);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    EXPECT_NEAR(trie_match[i], naive_match[i], 1e-12)
+        << patterns[i].ToString();
+    EXPECT_DOUBLE_EQ(trie_sup[i], naive_sup[i]) << patterns[i].ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, TrieVsNaiveProperty,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,49 @@
+#include "nmine/lattice/pattern_set.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::P;
+
+TEST(PatternSetTest, InsertContainsErase) {
+  PatternSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.Insert(P({0, 1})));
+  EXPECT_FALSE(s.Insert(P({0, 1})));  // duplicate
+  EXPECT_TRUE(s.Contains(P({0, 1})));
+  EXPECT_FALSE(s.Contains(P({1, 0})));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Erase(P({0, 1})));
+  EXPECT_FALSE(s.Erase(P({0, 1})));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(PatternSetTest, VectorConstructorDeduplicates) {
+  PatternSet s({P({0}), P({1}), P({0})});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(PatternSetTest, SortedExportIsDeterministic) {
+  PatternSet s({P({2, 2}), P({0}), P({1, -1, 1}), P({3})});
+  std::vector<Pattern> v = s.ToSortedVector();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], P({0}));
+  EXPECT_EQ(v[1], P({3}));
+  EXPECT_EQ(v[2], P({2, 2}));
+  EXPECT_EQ(v[3], P({1, -1, 1}));
+}
+
+TEST(PatternSetTest, IntersectionSize) {
+  PatternSet a({P({0}), P({1}), P({2})});
+  PatternSet b({P({1}), P({2}), P({3}), P({4})});
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(b.IntersectionSize(a), 2u);
+  EXPECT_EQ(a.IntersectionSize(PatternSet()), 0u);
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,170 @@
+#include "nmine/mining/border_collapse_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "nmine/gen/workload.h"
+#include "nmine/mining/levelwise_miner.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::Figure2Matrix;
+using testutil::Figure4Database;
+using testutil::P;
+
+MinerOptions ExactOptions(double threshold, size_t n) {
+  MinerOptions o;
+  o.min_threshold = threshold;
+  o.space.max_span = 4;
+  o.space.max_gap = 1;
+  o.sample_size = n;  // sample == whole database -> exact behaviour
+  o.delta = 1e-4;
+  return o;
+}
+
+TEST(ClassifySampleTest, LabelsFollowChernoffBound) {
+  // Two sequences; pattern {0} has match 1.0, {1} has 0.5, {2} has 0.
+  std::vector<SequenceRecord> records = {{0, {0, 1}}, {1, {0, 0}}};
+  CompatibilityMatrix id = CompatibilityMatrix::Identity(3);
+  std::vector<double> symbol_match = {1.0, 0.5, 0.0};
+  MinerOptions o;
+  o.min_threshold = 0.45;
+  o.space.max_span = 2;
+  o.delta = 0.5;  // large delta -> small epsilon, but n=2 keeps it wide
+  SampleClassification cls =
+      ClassifySamplePatterns(records, id, symbol_match, Metric::kMatch, o);
+  // eps for {0}: R=1.0 -> sqrt(ln2/4) ~ 0.416 -> 1.0 > 0.45+0.416 ->
+  // frequent. eps for {1}: R=0.5 -> ~0.208 -> 0.5 within +-0.208 of 0.45
+  // -> ambiguous.
+  PatternSet freq(cls.frequent);
+  PatternSet amb(cls.ambiguous);
+  EXPECT_TRUE(freq.Contains(P({0})));
+  EXPECT_TRUE(amb.Contains(P({1})));
+  EXPECT_FALSE(freq.Contains(P({2})));
+  EXPECT_FALSE(amb.Contains(P({2})));
+}
+
+TEST(ClassifySampleTest, RestrictedSpreadNeverIncreasesAmbiguity) {
+  InMemorySequenceDatabase db = Figure4Database();
+  std::vector<double> symbol_match = {0.7, 0.8, 0.3875, 0.425, 0.075};
+  MinerOptions o;
+  o.min_threshold = 0.3;
+  o.space.max_span = 3;
+  o.delta = 1e-2;
+  SampleClassification cls = ClassifySamplePatterns(
+      db.records(), Figure2Matrix(), symbol_match, Metric::kMatch, o);
+  EXPECT_LE(cls.ambiguous.size(), cls.ambiguous_with_unit_spread);
+}
+
+TEST(ClassifySampleTest, BordersEmbraceAmbiguousRegion) {
+  InMemorySequenceDatabase db = Figure4Database();
+  std::vector<double> symbol_match = {0.7, 0.8, 0.3875, 0.425, 0.075};
+  MinerOptions o;
+  o.min_threshold = 0.25;
+  o.space.max_span = 3;
+  o.space.max_gap = 1;
+  o.delta = 1e-2;
+  SampleClassification cls = ClassifySamplePatterns(
+      db.records(), Figure2Matrix(), symbol_match, Metric::kMatch, o);
+  for (const Pattern& p : cls.ambiguous) {
+    EXPECT_TRUE(cls.infqt.Covers(p)) << p.ToString();
+  }
+  for (const Pattern& p : cls.frequent) {
+    EXPECT_TRUE(cls.fqt.Covers(p)) << p.ToString();
+  }
+}
+
+TEST(BorderCollapseMinerTest, ExactWhenSampleIsWholeDatabase) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o = ExactOptions(0.3, db.NumSequences());
+  BorderCollapseMiner miner(Metric::kMatch, o);
+  LevelwiseMiner oracle(Metric::kMatch, o);
+  MiningResult got = miner.Mine(db, c);
+  MiningResult want = oracle.Mine(db, c);
+  EXPECT_EQ(got.frequent.ToSortedVector(), want.frequent.ToSortedVector());
+  EXPECT_EQ(got.border.ToSortedVector(), want.border.ToSortedVector());
+}
+
+TEST(BorderCollapseMinerTest, ProbedValuesAreExact) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o = ExactOptions(0.3, db.NumSequences());
+  BorderCollapseMiner miner(Metric::kMatch, o);
+  MiningResult r = miner.Mine(db, c);
+  ASSERT_TRUE(r.frequent.Contains(P({1, 0})));
+  EXPECT_NEAR(r.values[P({1, 0})], 0.39125, 1e-9);
+}
+
+TEST(BorderCollapseMinerTest, SupportMetricWorks) {
+  InMemorySequenceDatabase db = Figure4Database();
+  MinerOptions o = ExactOptions(0.5, db.NumSequences());
+  BorderCollapseMiner miner(Metric::kSupport, o);
+  LevelwiseMiner oracle(Metric::kSupport, o);
+  CompatibilityMatrix c = CompatibilityMatrix::Identity(5);
+  EXPECT_EQ(miner.Mine(db, c).frequent.ToSortedVector(),
+            oracle.Mine(db, c).frequent.ToSortedVector());
+}
+
+TEST(BorderCollapseMinerTest, ScansAreFewAndAccounted) {
+  WorkloadSpec spec;
+  spec.num_sequences = 150;
+  spec.min_length = 30;
+  spec.max_length = 50;
+  spec.num_planted = 2;
+  spec.planted_symbols_min = 6;
+  spec.planted_symbols_max = 8;
+  spec.seed = 11;
+  NoisyWorkload w = MakeUniformNoiseWorkload(spec, 0.1);
+
+  MinerOptions o;
+  o.min_threshold = 0.25;
+  o.space.max_span = 10;
+  o.space.max_gap = 0;
+  o.sample_size = 150;
+  o.delta = 0.01;
+  o.seed = 3;
+  BorderCollapseMiner miner(Metric::kMatch, o);
+  MiningResult r = miner.Mine(w.test, w.matrix);
+  EXPECT_GE(r.scans, 1);  // at least the Phase-1 scan
+  EXPECT_EQ(r.scans, w.test.scan_count());
+  EXPECT_LE(r.scans, 8);  // border collapsing keeps this small
+}
+
+TEST(BorderCollapseMinerTest, DiagnosticsArePopulated) {
+  InMemorySequenceDatabase db = Figure4Database();
+  MinerOptions o = ExactOptions(0.3, 2);  // tiny sample
+  o.seed = 17;
+  BorderCollapseMiner miner(Metric::kMatch, o);
+  MiningResult r = miner.Mine(db, Figure2Matrix());
+  EXPECT_EQ(r.symbol_match.size(), 5u);
+  EXPECT_FALSE(r.level_stats.empty());
+}
+
+TEST(BorderCollapseMinerTest, TinyMemoryBudgetStillTerminates) {
+  InMemorySequenceDatabase db = Figure4Database();
+  MinerOptions o = ExactOptions(0.25, db.NumSequences());
+  o.max_counters_per_scan = 1;  // one counter per scan
+  BorderCollapseMiner miner(Metric::kMatch, o);
+  LevelwiseMiner oracle(Metric::kMatch, o);
+  CompatibilityMatrix c = Figure2Matrix();
+  EXPECT_EQ(miner.Mine(db, c).frequent.ToSortedVector(),
+            oracle.Mine(db, c).frequent.ToSortedVector());
+}
+
+TEST(BorderCollapseMinerTest, DeterministicGivenSeed) {
+  InMemorySequenceDatabase db = Figure4Database();
+  MinerOptions o = ExactOptions(0.3, 3);
+  o.seed = 5;
+  BorderCollapseMiner miner(Metric::kMatch, o);
+  CompatibilityMatrix c = Figure2Matrix();
+  MiningResult a = miner.Mine(db, c);
+  db.ResetScanCount();
+  MiningResult b = miner.Mine(db, c);
+  EXPECT_EQ(a.frequent.ToSortedVector(), b.frequent.ToSortedVector());
+  EXPECT_EQ(a.scans, b.scans);
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,131 @@
+// Tests for LevelwiseMiner::MineWithThreshold (per-pattern thresholds),
+// the calibrated-mining workflow, and the candidate-cap guardrail.
+#include <gtest/gtest.h>
+
+#include "nmine/eval/calibration.h"
+#include "nmine/gen/matrix_generator.h"
+#include "nmine/gen/noise_model.h"
+#include "nmine/gen/sequence_generator.h"
+#include "nmine/mining/levelwise_miner.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::Figure2Matrix;
+using testutil::Figure4Database;
+using testutil::P;
+
+TEST(MineWithThresholdTest, ConstantThresholdMatchesMine) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o;
+  o.min_threshold = 0.3;
+  o.space.max_span = 4;
+  o.space.max_gap = 1;
+  LevelwiseMiner miner(Metric::kMatch, o);
+  MiningResult plain = miner.Mine(db, c);
+  db.ResetScanCount();
+  MiningResult fn = miner.MineWithThreshold(
+      db, c, [](const Pattern&) { return 0.3; });
+  EXPECT_EQ(plain.frequent.ToSortedVector(), fn.frequent.ToSortedVector());
+  EXPECT_EQ(plain.scans, fn.scans);
+}
+
+TEST(MineWithThresholdTest, PerPatternThresholdIsApplied) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o;
+  o.min_threshold = 0.3;  // ignored by MineWithThreshold
+  o.space.max_span = 2;
+  LevelwiseMiner miner(Metric::kMatch, o);
+  // Demand 0.5 from 1-patterns but only 0.2 from longer ones:
+  // d4 (match 0.425) fails level 1... but then its extensions are never
+  // generated — demonstrating the Apriori coupling of threshold functions.
+  MiningResult r = miner.MineWithThreshold(
+      db, c, [](const Pattern& p) {
+        return p.NumSymbols() == 1 ? 0.5 : 0.2;
+      });
+  EXPECT_FALSE(r.frequent.Contains(P({3})));
+  EXPECT_FALSE(r.frequent.Contains(P({3, 1})));  // pruned with its prefix
+  EXPECT_TRUE(r.frequent.Contains(P({1})));      // 0.8 >= 0.5
+  EXPECT_TRUE(r.frequent.Contains(P({1, 0})));   // 0.391 >= 0.2
+}
+
+TEST(CalibratedMiningTest, RecoversPlantedPatternUnderConcentratedNoise) {
+  // Two interchangeable siblings per symbol pair; the support model loses
+  // the planted 4-pattern, calibrated match keeps it (the clickstream
+  // scenario in miniature).
+  const size_t m = 8;
+  std::vector<std::vector<double>> emission(m, std::vector<double>(m, 0.0));
+  for (size_t i = 0; i < m; ++i) emission[i][i] = 0.7;
+  for (size_t k = 0; k < m / 2; ++k) {
+    emission[2 * k][2 * k + 1] = 0.3;
+    emission[2 * k + 1][2 * k] = 0.3;
+  }
+  EmissionModel channel(emission);
+  CompatibilityMatrix compat =
+      PosteriorFromEmission(emission, std::vector<double>(m, 1.0));
+
+  Rng rng(5);
+  GeneratorConfig config;
+  config.num_sequences = 300;
+  config.min_length = 20;
+  config.max_length = 30;
+  config.alphabet_size = m;
+  Pattern habit = P({0, 2, 4, 6});
+  config.planted = {habit};
+  config.plant_probability = 0.6;
+  InMemorySequenceDatabase standard = GenerateDatabase(config, &rng);
+  InMemorySequenceDatabase observed = channel.Apply(standard, &rng);
+
+  MinerOptions o;
+  o.min_threshold = 0.35;
+  o.space.max_span = 4;
+  o.max_level = 4;
+
+  LevelwiseMiner support_miner(Metric::kSupport, o);
+  MiningResult support =
+      support_miner.Mine(observed, CompatibilityMatrix::Identity(m));
+  // Exact occurrences survive with probability 0.7^4 = 0.24: concealed.
+  EXPECT_FALSE(support.frequent.Contains(habit));
+
+  MatchCalibration cal(compat);
+  LevelwiseMiner match_miner(Metric::kMatch, o);
+  MiningResult match = match_miner.MineWithThreshold(
+      observed, compat,
+      [&cal](const Pattern& p) { return cal.ThresholdFor(p, 0.35); });
+  EXPECT_TRUE(match.frequent.Contains(habit));
+}
+
+TEST(TruncationGuardTest, CapBoundsCandidatesAndSetsFlag) {
+  // Threshold 0 makes every pattern frequent; without the cap the level-3
+  // candidate set would have 5^3 = 125 patterns.
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o;
+  o.min_threshold = 0.0;
+  o.space.max_span = 3;
+  o.max_candidates_per_level = 10;
+  LevelwiseMiner miner(Metric::kMatch, o);
+  MiningResult r = miner.Mine(db, c);
+  EXPECT_TRUE(r.truncated);
+  for (const LevelStats& s : r.level_stats) {
+    if (s.level >= 2) {
+      EXPECT_LE(s.num_candidates, 10u);
+    }
+  }
+}
+
+TEST(TruncationGuardTest, GenerousCapDoesNotTruncate) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o;
+  o.min_threshold = 0.3;
+  o.space.max_span = 4;
+  LevelwiseMiner miner(Metric::kMatch, o);
+  EXPECT_FALSE(miner.Mine(db, c).truncated);
+}
+
+}  // namespace
+}  // namespace nmine

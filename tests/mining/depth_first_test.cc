@@ -1,0 +1,130 @@
+#include "nmine/mining/depth_first_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "nmine/gen/sequence_generator.h"
+#include "nmine/gen/workload.h"
+#include "nmine/mining/levelwise_miner.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::Figure2Matrix;
+using testutil::Figure4Database;
+using testutil::P;
+
+MinerOptions Options(double threshold, size_t span, size_t gap) {
+  MinerOptions o;
+  o.min_threshold = threshold;
+  o.space.max_span = span;
+  o.space.max_gap = gap;
+  return o;
+}
+
+TEST(DepthFirstMinerTest, MatchesLevelwiseOnPaperExample) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o = Options(0.3, 4, 1);
+  DepthFirstMiner dfs(Metric::kMatch, o);
+  LevelwiseMiner oracle(Metric::kMatch, o);
+  MiningResult got = dfs.Mine(db, c);
+  MiningResult want = oracle.Mine(db, c);
+  EXPECT_EQ(got.frequent.ToSortedVector(), want.frequent.ToSortedVector());
+  EXPECT_EQ(got.border.ToSortedVector(), want.border.ToSortedVector());
+}
+
+TEST(DepthFirstMinerTest, ValuesAreExact) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  DepthFirstMiner dfs(Metric::kMatch, Options(0.3, 4, 1));
+  MiningResult r = dfs.Mine(db, c);
+  ASSERT_TRUE(r.frequent.Contains(P({1, 0})));
+  EXPECT_NEAR(r.values[P({1, 0})], 0.39125, 1e-12);
+  EXPECT_NEAR(r.values[P({1})], 0.8, 1e-12);
+}
+
+TEST(DepthFirstMinerTest, UsesExactlyOneScan) {
+  // The headline property: depth-first projection mining is
+  // memory-resident — one pass loads the data, everything else is
+  // incremental.
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  DepthFirstMiner dfs(Metric::kMatch, Options(0.3, 4, 1));
+  MiningResult r = dfs.Mine(db, c);
+  EXPECT_EQ(r.scans, 1);
+}
+
+TEST(DepthFirstMinerTest, SupportMetric) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix id = CompatibilityMatrix::Identity(5);
+  MinerOptions o = Options(0.5, 4, 1);
+  DepthFirstMiner dfs(Metric::kSupport, o);
+  LevelwiseMiner oracle(Metric::kSupport, o);
+  EXPECT_EQ(dfs.Mine(db, id).frequent.ToSortedVector(),
+            oracle.Mine(db, id).frequent.ToSortedVector());
+}
+
+TEST(DepthFirstMinerTest, MaxLevelCap) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o = Options(0.2, 4, 1);
+  o.max_level = 1;
+  DepthFirstMiner dfs(Metric::kMatch, o);
+  MiningResult r = dfs.Mine(db, c);
+  for (const Pattern& p : r.frequent) {
+    EXPECT_EQ(p.NumSymbols(), 1u);
+  }
+}
+
+TEST(DepthFirstMinerTest, EmptyDatabase) {
+  InMemorySequenceDatabase db;
+  CompatibilityMatrix c = Figure2Matrix();
+  DepthFirstMiner dfs(Metric::kMatch, Options(0.1, 4, 0));
+  MiningResult r = dfs.Mine(db, c);
+  EXPECT_TRUE(r.frequent.empty());
+}
+
+TEST(DepthFirstMinerTest, TruncationGuard) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o = Options(0.0, 3, 0);
+  o.max_candidates_per_level = 5;
+  DepthFirstMiner dfs(Metric::kMatch, o);
+  MiningResult r = dfs.Mine(db, c);
+  EXPECT_TRUE(r.truncated);
+}
+
+class DepthFirstAgreementProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(DepthFirstAgreementProperty, AgreesWithLevelwiseOnRandomData) {
+  Rng rng(GetParam() + 500);
+  GeneratorConfig config;
+  config.num_sequences = 15 + rng.UniformInt(20);
+  config.min_length = 5;
+  config.max_length = 15;
+  config.alphabet_size = 5;
+  config.planted = {RandomPattern(3, 0, 5, &rng)};
+  config.plant_probability = 0.5;
+  InMemorySequenceDatabase db = GenerateDatabase(config, &rng);
+  CompatibilityMatrix c = Figure2Matrix();
+
+  MinerOptions o = Options(0.2 + 0.1 * rng.UniformDouble(), 5,
+                           GetParam() % 2);
+  DepthFirstMiner dfs(Metric::kMatch, o);
+  LevelwiseMiner oracle(Metric::kMatch, o);
+  MiningResult got = dfs.Mine(db, c);
+  MiningResult want = oracle.Mine(db, c);
+  EXPECT_EQ(got.frequent.ToSortedVector(), want.frequent.ToSortedVector());
+  // Spot-check that values agree as well.
+  for (const Pattern& p : want.frequent) {
+    EXPECT_NEAR(got.values[p], want.values[p], 1e-12) << p.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, DepthFirstAgreementProperty,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace nmine

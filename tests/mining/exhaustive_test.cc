@@ -1,0 +1,120 @@
+// The strongest correctness check: on tiny instances, enumerate EVERY
+// valid pattern in the bounded space, evaluate it with the naive
+// definition-level oracle, and require each miner's frequent set to equal
+// the brute-force set exactly.
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nmine/gen/sequence_generator.h"
+#include "nmine/lattice/candidate_gen.h"
+#include "nmine/mining/border_collapse_miner.h"
+#include "nmine/mining/depth_first_miner.h"
+#include "nmine/mining/levelwise_miner.h"
+#include "nmine/mining/max_miner.h"
+#include "nmine/mining/toivonen_miner.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::Figure2Matrix;
+
+/// Brute-force frequent set per Definitions 3.5-3.7.
+PatternSet BruteForceFrequent(const std::vector<SequenceRecord>& records,
+                              const CompatibilityMatrix& c, double threshold,
+                              const PatternSpaceOptions& opts,
+                              bool support_metric) {
+  std::vector<Pattern> all = testutil::EnumeratePatterns(c.size(), opts);
+  std::vector<double> values =
+      support_metric ? testutil::NaiveSupports(records, all)
+                     : testutil::NaiveMatches(records, c, all);
+  PatternSet frequent;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (values[i] >= threshold) {
+      frequent.Insert(all[i]);
+    }
+  }
+  return frequent;
+}
+
+class ExhaustiveProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExhaustiveProperty, EveryMinerMatchesBruteForce) {
+  Rng rng(GetParam() + 9000);
+  const size_t m = 4;
+  GeneratorConfig config;
+  config.num_sequences = 8 + rng.UniformInt(10);
+  config.min_length = 3;
+  config.max_length = 10;
+  config.alphabet_size = m;
+  InMemorySequenceDatabase db = GenerateDatabase(config, &rng);
+
+  // A 4x4 column-stochastic matrix with zeros and asymmetry.
+  CompatibilityMatrix c({
+      {0.80, 0.10, 0.00, 0.05},
+      {0.20, 0.70, 0.10, 0.00},
+      {0.00, 0.20, 0.80, 0.15},
+      {0.00, 0.00, 0.10, 0.80},
+  });
+  ASSERT_TRUE(c.Validate().ok);
+
+  MinerOptions o;
+  o.min_threshold = 0.15 + 0.15 * rng.UniformDouble();
+  o.space.max_span = 4;
+  o.space.max_gap = GetParam() % 3 == 0 ? 1 : 0;
+  o.sample_size = db.NumSequences();
+  o.delta = 0.3;
+  o.seed = GetParam();
+
+  const bool support = GetParam() % 2 == 1;
+  Metric metric = support ? Metric::kSupport : Metric::kMatch;
+  PatternSet expected = BruteForceFrequent(
+      db.records(), c, o.min_threshold, o.space, support);
+
+  LevelwiseMiner levelwise(metric, o);
+  EXPECT_EQ(levelwise.Mine(db, c).frequent.ToSortedVector(),
+            expected.ToSortedVector());
+
+  DepthFirstMiner dfs(metric, o);
+  EXPECT_EQ(dfs.Mine(db, c).frequent.ToSortedVector(),
+            expected.ToSortedVector());
+
+  BorderCollapseMiner collapse(metric, o);
+  EXPECT_EQ(collapse.Mine(db, c).frequent.ToSortedVector(),
+            expected.ToSortedVector());
+
+  ToivonenMiner toivonen(metric, o);
+  EXPECT_EQ(toivonen.Mine(db, c).frequent.ToSortedVector(),
+            expected.ToSortedVector());
+
+  // MaxMiner guarantees the border only.
+  Border expected_border;
+  std::vector<Pattern> desc = expected.ToSortedVector();
+  for (auto it = desc.rbegin(); it != desc.rend(); ++it) {
+    expected_border.Insert(*it);
+  }
+  MaxMiner max_miner(metric, o);
+  EXPECT_EQ(max_miner.Mine(db, c).border.ToSortedVector(),
+            expected_border.ToSortedVector());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ExhaustiveProperty,
+                         ::testing::Range<uint64_t>(0, 16));
+
+TEST(EnumeratePatternsTest, CountsForTinySpace) {
+  // m = 2, span <= 3, contiguous: 2 + 4 + 8 = 14 patterns.
+  PatternSpaceOptions opts;
+  opts.max_span = 3;
+  opts.max_gap = 0;
+  std::vector<Pattern> all = testutil::EnumeratePatterns(2, opts);
+  EXPECT_EQ(all.size(), 14u);
+
+  // Allowing one-wildcard gaps adds the 4 patterns x * y.
+  opts.max_gap = 1;
+  all = testutil::EnumeratePatterns(2, opts);
+  EXPECT_EQ(all.size(), 18u);
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,100 @@
+#include "nmine/mining/max_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "nmine/gen/workload.h"
+#include "nmine/mining/levelwise_miner.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::Figure2Matrix;
+using testutil::Figure4Database;
+using testutil::P;
+
+MinerOptions Options(double threshold, size_t span, size_t gap) {
+  MinerOptions o;
+  o.min_threshold = threshold;
+  o.space.max_span = span;
+  o.space.max_gap = gap;
+  return o;
+}
+
+TEST(MaxMinerTest, BorderMatchesLevelwiseOnPaperExample) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o = Options(0.3, 4, 1);
+  MaxMiner miner(Metric::kMatch, o);
+  LevelwiseMiner oracle(Metric::kMatch, o);
+  EXPECT_EQ(miner.Mine(db, c).border.ToSortedVector(),
+            oracle.Mine(db, c).border.ToSortedVector());
+}
+
+TEST(MaxMinerTest, FrequentSetIsCompleteToo) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o = Options(0.25, 4, 0);
+  MaxMiner miner(Metric::kMatch, o);
+  LevelwiseMiner oracle(Metric::kMatch, o);
+  EXPECT_EQ(miner.Mine(db, c).frequent.ToSortedVector(),
+            oracle.Mine(db, c).frequent.ToSortedVector());
+}
+
+TEST(MaxMinerTest, SupportMetric) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix id = CompatibilityMatrix::Identity(5);
+  MinerOptions o = Options(0.5, 4, 1);
+  MaxMiner miner(Metric::kSupport, o);
+  LevelwiseMiner oracle(Metric::kSupport, o);
+  EXPECT_EQ(miner.Mine(db, id).border.ToSortedVector(),
+            oracle.Mine(db, id).border.ToSortedVector());
+}
+
+TEST(MaxMinerTest, LookAheadSavesScansOnDominantLongPattern) {
+  // One strongly planted contiguous pattern: the overlap-join look-ahead
+  // should discover it long before the level-wise frontier arrives, and
+  // the covered levels then need no scan at all.
+  WorkloadSpec spec;
+  spec.num_sequences = 150;
+  spec.min_length = 40;
+  spec.max_length = 60;
+  spec.num_planted = 1;
+  spec.planted_symbols_min = 12;
+  spec.planted_symbols_max = 12;
+  spec.plant_probability = 0.8;
+  spec.seed = 5;
+  NoisyWorkload w = MakeUniformNoiseWorkload(spec, 0.0);
+
+  MinerOptions o = Options(0.5, 12, 0);
+  MaxMiner max_miner(Metric::kSupport, o);
+  MiningResult rm = max_miner.Mine(w.standard, w.matrix);
+
+  w.standard.ResetScanCount();
+  LevelwiseMiner levelwise(Metric::kSupport, o);
+  MiningResult rl = levelwise.Mine(w.standard, w.matrix);
+
+  EXPECT_EQ(rm.border.ToSortedVector(), rl.border.ToSortedVector());
+  EXPECT_LT(rm.scans, rl.scans);
+  // The planted pattern itself is on the border.
+  EXPECT_TRUE(rm.border.ContainsElement(w.planted[0]));
+}
+
+TEST(MaxMinerTest, ScanAccountingMatchesDatabase) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MaxMiner miner(Metric::kMatch, Options(0.3, 4, 0));
+  MiningResult r = miner.Mine(db, c);
+  EXPECT_EQ(r.scans, db.scan_count());
+}
+
+TEST(MaxMinerTest, EmptyResultOnImpossibleThreshold) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MaxMiner miner(Metric::kMatch, Options(0.99, 4, 0));
+  MiningResult r = miner.Mine(db, c);
+  EXPECT_TRUE(r.border.empty());
+}
+
+}  // namespace
+}  // namespace nmine

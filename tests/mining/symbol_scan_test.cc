@@ -1,0 +1,95 @@
+#include "nmine/mining/symbol_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "nmine/lattice/pattern_counter.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::Figure2Matrix;
+using testutil::Figure4Database;
+using testutil::P;
+
+TEST(SymbolScanTest, Figure5SymbolMatches) {
+  // Algorithm 4.1 on the Figure 4(a) database with the Figure 2 matrix.
+  // Hand-derived values (see EXPERIMENTS.md for the two cells where the
+  // paper's own table is internally inconsistent):
+  //   d1: (0.9 + 0.9 + 0.9 + 0.1) / 4 = 0.7
+  //   d2: (0.8 * 4) / 4            = 0.8     (paper: 0.8)
+  //   d3: (0.7 + 0.15 + 0.7 + 0)/4 = 0.3875  (paper: 0.4)
+  //   d4: (0.1 + 0.75 + 0.75 + 0.1)/4 = 0.425 (paper: 0.425)
+  //   d5: (0.15 + 0 + 0.15 + 0)/4  = 0.075   (paper: 0.075)
+  InMemorySequenceDatabase db = Figure4Database();
+  Rng rng(1);
+  SymbolScanResult r =
+      ScanSymbolsAndSample(db, Figure2Matrix(), /*sample_size=*/0, &rng);
+  ASSERT_EQ(r.symbol_match.size(), 5u);
+  EXPECT_NEAR(r.symbol_match[0], 0.7, 1e-12);
+  EXPECT_NEAR(r.symbol_match[1], 0.8, 1e-12);
+  EXPECT_NEAR(r.symbol_match[2], 0.3875, 1e-12);
+  EXPECT_NEAR(r.symbol_match[3], 0.425, 1e-12);
+  EXPECT_NEAR(r.symbol_match[4], 0.075, 1e-12);
+}
+
+TEST(SymbolScanTest, AgreesWithOnePatternCounting) {
+  // match[d] must equal the Definition-3.7 match of the 1-pattern (d).
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  Rng rng(2);
+  SymbolScanResult r = ScanSymbolsAndSample(db, c, 0, &rng);
+  std::vector<double> direct =
+      CountMatches(db, c, {P({0}), P({1}), P({2}), P({3}), P({4})});
+  for (size_t d = 0; d < 5; ++d) {
+    EXPECT_NEAR(r.symbol_match[d], direct[d], 1e-12) << "d" << (d + 1);
+  }
+}
+
+TEST(SymbolScanTest, UsesExactlyOneScan) {
+  InMemorySequenceDatabase db = Figure4Database();
+  Rng rng(3);
+  ScanSymbolsAndSample(db, Figure2Matrix(), 2, &rng);
+  EXPECT_EQ(db.scan_count(), 1);
+}
+
+TEST(SymbolScanTest, SampleSizeIsRespected) {
+  InMemorySequenceDatabase db = Figure4Database();
+  Rng rng(4);
+  SymbolScanResult r = ScanSymbolsAndSample(db, Figure2Matrix(), 2, &rng);
+  EXPECT_EQ(r.sample.NumSequences(), 2u);
+  Rng rng2(5);
+  r = ScanSymbolsAndSample(db, Figure2Matrix(), 100, &rng2);
+  EXPECT_EQ(r.sample.NumSequences(), 4u);  // min(n, N)
+}
+
+TEST(SymbolScanTest, IdentityMatrixGivesSupports) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix id = CompatibilityMatrix::Identity(5);
+  Rng rng(6);
+  SymbolScanResult match_r = ScanSymbolsAndSample(db, id, 0, &rng);
+  Rng rng2(6);
+  SymbolScanResult sup_r = ScanSymbolSupports(db, 5, 0, &rng2);
+  for (size_t d = 0; d < 5; ++d) {
+    EXPECT_NEAR(match_r.symbol_match[d], sup_r.symbol_match[d], 1e-12);
+  }
+  // Figure 4(b) supports: d1 0.75, d2 1.0, d3 0.5, d4 0.5, d5 0.
+  EXPECT_NEAR(sup_r.symbol_match[0], 0.75, 1e-12);
+  EXPECT_NEAR(sup_r.symbol_match[1], 1.00, 1e-12);
+  EXPECT_NEAR(sup_r.symbol_match[2], 0.50, 1e-12);
+  EXPECT_NEAR(sup_r.symbol_match[3], 0.50, 1e-12);
+  EXPECT_NEAR(sup_r.symbol_match[4], 0.00, 1e-12);
+}
+
+TEST(SymbolScanTest, EmptyDatabase) {
+  InMemorySequenceDatabase db;
+  Rng rng(7);
+  SymbolScanResult r = ScanSymbolsAndSample(db, Figure2Matrix(), 3, &rng);
+  for (double v : r.symbol_match) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+  EXPECT_EQ(r.sample.NumSequences(), 0u);
+}
+
+}  // namespace
+}  // namespace nmine

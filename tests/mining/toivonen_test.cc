@@ -1,0 +1,117 @@
+#include "nmine/mining/toivonen_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "nmine/gen/workload.h"
+#include "nmine/mining/border_collapse_miner.h"
+#include "nmine/mining/levelwise_miner.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+using testutil::Figure2Matrix;
+using testutil::Figure4Database;
+
+MinerOptions ExactOptions(double threshold, size_t n) {
+  MinerOptions o;
+  o.min_threshold = threshold;
+  o.space.max_span = 4;
+  o.space.max_gap = 1;
+  o.sample_size = n;
+  o.delta = 1e-4;
+  return o;
+}
+
+TEST(ToivonenMinerTest, ExactWhenSampleIsWholeDatabase) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o = ExactOptions(0.3, db.NumSequences());
+  ToivonenMiner miner(Metric::kMatch, o);
+  LevelwiseMiner oracle(Metric::kMatch, o);
+  EXPECT_EQ(miner.Mine(db, c).frequent.ToSortedVector(),
+            oracle.Mine(db, c).frequent.ToSortedVector());
+}
+
+TEST(ToivonenMinerTest, SupportMetric) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix id = CompatibilityMatrix::Identity(5);
+  MinerOptions o = ExactOptions(0.5, db.NumSequences());
+  ToivonenMiner miner(Metric::kSupport, o);
+  LevelwiseMiner oracle(Metric::kSupport, o);
+  EXPECT_EQ(miner.Mine(db, id).frequent.ToSortedVector(),
+            oracle.Mine(db, id).frequent.ToSortedVector());
+}
+
+TEST(ToivonenMinerTest, ScanAccountingMatchesDatabaseCounter) {
+  WorkloadSpec spec;
+  spec.num_sequences = 120;
+  spec.num_planted = 2;
+  spec.seed = 21;
+  NoisyWorkload w = MakeUniformNoiseWorkload(spec, 0.1);
+  MinerOptions o;
+  o.min_threshold = 0.25;
+  o.space.max_span = 8;
+  o.sample_size = 120;  // epsilon must stay below the threshold
+  o.delta = 0.05;
+  o.seed = 9;
+  ToivonenMiner miner(Metric::kMatch, o);
+  MiningResult r = miner.Mine(w.test, w.matrix);
+  EXPECT_EQ(r.scans, w.test.scan_count());
+  EXPECT_GE(r.scans, 1);
+}
+
+TEST(ToivonenMinerTest, LevelwiseVerificationNeedsMoreScansThanCollapsing) {
+  // The headline claim of Figure 14(b): with many ambiguous levels, the
+  // level-wise finalization pays roughly one scan per level while border
+  // collapsing probes in bisection order. With a small sample both miners
+  // face the same ambiguous region (same seed -> same Phase 1/2).
+  WorkloadSpec spec;
+  spec.num_sequences = 400;
+  spec.min_length = 40;
+  spec.max_length = 60;
+  spec.num_planted = 2;
+  spec.planted_symbols_min = 10;
+  spec.planted_symbols_max = 10;
+  spec.plant_probability = 0.5;
+  spec.seed = 33;
+  NoisyWorkload w = MakeUniformNoiseWorkload(spec, 0.1);
+
+  MinerOptions o;
+  o.min_threshold = 0.25;
+  o.space.max_span = 12;
+  o.sample_size = 400;
+  o.delta = 0.01;
+  o.seed = 4;
+  ToivonenMiner toivonen(Metric::kMatch, o);
+  MiningResult rt = toivonen.Mine(w.test, w.matrix);
+
+  w.test.ResetScanCount();
+  BorderCollapseMiner collapse(Metric::kMatch, o);
+  MiningResult rc = collapse.Mine(w.test, w.matrix);
+
+  EXPECT_EQ(rt.frequent.ToSortedVector(), rc.frequent.ToSortedVector());
+  EXPECT_LE(rc.scans, rt.scans);
+}
+
+TEST(ToivonenMinerTest, MemoryBudgetSplitsLevelsIntoBatches) {
+  InMemorySequenceDatabase db = Figure4Database();
+  CompatibilityMatrix c = Figure2Matrix();
+  MinerOptions o = ExactOptions(0.25, 2);  // small sample -> ambiguity
+  o.max_counters_per_scan = 1;
+  o.seed = 12;
+  ToivonenMiner miner(Metric::kMatch, o);
+  MiningResult small_budget = miner.Mine(db, c);
+
+  db.ResetScanCount();
+  o.max_counters_per_scan = 100000;
+  ToivonenMiner roomy(Metric::kMatch, o);
+  MiningResult big_budget = roomy.Mine(db, c);
+
+  EXPECT_EQ(small_budget.frequent.ToSortedVector(),
+            big_budget.frequent.ToSortedVector());
+  EXPECT_GE(small_budget.scans, big_budget.scans);
+}
+
+}  // namespace
+}  // namespace nmine

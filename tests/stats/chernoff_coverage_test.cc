@@ -1,0 +1,108 @@
+// Statistical validation of the Chernoff/Hoeffding machinery: the bound's
+// empirical coverage must be at least the promised 1 - delta (and in
+// practice far higher — the paper's Section 5.5 observation).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nmine/stats/chernoff.h"
+#include "nmine/stats/random.h"
+
+namespace nmine {
+namespace {
+
+/// Draws n observations of a [0, R]-bounded variable and checks whether
+/// the true mean lies within epsilon of the sample mean.
+bool BoundHolds(double true_p, double spread, double delta, size_t n,
+                Rng* rng) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Bernoulli(p) scaled to [0, R]: mean = p * R, spread = R.
+    sum += rng->Bernoulli(true_p) ? spread : 0.0;
+  }
+  double mu = sum / static_cast<double>(n);
+  double eps = ChernoffEpsilon(spread, delta, n);
+  double true_mean = true_p * spread;
+  return std::fabs(mu - true_mean) <= eps;
+}
+
+TEST(ChernoffCoverageTest, EmpiricalCoverageExceedsConfidence) {
+  Rng rng(123);
+  const double delta = 0.1;  // promise: 90% one-sided, 80% two-sided
+  const size_t n = 200;
+  int holds = 0;
+  const int reps = 2000;
+  for (int i = 0; i < reps; ++i) {
+    holds += BoundHolds(0.3, 1.0, delta, n, &rng) ? 1 : 0;
+  }
+  // Hoeffding is conservative: coverage is far above 1 - 2*delta.
+  EXPECT_GT(holds, reps * 0.9);
+}
+
+TEST(ChernoffCoverageTest, RestrictedSpreadStillCovers) {
+  // Claim 4.2: when the variable genuinely lives in [0, R] with R < 1,
+  // the bound computed with the restricted spread remains valid.
+  Rng rng(456);
+  const double spread = 0.05;
+  int holds = 0;
+  const int reps = 2000;
+  for (int i = 0; i < reps; ++i) {
+    holds += BoundHolds(0.5, spread, 0.05, 150, &rng) ? 1 : 0;
+  }
+  EXPECT_GT(holds, reps * 0.95);
+}
+
+TEST(ChernoffCoverageTest, MisclassificationRateBelowDelta) {
+  // End-to-end Claim 4.1: a pattern whose true mean is ABOVE
+  // min_match + 2*eps is labelled frequent (or at worst ambiguous) with
+  // overwhelming probability; the infrequent label occurs less often
+  // than delta.
+  Rng rng(789);
+  const size_t n = 150;
+  const double delta = 0.05;
+  const double eps = ChernoffEpsilon(1.0, delta, n);
+  const double min_match = 0.3;
+  const double true_p = min_match + 2 * eps;
+  int mislabeled = 0;
+  const int reps = 3000;
+  for (int i = 0; i < reps; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      sum += rng.Bernoulli(true_p) ? 1.0 : 0.0;
+    }
+    PatternLabel label =
+        ClassifyMatch(sum / static_cast<double>(n), min_match, eps);
+    if (label == PatternLabel::kInfrequent) {
+      ++mislabeled;
+    }
+  }
+  EXPECT_LT(mislabeled, reps * delta);
+}
+
+TEST(ChernoffCoverageTest, ExponentialTailOfMisses) {
+  // Section 4: Prob(dis(P) > 2*rho) = Prob(dis(P) > rho)^4 — the deficit
+  // of a missed pattern decays exponentially. Empirically, undershooting
+  // the sample mean by 2*eps must be far rarer than by eps.
+  Rng rng(1011);
+  const size_t n = 100;
+  const double p = 0.5;
+  const double eps = 0.08;
+  int under_one = 0;
+  int under_two = 0;
+  const int reps = 20000;
+  for (int i = 0; i < reps; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      sum += rng.Bernoulli(p) ? 1.0 : 0.0;
+    }
+    double mu = sum / static_cast<double>(n);
+    if (mu < p - eps) ++under_one;
+    if (mu < p - 2 * eps) ++under_two;
+  }
+  ASSERT_GT(under_one, 0);
+  // The 2-eps tail must be at most a small fraction of the 1-eps tail.
+  EXPECT_LT(under_two * 5, under_one);
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,66 @@
+#include "nmine/stats/chernoff.h"
+
+#include <gtest/gtest.h>
+
+namespace nmine {
+namespace {
+
+TEST(ChernoffTest, PaperExampleTenThousandSamples) {
+  // Section 4: "assume that the spread of a random variable is 1 and mu is
+  // the mean of 10000 samples ... the true value is at least mu - 0.0215
+  // with 99.99% confidence."
+  EXPECT_NEAR(ChernoffEpsilon(1.0, 1e-4, 10000), 0.0215, 5e-4);
+}
+
+TEST(ChernoffTest, EpsilonIsLinearInSpread) {
+  // Claim 4.2's payoff: "reduce the value of epsilon by 95%" when R drops
+  // from 1 to 0.05 ("epsilon is linearly proportional to R").
+  double full = ChernoffEpsilon(1.0, 1e-3, 500);
+  double restricted = ChernoffEpsilon(0.05, 1e-3, 500);
+  EXPECT_NEAR(restricted, full * 0.05, 1e-12);
+}
+
+TEST(ChernoffTest, EpsilonShrinksWithSampleSize) {
+  double e1 = ChernoffEpsilon(1.0, 1e-4, 100);
+  double e2 = ChernoffEpsilon(1.0, 1e-4, 400);
+  EXPECT_NEAR(e2, e1 / 2.0, 1e-12);  // ~ 1/sqrt(n)
+}
+
+TEST(ChernoffTest, EpsilonShrinksWithLargerDelta) {
+  EXPECT_LT(ChernoffEpsilon(1.0, 0.1, 1000), ChernoffEpsilon(1.0, 1e-4, 1000));
+}
+
+TEST(ChernoffTest, ZeroSpreadGivesZeroEpsilon) {
+  EXPECT_DOUBLE_EQ(ChernoffEpsilon(0.0, 1e-4, 100), 0.0);
+}
+
+TEST(ClassifyMatchTest, ThreeWaySplit) {
+  const double thr = 0.5;
+  const double eps = 0.1;
+  EXPECT_EQ(ClassifyMatch(0.70, thr, eps), PatternLabel::kFrequent);
+  EXPECT_EQ(ClassifyMatch(0.55, thr, eps), PatternLabel::kAmbiguous);
+  EXPECT_EQ(ClassifyMatch(0.50, thr, eps), PatternLabel::kAmbiguous);
+  EXPECT_EQ(ClassifyMatch(0.45, thr, eps), PatternLabel::kAmbiguous);
+  EXPECT_EQ(ClassifyMatch(0.30, thr, eps), PatternLabel::kInfrequent);
+}
+
+TEST(ClassifyMatchTest, BoundaryValuesAreAmbiguous) {
+  // Conservative: exactly min_match ± eps stays ambiguous.
+  EXPECT_EQ(ClassifyMatch(0.6, 0.5, 0.1), PatternLabel::kAmbiguous);
+  EXPECT_EQ(ClassifyMatch(0.4, 0.5, 0.1), PatternLabel::kAmbiguous);
+}
+
+TEST(ClassifyMatchTest, ZeroEpsilonIsExact) {
+  EXPECT_EQ(ClassifyMatch(0.51, 0.5, 0.0), PatternLabel::kFrequent);
+  EXPECT_EQ(ClassifyMatch(0.49, 0.5, 0.0), PatternLabel::kInfrequent);
+  EXPECT_EQ(ClassifyMatch(0.50, 0.5, 0.0), PatternLabel::kAmbiguous);
+}
+
+TEST(PatternLabelTest, ToStringNames) {
+  EXPECT_STREQ(ToString(PatternLabel::kFrequent), "frequent");
+  EXPECT_STREQ(ToString(PatternLabel::kAmbiguous), "ambiguous");
+  EXPECT_STREQ(ToString(PatternLabel::kInfrequent), "infrequent");
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,65 @@
+#include "nmine/stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace nmine {
+namespace {
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.num_bins(), 4u);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BinHigh(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.BinLow(3), 0.75);
+  EXPECT_DOUBLE_EQ(h.BinHigh(3), 1.0);
+}
+
+TEST(HistogramTest, AddPlacesValuesInBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);
+  h.Add(0.26);
+  h.Add(0.26);
+  h.Add(0.9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdgeBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-5.0);
+  h.Add(5.0);
+  h.Add(1.0);  // hi is exclusive; clamps to last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+}
+
+TEST(HistogramTest, FractionAndCumulative) {
+  Histogram h(0.0, 1.0, 4);
+  for (double v : {0.1, 0.3, 0.3, 0.6}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.Fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(0.49), 0.75);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(0.99), 1.0);
+}
+
+TEST(HistogramTest, SummaryStatistics) {
+  Histogram h(0.0, 10.0, 5);
+  for (double v : {2.0, 4.0, 6.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.min_seen(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 6.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace nmine

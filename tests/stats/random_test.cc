@@ -1,0 +1,92 @@
+#include "nmine/stats/random.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nmine {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.UniformDouble(), b.UniformDouble());
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(4);
+  int hits = 0;
+  constexpr int kReps = 10000;
+  for (int i = 0; i < kReps; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits, 3000, 5 * std::sqrt(kReps * 0.3 * 0.7));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // The child must not replay the parent's stream.
+  Rng b(5);
+  b.Fork();
+  EXPECT_DOUBLE_EQ(a.UniformDouble(), b.UniformDouble());
+  (void)child;
+}
+
+TEST(DiscreteSamplerTest, RespectsWeights) {
+  DiscreteSampler s({1.0, 3.0, 0.0, 6.0});
+  Rng rng(6);
+  std::vector<int> counts(4, 0);
+  constexpr int kReps = 20000;
+  for (int i = 0; i < kReps; ++i) {
+    ++counts[s.Sample(rng)];
+  }
+  EXPECT_EQ(counts[2], 0);  // zero weight never drawn
+  EXPECT_NEAR(counts[0], kReps * 0.1, 5 * std::sqrt(kReps * 0.1));
+  EXPECT_NEAR(counts[1], kReps * 0.3, 5 * std::sqrt(kReps * 0.3));
+  EXPECT_NEAR(counts[3], kReps * 0.6, 5 * std::sqrt(kReps * 0.6));
+}
+
+TEST(DiscreteSamplerTest, SingleOutcome) {
+  DiscreteSampler s({5.0});
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(s.Sample(rng), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,99 @@
+#include "test_util.h"
+
+#include <functional>
+
+#include "nmine/core/match.h"
+
+namespace nmine {
+namespace testutil {
+
+CompatibilityMatrix Figure2Matrix() {
+  return CompatibilityMatrix({
+      {0.90, 0.10, 0.00, 0.00, 0.00},  // d1
+      {0.05, 0.80, 0.05, 0.10, 0.00},  // d2
+      {0.05, 0.00, 0.70, 0.15, 0.10},  // d3
+      {0.00, 0.10, 0.10, 0.75, 0.05},  // d4
+      {0.00, 0.00, 0.15, 0.00, 0.85},  // d5
+  });
+}
+
+InMemorySequenceDatabase Figure4Database() {
+  return InMemorySequenceDatabase::FromSequences({
+      {0, 1, 2, 0},  // d1 d2 d3 d1
+      {3, 1, 0},     // d4 d2 d1
+      {2, 3, 1, 0},  // d3 d4 d2 d1
+      {1, 1},        // d2 d2
+  });
+}
+
+Pattern P(std::vector<int> ids) {
+  std::vector<SymbolId> body;
+  body.reserve(ids.size());
+  for (int id : ids) {
+    body.push_back(id < 0 ? kWildcard : static_cast<SymbolId>(id));
+  }
+  return Pattern(std::move(body));
+}
+
+std::vector<Pattern> EnumeratePatterns(size_t m,
+                                       const PatternSpaceOptions& opts) {
+  std::vector<Pattern> out;
+  std::vector<SymbolId> body;
+  std::function<void()> grow = [&]() {
+    if (!body.empty() && !IsWildcard(body.back())) {
+      out.push_back(Pattern(body));
+    }
+    if (body.size() >= opts.max_span) return;
+    for (size_t d = 0; d < m; ++d) {
+      body.push_back(static_cast<SymbolId>(d));
+      grow();
+      body.pop_back();
+    }
+    if (!body.empty()) {
+      size_t run = 0;
+      for (auto it = body.rbegin(); it != body.rend() && IsWildcard(*it);
+           ++it) {
+        ++run;
+      }
+      if (run < opts.max_gap) {
+        body.push_back(kWildcard);
+        grow();
+        body.pop_back();
+      }
+    }
+  };
+  grow();
+  return out;
+}
+
+std::vector<double> NaiveMatches(const std::vector<SequenceRecord>& records,
+                                 const CompatibilityMatrix& c,
+                                 const std::vector<Pattern>& patterns) {
+  std::vector<double> out(patterns.size(), 0.0);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    for (const SequenceRecord& r : records) {
+      out[i] += SequenceMatch(c, patterns[i], r.symbols);
+    }
+    if (!records.empty()) {
+      out[i] /= static_cast<double>(records.size());
+    }
+  }
+  return out;
+}
+
+std::vector<double> NaiveSupports(const std::vector<SequenceRecord>& records,
+                                  const std::vector<Pattern>& patterns) {
+  std::vector<double> out(patterns.size(), 0.0);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    for (const SequenceRecord& r : records) {
+      out[i] += SequenceSupport(patterns[i], r.symbols);
+    }
+    if (!records.empty()) {
+      out[i] /= static_cast<double>(records.size());
+    }
+  }
+  return out;
+}
+
+}  // namespace testutil
+}  // namespace nmine

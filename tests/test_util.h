@@ -1,0 +1,47 @@
+#ifndef NMINE_TESTS_TEST_UTIL_H_
+#define NMINE_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "nmine/core/compatibility_matrix.h"
+#include "nmine/lattice/candidate_gen.h"
+#include "nmine/core/pattern.h"
+#include "nmine/db/in_memory_database.h"
+
+namespace nmine {
+namespace testutil {
+
+/// The 5-symbol compatibility matrix of the paper's Figure 2.
+CompatibilityMatrix Figure2Matrix();
+
+/// The 4-sequence database of the paper's Figure 4(a):
+///   1: d1 d2 d3 d1
+///   2: d4 d2 d1
+///   3: d3 d4 d2 d1
+///   4: d2 d2
+/// (Symbols are 0-based ids: d1 = 0, ..., d5 = 4.)
+InMemorySequenceDatabase Figure4Database();
+
+/// Shorthand for building a pattern from 0-based ids; -1 is the wildcard.
+Pattern P(std::vector<int> ids);
+
+/// Naive per-pattern match counter: the test oracle for PatternTrie.
+/// Returns the Definition-3.7 average of SequenceMatch over the records.
+std::vector<double> NaiveMatches(const std::vector<SequenceRecord>& records,
+                                 const CompatibilityMatrix& c,
+                                 const std::vector<Pattern>& patterns);
+
+/// Enumerates every valid pattern in the bounded space (all bodies over
+/// the m-symbol alphabet with non-wildcard endpoints, span <= max_span,
+/// wildcard runs <= max_gap). For exhaustive brute-force verification.
+std::vector<Pattern> EnumeratePatterns(size_t m,
+                                       const PatternSpaceOptions& opts);
+
+/// Naive support counter oracle.
+std::vector<double> NaiveSupports(const std::vector<SequenceRecord>& records,
+                                  const std::vector<Pattern>& patterns);
+
+}  // namespace testutil
+}  // namespace nmine
+
+#endif  // NMINE_TESTS_TEST_UTIL_H_

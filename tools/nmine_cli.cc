@@ -1,0 +1,376 @@
+// nmine command-line tool: generate synthetic sequence databases, inspect
+// database files, and mine them with any of the four algorithms.
+//
+// Usage:
+//   nmine_cli generate --out DB.nmsq [--sequences N] [--min-len L]
+//       [--max-len L] [--alphabet M] [--plant "0 1 2"]... [--plant-prob P]
+//       [--noise-alpha A] [--seed S]
+//   nmine_cli import --fasta FILE --out DB.nmsq
+//   nmine_cli info DB.nmsq
+//   nmine_cli matrix --out C.txt (--identity M | --uniform-alpha A
+//       --alphabet M | --blosum50 T)
+//   nmine_cli mine DB.nmsq [--metric match|support]
+//       [--matrix C.txt | --uniform-alpha A | --identity]
+//       [--algorithm collapse|levelwise|maxminer|toivonen|depthfirst]
+//       [--threshold T] [--max-span K] [--max-gap G] [--max-level K]
+//       [--sample N] [--delta D] [--seed S]
+//       [--calibrate none|expected|survival] [--csv]
+//
+// Exit status: 0 on success, 1 on usage/IO errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nmine/bio/blosum.h"
+#include "nmine/bio/fasta.h"
+#include "nmine/core/matrix_io.h"
+#include "nmine/db/disk_database.h"
+#include "nmine/db/format.h"
+#include "nmine/eval/calibration.h"
+#include "nmine/eval/table.h"
+#include "nmine/gen/matrix_generator.h"
+#include "nmine/gen/noise_model.h"
+#include "nmine/gen/sequence_generator.h"
+#include "nmine/mining/border_collapse_miner.h"
+#include "nmine/mining/depth_first_miner.h"
+#include "nmine/mining/levelwise_miner.h"
+#include "nmine/mining/max_miner.h"
+#include "nmine/mining/toivonen_miner.h"
+
+namespace nmine {
+namespace {
+
+/// Minimal --flag value parser: flags may appear in any order after the
+/// command and positional arguments.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string key = arg.substr(2);
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          values_[key].push_back(argv[++i]);
+        } else {
+          values_[key].push_back("");  // boolean flag
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second.back();
+  }
+
+  double GetDouble(const std::string& key, double dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::atof(it->second.back().c_str());
+  }
+
+  long long GetInt(const std::string& key, long long dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::atoll(it->second.back().c_str());
+  }
+
+  std::vector<std::string> GetAll(const std::string& key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+  std::vector<std::string> positional_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: nmine_cli <generate|import|info|matrix|mine> [flags]\n"
+               "see the header of tools/nmine_cli.cc for details\n");
+  return 1;
+}
+
+std::optional<Pattern> ParseIdPattern(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<SymbolId> body;
+  std::string token;
+  while (in >> token) {
+    if (token == "*") {
+      body.push_back(kWildcard);
+    } else {
+      body.push_back(static_cast<SymbolId>(std::atoi(token.c_str())));
+    }
+  }
+  if (!Pattern::IsValidBody(body)) return std::nullopt;
+  return Pattern(std::move(body));
+}
+
+int CmdGenerate(const Flags& flags) {
+  std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 1;
+  }
+  GeneratorConfig config;
+  config.num_sequences = static_cast<size_t>(flags.GetInt("sequences", 1000));
+  config.min_length = static_cast<size_t>(flags.GetInt("min-len", 50));
+  config.max_length = static_cast<size_t>(flags.GetInt("max-len", 100));
+  config.alphabet_size = static_cast<size_t>(flags.GetInt("alphabet", 20));
+  config.plant_probability = flags.GetDouble("plant-prob", 0.3);
+  for (const std::string& text : flags.GetAll("plant")) {
+    std::optional<Pattern> p = ParseIdPattern(text);
+    if (!p.has_value()) {
+      std::fprintf(stderr, "generate: bad --plant pattern '%s'\n",
+                   text.c_str());
+      return 1;
+    }
+    config.planted.push_back(std::move(*p));
+  }
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  InMemorySequenceDatabase db = GenerateDatabase(config, &rng);
+
+  double alpha = flags.GetDouble("noise-alpha", 0.0);
+  if (alpha > 0.0) {
+    db = ApplyUniformNoise(db, alpha, config.alphabet_size, &rng);
+  }
+  IoResult r = dbformat::WriteDatabaseFile(out, db.records());
+  if (!r.ok) {
+    std::fprintf(stderr, "generate: %s\n", r.message.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu sequences (%llu symbols) to %s\n",
+              db.NumSequences(),
+              static_cast<unsigned long long>(db.TotalSymbols()),
+              out.c_str());
+  return 0;
+}
+
+int CmdImport(const Flags& flags) {
+  std::string fasta = flags.Get("fasta", "");
+  std::string out = flags.Get("out", "");
+  if (fasta.empty() || out.empty()) {
+    std::fprintf(stderr, "import: --fasta and --out are required\n");
+    return 1;
+  }
+  std::vector<FastaRecord> records;
+  IoResult r = ReadFastaFile(fasta, &records);
+  if (!r.ok) {
+    std::fprintf(stderr, "import: %s\n", r.message.c_str());
+    return 1;
+  }
+  size_t skipped = 0;
+  InMemorySequenceDatabase db = FastaToDatabase(records, &skipped);
+  r = dbformat::WriteDatabaseFile(out, db.records());
+  if (!r.ok) {
+    std::fprintf(stderr, "import: %s\n", r.message.c_str());
+    return 1;
+  }
+  std::printf(
+      "imported %zu sequences (%llu residues, %zu non-standard skipped) "
+      "to %s\n",
+      db.NumSequences(), static_cast<unsigned long long>(db.TotalSymbols()),
+      skipped, out.c_str());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "info: database path required\n");
+    return 1;
+  }
+  IoResult error;
+  std::unique_ptr<DiskSequenceDatabase> db =
+      DiskSequenceDatabase::Open(flags.positional()[0], &error);
+  if (db == nullptr) {
+    std::fprintf(stderr, "info: %s\n", error.message.c_str());
+    return 1;
+  }
+  size_t min_len = SIZE_MAX;
+  size_t max_len = 0;
+  SymbolId max_symbol = -1;
+  db->Scan([&](const SequenceRecord& r) {
+    min_len = std::min(min_len, r.symbols.size());
+    max_len = std::max(max_len, r.symbols.size());
+    for (SymbolId s : r.symbols) max_symbol = std::max(max_symbol, s);
+  });
+  std::printf("sequences:     %zu\n", db->NumSequences());
+  std::printf("total symbols: %llu\n",
+              static_cast<unsigned long long>(db->TotalSymbols()));
+  if (db->NumSequences() > 0) {
+    std::printf("lengths:       %zu .. %zu (avg %.1f)\n", min_len, max_len,
+                static_cast<double>(db->TotalSymbols()) /
+                    static_cast<double>(db->NumSequences()));
+    std::printf("alphabet:      >= %d symbols\n", max_symbol + 1);
+  }
+  return 0;
+}
+
+int CmdMatrix(const Flags& flags) {
+  std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "matrix: --out is required\n");
+    return 1;
+  }
+  std::optional<CompatibilityMatrix> c;
+  if (flags.Has("identity")) {
+    c = CompatibilityMatrix::Identity(
+        static_cast<size_t>(flags.GetInt("identity", 20)));
+  } else if (flags.Has("uniform-alpha")) {
+    c = UniformNoiseMatrix(static_cast<size_t>(flags.GetInt("alphabet", 20)),
+                           flags.GetDouble("uniform-alpha", 0.1));
+  } else if (flags.Has("blosum50")) {
+    c = BlosumCompatibilityMatrix(flags.GetDouble("blosum50", 1.0));
+  } else {
+    std::fprintf(stderr,
+                 "matrix: one of --identity M, --uniform-alpha A, "
+                 "--blosum50 T is required\n");
+    return 1;
+  }
+  MatrixIoResult r = WriteCompatibilityMatrixFile(out, *c);
+  if (!r.ok) {
+    std::fprintf(stderr, "matrix: %s\n", r.message.c_str());
+    return 1;
+  }
+  std::printf("wrote %zux%zu matrix to %s\n", c->size(), c->size(),
+              out.c_str());
+  return 0;
+}
+
+int CmdMine(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "mine: database path required\n");
+    return 1;
+  }
+  IoResult error;
+  std::unique_ptr<DiskSequenceDatabase> db =
+      DiskSequenceDatabase::Open(flags.positional()[0], &error);
+  if (db == nullptr) {
+    std::fprintf(stderr, "mine: %s\n", error.message.c_str());
+    return 1;
+  }
+
+  // Determine the alphabet size from the data when only implicit matrices
+  // are requested.
+  SymbolId max_symbol = -1;
+  db->Scan([&](const SequenceRecord& r) {
+    for (SymbolId s : r.symbols) max_symbol = std::max(max_symbol, s);
+  });
+  size_t m = static_cast<size_t>(max_symbol + 1);
+
+  std::optional<CompatibilityMatrix> c;
+  if (flags.Has("matrix")) {
+    MatrixIoResult merr;
+    c = ReadCompatibilityMatrixFile(flags.Get("matrix", ""), &merr);
+    if (!c.has_value()) {
+      std::fprintf(stderr, "mine: %s\n", merr.message.c_str());
+      return 1;
+    }
+    if (c->size() < m) {
+      std::fprintf(stderr,
+                   "mine: matrix is %zux%zu but the data uses %zu symbols\n",
+                   c->size(), c->size(), m);
+      return 1;
+    }
+  } else if (flags.Has("uniform-alpha")) {
+    c = UniformNoiseMatrix(m, flags.GetDouble("uniform-alpha", 0.1));
+  } else {
+    c = CompatibilityMatrix::Identity(m);
+  }
+
+  Metric metric =
+      flags.Get("metric", "match") == "support" ? Metric::kSupport
+                                                : Metric::kMatch;
+  MinerOptions options;
+  options.min_threshold = flags.GetDouble("threshold", 0.1);
+  options.space.max_span = static_cast<size_t>(flags.GetInt("max-span", 10));
+  options.space.max_gap = static_cast<size_t>(flags.GetInt("max-gap", 0));
+  options.max_level = static_cast<size_t>(
+      flags.GetInt("max-level", static_cast<long long>(options.space.max_span)));
+  options.sample_size = static_cast<size_t>(flags.GetInt("sample", 1000));
+  options.delta = flags.GetDouble("delta", 1e-4);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::string algorithm = flags.Get("algorithm", "collapse");
+  std::string calibrate = flags.Get("calibrate", "none");
+
+  MiningResult result;
+  if (calibrate != "none") {
+    if (algorithm != "levelwise") {
+      std::fprintf(stderr,
+                   "mine: --calibrate requires --algorithm levelwise "
+                   "(per-pattern thresholds)\n");
+      return 1;
+    }
+    CalibrationMode mode = calibrate == "survival"
+                               ? CalibrationMode::kDiagonalSurvival
+                               : CalibrationMode::kExpectedDeflation;
+    MatchCalibration calibration(*c, mode);
+    LevelwiseMiner miner(metric, options);
+    double tau = options.min_threshold;
+    result = miner.MineWithThreshold(
+        *db, *c, [&calibration, tau](const Pattern& p) {
+          return calibration.ThresholdFor(p, tau);
+        });
+  } else if (algorithm == "collapse") {
+    result = BorderCollapseMiner(metric, options).Mine(*db, *c);
+  } else if (algorithm == "levelwise") {
+    result = LevelwiseMiner(metric, options).Mine(*db, *c);
+  } else if (algorithm == "maxminer") {
+    result = MaxMiner(metric, options).Mine(*db, *c);
+  } else if (algorithm == "toivonen") {
+    result = ToivonenMiner(metric, options).Mine(*db, *c);
+  } else if (algorithm == "depthfirst") {
+    result = DepthFirstMiner(metric, options).Mine(*db, *c);
+  } else {
+    std::fprintf(stderr, "mine: unknown --algorithm '%s'\n",
+                 algorithm.c_str());
+    return 1;
+  }
+
+  Table table({"pattern", "value"});
+  for (const Pattern& p : result.border.ToSortedVector()) {
+    auto it = result.values.find(p);
+    table.AddRow({p.ToString(),
+                  it == result.values.end() ? "-" : Table::Num(it->second, 5)});
+  }
+  if (flags.Has("csv")) {
+    table.PrintCsv(std::cout);
+  } else {
+    std::printf("frequent patterns: %zu   border: %zu   scans: %lld   "
+                "time: %.2fs%s\n",
+                result.frequent.size(), result.border.size(),
+                static_cast<long long>(result.scans), result.seconds,
+                result.truncated ? "   [TRUNCATED]" : "");
+    table.Print(std::cout);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "import") return CmdImport(flags);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "matrix") return CmdMatrix(flags);
+  if (command == "mine") return CmdMine(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace nmine
+
+int main(int argc, char** argv) { return nmine::Main(argc, argv); }
