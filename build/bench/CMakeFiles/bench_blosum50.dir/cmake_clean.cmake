@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blosum50.dir/bench_blosum50.cc.o"
+  "CMakeFiles/bench_blosum50.dir/bench_blosum50.cc.o.d"
+  "CMakeFiles/bench_blosum50.dir/bench_util.cc.o"
+  "CMakeFiles/bench_blosum50.dir/bench_util.cc.o.d"
+  "bench_blosum50"
+  "bench_blosum50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blosum50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

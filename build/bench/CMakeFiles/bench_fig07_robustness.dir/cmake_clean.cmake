@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_robustness.dir/bench_fig07_robustness.cc.o"
+  "CMakeFiles/bench_fig07_robustness.dir/bench_fig07_robustness.cc.o.d"
+  "CMakeFiles/bench_fig07_robustness.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig07_robustness.dir/bench_util.cc.o.d"
+  "bench_fig07_robustness"
+  "bench_fig07_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

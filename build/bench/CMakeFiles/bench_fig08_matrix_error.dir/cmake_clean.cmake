@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_matrix_error.dir/bench_fig08_matrix_error.cc.o"
+  "CMakeFiles/bench_fig08_matrix_error.dir/bench_fig08_matrix_error.cc.o.d"
+  "CMakeFiles/bench_fig08_matrix_error.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig08_matrix_error.dir/bench_util.cc.o.d"
+  "bench_fig08_matrix_error"
+  "bench_fig08_matrix_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_matrix_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_candidates.dir/bench_fig09_candidates.cc.o"
+  "CMakeFiles/bench_fig09_candidates.dir/bench_fig09_candidates.cc.o.d"
+  "CMakeFiles/bench_fig09_candidates.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig09_candidates.dir/bench_util.cc.o.d"
+  "bench_fig09_candidates"
+  "bench_fig09_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

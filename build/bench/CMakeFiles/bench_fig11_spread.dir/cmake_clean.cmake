@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_spread.dir/bench_fig11_spread.cc.o"
+  "CMakeFiles/bench_fig11_spread.dir/bench_fig11_spread.cc.o.d"
+  "CMakeFiles/bench_fig11_spread.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig11_spread.dir/bench_util.cc.o.d"
+  "bench_fig11_spread"
+  "bench_fig11_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_confidence.dir/bench_fig12_confidence.cc.o"
+  "CMakeFiles/bench_fig12_confidence.dir/bench_fig12_confidence.cc.o.d"
+  "CMakeFiles/bench_fig12_confidence.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig12_confidence.dir/bench_util.cc.o.d"
+  "bench_fig12_confidence"
+  "bench_fig12_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_missing.dir/bench_fig13_missing.cc.o"
+  "CMakeFiles/bench_fig13_missing.dir/bench_fig13_missing.cc.o.d"
+  "CMakeFiles/bench_fig13_missing.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig13_missing.dir/bench_util.cc.o.d"
+  "bench_fig13_missing"
+  "bench_fig13_missing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_missing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_performance.dir/bench_fig14_performance.cc.o"
+  "CMakeFiles/bench_fig14_performance.dir/bench_fig14_performance.cc.o.d"
+  "CMakeFiles/bench_fig14_performance.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig14_performance.dir/bench_util.cc.o.d"
+  "bench_fig14_performance"
+  "bench_fig14_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_quantization.dir/event_quantization.cpp.o"
+  "CMakeFiles/event_quantization.dir/event_quantization.cpp.o.d"
+  "event_quantization"
+  "event_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nmine/bio/amino_acids.cc" "src/CMakeFiles/nmine.dir/nmine/bio/amino_acids.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/bio/amino_acids.cc.o.d"
+  "/root/repo/src/nmine/bio/blosum.cc" "src/CMakeFiles/nmine.dir/nmine/bio/blosum.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/bio/blosum.cc.o.d"
+  "/root/repo/src/nmine/bio/fasta.cc" "src/CMakeFiles/nmine.dir/nmine/bio/fasta.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/bio/fasta.cc.o.d"
+  "/root/repo/src/nmine/core/alphabet.cc" "src/CMakeFiles/nmine.dir/nmine/core/alphabet.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/core/alphabet.cc.o.d"
+  "/root/repo/src/nmine/core/compatibility_matrix.cc" "src/CMakeFiles/nmine.dir/nmine/core/compatibility_matrix.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/core/compatibility_matrix.cc.o.d"
+  "/root/repo/src/nmine/core/match.cc" "src/CMakeFiles/nmine.dir/nmine/core/match.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/core/match.cc.o.d"
+  "/root/repo/src/nmine/core/matrix_io.cc" "src/CMakeFiles/nmine.dir/nmine/core/matrix_io.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/core/matrix_io.cc.o.d"
+  "/root/repo/src/nmine/core/pattern.cc" "src/CMakeFiles/nmine.dir/nmine/core/pattern.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/core/pattern.cc.o.d"
+  "/root/repo/src/nmine/db/disk_database.cc" "src/CMakeFiles/nmine.dir/nmine/db/disk_database.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/db/disk_database.cc.o.d"
+  "/root/repo/src/nmine/db/format.cc" "src/CMakeFiles/nmine.dir/nmine/db/format.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/db/format.cc.o.d"
+  "/root/repo/src/nmine/db/in_memory_database.cc" "src/CMakeFiles/nmine.dir/nmine/db/in_memory_database.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/db/in_memory_database.cc.o.d"
+  "/root/repo/src/nmine/db/reservoir_sampler.cc" "src/CMakeFiles/nmine.dir/nmine/db/reservoir_sampler.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/db/reservoir_sampler.cc.o.d"
+  "/root/repo/src/nmine/eval/calibration.cc" "src/CMakeFiles/nmine.dir/nmine/eval/calibration.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/eval/calibration.cc.o.d"
+  "/root/repo/src/nmine/eval/metrics.cc" "src/CMakeFiles/nmine.dir/nmine/eval/metrics.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/eval/metrics.cc.o.d"
+  "/root/repo/src/nmine/eval/table.cc" "src/CMakeFiles/nmine.dir/nmine/eval/table.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/eval/table.cc.o.d"
+  "/root/repo/src/nmine/eval/timer.cc" "src/CMakeFiles/nmine.dir/nmine/eval/timer.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/eval/timer.cc.o.d"
+  "/root/repo/src/nmine/gen/matrix_generator.cc" "src/CMakeFiles/nmine.dir/nmine/gen/matrix_generator.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/gen/matrix_generator.cc.o.d"
+  "/root/repo/src/nmine/gen/noise_model.cc" "src/CMakeFiles/nmine.dir/nmine/gen/noise_model.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/gen/noise_model.cc.o.d"
+  "/root/repo/src/nmine/gen/sequence_generator.cc" "src/CMakeFiles/nmine.dir/nmine/gen/sequence_generator.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/gen/sequence_generator.cc.o.d"
+  "/root/repo/src/nmine/gen/workload.cc" "src/CMakeFiles/nmine.dir/nmine/gen/workload.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/gen/workload.cc.o.d"
+  "/root/repo/src/nmine/lattice/border.cc" "src/CMakeFiles/nmine.dir/nmine/lattice/border.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/lattice/border.cc.o.d"
+  "/root/repo/src/nmine/lattice/candidate_gen.cc" "src/CMakeFiles/nmine.dir/nmine/lattice/candidate_gen.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/lattice/candidate_gen.cc.o.d"
+  "/root/repo/src/nmine/lattice/halfway.cc" "src/CMakeFiles/nmine.dir/nmine/lattice/halfway.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/lattice/halfway.cc.o.d"
+  "/root/repo/src/nmine/lattice/pattern_counter.cc" "src/CMakeFiles/nmine.dir/nmine/lattice/pattern_counter.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/lattice/pattern_counter.cc.o.d"
+  "/root/repo/src/nmine/lattice/pattern_set.cc" "src/CMakeFiles/nmine.dir/nmine/lattice/pattern_set.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/lattice/pattern_set.cc.o.d"
+  "/root/repo/src/nmine/mining/border_collapse_miner.cc" "src/CMakeFiles/nmine.dir/nmine/mining/border_collapse_miner.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/mining/border_collapse_miner.cc.o.d"
+  "/root/repo/src/nmine/mining/depth_first_miner.cc" "src/CMakeFiles/nmine.dir/nmine/mining/depth_first_miner.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/mining/depth_first_miner.cc.o.d"
+  "/root/repo/src/nmine/mining/levelwise_miner.cc" "src/CMakeFiles/nmine.dir/nmine/mining/levelwise_miner.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/mining/levelwise_miner.cc.o.d"
+  "/root/repo/src/nmine/mining/max_miner.cc" "src/CMakeFiles/nmine.dir/nmine/mining/max_miner.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/mining/max_miner.cc.o.d"
+  "/root/repo/src/nmine/mining/mining_result.cc" "src/CMakeFiles/nmine.dir/nmine/mining/mining_result.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/mining/mining_result.cc.o.d"
+  "/root/repo/src/nmine/mining/symbol_scan.cc" "src/CMakeFiles/nmine.dir/nmine/mining/symbol_scan.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/mining/symbol_scan.cc.o.d"
+  "/root/repo/src/nmine/mining/toivonen_miner.cc" "src/CMakeFiles/nmine.dir/nmine/mining/toivonen_miner.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/mining/toivonen_miner.cc.o.d"
+  "/root/repo/src/nmine/stats/chernoff.cc" "src/CMakeFiles/nmine.dir/nmine/stats/chernoff.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/stats/chernoff.cc.o.d"
+  "/root/repo/src/nmine/stats/histogram.cc" "src/CMakeFiles/nmine.dir/nmine/stats/histogram.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/stats/histogram.cc.o.d"
+  "/root/repo/src/nmine/stats/random.cc" "src/CMakeFiles/nmine.dir/nmine/stats/random.cc.o" "gcc" "src/CMakeFiles/nmine.dir/nmine/stats/random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

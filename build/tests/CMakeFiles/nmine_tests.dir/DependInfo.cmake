@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bio/amino_acids_test.cc" "tests/CMakeFiles/nmine_tests.dir/bio/amino_acids_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/bio/amino_acids_test.cc.o.d"
+  "/root/repo/tests/bio/blosum_test.cc" "tests/CMakeFiles/nmine_tests.dir/bio/blosum_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/bio/blosum_test.cc.o.d"
+  "/root/repo/tests/bio/fasta_test.cc" "tests/CMakeFiles/nmine_tests.dir/bio/fasta_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/bio/fasta_test.cc.o.d"
+  "/root/repo/tests/core/alphabet_test.cc" "tests/CMakeFiles/nmine_tests.dir/core/alphabet_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/core/alphabet_test.cc.o.d"
+  "/root/repo/tests/core/compatibility_matrix_test.cc" "tests/CMakeFiles/nmine_tests.dir/core/compatibility_matrix_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/core/compatibility_matrix_test.cc.o.d"
+  "/root/repo/tests/core/match_test.cc" "tests/CMakeFiles/nmine_tests.dir/core/match_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/core/match_test.cc.o.d"
+  "/root/repo/tests/core/matrix_io_test.cc" "tests/CMakeFiles/nmine_tests.dir/core/matrix_io_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/core/matrix_io_test.cc.o.d"
+  "/root/repo/tests/core/pattern_test.cc" "tests/CMakeFiles/nmine_tests.dir/core/pattern_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/core/pattern_test.cc.o.d"
+  "/root/repo/tests/db/database_test.cc" "tests/CMakeFiles/nmine_tests.dir/db/database_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/db/database_test.cc.o.d"
+  "/root/repo/tests/db/format_test.cc" "tests/CMakeFiles/nmine_tests.dir/db/format_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/db/format_test.cc.o.d"
+  "/root/repo/tests/db/sampler_test.cc" "tests/CMakeFiles/nmine_tests.dir/db/sampler_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/db/sampler_test.cc.o.d"
+  "/root/repo/tests/eval/calibration_test.cc" "tests/CMakeFiles/nmine_tests.dir/eval/calibration_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/eval/calibration_test.cc.o.d"
+  "/root/repo/tests/eval/metrics_test.cc" "tests/CMakeFiles/nmine_tests.dir/eval/metrics_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/eval/metrics_test.cc.o.d"
+  "/root/repo/tests/eval/table_test.cc" "tests/CMakeFiles/nmine_tests.dir/eval/table_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/eval/table_test.cc.o.d"
+  "/root/repo/tests/gen/matrix_generator_test.cc" "tests/CMakeFiles/nmine_tests.dir/gen/matrix_generator_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/gen/matrix_generator_test.cc.o.d"
+  "/root/repo/tests/gen/noise_model_test.cc" "tests/CMakeFiles/nmine_tests.dir/gen/noise_model_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/gen/noise_model_test.cc.o.d"
+  "/root/repo/tests/gen/sequence_generator_test.cc" "tests/CMakeFiles/nmine_tests.dir/gen/sequence_generator_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/gen/sequence_generator_test.cc.o.d"
+  "/root/repo/tests/gen/workload_test.cc" "tests/CMakeFiles/nmine_tests.dir/gen/workload_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/gen/workload_test.cc.o.d"
+  "/root/repo/tests/lattice/border_test.cc" "tests/CMakeFiles/nmine_tests.dir/lattice/border_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/lattice/border_test.cc.o.d"
+  "/root/repo/tests/lattice/candidate_equivalence_test.cc" "tests/CMakeFiles/nmine_tests.dir/lattice/candidate_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/lattice/candidate_equivalence_test.cc.o.d"
+  "/root/repo/tests/lattice/candidate_gen_test.cc" "tests/CMakeFiles/nmine_tests.dir/lattice/candidate_gen_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/lattice/candidate_gen_test.cc.o.d"
+  "/root/repo/tests/lattice/halfway_test.cc" "tests/CMakeFiles/nmine_tests.dir/lattice/halfway_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/lattice/halfway_test.cc.o.d"
+  "/root/repo/tests/lattice/pattern_counter_test.cc" "tests/CMakeFiles/nmine_tests.dir/lattice/pattern_counter_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/lattice/pattern_counter_test.cc.o.d"
+  "/root/repo/tests/lattice/pattern_set_test.cc" "tests/CMakeFiles/nmine_tests.dir/lattice/pattern_set_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/lattice/pattern_set_test.cc.o.d"
+  "/root/repo/tests/mining/border_collapse_test.cc" "tests/CMakeFiles/nmine_tests.dir/mining/border_collapse_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/mining/border_collapse_test.cc.o.d"
+  "/root/repo/tests/mining/calibrated_mining_test.cc" "tests/CMakeFiles/nmine_tests.dir/mining/calibrated_mining_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/mining/calibrated_mining_test.cc.o.d"
+  "/root/repo/tests/mining/cross_miner_test.cc" "tests/CMakeFiles/nmine_tests.dir/mining/cross_miner_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/mining/cross_miner_test.cc.o.d"
+  "/root/repo/tests/mining/depth_first_test.cc" "tests/CMakeFiles/nmine_tests.dir/mining/depth_first_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/mining/depth_first_test.cc.o.d"
+  "/root/repo/tests/mining/disk_mining_test.cc" "tests/CMakeFiles/nmine_tests.dir/mining/disk_mining_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/mining/disk_mining_test.cc.o.d"
+  "/root/repo/tests/mining/exhaustive_test.cc" "tests/CMakeFiles/nmine_tests.dir/mining/exhaustive_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/mining/exhaustive_test.cc.o.d"
+  "/root/repo/tests/mining/levelwise_test.cc" "tests/CMakeFiles/nmine_tests.dir/mining/levelwise_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/mining/levelwise_test.cc.o.d"
+  "/root/repo/tests/mining/max_miner_test.cc" "tests/CMakeFiles/nmine_tests.dir/mining/max_miner_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/mining/max_miner_test.cc.o.d"
+  "/root/repo/tests/mining/symbol_scan_test.cc" "tests/CMakeFiles/nmine_tests.dir/mining/symbol_scan_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/mining/symbol_scan_test.cc.o.d"
+  "/root/repo/tests/mining/toivonen_test.cc" "tests/CMakeFiles/nmine_tests.dir/mining/toivonen_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/mining/toivonen_test.cc.o.d"
+  "/root/repo/tests/paper/paper_examples_test.cc" "tests/CMakeFiles/nmine_tests.dir/paper/paper_examples_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/paper/paper_examples_test.cc.o.d"
+  "/root/repo/tests/stats/chernoff_coverage_test.cc" "tests/CMakeFiles/nmine_tests.dir/stats/chernoff_coverage_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/stats/chernoff_coverage_test.cc.o.d"
+  "/root/repo/tests/stats/chernoff_test.cc" "tests/CMakeFiles/nmine_tests.dir/stats/chernoff_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/stats/chernoff_test.cc.o.d"
+  "/root/repo/tests/stats/histogram_test.cc" "tests/CMakeFiles/nmine_tests.dir/stats/histogram_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/stats/histogram_test.cc.o.d"
+  "/root/repo/tests/stats/random_test.cc" "tests/CMakeFiles/nmine_tests.dir/stats/random_test.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/stats/random_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/nmine_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/nmine_tests.dir/test_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nmine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmine_cli.dir/nmine_cli.cc.o"
+  "CMakeFiles/nmine_cli.dir/nmine_cli.cc.o.d"
+  "nmine_cli"
+  "nmine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
