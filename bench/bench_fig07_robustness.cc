@@ -93,6 +93,7 @@ int main() {
   std::cout << "\nFigure 7(c)/(d): quality vs pattern length at alpha=0.1\n";
   fig7cd.Print(std::cout);
 
+  benchutil::WriteBenchJson("fig07_robustness", timer.Seconds());
   std::printf("\n[done in %.1f s]\n", timer.Seconds());
   return 0;
 }

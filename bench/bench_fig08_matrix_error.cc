@@ -41,6 +41,7 @@ int main() {
   std::cout << "Figure 8: match-model quality vs error in the "
                "compatibility matrix (alpha = 0.2)\n";
   fig8.Print(std::cout);
+  benchutil::WriteBenchJson("fig08_matrix_error", timer.Seconds());
   std::printf("\n[done in %.1f s]\n", timer.Seconds());
   return 0;
 }

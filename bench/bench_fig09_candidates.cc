@@ -75,6 +75,7 @@ int main() {
   std::printf("Figure 9: candidate patterns per level (alpha = %.1f, "
               "min threshold = %.3f)\n", alpha, tau);
   fig9.Print(std::cout);
+  benchutil::WriteBenchJson("fig09_candidates", timer.Seconds());
   std::printf("\n[done in %.1f s]\n", timer.Seconds());
   return 0;
 }

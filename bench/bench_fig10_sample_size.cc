@@ -71,6 +71,7 @@ int main() {
   std::cout << "Figure 10: ambiguous patterns vs sample size "
                "(min_match = 0.30, 1 - delta = 0.9999)\n";
   fig10.Print(std::cout);
+  benchutil::WriteBenchJson("fig10_sample_size", timer.Seconds());
   std::printf("\n[done in %.1f s]\n", timer.Seconds());
   return 0;
 }

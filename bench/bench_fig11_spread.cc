@@ -147,6 +147,7 @@ int main() {
   std::cout << "\nFigure 11(b): ambiguous patterns, restricted R vs "
                "R = 1 (sample = 300, 1 - delta = 0.9999)\n";
   fig11b.Print(std::cout);
+  benchutil::WriteBenchJson("fig11_spread", timer.Seconds());
   std::printf("\n[done in %.1f s]\n", timer.Seconds());
   return 0;
 }

@@ -75,6 +75,7 @@ int main() {
   std::cout << "Figure 12: ambiguous patterns and error rate vs "
                "confidence (sample = 300, min_match = 0.12)\n";
   fig12.Print(std::cout);
+  benchutil::WriteBenchJson("fig12_confidence", timer.Seconds());
   std::printf("\n[done in %.1f s]\n", timer.Seconds());
   return 0;
 }

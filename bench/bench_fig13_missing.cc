@@ -100,6 +100,7 @@ int main() {
           : 100.0 * static_cast<double>(total_missed) /
                 static_cast<double>(total_truth),
       100.0 * relative_excess.CumulativeFraction(0.049));
+  benchutil::WriteBenchJson("fig13_missing", timer.Seconds());
   std::printf("[done in %.1f s]\n", timer.Seconds());
   return 0;
 }

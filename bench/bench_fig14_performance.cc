@@ -113,6 +113,7 @@ int main() {
   std::cout << "Figure 14: CPU time, scans, and full-database counting "
                "work of the algorithms\n";
   fig14.Print(std::cout);
+  benchutil::WriteBenchJson("fig14_performance", timer.Seconds());
   std::printf("\n[done in %.1f s]\n", timer.Seconds());
   return 0;
 }

@@ -77,6 +77,7 @@ int main() {
   std::cout << "Figure 15: scans and response time vs number of distinct "
                "symbols (sparse matrices, ~10% compatibility)\n";
   fig15.Print(std::cout);
+  benchutil::WriteBenchJson("fig15_scalability", timer.Seconds());
   std::printf("\n[done in %.1f s]\n", timer.Seconds());
   return 0;
 }

@@ -1,9 +1,12 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <fstream>
 
 #include "nmine/eval/calibration.h"
 #include "nmine/gen/sequence_generator.h"
+#include "nmine/obs/json_util.h"
+#include "nmine/obs/metrics.h"
 
 namespace nmine {
 namespace benchutil {
@@ -85,6 +88,23 @@ std::string QualityCell(const ModelQuality& q) {
   std::snprintf(buf, sizeof(buf), "%5.1f%% / %5.1f%%", q.accuracy * 100.0,
                 q.completeness * 100.0);
   return buf;
+}
+
+void WriteBenchJson(const std::string& name, double seconds) {
+  std::string path = "BENCH_" + name + ".json";
+  std::string out = "{\n  \"bench\": ";
+  obs::AppendJsonString(name, &out);
+  out.append(",\n  \"seconds\": ");
+  obs::AppendJsonNumber(seconds, &out);
+  out.append(",\n  \"metrics\": ");
+  out.append(obs::MetricsRegistry::Global().SnapshotJson());
+  out.append("}\n");
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open() || !(file << out)) {
+    std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf("[metrics snapshot written to %s]\n", path.c_str());
 }
 
 }  // namespace benchutil

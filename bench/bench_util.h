@@ -68,6 +68,12 @@ MiningResult MineMatchModelCalibrated(const InMemorySequenceDatabase& test,
 /// Renders q as "acc/comp" percentages.
 std::string QualityCell(const ModelQuality& q);
 
+/// Writes BENCH_<name>.json in the working directory: total wall-clock
+/// seconds plus the global metrics-registry snapshot accumulated over the
+/// bench's mining runs, so the perf trajectory is machine-readable next to
+/// the human table. Prints a one-line note (or a warning on IO failure).
+void WriteBenchJson(const std::string& name, double seconds);
+
 }  // namespace benchutil
 }  // namespace nmine
 

@@ -9,6 +9,9 @@
 #include "nmine/lattice/pattern_set.h"
 #include "nmine/mining/levelwise_miner.h"
 #include "nmine/mining/symbol_scan.h"
+#include "nmine/obs/logger.h"
+#include "nmine/obs/metrics.h"
+#include "nmine/obs/trace.h"
 
 namespace nmine {
 namespace {
@@ -31,6 +34,8 @@ SampleClassification ClassifySamplePatterns(
     const std::vector<SequenceRecord>& records, const CompatibilityMatrix& c,
     const std::vector<double>& symbol_match, Metric metric,
     const MinerOptions& options) {
+  obs::TraceSpan phase2_span("phase2.sample_mining", "phase2");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   SampleClassification out;
   const size_t m = c.size();
   const size_t n = records.size();
@@ -50,6 +55,8 @@ SampleClassification ClassifySamplePatterns(
   std::vector<Pattern> candidates = Level1Candidates(all_symbols);
   for (size_t level = 1; level <= options.max_level && !candidates.empty();
        ++level) {
+    obs::TraceSpan level_span("phase2.level", "phase2");
+    level_span.Arg("level", level).Arg("candidates", candidates.size());
     std::vector<double> values =
         metric == Metric::kMatch
             ? CountMatchesInRecords(records, c, candidates)
@@ -58,6 +65,8 @@ SampleClassification ClassifySamplePatterns(
     stats.level = level;
     stats.num_candidates = candidates.size();
     keep_level.clear();
+    size_t level_ambiguous = 0;
+    double eps_sum = 0.0;
     for (size_t i = 0; i < candidates.size(); ++i) {
       const Pattern& p = candidates[i];
       double spread = options.use_restricted_spread
@@ -65,6 +74,7 @@ SampleClassification ClassifySamplePatterns(
                           : 1.0;
       double eps =
           n > 0 ? ChernoffEpsilon(spread, options.delta, n) : 0.0;
+      eps_sum += eps;
       PatternLabel label =
           ClassifyMatch(values[i], options.min_threshold, eps);
       PatternLabel unit_label =
@@ -84,9 +94,44 @@ SampleClassification ClassifySamplePatterns(
       } else {
         out.ambiguous.push_back(p);
         out.infqt.Insert(p);
+        ++level_ambiguous;
       }
     }
     out.level_stats.push_back(stats);
+
+    // Per-level accounting: the frequent/ambiguous/infrequent split and
+    // the mean Chernoff band width (the quantity that drives the split).
+    const size_t level_infrequent =
+        stats.num_candidates - stats.num_frequent - level_ambiguous;
+    const double mean_band =
+        stats.num_candidates > 0
+            ? eps_sum / static_cast<double>(stats.num_candidates)
+            : 0.0;
+    reg.GetCounter("phase2.levels").Increment();
+    reg.GetCounter("phase2.candidates")
+        .Add(static_cast<int64_t>(stats.num_candidates));
+    reg.GetCounter("phase2.frequent")
+        .Add(static_cast<int64_t>(stats.num_frequent));
+    reg.GetCounter("phase2.ambiguous")
+        .Add(static_cast<int64_t>(level_ambiguous));
+    reg.GetCounter("phase2.infrequent")
+        .Add(static_cast<int64_t>(level_infrequent));
+    reg.GetHistogram("phase2.band_width",
+                     {0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5})
+        .Observe(mean_band);
+    level_span.Arg("frequent", stats.num_frequent)
+        .Arg("ambiguous", level_ambiguous)
+        .Arg("infrequent", level_infrequent)
+        .Arg("mean_band_width", mean_band);
+    NMINE_LOG(kDebug, "phase2")
+        .Msg("sample level classified")
+        .Num("level", level)
+        .Num("candidates", stats.num_candidates)
+        .Num("frequent", stats.num_frequent)
+        .Num("ambiguous", level_ambiguous)
+        .Num("infrequent", level_infrequent)
+        .Num("mean_band_width", mean_band);
+
     if (keep_level.empty()) break;
     candidates = NextLevelCandidates(
         keep_level, keep_symbols, options.space,
@@ -94,6 +139,12 @@ SampleClassification ClassifySamplePatterns(
         options.max_candidates_per_level);
     if (candidates.size() >= options.max_candidates_per_level) {
       out.truncated = true;
+      reg.GetCounter("phase2.truncations").Increment();
+      NMINE_LOG(kWarn, "phase2")
+          .Msg("candidate guardrail fired")
+          .Num("level", level + 1)
+          .Num("max_candidates_per_level",
+               options.max_candidates_per_level);
     }
   }
   return out;
@@ -101,6 +152,7 @@ SampleClassification ClassifySamplePatterns(
 
 MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
                                        const CompatibilityMatrix& c) const {
+  obs::TraceSpan mine_span("mine.border_collapse", "mining");
   auto start = std::chrono::steady_clock::now();
   int64_t scans_before = db.scan_count();
   MiningResult result;
@@ -136,7 +188,16 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
   // batched by the memory budget; every probe scan is followed by Apriori
   // closure over the remaining ambiguous patterns.
   std::vector<Pattern> ambiguous = cls.ambiguous;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("phase3.budget.max_counters")
+      .Set(static_cast<double>(options_.max_counters_per_scan));
+  obs::TraceSpan phase3_span("phase3.border_collapse", "phase3");
+  phase3_span.Arg("ambiguous_initial", ambiguous.size());
   while (!ambiguous.empty()) {
+    // One full-database probe scan per iteration: spans and counters below
+    // account the probe batch and the collapse it produces.
+    obs::TraceSpan scan_span("phase3.scan", "phase3");
+    const size_t ambiguous_before = ambiguous.size();
     // Group the remaining ambiguous patterns by level.
     std::map<size_t, std::vector<const Pattern*>> by_level;
     for (const Pattern& p : ambiguous) {
@@ -184,6 +245,8 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
 
     // Apriori closure: subpatterns of a frequent probe are frequent;
     // superpatterns of an infrequent probe are infrequent.
+    size_t closure_frequent = 0;
+    size_t closure_infrequent = 0;
     std::vector<Pattern> remaining;
     remaining.reserve(ambiguous.size());
     for (const Pattern& p : ambiguous) {
@@ -194,6 +257,7 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
           result.frequent.Insert(p);
           result.values[p] = cls.sample_values[p];  // sample estimate
           resolved = true;
+          ++closure_frequent;
           break;
         }
       }
@@ -201,6 +265,7 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
         for (const Pattern& q : probed_infrequent) {
           if (q.IsSubpatternOf(p)) {
             resolved = true;  // infrequent; drop
+            ++closure_infrequent;
             break;
           }
         }
@@ -208,6 +273,40 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
       if (!resolved) remaining.push_back(p);
     }
     ambiguous = std::move(remaining);
+
+    reg.GetCounter("phase3.scans").Increment();
+    reg.GetCounter("phase3.probed").Add(static_cast<int64_t>(probe.size()));
+    reg.GetCounter("phase3.probe_frequent")
+        .Add(static_cast<int64_t>(probed_frequent.size()));
+    reg.GetCounter("phase3.probe_infrequent")
+        .Add(static_cast<int64_t>(probed_infrequent.size()));
+    reg.GetCounter("phase3.closure_frequent")
+        .Add(static_cast<int64_t>(closure_frequent));
+    reg.GetCounter("phase3.closure_infrequent")
+        .Add(static_cast<int64_t>(closure_infrequent));
+    reg.GetHistogram("phase3.budget_utilization",
+                     {0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
+        .Observe(options_.max_counters_per_scan > 0
+                     ? static_cast<double>(probe.size()) /
+                           static_cast<double>(options_.max_counters_per_scan)
+                     : 1.0);
+    reg.GetHistogram("phase3.collapse_ratio",
+                     {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9})
+        .Observe(static_cast<double>(ambiguous.size()) /
+                 static_cast<double>(ambiguous_before));
+    scan_span.Arg("probed", probe.size())
+        .Arg("probe_frequent", probed_frequent.size())
+        .Arg("probe_infrequent", probed_infrequent.size())
+        .Arg("closure_frequent", closure_frequent)
+        .Arg("closure_infrequent", closure_infrequent)
+        .Arg("ambiguous_before", ambiguous_before)
+        .Arg("ambiguous_after", ambiguous.size());
+    NMINE_LOG(kInfo, "phase3")
+        .Msg("probe scan collapsed ambiguous region")
+        .Num("probed", probe.size())
+        .Num("budget", options_.max_counters_per_scan)
+        .Num("ambiguous_before", ambiguous_before)
+        .Num("ambiguous_after", ambiguous.size());
   }
 
   BuildBorder(&result);
@@ -215,6 +314,7 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+  EmitResultMetrics(result, "collapse");
   return result;
 }
 

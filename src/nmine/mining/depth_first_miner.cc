@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "nmine/mining/levelwise_miner.h"
+#include "nmine/obs/trace.h"
 
 namespace nmine {
 namespace {
@@ -172,6 +173,7 @@ class DepthFirstSearch {
 
 MiningResult DepthFirstMiner::Mine(const SequenceDatabase& db,
                                    const CompatibilityMatrix& c) const {
+  obs::TraceSpan mine_span("mine.depthfirst", "mining");
   auto start = std::chrono::steady_clock::now();
   int64_t scans_before = db.scan_count();
   MiningResult result;
@@ -179,18 +181,25 @@ MiningResult DepthFirstMiner::Mine(const SequenceDatabase& db,
   // Single accounted pass: the data is memory-resident from here on.
   std::vector<Sequence> sequences;
   sequences.reserve(db.NumSequences());
-  db.Scan([&sequences](const SequenceRecord& r) {
-    sequences.push_back(r.symbols);
-  });
+  {
+    obs::TraceSpan load_span("depthfirst.load", "depthfirst");
+    db.Scan([&sequences](const SequenceRecord& r) {
+      sequences.push_back(r.symbols);
+    });
+  }
 
   DepthFirstSearch search(metric_, options_, c, std::move(sequences));
-  search.Run(&result);
+  {
+    obs::TraceSpan search_span("depthfirst.search", "depthfirst");
+    search.Run(&result);
+  }
 
   BuildBorder(&result);
   result.scans = db.scan_count() - scans_before;
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+  EmitResultMetrics(result, "depthfirst");
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <functional>
 
 #include "nmine/lattice/pattern_counter.h"
+#include "nmine/obs/logger.h"
+#include "nmine/obs/trace.h"
 
 namespace nmine {
 namespace {
@@ -29,6 +31,8 @@ MiningResult RunLevelwise(size_t m, const ThresholdFn& threshold_of,
   std::vector<Pattern> frequent_level;
 
   for (size_t level = 1; level <= max_level && !candidates.empty(); ++level) {
+    obs::TraceSpan level_span("levelwise.level", "levelwise");
+    level_span.Arg("level", level).Arg("candidates", candidates.size());
     std::vector<double> values = count(candidates);
     LevelStats stats;
     stats.level = level;
@@ -46,6 +50,12 @@ MiningResult RunLevelwise(size_t m, const ThresholdFn& threshold_of,
     }
     stats.num_frequent = frequent_level.size();
     result.level_stats.push_back(stats);
+    level_span.Arg("frequent", stats.num_frequent);
+    NMINE_LOG(kDebug, "levelwise")
+        .Msg("level counted")
+        .Num("level", level)
+        .Num("candidates", stats.num_candidates)
+        .Num("frequent", stats.num_frequent);
     if (frequent_level.empty()) break;
     candidates = NextLevelCandidates(
         frequent_level, frequent_symbols, space,
@@ -91,12 +101,14 @@ MiningResult LevelwiseMiner::Mine(const SequenceDatabase& db,
     };
   }
   int64_t scans_before = db.scan_count();
+  obs::TraceSpan mine_span("mine.levelwise", "mining");
   const double threshold = options_.min_threshold;
   MiningResult result = RunLevelwise(
       c.size(), [threshold](const Pattern&) { return threshold; },
       options_.space, options_.max_level, options_.max_candidates_per_level,
       count);
   result.scans = db.scan_count() - scans_before;
+  EmitResultMetrics(result, "levelwise");
   return result;
 }
 
@@ -134,10 +146,12 @@ MiningResult LevelwiseMiner::MineWithThreshold(
     };
   }
   int64_t scans_before = db.scan_count();
+  obs::TraceSpan mine_span("mine.levelwise_calibrated", "mining");
   MiningResult result = RunLevelwise(
       c.size(), threshold_of, options_.space, options_.max_level,
       options_.max_candidates_per_level, count);
   result.scans = db.scan_count() - scans_before;
+  EmitResultMetrics(result, "levelwise");
   return result;
 }
 

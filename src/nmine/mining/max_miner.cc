@@ -6,6 +6,9 @@
 #include "nmine/lattice/pattern_counter.h"
 #include "nmine/lattice/pattern_set.h"
 #include "nmine/mining/levelwise_miner.h"
+#include "nmine/obs/logger.h"
+#include "nmine/obs/metrics.h"
+#include "nmine/obs/trace.h"
 
 namespace nmine {
 namespace {
@@ -82,6 +85,8 @@ std::vector<Pattern> BuildJumps(const std::vector<Pattern>& frontier,
 
 MiningResult MaxMiner::Mine(const SequenceDatabase& db,
                             const CompatibilityMatrix& c) const {
+  obs::TraceSpan mine_span("mine.maxminer", "mining");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   auto start = std::chrono::steady_clock::now();
   int64_t scans_before = db.scan_count();
   MiningResult result;
@@ -107,6 +112,8 @@ MiningResult MaxMiner::Mine(const SequenceDatabase& db,
 
   for (size_t level = 1;
        level <= options_.max_level && !candidates.empty(); ++level) {
+    obs::TraceSpan level_span("maxminer.level", "maxminer");
+    level_span.Arg("level", level).Arg("candidates", candidates.size());
     // Split candidates into covered (frequent via a certified jump) and
     // those that must be counted.
     std::vector<Pattern> to_count;
@@ -158,16 +165,38 @@ MiningResult MaxMiner::Mine(const SequenceDatabase& db,
       result.frequent.Insert(p);
       frontier.push_back(std::move(p));  // certified frequent, no value
     }
+    size_t jumps_certified = 0;
     for (size_t j = 0; j < jumps.size(); ++j) {
       double v = values[to_count.size() + j];
       if (v >= options_.min_threshold) {
         certified.Insert(jumps[j]);
         result.frequent.Insert(jumps[j]);
         result.values[jumps[j]] = v;
+        ++jumps_certified;
       }
     }
     stats.num_frequent = frontier.size();
     result.level_stats.push_back(stats);
+
+    reg.GetCounter("maxminer.counted")
+        .Add(static_cast<int64_t>(to_count.size()));
+    reg.GetCounter("maxminer.covered")
+        .Add(static_cast<int64_t>(covered.size()));
+    reg.GetCounter("maxminer.jumps").Add(static_cast<int64_t>(jumps.size()));
+    reg.GetCounter("maxminer.jumps_certified")
+        .Add(static_cast<int64_t>(jumps_certified));
+    level_span.Arg("counted", to_count.size())
+        .Arg("covered", covered.size())
+        .Arg("jumps", jumps.size())
+        .Arg("jumps_certified", jumps_certified)
+        .Arg("frequent", stats.num_frequent);
+    NMINE_LOG(kDebug, "maxminer")
+        .Msg("level counted")
+        .Num("level", level)
+        .Num("candidates", stats.num_candidates)
+        .Num("covered", covered.size())
+        .Num("jumps_certified", jumps_certified)
+        .Num("frequent", stats.num_frequent);
 
     if (frontier.empty()) break;
     candidates = NextLevelCandidates(
@@ -189,6 +218,7 @@ MiningResult MaxMiner::Mine(const SequenceDatabase& db,
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+  EmitResultMetrics(result, "maxminer");
   return result;
 }
 

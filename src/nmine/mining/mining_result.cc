@@ -1,6 +1,10 @@
 #include "nmine/mining/mining_result.h"
 
+#include <string>
+
 #include "nmine/mining/miner_options.h"
+#include "nmine/obs/logger.h"
+#include "nmine/obs/metrics.h"
 
 namespace nmine {
 
@@ -12,6 +16,45 @@ const char* ToString(Metric metric) {
       return "match";
   }
   return "unknown";
+}
+
+void EmitResultMetrics(const MiningResult& result, const char* algorithm) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("mining.runs").Increment();
+  reg.GetCounter(std::string("mining.algorithm.") + algorithm + ".runs")
+      .Increment();
+  reg.GetCounter("mining.scans").Add(result.scans);
+  reg.GetCounter("mining.frequent_patterns")
+      .Add(static_cast<int64_t>(result.frequent.size()));
+  reg.GetCounter("mining.border_patterns")
+      .Add(static_cast<int64_t>(result.border.size()));
+  if (result.truncated) reg.GetCounter("mining.truncated_runs").Increment();
+  for (const LevelStats& s : result.level_stats) {
+    reg.GetCounter(obs::LevelMetricName("mining", s.level, "candidates"))
+        .Add(static_cast<int64_t>(s.num_candidates));
+    reg.GetCounter(obs::LevelMetricName("mining", s.level, "frequent"))
+        .Add(static_cast<int64_t>(s.num_frequent));
+  }
+  reg.GetCounter("phase2.ambiguous_after_sample")
+      .Add(static_cast<int64_t>(result.ambiguous_after_sample));
+  reg.GetCounter("phase2.ambiguous_with_unit_spread")
+      .Add(static_cast<int64_t>(result.ambiguous_with_unit_spread));
+  reg.GetCounter("phase2.accepted_from_sample")
+      .Add(static_cast<int64_t>(result.accepted_from_sample));
+  reg.GetGauge("mining.last.scans").Set(static_cast<double>(result.scans));
+  reg.GetGauge("mining.last.seconds").Set(result.seconds);
+  reg.GetGauge("mining.last.frequent")
+      .Set(static_cast<double>(result.frequent.size()));
+  reg.GetGauge("mining.last.border")
+      .Set(static_cast<double>(result.border.size()));
+  NMINE_LOG(kInfo, "mining")
+      .Msg("run finished")
+      .Str("algorithm", algorithm)
+      .Num("frequent", result.frequent.size())
+      .Num("border", result.border.size())
+      .Num("scans", result.scans)
+      .Num("seconds", result.seconds)
+      .Num("truncated", static_cast<int64_t>(result.truncated ? 1 : 0));
 }
 
 }  // namespace nmine

@@ -3,12 +3,36 @@
 #include <cstdint>
 
 #include "nmine/db/reservoir_sampler.h"
+#include "nmine/obs/logger.h"
+#include "nmine/obs/metrics.h"
+#include "nmine/obs/trace.h"
 
 namespace nmine {
+namespace {
+
+/// Phase-1 accounting shared by both scan flavours: one scan, n_seq
+/// sequences offered to the sampler, `selected` kept.
+void RecordPhase1(const char* name, size_t n_seq, size_t sample_target,
+                  size_t selected) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("phase1.scans").Increment();
+  reg.GetCounter("phase1.sequences").Add(static_cast<int64_t>(n_seq));
+  reg.GetGauge("phase1.sample.target")
+      .Set(static_cast<double>(sample_target));
+  reg.GetGauge("phase1.sample.selected").Set(static_cast<double>(selected));
+  NMINE_LOG(kDebug, "phase1")
+      .Msg(name)
+      .Num("sequences", n_seq)
+      .Num("sample_target", sample_target)
+      .Num("sample_selected", selected);
+}
+
+}  // namespace
 
 SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
                                       const CompatibilityMatrix& c,
                                       size_t sample_size, Rng* rng) {
+  obs::TraceSpan span("phase1.symbol_scan", "phase1");
   const size_t m = c.size();
   const size_t n_seq = db.NumSequences();
   SymbolScanResult result;
@@ -49,12 +73,16 @@ SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
     }
   });
 
+  RecordPhase1("symbol match scan", n_seq, sample_size,
+               sampler.sample().size());
+  span.Arg("sequences", n_seq).Arg("sample", sampler.sample().size());
   result.sample = sampler.TakeDatabase();
   return result;
 }
 
 SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
                                     size_t sample_size, Rng* rng) {
+  obs::TraceSpan span("phase1.symbol_scan", "phase1");
   const size_t n_seq = db.NumSequences();
   SymbolScanResult result;
   result.symbol_match.assign(m, 0.0);
@@ -76,6 +104,9 @@ SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
     }
   });
 
+  RecordPhase1("symbol support scan", n_seq, sample_size,
+               sampler.sample().size());
+  span.Arg("sequences", n_seq).Arg("sample", sampler.sample().size());
   result.sample = sampler.TakeDatabase();
   return result;
 }

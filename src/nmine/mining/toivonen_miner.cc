@@ -9,11 +9,16 @@
 #include "nmine/mining/border_collapse_miner.h"
 #include "nmine/mining/levelwise_miner.h"
 #include "nmine/mining/symbol_scan.h"
+#include "nmine/obs/logger.h"
+#include "nmine/obs/metrics.h"
+#include "nmine/obs/trace.h"
 
 namespace nmine {
 
 MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
                                  const CompatibilityMatrix& c) const {
+  obs::TraceSpan mine_span("mine.toivonen", "mining");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   auto start = std::chrono::steady_clock::now();
   int64_t scans_before = db.scan_count();
   MiningResult result;
@@ -52,7 +57,6 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
   std::vector<Pattern> infrequent_so_far;
 
   for (auto& [level, patterns] : by_level) {
-    (void)level;
     std::vector<Pattern> todo;
     for (const Pattern& p : patterns) {
       bool dead = false;
@@ -64,8 +68,11 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
       }
       if (!dead) todo.push_back(p);
     }
+    reg.GetCounter("toivonen.verify.pruned")
+        .Add(static_cast<int64_t>(patterns.size() - todo.size()));
     size_t pos = 0;
     while (pos < todo.size()) {
+      obs::TraceSpan scan_span("toivonen.verify_scan", "toivonen");
       size_t batch_end =
           std::min(todo.size(), pos + options_.max_counters_per_scan);
       std::vector<Pattern> batch(todo.begin() + static_cast<long>(pos),
@@ -73,14 +80,27 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
       std::vector<double> values =
           metric_ == Metric::kMatch ? CountMatches(db, c, batch)
                                     : CountSupports(db, batch);
+      size_t batch_frequent = 0;
       for (size_t i = 0; i < batch.size(); ++i) {
         if (values[i] >= options_.min_threshold) {
           result.frequent.Insert(batch[i]);
           result.values[batch[i]] = values[i];
+          ++batch_frequent;
         } else {
           infrequent_so_far.push_back(batch[i]);
         }
       }
+      reg.GetCounter("toivonen.verify.scans").Increment();
+      reg.GetCounter("toivonen.verify.patterns")
+          .Add(static_cast<int64_t>(batch.size()));
+      scan_span.Arg("level", level)
+          .Arg("verified", batch.size())
+          .Arg("frequent", batch_frequent);
+      NMINE_LOG(kDebug, "toivonen")
+          .Msg("verification scan")
+          .Num("level", level)
+          .Num("verified", batch.size())
+          .Num("frequent", batch_frequent);
       pos = batch_end;
     }
   }
@@ -90,6 +110,7 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+  EmitResultMetrics(result, "toivonen");
   return result;
 }
 

@@ -1,0 +1,64 @@
+#include "nmine/obs/json_util.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace nmine {
+namespace obs {
+
+void AppendJsonString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (unsigned char ch : text) {
+    switch (ch) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(ch));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(double value, std::string* out) {
+  if (std::isnan(value) || std::isinf(value)) {
+    out->append("null");
+    return;
+  }
+  char buf[32];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out->append(buf);
+}
+
+}  // namespace obs
+}  // namespace nmine

@@ -1,0 +1,21 @@
+#ifndef NMINE_OBS_JSON_UTIL_H_
+#define NMINE_OBS_JSON_UTIL_H_
+
+#include <string>
+
+namespace nmine {
+namespace obs {
+
+/// Appends `text` to `out` as a JSON string literal (quotes included),
+/// escaping the characters RFC 8259 requires.
+void AppendJsonString(const std::string& text, std::string* out);
+
+/// Renders a double as a JSON number: integral values without a fraction,
+/// others with enough digits to round-trip; NaN/inf (not representable in
+/// JSON) are emitted as null.
+void AppendJsonNumber(double value, std::string* out);
+
+}  // namespace obs
+}  // namespace nmine
+
+#endif  // NMINE_OBS_JSON_UTIL_H_

@@ -1,0 +1,179 @@
+#include "nmine/obs/logger.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "nmine/obs/json_util.h"
+
+namespace nmine {
+namespace obs {
+namespace {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* UpperName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "UNKNOWN";
+}
+
+/// Top-level keys emitted by JsonLinesSink before user fields; a user
+/// field with one of these names would otherwise produce a duplicate key.
+bool IsReservedJsonKey(const std::string& key) {
+  return key == "ts_us" || key == "level" || key == "component" ||
+         key == "message";
+}
+
+}  // namespace
+
+const char* ToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+std::optional<LogLevel> ParseLogLevel(const std::string& text) {
+  if (text == "trace") return LogLevel::kTrace;
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void TextSink::Write(const LogRecord& record) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "[%10.6f] %-5s ",
+                static_cast<double>(record.ts_us) / 1e6,
+                UpperName(record.level));
+  std::string line(head);
+  line.append(record.component);
+  line.append(": ");
+  line.append(record.message);
+  for (const auto& [key, value] : record.fields) {
+    line.append("  ");
+    line.append(key);
+    line.push_back('=');
+    line.append(value);
+  }
+  line.push_back('\n');
+  (*out_) << line << std::flush;
+}
+
+void JsonLinesSink::Write(const LogRecord& record) {
+  std::string line = "{\"ts_us\":";
+  AppendJsonNumber(static_cast<double>(record.ts_us), &line);
+  line.append(",\"level\":");
+  AppendJsonString(ToString(record.level), &line);
+  line.append(",\"component\":");
+  AppendJsonString(record.component, &line);
+  line.append(",\"message\":");
+  AppendJsonString(record.message, &line);
+  for (const auto& [key, value] : record.fields) {
+    line.push_back(',');
+    AppendJsonString(IsReservedJsonKey(key) ? "field." + key : key, &line);
+    line.push_back(':');
+    AppendJsonString(value, &line);
+  }
+  line.append("}\n");
+  (*out_) << line << std::flush;
+}
+
+struct JsonFileSink::Impl {
+  explicit Impl(const std::string& path)
+      : out(path, std::ios::binary | std::ios::trunc), json(&out) {}
+  std::ofstream out;
+  JsonLinesSink json;
+};
+
+JsonFileSink::JsonFileSink(const std::string& path)
+    : impl_(std::make_unique<Impl>(path)) {}
+
+JsonFileSink::~JsonFileSink() = default;
+
+bool JsonFileSink::ok() const { return impl_->out.is_open(); }
+
+void JsonFileSink::Write(const LogRecord& record) {
+  if (impl_->out.is_open()) impl_->json.Write(record);
+}
+
+Logger::Logger() : epoch_ns_(MonotonicNowNs()) {}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();  // intentionally leaked
+  return *logger;
+}
+
+int64_t Logger::NowUs() const { return (MonotonicNowNs() - epoch_ns_) / 1000; }
+
+void Logger::AddSink(std::unique_ptr<LogSink> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.push_back(std::move(sink));
+  has_sinks_.store(true, std::memory_order_relaxed);
+}
+
+void Logger::ClearSinks() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.clear();
+  has_sinks_.store(false, std::memory_order_relaxed);
+}
+
+void Logger::Submit(LogRecord record) {
+  record.ts_us = NowUs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<LogSink>& sink : sinks_) {
+    sink->Write(record);
+  }
+}
+
+std::string LogEvent::RenderNumber(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+std::string LogEvent::RenderNumber(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string LogEvent::RenderNumber(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace nmine

@@ -1,0 +1,200 @@
+#ifndef NMINE_OBS_LOGGER_H_
+#define NMINE_OBS_LOGGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace nmine {
+namespace obs {
+
+/// Severity levels, ordered. kOff is only a filter setting, never a record
+/// level.
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* ToString(LogLevel level);
+
+/// Parses "trace|debug|info|warn|error|off" (case-sensitive).
+std::optional<LogLevel> ParseLogLevel(const std::string& text);
+
+/// One structured log record: severity, component tag, human message, and
+/// ordered key/value fields (values pre-rendered to strings).
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* component = "";
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+  /// Microseconds since the process-wide logging clock epoch.
+  int64_t ts_us = 0;
+};
+
+/// Output destination for log records. Sinks must tolerate concurrent
+/// Write() calls (the Logger serializes them under its own mutex, so an
+/// implementation only needs to be internally consistent).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+/// Human-readable single-line text, e.g.
+///   [ 0.001234] INFO  phase3: probe scan  probed=512 budget=200000
+class TextSink : public LogSink {
+ public:
+  explicit TextSink(std::ostream* out) : out_(out) {}
+  void Write(const LogRecord& record) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// One JSON object per line:
+///   {"ts_us":1234,"level":"info","component":"phase3",
+///    "message":"probe scan","probed":"512"}
+class JsonLinesSink : public LogSink {
+ public:
+  explicit JsonLinesSink(std::ostream* out) : out_(out) {}
+  void Write(const LogRecord& record) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// JsonLinesSink writing to a file it owns. Check ok() after construction.
+class JsonFileSink : public LogSink {
+ public:
+  explicit JsonFileSink(const std::string& path);
+  ~JsonFileSink() override;
+  bool ok() const;
+  void Write(const LogRecord& record) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Process-wide leveled logger with pluggable sinks. Filtering is a single
+/// relaxed atomic load, so a disabled level costs one branch; with no sinks
+/// attached even enabled records are dropped before formatting.
+class Logger {
+ public:
+  static Logger& Global();
+
+  /// Records strictly below `level` are dropped. Default: kOff (silent).
+  void SetLevel(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+
+  bool ShouldLog(LogLevel level) const {
+    return static_cast<int>(level) >=
+               level_.load(std::memory_order_relaxed) &&
+           level != LogLevel::kOff && has_sinks_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends a sink; the logger takes ownership.
+  void AddSink(std::unique_ptr<LogSink> sink);
+
+  /// Removes all sinks (used by tests and to detach file sinks at exit).
+  void ClearSinks();
+
+  /// Dispatches `record` (stamping ts_us) to every sink.
+  void Submit(LogRecord record);
+
+  /// Microseconds since the logger's construction (the timestamp base).
+  int64_t NowUs() const;
+
+ private:
+  Logger();
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::kOff)};
+  std::atomic<bool> has_sinks_{false};
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<LogSink>> sinks_;
+  int64_t epoch_ns_ = 0;
+};
+
+/// Builder for one record; submits on destruction. Obtain via NMINE_LOG so
+/// that construction is skipped entirely when the level is filtered out.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, const char* component) {
+    record_.level = level;
+    record_.component = component;
+  }
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+  ~LogEvent() { Logger::Global().Submit(std::move(record_)); }
+
+  LogEvent& Msg(std::string message) {
+    record_.message = std::move(message);
+    return *this;
+  }
+  LogEvent& Str(std::string key, std::string value) {
+    record_.fields.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  template <typename T>
+  LogEvent& Num(std::string key, T value) {
+    record_.fields.emplace_back(std::move(key), RenderNumber(value));
+    return *this;
+  }
+
+ private:
+  static std::string RenderNumber(double value);
+  static std::string RenderNumber(int64_t value);
+  static std::string RenderNumber(uint64_t value);
+  template <typename T>
+  static std::string RenderNumber(T value) {
+    if constexpr (std::is_floating_point_v<T>) {
+      return RenderNumber(static_cast<double>(value));
+    } else if constexpr (std::is_signed_v<T>) {
+      return RenderNumber(static_cast<int64_t>(value));
+    } else {
+      return RenderNumber(static_cast<uint64_t>(value));
+    }
+  }
+
+  LogRecord record_;
+};
+
+}  // namespace obs
+}  // namespace nmine
+
+/// Compile-time floor: records below this level are removed from the
+/// binary entirely (the whole NMINE_LOG statement is dead code).
+/// 0 = trace keeps everything; override with
+/// -DNMINE_MIN_LOG_LEVEL=2 to compile out trace/debug.
+#ifndef NMINE_MIN_LOG_LEVEL
+#define NMINE_MIN_LOG_LEVEL 0
+#endif
+
+/// Usage:
+///   NMINE_LOG(kInfo, "phase3").Msg("probe scan").Num("probed", n);
+/// Expands to nothing observable when filtered: one branch at runtime,
+/// zero code when below NMINE_MIN_LOG_LEVEL.
+#define NMINE_LOG(severity, component)                                      \
+  if (static_cast<int>(::nmine::obs::LogLevel::severity) <                  \
+          NMINE_MIN_LOG_LEVEL ||                                            \
+      !::nmine::obs::Logger::Global().ShouldLog(                            \
+          ::nmine::obs::LogLevel::severity)) {                              \
+  } else                                                                    \
+    ::nmine::obs::LogEvent(::nmine::obs::LogLevel::severity, component)
+
+#endif  // NMINE_OBS_LOGGER_H_

@@ -1,0 +1,196 @@
+#include "nmine/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "nmine/obs/json_util.h"
+
+namespace nmine {
+namespace obs {
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (std::atomic<int64_t>& b : buckets_) b.store(0);
+}
+
+void HistogramMetric::Observe(double value) {
+  size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                           value) -
+                          bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  sum_ += value;
+  if (n == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+std::vector<int64_t> HistogramMetric::counts() const {
+  std::vector<int64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double HistogramMetric::sum() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return sum_;
+}
+
+double HistogramMetric::min() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return min_;
+}
+
+double HistogramMetric::max() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return max_;
+}
+
+double HistogramMetric::mean() const {
+  int64_t n = count();
+  if (n == 0) return 0.0;
+  return sum() / static_cast<double>(n);
+}
+
+void HistogramMetric::Reset() {
+  for (std::atomic<int64_t>& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  sum_ = min_ = max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name,
+                                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<HistogramMetric>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<HistogramMetric>(std::move(bounds));
+  }
+  return *slot;
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+bool MetricsRegistry::HasCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.count(name) > 0;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(name, &out);
+    out.append(": ");
+    AppendJsonNumber(static_cast<double>(counter->value()), &out);
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+  out.append("  \"gauges\": {");
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(name, &out);
+    out.append(": ");
+    AppendJsonNumber(gauge->value(), &out);
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+  out.append("  \"histograms\": {");
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(name, &out);
+    out.append(": {\"bounds\": [");
+    const std::vector<double>& bounds = hist->bounds();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      if (i > 0) out.append(", ");
+      AppendJsonNumber(bounds[i], &out);
+    }
+    out.append("], \"counts\": [");
+    std::vector<int64_t> counts = hist->counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out.append(", ");
+      AppendJsonNumber(static_cast<double>(counts[i]), &out);
+    }
+    out.append("], \"count\": ");
+    AppendJsonNumber(static_cast<double>(hist->count()), &out);
+    out.append(", \"sum\": ");
+    AppendJsonNumber(hist->sum(), &out);
+    out.append(", \"min\": ");
+    AppendJsonNumber(hist->min(), &out);
+    out.append(", \"max\": ");
+    AppendJsonNumber(hist->max(), &out);
+    out.append("}");
+  }
+  out.append(first ? "}\n}\n" : "\n  }\n}\n");
+  return out;
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << SnapshotJson();
+  return out.good();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+std::string LevelMetricName(const char* prefix, size_t level,
+                            const char* suffix) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s.level.%02zu.%s", prefix, level,
+                suffix);
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace nmine

@@ -1,0 +1,128 @@
+#ifndef NMINE_OBS_METRICS_H_
+#define NMINE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nmine {
+namespace obs {
+
+/// Monotonically increasing integer metric. Lock-free; safe to increment
+/// from any thread once obtained from the registry.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// first N buckets, plus an implicit overflow bucket (so counts() has
+/// bounds.size() + 1 entries). Tracks count/sum/min/max alongside.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<int64_t> counts() const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  mutable std::mutex stats_mutex_;  // guards sum_/min_/max_ (doubles)
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named registry of counters, gauges, and histograms. Get* registers on
+/// first use and returns a stable reference (metrics are never removed, so
+/// references stay valid for the registry's lifetime). Snapshot* renders
+/// every metric as JSON:
+///
+///   {
+///     "counters":   {"mining.scans": 3, ...},
+///     "gauges":     {"phase1.sample_size": 400, ...},
+///     "histograms": {"phase2.band_width":
+///        {"bounds": [...], "counts": [...], "count": N,
+///         "sum": S, "min": m, "max": M}, ...}
+///   }
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the miners record into.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// On first use registers the histogram with `bounds`; later calls
+  /// return the existing histogram regardless of the bounds passed.
+  HistogramMetric& GetHistogram(const std::string& name,
+                                std::vector<double> bounds);
+
+  /// Current counter value, or 0 if never registered.
+  int64_t CounterValue(const std::string& name) const;
+  /// Current gauge value, or 0.0 if never registered.
+  double GaugeValue(const std::string& name) const;
+  /// True if a counter with this exact name exists.
+  bool HasCounter(const std::string& name) const;
+
+  /// All metrics as a JSON object (sorted by name within each section).
+  std::string SnapshotJson() const;
+
+  /// Writes SnapshotJson() to `path`; returns false on IO failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+  /// Zeroes every value but keeps registrations (references stay valid).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// Formats "prefix.level.K.suffix"-style metric names without allocating
+/// intermediates by hand at every call site.
+std::string LevelMetricName(const char* prefix, size_t level,
+                            const char* suffix);
+
+}  // namespace obs
+}  // namespace nmine
+
+#endif  // NMINE_OBS_METRICS_H_

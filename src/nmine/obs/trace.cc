@@ -1,0 +1,139 @@
+#include "nmine/obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "nmine/obs/json_util.h"
+
+namespace nmine {
+namespace obs {
+namespace {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  epoch_ns_ = MonotonicNowNs();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+int64_t Tracer::NowUs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (epoch_ns_ == 0) return 0;
+  return (MonotonicNowNs() - epoch_ns_) / 1000;
+}
+
+void Tracer::AddComplete(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+size_t Tracer::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string Tracer::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"traceEvents\": [";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out.append(i == 0 ? "\n" : ",\n");
+    out.append("  {\"name\": ");
+    AppendJsonString(e.name, &out);
+    out.append(", \"cat\": ");
+    AppendJsonString(e.category, &out);
+    out.append(", \"ph\": \"X\", \"ts\": ");
+    AppendJsonNumber(static_cast<double>(e.ts_us), &out);
+    out.append(", \"dur\": ");
+    AppendJsonNumber(static_cast<double>(e.dur_us), &out);
+    out.append(", \"pid\": 1, \"tid\": 1, \"args\": {");
+    for (size_t a = 0; a < e.args.size(); ++a) {
+      if (a > 0) out.append(", ");
+      AppendJsonString(e.args[a].first, &out);
+      out.append(": ");
+      AppendJsonString(e.args[a].second, &out);
+    }
+    out.append("}}");
+  }
+  out.append(events_.empty() ? "],\n" : "\n],\n");
+  out.append(" \"displayTimeUnit\": \"ms\"}\n");
+  return out;
+}
+
+bool Tracer::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << SnapshotJson();
+  return out.good();
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  armed_ = true;
+  event_.name = name;
+  event_.category = category;
+  event_.ts_us = tracer.NowUs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  Tracer& tracer = Tracer::Global();
+  event_.dur_us = tracer.NowUs() - event_.ts_us;
+  tracer.AddComplete(std::move(event_));
+}
+
+TraceSpan& TraceSpan::Arg(std::string key, std::string value) {
+  if (armed_) event_.args.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+TraceSpan& TraceSpan::Arg(std::string key, int64_t value) {
+  if (!armed_) return *this;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  event_.args.emplace_back(std::move(key), buf);
+  return *this;
+}
+
+TraceSpan& TraceSpan::Arg(std::string key, uint64_t value) {
+  if (!armed_) return *this;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  event_.args.emplace_back(std::move(key), buf);
+  return *this;
+}
+
+TraceSpan& TraceSpan::Arg(std::string key, double value) {
+  if (!armed_) return *this;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  event_.args.emplace_back(std::move(key), buf);
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace nmine

@@ -1,0 +1,99 @@
+#ifndef NMINE_OBS_TRACE_H_
+#define NMINE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nmine {
+namespace obs {
+
+/// One Chrome trace_event "complete" event (ph = "X"): a named span with
+/// a start timestamp and duration in microseconds, plus string args.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Process-wide span collector. Disabled (and free apart from one atomic
+/// load per span) until Start() is called; spans recorded while enabled
+/// are buffered in memory and serialized by SnapshotJson() in Chrome
+/// trace_event "JSON object format":
+///
+///   {"traceEvents": [{"name": ..., "cat": ..., "ph": "X", "ts": ...,
+///                     "dur": ..., "pid": 1, "tid": 1, "args": {...}}, ...],
+///    "displayTimeUnit": "ms"}
+///
+/// The output loads directly in chrome://tracing and Perfetto.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Clears any buffered events and starts capturing.
+  void Start();
+  /// Stops capturing (buffered events are kept for snapshotting).
+  void Stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since Start() (0 when never started).
+  int64_t NowUs() const;
+
+  /// Appends one complete event (no-op when disabled).
+  void AddComplete(TraceEvent event);
+
+  size_t NumEvents() const;
+  std::vector<TraceEvent> Events() const;
+
+  /// All buffered events in trace_event JSON object format.
+  std::string SnapshotJson() const;
+
+  /// Writes SnapshotJson() to `path`; returns false on IO failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  int64_t epoch_ns_ = 0;
+};
+
+/// RAII span against the global tracer: records a complete event covering
+/// its own lifetime. When the tracer is disabled the constructor is a
+/// single atomic load and the destructor a branch.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  bool armed() const { return armed_; }
+
+  /// Attaches an argument rendered into the event's "args" object.
+  TraceSpan& Arg(std::string key, std::string value);
+  TraceSpan& Arg(std::string key, int64_t value);
+  TraceSpan& Arg(std::string key, uint64_t value);
+  TraceSpan& Arg(std::string key, double value);
+  TraceSpan& Arg(std::string key, int value) {
+    return Arg(std::move(key), static_cast<int64_t>(value));
+  }
+
+ private:
+  bool armed_ = false;
+  TraceEvent event_;
+};
+
+}  // namespace obs
+}  // namespace nmine
+
+#endif  // NMINE_OBS_TRACE_H_

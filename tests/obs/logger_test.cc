@@ -1,0 +1,178 @@
+#include "nmine/obs/logger.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "../test_json.h"
+
+namespace nmine {
+namespace obs {
+namespace {
+
+/// Test sink buffering every record it receives.
+class CaptureSink : public LogSink {
+ public:
+  explicit CaptureSink(std::vector<LogRecord>* records)
+      : records_(records) {}
+  void Write(const LogRecord& record) override {
+    records_->push_back(record);
+  }
+
+ private:
+  std::vector<LogRecord>* records_;
+};
+
+/// Every test restores the global logger to its silent default.
+class LoggerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::Global().ClearSinks();
+    Logger::Global().SetLevel(LogLevel::kOff);
+  }
+  void TearDown() override {
+    Logger::Global().ClearSinks();
+    Logger::Global().SetLevel(LogLevel::kOff);
+  }
+
+  void Attach(std::vector<LogRecord>* records) {
+    Logger::Global().AddSink(std::make_unique<CaptureSink>(records));
+  }
+};
+
+TEST_F(LoggerTest, ParseLogLevelRoundTrip) {
+  for (LogLevel level :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff}) {
+    auto parsed = ParseLogLevel(ToString(level));
+    ASSERT_TRUE(parsed.has_value()) << ToString(level);
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(ParseLogLevel("verbose").has_value());
+  EXPECT_FALSE(ParseLogLevel("").has_value());
+}
+
+TEST_F(LoggerTest, LevelFilteringDropsBelowThreshold) {
+  std::vector<LogRecord> records;
+  Attach(&records);
+  Logger::Global().SetLevel(LogLevel::kWarn);
+
+  NMINE_LOG(kDebug, "test").Msg("dropped");
+  NMINE_LOG(kInfo, "test").Msg("dropped too");
+  NMINE_LOG(kWarn, "test").Msg("kept");
+  NMINE_LOG(kError, "test").Msg("kept too");
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].level, LogLevel::kWarn);
+  EXPECT_EQ(records[0].message, "kept");
+  EXPECT_EQ(records[1].level, LogLevel::kError);
+  EXPECT_EQ(records[1].message, "kept too");
+}
+
+TEST_F(LoggerTest, OffLevelSilencesEverything) {
+  std::vector<LogRecord> records;
+  Attach(&records);
+  Logger::Global().SetLevel(LogLevel::kOff);
+  NMINE_LOG(kError, "test").Msg("never seen");
+  EXPECT_TRUE(records.empty());
+}
+
+TEST_F(LoggerTest, NoSinksMeansShouldLogIsFalse) {
+  Logger::Global().SetLevel(LogLevel::kTrace);
+  EXPECT_FALSE(Logger::Global().ShouldLog(LogLevel::kError));
+}
+
+TEST_F(LoggerTest, RoutesToAllSinks) {
+  std::vector<LogRecord> a;
+  std::vector<LogRecord> b;
+  Attach(&a);
+  Attach(&b);
+  Logger::Global().SetLevel(LogLevel::kInfo);
+  NMINE_LOG(kInfo, "router").Msg("fan out").Num("n", 3);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].message, "fan out");
+  EXPECT_EQ(b[0].message, "fan out");
+  ASSERT_EQ(a[0].fields.size(), 1u);
+  EXPECT_EQ(a[0].fields[0].first, "n");
+  EXPECT_EQ(a[0].fields[0].second, "3");
+}
+
+TEST_F(LoggerTest, FieldsPreserveOrderAndRenderNumbers) {
+  std::vector<LogRecord> records;
+  Attach(&records);
+  Logger::Global().SetLevel(LogLevel::kTrace);
+  NMINE_LOG(kTrace, "fields")
+      .Msg("mixed")
+      .Num("count", size_t{42})
+      .Num("delta", -7)
+      .Num("ratio", 0.5)
+      .Str("name", "x");
+  ASSERT_EQ(records.size(), 1u);
+  const LogRecord& r = records[0];
+  ASSERT_EQ(r.fields.size(), 4u);
+  EXPECT_EQ(r.fields[0], (std::pair<std::string, std::string>{"count", "42"}));
+  EXPECT_EQ(r.fields[1], (std::pair<std::string, std::string>{"delta", "-7"}));
+  EXPECT_EQ(r.fields[2], (std::pair<std::string, std::string>{"ratio", "0.5"}));
+  EXPECT_EQ(r.fields[3], (std::pair<std::string, std::string>{"name", "x"}));
+  EXPECT_GE(r.ts_us, 0);
+}
+
+TEST_F(LoggerTest, TextSinkRendersOneLine) {
+  std::ostringstream out;
+  Logger::Global().AddSink(std::make_unique<TextSink>(&out));
+  Logger::Global().SetLevel(LogLevel::kInfo);
+  NMINE_LOG(kInfo, "phase3").Msg("probe scan").Num("probed", 512);
+  std::string line = out.str();
+  EXPECT_NE(line.find("INFO"), std::string::npos);
+  EXPECT_NE(line.find("phase3: probe scan"), std::string::npos);
+  EXPECT_NE(line.find("probed=512"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST_F(LoggerTest, JsonLinesSinkEmitsParsableObjects) {
+  std::ostringstream out;
+  Logger::Global().AddSink(std::make_unique<JsonLinesSink>(&out));
+  Logger::Global().SetLevel(LogLevel::kDebug);
+  NMINE_LOG(kDebug, "phase2")
+      .Msg("level \"quoted\"\nclassified")
+      .Num("level", 3)
+      .Str("note", "tab\there");
+  NMINE_LOG(kError, "phase2").Msg("second record");
+
+  std::istringstream lines(out.str());
+  std::string line;
+  size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    auto parsed = testjson::ParseJson(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    ASSERT_TRUE(parsed->is_object());
+    ASSERT_NE(parsed->Get("level"), nullptr);
+    ASSERT_NE(parsed->Get("component"), nullptr);
+    EXPECT_EQ(parsed->Get("component")->string_value, "phase2");
+    ASSERT_NE(parsed->Get("message"), nullptr);
+    ASSERT_NE(parsed->Get("ts_us"), nullptr);
+    EXPECT_TRUE(parsed->Get("ts_us")->is_number());
+  }
+  EXPECT_EQ(n, 2u);
+
+  // The escaped message round-trips through the parser.
+  std::istringstream again(out.str());
+  std::getline(again, line);
+  auto first = testjson::ParseJson(line);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->Get("message")->string_value,
+            "level \"quoted\"\nclassified");
+  EXPECT_EQ(first->Get("note")->string_value, "tab\there");
+  EXPECT_EQ(first->Get("level")->string_value, "debug");
+  // A user field colliding with a reserved key is namespaced, not dropped.
+  ASSERT_NE(first->Get("field.level"), nullptr);
+  EXPECT_EQ(first->Get("field.level")->string_value, "3");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace nmine

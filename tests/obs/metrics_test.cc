@@ -1,0 +1,164 @@
+#include "nmine/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_json.h"
+
+namespace nmine {
+namespace obs {
+namespace {
+
+TEST(CounterTest, Arithmetic) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Add(-2);
+  EXPECT_EQ(c.value(), 40);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramMetricTest, BucketEdgesAreInclusiveUpperBounds) {
+  HistogramMetric h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket 0 (<= 1)
+  h.Observe(1.0);   // bucket 0 (inclusive edge)
+  h.Observe(1.5);   // bucket 1
+  h.Observe(4.0);   // bucket 2 (inclusive edge)
+  h.Observe(100.0); // overflow bucket
+  std::vector<int64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 107.0 / 5.0);
+}
+
+TEST(HistogramMetricTest, ResetClearsEverything) {
+  HistogramMetric h({1.0});
+  h.Observe(0.5);
+  h.Observe(2.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  std::vector<int64_t> counts = h.counts();
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 0);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStableInstances) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("x");
+  Counter& b = reg.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Add(7);
+  EXPECT_EQ(reg.CounterValue("x"), 7);
+  EXPECT_EQ(reg.CounterValue("never-registered"), 0);
+  EXPECT_TRUE(reg.HasCounter("x"));
+  EXPECT_FALSE(reg.HasCounter("y"));
+
+  Gauge& g = reg.GetGauge("g");
+  g.Set(2.5);
+  EXPECT_EQ(reg.GaugeValue("g"), 2.5);
+
+  HistogramMetric& h1 = reg.GetHistogram("h", {1.0, 2.0});
+  HistogramMetric& h2 = reg.GetHistogram("h", {9.0});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  ASSERT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("c");
+  c.Add(5);
+  reg.GetGauge("g").Set(1.0);
+  reg.GetHistogram("h", {1.0}).Observe(0.5);
+  reg.Reset();
+  EXPECT_EQ(reg.CounterValue("c"), 0);
+  EXPECT_EQ(reg.GaugeValue("g"), 0.0);
+  EXPECT_EQ(reg.GetHistogram("h", {}).count(), 0);
+  // The reference obtained before Reset() is still the live counter.
+  c.Increment();
+  EXPECT_EQ(reg.CounterValue("c"), 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonShape) {
+  MetricsRegistry reg;
+  reg.GetCounter("mining.scans").Add(3);
+  reg.GetCounter("phase3.probed").Add(1200);
+  reg.GetGauge("phase1.sample.target").Set(400);
+  HistogramMetric& h = reg.GetHistogram("phase2.band_width", {0.1, 0.5});
+  h.Observe(0.05);
+  h.Observe(0.3);
+  h.Observe(0.7);
+
+  auto parsed = testjson::ParseJson(reg.SnapshotJson());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_object());
+
+  const testjson::JsonValue* counters = parsed->Get("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  ASSERT_NE(counters->Get("mining.scans"), nullptr);
+  EXPECT_EQ(counters->Get("mining.scans")->number_value, 3.0);
+  EXPECT_EQ(counters->Get("phase3.probed")->number_value, 1200.0);
+
+  const testjson::JsonValue* gauges = parsed->Get("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->Get("phase1.sample.target"), nullptr);
+  EXPECT_EQ(gauges->Get("phase1.sample.target")->number_value, 400.0);
+
+  const testjson::JsonValue* hists = parsed->Get("histograms");
+  ASSERT_NE(hists, nullptr);
+  const testjson::JsonValue* band = hists->Get("phase2.band_width");
+  ASSERT_NE(band, nullptr);
+  ASSERT_NE(band->Get("bounds"), nullptr);
+  ASSERT_EQ(band->Get("bounds")->array.size(), 2u);
+  EXPECT_EQ(band->Get("bounds")->array[0].number_value, 0.1);
+  ASSERT_NE(band->Get("counts"), nullptr);
+  ASSERT_EQ(band->Get("counts")->array.size(), 3u);
+  EXPECT_EQ(band->Get("counts")->array[0].number_value, 1.0);
+  EXPECT_EQ(band->Get("counts")->array[1].number_value, 1.0);
+  EXPECT_EQ(band->Get("counts")->array[2].number_value, 1.0);
+  EXPECT_EQ(band->Get("count")->number_value, 3.0);
+  EXPECT_NEAR(band->Get("sum")->number_value, 1.05, 1e-12);
+  EXPECT_EQ(band->Get("min")->number_value, 0.05);
+  EXPECT_EQ(band->Get("max")->number_value, 0.7);
+}
+
+TEST(MetricsRegistryTest, EmptySnapshotIsValidJson) {
+  MetricsRegistry reg;
+  auto parsed = testjson::ParseJson(reg.SnapshotJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->Get("counters")->is_object());
+  EXPECT_TRUE(parsed->Get("counters")->object.empty());
+  EXPECT_TRUE(parsed->Get("gauges")->object.empty());
+  EXPECT_TRUE(parsed->Get("histograms")->object.empty());
+}
+
+TEST(MetricsRegistryTest, LevelMetricNameFormatsTwoDigits) {
+  EXPECT_EQ(LevelMetricName("mining", 3, "candidates"),
+            "mining.level.03.candidates");
+  EXPECT_EQ(LevelMetricName("mining", 12, "frequent"),
+            "mining.level.12.frequent");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace nmine

@@ -1,0 +1,168 @@
+// End-to-end checks that a mining run records its cost accounting in the
+// observability subsystem and that both views (MiningResult snapshot
+// fields vs. the global metrics registry / tracer) agree.
+#include <gtest/gtest.h>
+
+#include "nmine/gen/matrix_generator.h"
+#include "nmine/gen/sequence_generator.h"
+#include "nmine/mining/border_collapse_miner.h"
+#include "nmine/mining/levelwise_miner.h"
+#include "nmine/obs/metrics.h"
+#include "nmine/obs/trace.h"
+
+namespace nmine {
+namespace {
+
+InMemorySequenceDatabase SmallWorkload(uint64_t seed) {
+  Rng rng(seed);
+  GeneratorConfig config;
+  config.num_sequences = 120;
+  config.min_length = 20;
+  config.max_length = 30;
+  config.alphabet_size = 6;
+  InMemorySequenceDatabase db = GenerateDatabase(config, &rng);
+  Pattern planted({0, 1, 2});
+  std::vector<SequenceRecord> records = db.records();
+  for (SequenceRecord& r : records) {
+    if (rng.Bernoulli(0.5)) PlantPattern(planted, 3, &r.symbols);
+  }
+  return InMemorySequenceDatabase::FromRecords(std::move(records));
+}
+
+class ObsMiningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry::Global().Reset();
+    obs::Tracer::Global().Stop();
+  }
+  void TearDown() override { obs::Tracer::Global().Stop(); }
+};
+
+TEST_F(ObsMiningTest, BorderCollapseScansAgreeWithRegistry) {
+  InMemorySequenceDatabase db = SmallWorkload(11);
+  CompatibilityMatrix c = UniformNoiseMatrix(6, 0.1);
+  MinerOptions options;
+  options.min_threshold = 0.3;
+  options.space.max_span = 4;
+  options.max_level = 4;
+  options.sample_size = 40;  // small sample -> real ambiguous region
+  options.delta = 0.05;
+  options.seed = 7;
+
+  BorderCollapseMiner miner(Metric::kMatch, options);
+  MiningResult result = miner.Mine(db, c);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+
+  // The headline acceptance check: the registry's scan accounting equals
+  // the per-run snapshot on MiningResult.
+  EXPECT_EQ(reg.CounterValue("mining.scans"), result.scans);
+
+  // Scans decompose into exactly one Phase-1 scan plus the Phase-3 probe
+  // scans (Phase 2 runs on the in-memory sample).
+  EXPECT_EQ(reg.CounterValue("phase1.scans") +
+                reg.CounterValue("phase3.scans"),
+            result.scans);
+  EXPECT_EQ(reg.CounterValue("phase1.scans"), 1);
+
+  // Phase-2 diagnostics folded from the result snapshot.
+  EXPECT_EQ(reg.CounterValue("phase2.ambiguous_after_sample"),
+            static_cast<int64_t>(result.ambiguous_after_sample));
+  EXPECT_EQ(reg.CounterValue("phase2.accepted_from_sample"),
+            static_cast<int64_t>(result.accepted_from_sample));
+  EXPECT_EQ(reg.CounterValue("phase2.ambiguous_with_unit_spread"),
+            static_cast<int64_t>(result.ambiguous_with_unit_spread));
+
+  // The live Phase-2 ambiguous counter agrees with the snapshot too.
+  EXPECT_EQ(reg.CounterValue("phase2.ambiguous"),
+            static_cast<int64_t>(result.ambiguous_after_sample));
+
+  // Per-level candidate counters mirror LevelStats.
+  ASSERT_FALSE(result.level_stats.empty());
+  for (const LevelStats& s : result.level_stats) {
+    EXPECT_EQ(
+        reg.CounterValue(obs::LevelMetricName("mining", s.level,
+                                              "candidates")),
+        static_cast<int64_t>(s.num_candidates))
+        << "level " << s.level;
+    EXPECT_EQ(
+        reg.CounterValue(obs::LevelMetricName("mining", s.level, "frequent")),
+        static_cast<int64_t>(s.num_frequent))
+        << "level " << s.level;
+  }
+
+  EXPECT_EQ(reg.CounterValue("mining.runs"), 1);
+  EXPECT_EQ(reg.CounterValue("mining.algorithm.collapse.runs"), 1);
+  EXPECT_EQ(reg.GaugeValue("mining.last.scans"),
+            static_cast<double>(result.scans));
+  EXPECT_EQ(reg.GaugeValue("mining.last.frequent"),
+            static_cast<double>(result.frequent.size()));
+}
+
+TEST_F(ObsMiningTest, TracerEmitsOneSpanPerPhase3Scan) {
+  InMemorySequenceDatabase db = SmallWorkload(12);
+  CompatibilityMatrix c = UniformNoiseMatrix(6, 0.1);
+  MinerOptions options;
+  options.min_threshold = 0.3;
+  options.space.max_span = 4;
+  options.max_level = 4;
+  options.sample_size = 40;
+  options.delta = 0.05;
+  options.seed = 7;
+
+  obs::Tracer::Global().Start();
+  BorderCollapseMiner miner(Metric::kMatch, options);
+  MiningResult result = miner.Mine(db, c);
+  obs::Tracer::Global().Stop();
+
+  size_t phase3_scan_spans = 0;
+  size_t phase1_spans = 0;
+  size_t mine_spans = 0;
+  for (const obs::TraceEvent& e : obs::Tracer::Global().Events()) {
+    if (e.name == "phase3.scan") ++phase3_scan_spans;
+    if (e.name == "phase1.symbol_scan") ++phase1_spans;
+    if (e.name == "mine.border_collapse") ++mine_spans;
+  }
+  EXPECT_EQ(phase1_spans, 1u);
+  EXPECT_EQ(mine_spans, 1u);
+  EXPECT_EQ(static_cast<int64_t>(phase3_scan_spans),
+            obs::MetricsRegistry::Global().CounterValue("phase3.scans"));
+  EXPECT_EQ(static_cast<int64_t>(phase1_spans + phase3_scan_spans),
+            result.scans);
+}
+
+TEST_F(ObsMiningTest, LevelwiseChargesOneScanPerLevel) {
+  InMemorySequenceDatabase db = SmallWorkload(13);
+  CompatibilityMatrix c = UniformNoiseMatrix(6, 0.1);
+  MinerOptions options;
+  options.min_threshold = 0.3;
+  options.space.max_span = 3;
+  options.max_level = 3;
+
+  LevelwiseMiner miner(Metric::kMatch, options);
+  MiningResult result = miner.Mine(db, c);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  EXPECT_EQ(reg.CounterValue("mining.scans"), result.scans);
+  EXPECT_EQ(reg.CounterValue("mining.algorithm.levelwise.runs"), 1);
+  EXPECT_EQ(static_cast<size_t>(result.scans), result.level_stats.size());
+}
+
+TEST_F(ObsMiningTest, MetricsAccumulateAcrossRuns) {
+  InMemorySequenceDatabase db = SmallWorkload(14);
+  CompatibilityMatrix c = UniformNoiseMatrix(6, 0.1);
+  MinerOptions options;
+  options.min_threshold = 0.35;
+  options.space.max_span = 3;
+  options.max_level = 3;
+  options.sample_size = 60;
+  options.delta = 0.05;
+
+  BorderCollapseMiner miner(Metric::kMatch, options);
+  MiningResult r1 = miner.Mine(db, c);
+  MiningResult r2 = miner.Mine(db, c);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  EXPECT_EQ(reg.CounterValue("mining.runs"), 2);
+  EXPECT_EQ(reg.CounterValue("mining.scans"), r1.scans + r2.scans);
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,130 @@
+#include "nmine/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_json.h"
+
+namespace nmine {
+namespace obs {
+namespace {
+
+/// Every test leaves the global tracer stopped.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::Global().Stop(); }
+  void TearDown() override { Tracer::Global().Stop(); }
+};
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  {
+    TraceSpan span("never", "test");
+    EXPECT_FALSE(span.armed());
+    span.Arg("k", "v");
+  }
+  // Start() clears the buffer, so check before starting: the span above
+  // must not have appended to whatever was there.
+  size_t before = Tracer::Global().NumEvents();
+  {
+    TraceSpan span("still nothing", "test");
+  }
+  EXPECT_EQ(Tracer::Global().NumEvents(), before);
+}
+
+TEST_F(TracerTest, RecordsNestedSpans) {
+  Tracer::Global().Start();
+  {
+    TraceSpan outer("phase3.border_collapse", "phase3");
+    EXPECT_TRUE(outer.armed());
+    {
+      TraceSpan inner("phase3.scan", "phase3");
+      inner.Arg("probed", 512).Arg("ratio", 0.25);
+    }
+    {
+      TraceSpan inner2("phase3.scan", "phase3");
+    }
+  }
+  Tracer::Global().Stop();
+
+  std::vector<TraceEvent> events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans are recorded at destruction: inner events first, outer last.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& inner2 = events[1];
+  const TraceEvent& outer = events[2];
+  EXPECT_EQ(inner.name, "phase3.scan");
+  EXPECT_EQ(outer.name, "phase3.border_collapse");
+
+  // Nesting: both inner spans lie within the outer span, and the second
+  // inner span starts at or after the first one ends.
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+  EXPECT_GE(inner2.ts_us, inner.ts_us + inner.dur_us);
+  EXPECT_LE(inner2.ts_us + inner2.dur_us, outer.ts_us + outer.dur_us);
+
+  ASSERT_EQ(inner.args.size(), 2u);
+  EXPECT_EQ(inner.args[0].first, "probed");
+  EXPECT_EQ(inner.args[0].second, "512");
+  EXPECT_EQ(inner.args[1].second, "0.25");
+}
+
+TEST_F(TracerTest, SnapshotIsWellFormedTraceEventJson) {
+  Tracer::Global().Start();
+  {
+    TraceSpan span("mine.border_collapse", "mining");
+    span.Arg("note", "quotes \"inside\"");
+    TraceSpan child("phase1.symbol_scan", "phase1");
+  }
+  Tracer::Global().Stop();
+
+  auto parsed = testjson::ParseJson(Tracer::Global().SnapshotJson());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_object());
+  const testjson::JsonValue* events = parsed->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+  for (const testjson::JsonValue& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_NE(e.Get("name"), nullptr);
+    ASSERT_NE(e.Get("cat"), nullptr);
+    ASSERT_NE(e.Get("ph"), nullptr);
+    EXPECT_EQ(e.Get("ph")->string_value, "X");  // complete event
+    ASSERT_NE(e.Get("ts"), nullptr);
+    EXPECT_TRUE(e.Get("ts")->is_number());
+    ASSERT_NE(e.Get("dur"), nullptr);
+    EXPECT_TRUE(e.Get("dur")->is_number());
+    EXPECT_GE(e.Get("dur")->number_value, 0.0);
+    ASSERT_NE(e.Get("pid"), nullptr);
+    ASSERT_NE(e.Get("tid"), nullptr);
+    ASSERT_NE(e.Get("args"), nullptr);
+    EXPECT_TRUE(e.Get("args")->is_object());
+  }
+  // The string arg survived JSON escaping.
+  EXPECT_EQ(events->array[1].Get("name")->string_value,
+            "mine.border_collapse");
+  EXPECT_EQ(events->array[1].Get("args")->Get("note")->string_value,
+            "quotes \"inside\"");
+}
+
+TEST_F(TracerTest, EmptySnapshotStillParses) {
+  Tracer::Global().Start();
+  Tracer::Global().Stop();
+  auto parsed = testjson::ParseJson(Tracer::Global().SnapshotJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->Get("traceEvents")->array.empty());
+}
+
+TEST_F(TracerTest, StartClearsPreviousEvents) {
+  Tracer::Global().Start();
+  {
+    TraceSpan span("old", "test");
+  }
+  EXPECT_EQ(Tracer::Global().NumEvents(), 1u);
+  Tracer::Global().Start();
+  EXPECT_EQ(Tracer::Global().NumEvents(), 0u);
+  Tracer::Global().Stop();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace nmine

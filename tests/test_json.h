@@ -1,0 +1,47 @@
+#ifndef NMINE_TESTS_TEST_JSON_H_
+#define NMINE_TESTS_TEST_JSON_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nmine {
+namespace testjson {
+
+/// Minimal JSON value for verifying the observability subsystem's output
+/// (metrics snapshots, trace_event files, JSON-lines logs) by parsing it
+/// back instead of string-matching. Not a general-purpose parser: strict
+/// RFC 8259 subset, no \uXXXX decoding beyond Latin-1.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member access; nullptr when absent or not an object.
+  const JsonValue* Get(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parses `text` as one JSON document (trailing whitespace allowed).
+/// Returns nullopt on any syntax error.
+std::optional<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace testjson
+}  // namespace nmine
+
+#endif  // NMINE_TESTS_TEST_JSON_H_

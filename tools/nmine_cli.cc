@@ -16,10 +16,19 @@
 //       [--sample N] [--delta D] [--seed S]
 //       [--calibrate none|expected|survival] [--csv]
 //
+// Observability (every command accepts these; see README "Observability"):
+//   --log-level trace|debug|info|warn|error|off   leveled stderr logging
+//                                                 (default: off)
+//   --log-json FILE       structured JSON-lines log sink
+//   --metrics-out FILE    dump the metrics-registry snapshot as JSON on exit
+//   --trace-out FILE      record Chrome trace_event spans; open the file in
+//                         chrome://tracing or https://ui.perfetto.dev
+//
 // Exit status: 0 on success, 1 on usage/IO errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -42,6 +51,9 @@
 #include "nmine/mining/levelwise_miner.h"
 #include "nmine/mining/max_miner.h"
 #include "nmine/mining/toivonen_miner.h"
+#include "nmine/obs/logger.h"
+#include "nmine/obs/metrics.h"
+#include "nmine/obs/trace.h"
 
 namespace nmine {
 namespace {
@@ -101,6 +113,73 @@ int Usage() {
                "see the header of tools/nmine_cli.cc for details\n");
   return 1;
 }
+
+/// Configures the observability stack from --log-level / --log-json /
+/// --metrics-out / --trace-out and flushes the file outputs when the
+/// command finishes (destructor). Returns usage errors via ok().
+class ObsSession {
+ public:
+  explicit ObsSession(const Flags& flags)
+      : metrics_out_(flags.Get("metrics-out", "")),
+        trace_out_(flags.Get("trace-out", "")) {
+    std::string level_text = flags.Get("log-level", "off");
+    std::optional<obs::LogLevel> level = obs::ParseLogLevel(level_text);
+    if (!level.has_value()) {
+      std::fprintf(stderr,
+                   "bad --log-level '%s' (want "
+                   "trace|debug|info|warn|error|off)\n",
+                   level_text.c_str());
+      return;
+    }
+    obs::Logger& logger = obs::Logger::Global();
+    logger.SetLevel(*level);
+    if (*level != obs::LogLevel::kOff) {
+      logger.AddSink(std::make_unique<obs::TextSink>(&std::cerr));
+    }
+    std::string log_json = flags.Get("log-json", "");
+    if (!log_json.empty()) {
+      auto sink = std::make_unique<obs::JsonFileSink>(log_json);
+      if (!sink->ok()) {
+        std::fprintf(stderr, "cannot open --log-json file '%s'\n",
+                     log_json.c_str());
+        return;
+      }
+      // A JSON sink without an explicit level records everything.
+      if (*level == obs::LogLevel::kOff) {
+        logger.SetLevel(obs::LogLevel::kTrace);
+      }
+      logger.AddSink(std::move(sink));
+    }
+    if (!trace_out_.empty()) {
+      obs::Tracer::Global().Start();
+    }
+    ok_ = true;
+  }
+
+  ~ObsSession() {
+    if (!metrics_out_.empty()) {
+      if (!obs::MetricsRegistry::Global().WriteJsonFile(metrics_out_)) {
+        std::fprintf(stderr, "cannot write --metrics-out file '%s'\n",
+                     metrics_out_.c_str());
+      }
+    }
+    if (!trace_out_.empty()) {
+      obs::Tracer::Global().Stop();
+      if (!obs::Tracer::Global().WriteJsonFile(trace_out_)) {
+        std::fprintf(stderr, "cannot write --trace-out file '%s'\n",
+                     trace_out_.c_str());
+      }
+    }
+    obs::Logger::Global().ClearSinks();
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = false;
+  std::string metrics_out_;
+  std::string trace_out_;
+};
 
 std::optional<Pattern> ParseIdPattern(const std::string& text) {
   std::istringstream in(text);
@@ -362,6 +441,8 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   Flags flags(argc, argv, 2);
+  ObsSession obs_session(flags);
+  if (!obs_session.ok()) return 1;
   if (command == "generate") return CmdGenerate(flags);
   if (command == "import") return CmdImport(flags);
   if (command == "info") return CmdInfo(flags);
