@@ -1,0 +1,22 @@
+#ifndef NMINE_CORE_CHECK_H_
+#define NMINE_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant check that survives NDEBUG. Unlike assert(), a violated
+/// NMINE_CHECK is a clean diagnostic-and-abort in Release builds instead of
+/// undefined behavior further down the line. Use it for programmer
+/// contracts; externally-supplied input (files, CLI flags) must instead be
+/// rejected with a typed error (Status / MatrixIoResult) so callers can
+/// recover.
+#define NMINE_CHECK(cond, msg)                                      \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::fprintf(stderr, "nmine: check failed at %s:%d: %s\n",    \
+                   __FILE__, __LINE__, msg);                        \
+      std::abort();                                                 \
+    }                                                               \
+  } while (0)
+
+#endif  // NMINE_CORE_CHECK_H_

@@ -1,8 +1,9 @@
 #include "nmine/core/compatibility_matrix.h"
 
-#include <cassert>
 #include <cmath>
 #include <cstdio>
+
+#include "nmine/core/check.h"
 
 namespace nmine {
 
@@ -13,7 +14,11 @@ CompatibilityMatrix::CompatibilityMatrix(
     const std::vector<std::vector<double>>& rows)
     : m_(rows.size()), data_(rows.size() * rows.size(), 0.0) {
   for (size_t i = 0; i < m_; ++i) {
-    assert(rows[i].size() == m_);
+    // Rows often come from parsed user input; a ragged matrix must die
+    // loudly even in release builds instead of reading out of bounds.
+    NMINE_CHECK(rows[i].size() == m_,
+                "CompatibilityMatrix row length differs from the number of "
+                "rows (matrix must be square)");
     for (size_t j = 0; j < m_; ++j) {
       data_[i * m_ + j] = rows[i][j];
     }
@@ -30,7 +35,10 @@ CompatibilityMatrix CompatibilityMatrix::Identity(size_t m) {
 
 void CompatibilityMatrix::Set(SymbolId true_sym, SymbolId observed,
                               double value) {
-  assert(!IsWildcard(true_sym) && !IsWildcard(observed));
+  NMINE_CHECK(!IsWildcard(true_sym) && !IsWildcard(observed) &&
+                  static_cast<size_t>(true_sym) < m_ &&
+                  static_cast<size_t>(observed) < m_,
+              "CompatibilityMatrix::Set with out-of-range symbol");
   data_[static_cast<size_t>(true_sym) * m_ + static_cast<size_t>(observed)] =
       value;
   index_built_ = false;

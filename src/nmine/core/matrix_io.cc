@@ -32,26 +32,29 @@ std::vector<std::string> Tokenize(const std::string& text) {
 std::optional<CompatibilityMatrix> ParseCompatibilityMatrix(
     const std::string& text, MatrixIoResult* error) {
   std::vector<std::string> tokens = Tokenize(text);
-  auto fail = [error](std::string msg) -> std::optional<CompatibilityMatrix> {
+  auto fail = [error](MatrixIoCode code,
+                      std::string msg) -> std::optional<CompatibilityMatrix> {
     if (error != nullptr) {
-      *error = {false, std::move(msg)};
+      *error = {false, code, std::move(msg)};
     }
     return std::nullopt;
   };
   if (tokens.empty()) {
-    return fail("empty matrix file");
+    return fail(MatrixIoCode::kParseError, "empty matrix file");
   }
   char* end = nullptr;
   unsigned long parsed_m = std::strtoul(tokens[0].c_str(), &end, 10);
   if (end == tokens[0].c_str() || *end != '\0' || parsed_m < 1) {
-    return fail("first token must be the alphabet size m, got '" +
-                tokens[0] + "'");
+    return fail(MatrixIoCode::kParseError,
+                "first token must be the alphabet size m, got '" + tokens[0] +
+                    "'");
   }
   size_t m = parsed_m;
   if (tokens.size() != 1 + m * m) {
-    return fail("expected " + std::to_string(m * m) + " entries for m = " +
-                std::to_string(m) + ", found " +
-                std::to_string(tokens.size() - 1));
+    return fail(MatrixIoCode::kParseError,
+                "expected " + std::to_string(m * m) + " entries for m = " +
+                    std::to_string(m) + ", found " +
+                    std::to_string(tokens.size() - 1));
   }
   CompatibilityMatrix c(m);
   for (size_t i = 0; i < m; ++i) {
@@ -60,19 +63,21 @@ std::optional<CompatibilityMatrix> ParseCompatibilityMatrix(
       char* num_end = nullptr;
       double value = std::strtod(token.c_str(), &num_end);
       if (num_end == token.c_str() || *num_end != '\0') {
-        return fail("bad number '" + token + "' at row " +
-                    std::to_string(i + 1) + ", column " +
-                    std::to_string(j + 1));
+        return fail(MatrixIoCode::kParseError,
+                    "bad number '" + token + "' at row " +
+                        std::to_string(i + 1) + ", column " +
+                        std::to_string(j + 1));
       }
       c.Set(static_cast<SymbolId>(i), static_cast<SymbolId>(j), value);
     }
   }
   MatrixValidation v = c.Validate();
   if (!v.ok) {
-    return fail("matrix is not column-stochastic: " + v.message);
+    return fail(MatrixIoCode::kNotStochastic,
+                "matrix is not column-stochastic: " + v.message);
   }
   if (error != nullptr) {
-    *error = {true, ""};
+    *error = {true, MatrixIoCode::kOk, ""};
   }
   return c;
 }
@@ -82,7 +87,8 @@ std::optional<CompatibilityMatrix> ReadCompatibilityMatrixFile(
   std::ifstream in(path);
   if (!in) {
     if (error != nullptr) {
-      *error = {false, "cannot open for reading: " + path};
+      *error = {false, MatrixIoCode::kIoError,
+                "cannot open for reading: " + path};
     }
     return std::nullopt;
   }
@@ -110,13 +116,13 @@ MatrixIoResult WriteCompatibilityMatrixFile(const std::string& path,
                                             const CompatibilityMatrix& c) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
-    return {false, "cannot open for writing: " + path};
+    return {false, MatrixIoCode::kIoError, "cannot open for writing: " + path};
   }
   out << FormatCompatibilityMatrix(c);
   if (!out) {
-    return {false, "write failed: " + path};
+    return {false, MatrixIoCode::kIoError, "write failed: " + path};
   }
-  return {true, ""};
+  return {true, MatrixIoCode::kOk, ""};
 }
 
 }  // namespace nmine

@@ -18,8 +18,20 @@ namespace nmine {
 ///   C(dm,d1) ...          C(dm,dm)
 ///
 /// Reading validates shape and column-stochasticity.
+///
+/// Failure class of a matrix I/O operation. Callers branch on the code
+/// (e.g. the CLI maps kNotStochastic to a dedicated hint about fixing
+/// column sums) while `message` carries the human-readable detail.
+enum class MatrixIoCode {
+  kOk,
+  kIoError,         // file missing / unreadable / short write
+  kParseError,      // malformed text: bad size, counts, or numbers
+  kNotStochastic,   // well-formed but columns do not sum to 1
+};
+
 struct MatrixIoResult {
   bool ok = true;
+  MatrixIoCode code = MatrixIoCode::kOk;
   std::string message;
 };
 

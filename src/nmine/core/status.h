@@ -1,0 +1,84 @@
+#ifndef NMINE_CORE_STATUS_H_
+#define NMINE_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace nmine {
+
+/// Failure taxonomy for the mining pipeline. The distinction that matters
+/// operationally is transient vs. permanent: kUnavailable failures may
+/// succeed on retry (a concurrently-rewritten database file, a flaky
+/// volume), while the others are stable properties of the input and
+/// retrying cannot help.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,            // the referenced file does not exist
+  kUnavailable,         // transient I/O failure; safe to retry
+  kDataLoss,            // corruption: bad magic, overlong varint, garbage
+  kInvalidArgument,     // malformed configuration or parameters
+  kFailedPrecondition,  // state mismatch (e.g. stale checkpoint)
+  kInternal,            // bug: should never surface to users
+};
+
+const char* ToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+/// Every mining answer is either correct or carries one of these — partial
+/// scans are never silently consumed (the failure mode border collapsing
+/// cannot detect, since each Phase-3 probe scan is trusted as ground
+/// truth).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(StatusCode code, std::string message) {
+    return Status(code, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True when a later retry of the same operation could succeed.
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
+
+  /// "OK" or "UNAVAILABLE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_CORE_STATUS_H_

@@ -1,6 +1,7 @@
 #include "nmine/db/disk_database.h"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <vector>
 
@@ -22,21 +23,26 @@ class BufferedVarintReader {
     return true;
   }
 
-  /// Reads one varint. Returns false on EOF or overlong encoding.
-  bool ReadVarint64(uint64_t* value) {
+  enum class VarintResult { kOk, kTruncated, kOverflow };
+
+  /// Reads one varint. A 10-byte encoding may only contribute bit 63 with
+  /// its final byte; payloads whose high bits would be silently dropped are
+  /// rejected as kOverflow (corruption), distinct from kTruncated (EOF).
+  VarintResult ReadVarint64(uint64_t* value) {
     uint64_t result = 0;
     int shift = 0;
     while (shift <= 63) {
       int byte = NextByte();
-      if (byte < 0) return false;
+      if (byte < 0) return VarintResult::kTruncated;
+      if (shift == 63 && (byte & 0x7f) > 1) return VarintResult::kOverflow;
       result |= static_cast<uint64_t>(byte & 0x7f) << shift;
       if ((byte & 0x80) == 0) {
         *value = result;
-        return true;
+        return VarintResult::kOk;
       }
       shift += 7;
     }
-    return false;
+    return VarintResult::kOverflow;  // continuation past the 10th byte
   }
 
   /// True when the underlying stream is exhausted and the buffer is empty.
@@ -70,87 +76,135 @@ class BufferedVarintReader {
   size_t len_ = 0;
 };
 
+/// Truncation mid-stream is kUnavailable: a concurrent rewrite can shrink
+/// the file transiently and a bounded retry may see the complete image
+/// again. Structural corruption is kDataLoss and never retried.
+Status TruncatedError(std::string what) {
+  return Status::Unavailable("truncated " + std::move(what));
+}
+
+Status VarintError(BufferedVarintReader::VarintResult r, std::string what) {
+  if (r == BufferedVarintReader::VarintResult::kOverflow) {
+    return Status::DataLoss("overlong varint in " + std::move(what));
+  }
+  return TruncatedError(std::move(what));
+}
+
 }  // namespace
 
-DiskSequenceDatabase::DiskSequenceDatabase(std::string path)
-    : path_(std::move(path)) {}
+DiskSequenceDatabase::DiskSequenceDatabase(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {}
 
 std::unique_ptr<DiskSequenceDatabase> DiskSequenceDatabase::Open(
-    const std::string& path, IoResult* error) {
-  std::unique_ptr<DiskSequenceDatabase> db(new DiskSequenceDatabase(path));
+    const std::string& path, Status* error) {
+  return Open(path, Options(), error);
+}
+
+std::unique_ptr<DiskSequenceDatabase> DiskSequenceDatabase::Open(
+    const std::string& path, const Options& options, Status* error) {
+  std::unique_ptr<DiskSequenceDatabase> db(
+      new DiskSequenceDatabase(path, options));
   size_t n = 0;
   uint64_t total = 0;
-  IoResult r = db->StreamFile(/*visitor=*/nullptr, &n, &total);
-  if (!r.ok) {
+  Status r = RunScanWithRetry(
+      options.retry, options.sleeper, /*can_replay=*/true, "disk open",
+      [&](int) {
+        n = 0;
+        total = 0;
+        ScanAttempt attempt;
+        attempt.status =
+            db->StreamFile(/*visitor=*/nullptr, &n, &total,
+                           &attempt.delivered_records);
+        return attempt;
+      });
+  if (!r.ok()) {
     if (error != nullptr) *error = r;
     return nullptr;
   }
   db->num_sequences_ = n;
   db->total_symbols_ = total;
-  if (error != nullptr) *error = IoResult::Ok();
+  if (error != nullptr) *error = Status::Ok();
   return db;
 }
 
-void DiskSequenceDatabase::Scan(const Visitor& visitor) const {
+Status DiskSequenceDatabase::Scan(const Visitor& visitor,
+                                  const RestartFn& restart) const {
   CountScan();
-  size_t n = 0;
-  uint64_t total = 0;
-  // Open() already validated the file; a concurrent truncation would stop
-  // the scan early, which the caller observes via NumSequences mismatch.
-  StreamFile(&visitor, &n, &total);
+  return RunScanWithRetry(
+      options_.retry, options_.sleeper,
+      /*can_replay=*/static_cast<bool>(restart), "disk scan", [&](int) {
+        if (restart) restart();
+        size_t n = 0;
+        uint64_t total = 0;
+        ScanAttempt attempt;
+        attempt.status =
+            StreamFile(&visitor, &n, &total, &attempt.delivered_records);
+        return attempt;
+      });
 }
 
-IoResult DiskSequenceDatabase::StreamFile(const Visitor* visitor,
-                                          size_t* num_sequences,
-                                          uint64_t* total_symbols) const {
+Status DiskSequenceDatabase::StreamFile(const Visitor* visitor,
+                                        size_t* num_sequences,
+                                        uint64_t* total_symbols,
+                                        bool* delivered_records) const {
+  if (delivered_records != nullptr) *delivered_records = false;
   std::ifstream in(path_, std::ios::binary);
   if (!in) {
-    return IoResult::Error("cannot open for reading: " + path_);
+    std::error_code ec;
+    if (!std::filesystem::exists(path_, ec)) {
+      return Status::NotFound("no such database file: " + path_);
+    }
+    return Status::Unavailable("cannot open for reading: " + path_);
   }
   BufferedVarintReader reader(&in);
   char magic[sizeof(dbformat::kMagic)];
   if (!reader.ReadRaw(magic, sizeof(magic)) ||
       std::memcmp(magic, dbformat::kMagic, sizeof(magic)) != 0) {
-    return IoResult::Error("bad magic: not an nmine sequence database");
+    return Status::DataLoss("bad magic: not an nmine sequence database");
   }
   char version = 0;
   if (!reader.ReadRaw(&version, 1) ||
       static_cast<uint8_t>(version) != dbformat::kVersion) {
-    return IoResult::Error("unsupported format version");
+    return Status::DataLoss("unsupported format version");
   }
   uint64_t count = 0;
-  if (!reader.ReadVarint64(&count)) {
-    return IoResult::Error("truncated sequence count");
+  BufferedVarintReader::VarintResult vr = reader.ReadVarint64(&count);
+  if (vr != BufferedVarintReader::VarintResult::kOk) {
+    return VarintError(vr, "sequence count");
   }
   SequenceRecord record;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t id = 0;
     uint64_t len = 0;
-    if (!reader.ReadVarint64(&id) || !reader.ReadVarint64(&len)) {
-      return IoResult::Error("truncated record header at sequence " +
-                             std::to_string(i));
+    if ((vr = reader.ReadVarint64(&id)) !=
+            BufferedVarintReader::VarintResult::kOk ||
+        (vr = reader.ReadVarint64(&len)) !=
+            BufferedVarintReader::VarintResult::kOk) {
+      return VarintError(vr,
+                         "record header at sequence " + std::to_string(i));
     }
     record.id = static_cast<SequenceId>(id);
     record.symbols.clear();
     record.symbols.reserve(len);
     for (uint64_t j = 0; j < len; ++j) {
       uint64_t sym = 0;
-      if (!reader.ReadVarint64(&sym)) {
-        return IoResult::Error("truncated symbols at sequence " +
-                               std::to_string(i));
+      if ((vr = reader.ReadVarint64(&sym)) !=
+          BufferedVarintReader::VarintResult::kOk) {
+        return VarintError(vr, "symbols at sequence " + std::to_string(i));
       }
       record.symbols.push_back(static_cast<SymbolId>(sym));
     }
     *total_symbols += record.symbols.size();
     ++*num_sequences;
     if (visitor != nullptr) {
+      if (delivered_records != nullptr) *delivered_records = true;
       (*visitor)(record);
     }
   }
   if (!reader.AtEof()) {
-    return IoResult::Error("trailing garbage after last record");
+    return Status::DataLoss("trailing garbage after last record");
   }
-  return IoResult::Ok();
+  return Status::Ok();
 }
 
 }  // namespace nmine

@@ -5,7 +5,9 @@
 #include <memory>
 #include <string>
 
+#include "nmine/core/status.h"
 #include "nmine/db/format.h"
+#include "nmine/db/retry.h"
 #include "nmine/db/sequence_database.h"
 
 namespace nmine {
@@ -14,31 +16,52 @@ namespace nmine {
 /// ("we assume disk-resident data that is far beyond the memory capacity",
 /// Section 2.2). Every Scan() streams the file through a fixed-size buffer;
 /// only one sequence is materialized at a time.
+///
+/// The file is treated as unreliable: structural corruption (bad magic,
+/// unsupported version, overlong varints, trailing garbage) surfaces as
+/// kDataLoss, while open failures and truncation — which a concurrent
+/// rewrite can cause transiently — surface as kUnavailable and are retried
+/// with jittered exponential backoff up to the configured policy. A
+/// mid-stream retry replays the visitor from the first record, so it is
+/// only performed when the caller passed a restart callback.
 class DiskSequenceDatabase : public SequenceDatabase {
  public:
+  struct Options {
+    /// Retry schedule applied to Open's validating pre-scan and to every
+    /// Scan(). RetryPolicy::NoRetry() turns retries off.
+    RetryPolicy retry;
+    /// Sleep dependency; null means the real clock.
+    Sleeper* sleeper = nullptr;
+  };
+
   /// Opens `path`, validating the header and pre-scanning once (not counted)
   /// to establish NumSequences/TotalSymbols. On failure returns nullptr and
   /// fills `*error`.
   static std::unique_ptr<DiskSequenceDatabase> Open(const std::string& path,
-                                                    IoResult* error);
+                                                    Status* error);
+  static std::unique_ptr<DiskSequenceDatabase> Open(const std::string& path,
+                                                    const Options& options,
+                                                    Status* error);
 
   DiskSequenceDatabase(const DiskSequenceDatabase&) = delete;
   DiskSequenceDatabase& operator=(const DiskSequenceDatabase&) = delete;
 
   size_t NumSequences() const override { return num_sequences_; }
-  void Scan(const Visitor& visitor) const override;
+  using SequenceDatabase::Scan;
+  Status Scan(const Visitor& visitor, const RestartFn& restart) const override;
   uint64_t TotalSymbols() const override { return total_symbols_; }
 
   const std::string& path() const { return path_; }
 
  private:
-  explicit DiskSequenceDatabase(std::string path);
+  DiskSequenceDatabase(std::string path, Options options);
 
-  /// Streams the file, invoking `visitor` per record when non-null.
-  IoResult StreamFile(const Visitor* visitor, size_t* num_sequences,
-                      uint64_t* total_symbols) const;
+  /// Streams the file once, invoking `visitor` per record when non-null.
+  Status StreamFile(const Visitor* visitor, size_t* num_sequences,
+                    uint64_t* total_symbols, bool* delivered_records) const;
 
   std::string path_;
+  Options options_;
   size_t num_sequences_ = 0;
   uint64_t total_symbols_ = 0;
 };

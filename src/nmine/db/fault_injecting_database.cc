@@ -1,0 +1,157 @@
+#include "nmine/db/fault_injecting_database.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "nmine/obs/logger.h"
+#include "nmine/obs/metrics.h"
+
+namespace nmine {
+namespace {
+
+bool ParseInt(const std::string& text, long long* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  size_t end = text.find_last_not_of(" \t");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream in(text);
+  std::string part;
+  while (std::getline(in, part, sep)) parts.push_back(Trim(part));
+  return parts;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::Parse(const std::string& spec,
+                                          std::string* error) {
+  auto fail = [error](std::string msg) -> std::optional<FaultPlan> {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+  FaultPlan plan;
+  for (const std::string& clause : Split(spec, ',')) {
+    if (clause.empty()) continue;
+    std::vector<std::string> parts = Split(clause, ':');
+    const std::string& key = parts[0];
+    long long n = 0;
+    if (key == "open-fail" && parts.size() == 2 && ParseInt(parts[1], &n) &&
+        n >= 0) {
+      plan.open_fail_scans = static_cast<int>(n);
+    } else if (key == "short-read" && parts.size() == 3 &&
+               ParseInt(parts[1], &n) && n >= 0) {
+      long long k = 0;
+      if (!ParseInt(parts[2], &k) || k < 0) {
+        return fail("bad short-read record count in '" + clause + "'");
+      }
+      plan.short_read_scans = static_cast<int>(n);
+      plan.short_read_records = static_cast<size_t>(k);
+    } else if (key == "fail-scan" && parts.size() == 2 &&
+               ParseInt(parts[1], &n) && n >= 0) {
+      plan.fail_scan_indices.push_back(static_cast<int>(n));
+    } else if (key == "corrupt-from" && parts.size() == 2 &&
+               ParseInt(parts[1], &n) && n >= 0) {
+      plan.corrupt_from_scan = static_cast<int>(n);
+    } else if (key == "flaky" && parts.size() == 2) {
+      double p = 0.0;
+      if (!ParseDouble(parts[1], &p) || p < 0.0 || p > 1.0) {
+        return fail("flaky probability must be in [0, 1] in '" + clause +
+                    "'");
+      }
+      plan.flake_probability = p;
+    } else if (key == "seed" && parts.size() == 2 && ParseInt(parts[1], &n)) {
+      plan.seed = static_cast<uint64_t>(n);
+    } else {
+      return fail("bad fault-plan clause '" + clause +
+                  "' (want open-fail:N, short-read:N:K, fail-scan:I, "
+                  "corrupt-from:S, flaky:P, seed:X)");
+    }
+  }
+  return plan;
+}
+
+Status FaultInjectingDatabase::Scan(const Visitor& visitor,
+                                    const RestartFn& restart) const {
+  CountScan();
+  const int idx = attempts_++;
+  obs::MetricsRegistry::Global().GetCounter("db.fault_injection.scans")
+      .Increment();
+  auto inject = [idx](Status status) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("db.fault_injection.injected")
+        .Increment();
+    NMINE_LOG(kDebug, "db")
+        .Msg("injected scan fault")
+        .Num("scan_index", idx)
+        .Str("status", status.ToString());
+    return status;
+  };
+
+  // Permanent corruption dominates every transient clause.
+  if (plan_.corrupt_from_scan >= 0 && idx >= plan_.corrupt_from_scan) {
+    return inject(Status::DataLoss("injected corruption at scan " +
+                                   std::to_string(idx)));
+  }
+  if (idx < plan_.open_fail_scans) {
+    return inject(Status::Unavailable("injected fail-on-open at scan " +
+                                      std::to_string(idx)));
+  }
+  if (std::find(plan_.fail_scan_indices.begin(),
+                plan_.fail_scan_indices.end(),
+                idx) != plan_.fail_scan_indices.end()) {
+    return inject(Status::Unavailable("injected failure at scan " +
+                                      std::to_string(idx)));
+  }
+  if (idx < plan_.open_fail_scans + plan_.short_read_scans) {
+    // Deliver the first K records, then report a transient short read. The
+    // inner pass still runs to completion underneath; the extra records are
+    // simply never forwarded, exactly as a reader that lost its stream.
+    size_t forwarded = 0;
+    Status inner = inner_->Scan(
+        [&](const SequenceRecord& r) {
+          if (forwarded < plan_.short_read_records) {
+            ++forwarded;
+            visitor(r);
+          }
+        },
+        [&] {
+          forwarded = 0;
+          if (restart) restart();
+        });
+    if (!inner.ok()) return inner;
+    return inject(Status::Unavailable(
+        "injected short read after record " +
+        std::to_string(plan_.short_read_records) + " at scan " +
+        std::to_string(idx)));
+  }
+  if (plan_.flake_probability > 0.0 &&
+      rng_.Bernoulli(plan_.flake_probability)) {
+    return inject(Status::Unavailable("injected flaky failure at scan " +
+                                      std::to_string(idx)));
+  }
+  return inner_->Scan(visitor, restart);
+}
+
+}  // namespace nmine

@@ -1,0 +1,73 @@
+#ifndef NMINE_DB_FAULT_INJECTING_DATABASE_H_
+#define NMINE_DB_FAULT_INJECTING_DATABASE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nmine/db/sequence_database.h"
+#include "nmine/stats/random.h"
+
+namespace nmine {
+
+/// Deterministic, seeded plan of faults to inject into a scan stream.
+/// Scan attempts are numbered 0, 1, 2, ... in call order (a retrying
+/// wrapper above the injector issues one Scan call per attempt, so a
+/// "fail-count before success" plan composes naturally with retries).
+///
+/// Textual spec (comma-separated clauses, also exposed via the hidden
+/// nmine_cli `--fault-plan` flag for end-to-end drills):
+///   open-fail:N      first N attempts fail before any record (UNAVAILABLE)
+///   short-read:N:K   next N attempts deliver only K records, then fail
+///                    (UNAVAILABLE) — a transient short read at record K
+///   fail-scan:I      attempt index I fails before any record (UNAVAILABLE);
+///                    may be repeated for several indices
+///   corrupt-from:S   every attempt with index >= S fails with DATA_LOSS
+///                    (permanent corruption; retries cannot help)
+///   flaky:P          any remaining attempt fails with probability P,
+///                    drawn from the seeded generator
+///   seed:X           seed for the flaky coin (default 42)
+struct FaultPlan {
+  int open_fail_scans = 0;
+  int short_read_scans = 0;
+  size_t short_read_records = 0;
+  std::vector<int> fail_scan_indices;
+  int corrupt_from_scan = -1;  // -1 = never
+  double flake_probability = 0.0;
+  uint64_t seed = 42;
+
+  /// Parses the textual spec above. Returns nullopt and fills `*error` on
+  /// malformed input.
+  static std::optional<FaultPlan> Parse(const std::string& spec,
+                                        std::string* error);
+};
+
+/// Decorator that injects the faults of a FaultPlan into an otherwise
+/// healthy database, for tests and end-to-end fault drills. Forwarded
+/// scans count against this database's own scan accounting.
+class FaultInjectingDatabase : public SequenceDatabase {
+ public:
+  /// `inner` must outlive this object.
+  FaultInjectingDatabase(const SequenceDatabase* inner, FaultPlan plan)
+      : inner_(inner), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  size_t NumSequences() const override { return inner_->NumSequences(); }
+  uint64_t TotalSymbols() const override { return inner_->TotalSymbols(); }
+  using SequenceDatabase::Scan;
+  Status Scan(const Visitor& visitor, const RestartFn& restart) const override;
+
+  /// Scan attempts observed so far (for tests).
+  int attempts() const { return attempts_; }
+
+ private:
+  const SequenceDatabase* inner_;
+  FaultPlan plan_;
+  mutable Rng rng_;
+  mutable int attempts_ = 0;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_DB_FAULT_INJECTING_DATABASE_H_

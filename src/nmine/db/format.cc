@@ -20,6 +20,9 @@ bool GetVarint64(const char** pos, const char* end, uint64_t* value) {
   const char* p = *pos;
   while (p < end && shift <= 63) {
     uint8_t byte = static_cast<uint8_t>(*p++);
+    // The 10th byte (shift 63) may only contribute bit 63; anything larger
+    // would silently drop high bits, so reject it as corrupt.
+    if (shift == 63 && (byte & 0x7f) > 1) return false;
     result |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
       *pos = p;

@@ -34,11 +34,14 @@ void InMemorySequenceDatabase::Add(SequenceRecord record) {
   records_.push_back(std::move(record));
 }
 
-void InMemorySequenceDatabase::Scan(const Visitor& visitor) const {
+Status InMemorySequenceDatabase::Scan(const Visitor& visitor,
+                                      const RestartFn& restart) const {
   CountScan();
+  if (restart) restart();
   for (const SequenceRecord& r : records_) {
     visitor(r);
   }
+  return Status::Ok();
 }
 
 }  // namespace nmine

@@ -28,7 +28,8 @@ class InMemorySequenceDatabase : public SequenceDatabase {
   void Add(SequenceRecord record);
 
   size_t NumSequences() const override { return records_.size(); }
-  void Scan(const Visitor& visitor) const override;
+  using SequenceDatabase::Scan;
+  Status Scan(const Visitor& visitor, const RestartFn& restart) const override;
   uint64_t TotalSymbols() const override { return total_symbols_; }
 
   /// Direct access (no scan accounting); for tests and sample storage.

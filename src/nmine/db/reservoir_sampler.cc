@@ -1,6 +1,5 @@
 #include "nmine/db/reservoir_sampler.h"
 
-#include <cassert>
 #include <utility>
 
 namespace nmine {
@@ -11,7 +10,11 @@ SequentialSampler::SequentialSampler(size_t n, size_t population, Rng* rng)
 }
 
 bool SequentialSampler::Offer(const SequenceRecord& record) {
-  assert(seen_ < population_);
+  // The population size comes from database metadata, which a corrupted or
+  // concurrently-rewritten file can understate. Extra offers are rejected
+  // instead of dividing by a zero (or negative) remaining population: the
+  // sample is then still a uniform sample of the declared population.
+  if (seen_ >= population_) return false;
   size_t remaining_slots = n_ > sample_.size() ? n_ - sample_.size() : 0;
   size_t remaining_population = population_ - seen_;
   ++seen_;

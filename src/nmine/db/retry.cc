@@ -1,0 +1,83 @@
+#include "nmine/db/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "nmine/obs/logger.h"
+#include "nmine/obs/metrics.h"
+
+namespace nmine {
+namespace {
+
+class RealSleeper : public Sleeper {
+ public:
+  void SleepMs(double ms) override {
+    if (ms <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+};
+
+}  // namespace
+
+Sleeper* Sleeper::Real() {
+  static RealSleeper sleeper;
+  return &sleeper;
+}
+
+double BackoffMs(const RetryPolicy& policy, int failure_index, Rng* rng) {
+  double base = policy.initial_backoff_ms *
+                std::pow(policy.multiplier, static_cast<double>(failure_index));
+  base = std::min(base, policy.max_backoff_ms);
+  if (policy.jitter > 0.0 && rng != nullptr) {
+    base *= 1.0 + rng->UniformDouble() * policy.jitter;
+  }
+  return base;
+}
+
+Status RunScanWithRetry(
+    const RetryPolicy& policy, Sleeper* sleeper, bool can_replay,
+    const char* what,
+    const std::function<ScanAttempt(int attempt)>& attempt) {
+  if (sleeper == nullptr) sleeper = Sleeper::Real();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  Rng jitter_rng(policy.jitter_seed);
+  const int max_attempts = std::max(1, policy.max_attempts);
+  for (int i = 0;; ++i) {
+    ScanAttempt outcome = attempt(i);
+    if (outcome.status.ok()) {
+      if (i > 0) {
+        NMINE_LOG(kInfo, "db")
+            .Msg("scan recovered after retries")
+            .Str("op", what)
+            .Num("attempts", i + 1);
+      }
+      return outcome.status;
+    }
+    reg.GetCounter("db.scan.faults").Increment();
+    const bool transient = outcome.status.IsTransient();
+    const bool replay_safe = can_replay || !outcome.delivered_records;
+    if (!transient || !replay_safe || i + 1 >= max_attempts) {
+      NMINE_LOG(kWarn, "db")
+          .Msg("scan failed")
+          .Str("op", what)
+          .Str("status", outcome.status.ToString())
+          .Num("attempts", i + 1)
+          .Num("gave_up_mid_stream",
+               static_cast<int64_t>(transient && !replay_safe ? 1 : 0));
+      return outcome.status;
+    }
+    double backoff = BackoffMs(policy, i, &jitter_rng);
+    reg.GetCounter("db.scan.retries").Increment();
+    NMINE_LOG(kInfo, "db")
+        .Msg("transient scan failure; retrying")
+        .Str("op", what)
+        .Str("status", outcome.status.ToString())
+        .Num("attempt", i + 1)
+        .Num("backoff_ms", backoff);
+    sleeper->SleepMs(backoff);
+  }
+}
+
+}  // namespace nmine

@@ -1,0 +1,82 @@
+#ifndef NMINE_DB_RETRY_H_
+#define NMINE_DB_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nmine/core/status.h"
+#include "nmine/stats/random.h"
+
+namespace nmine {
+
+/// Bounded, jittered exponential backoff for transient scan failures.
+/// Attempt i (0-based failure index) sleeps
+///   min(initial_backoff_ms * multiplier^i, max_backoff_ms) * (1 + U*jitter)
+/// where U is uniform in [0, 1) drawn from a seeded generator, so retry
+/// schedules are reproducible in tests.
+struct RetryPolicy {
+  /// Total attempts, including the first. 1 disables retries.
+  int max_attempts = 3;
+  double initial_backoff_ms = 5.0;
+  double multiplier = 2.0;
+  double max_backoff_ms = 500.0;
+  /// Fractional jitter added on top of the deterministic backoff.
+  double jitter = 0.5;
+  uint64_t jitter_seed = 42;
+
+  static RetryPolicy NoRetry() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+/// Injectable sleep dependency so tests can assert on the backoff schedule
+/// without waiting for it.
+class Sleeper {
+ public:
+  virtual ~Sleeper() = default;
+  virtual void SleepMs(double ms) = 0;
+
+  /// Process-wide sleeper backed by std::this_thread::sleep_for.
+  static Sleeper* Real();
+};
+
+/// Records requested sleeps instead of performing them (for tests).
+class FakeSleeper : public Sleeper {
+ public:
+  void SleepMs(double ms) override { slept_ms_.push_back(ms); }
+  const std::vector<double>& slept_ms() const { return slept_ms_; }
+
+ private:
+  std::vector<double> slept_ms_;
+};
+
+/// Backoff for the given 0-based failure index, jittered from `rng`.
+double BackoffMs(const RetryPolicy& policy, int failure_index, Rng* rng);
+
+/// Outcome of one scan attempt: its status plus whether any record reached
+/// the visitor. A failed attempt that already delivered records may only be
+/// retried when the caller supplied a restart callback (so accumulated
+/// per-scan state can be reset); otherwise the retry would double-count.
+struct ScanAttempt {
+  Status status;
+  bool delivered_records = false;
+};
+
+/// Runs `attempt` until it succeeds, fails permanently, or exhausts
+/// `policy.max_attempts`. Only kUnavailable failures are retried, and
+/// mid-stream failures (delivered_records == true) are retried only when
+/// `can_replay` is set. Emits the shared fault-tolerance counters:
+///   db.scan.faults  — failed attempts (of any kind)
+///   db.scan.retries — retries actually performed
+/// `what` labels log lines (e.g. "disk scan"). `sleeper` may be null
+/// (defaults to Sleeper::Real()).
+Status RunScanWithRetry(const RetryPolicy& policy, Sleeper* sleeper,
+                        bool can_replay, const char* what,
+                        const std::function<ScanAttempt(int attempt)>& attempt);
+
+}  // namespace nmine
+
+#endif  // NMINE_DB_RETRY_H_

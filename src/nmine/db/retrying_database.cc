@@ -1,0 +1,24 @@
+#include "nmine/db/retrying_database.h"
+
+namespace nmine {
+
+Status RetryingDatabase::Scan(const Visitor& visitor,
+                              const RestartFn& restart) const {
+  CountScan();
+  return RunScanWithRetry(
+      policy_, sleeper_, /*can_replay=*/static_cast<bool>(restart),
+      "retrying scan", [&](int) {
+        ScanAttempt attempt;
+        bool delivered = false;
+        attempt.status = inner_->Scan(
+            [&](const SequenceRecord& r) {
+              delivered = true;
+              visitor(r);
+            },
+            restart);
+        attempt.delivered_records = delivered;
+        return attempt;
+      });
+}
+
+}  // namespace nmine

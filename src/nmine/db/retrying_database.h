@@ -1,0 +1,37 @@
+#ifndef NMINE_DB_RETRYING_DATABASE_H_
+#define NMINE_DB_RETRYING_DATABASE_H_
+
+#include "nmine/db/retry.h"
+#include "nmine/db/sequence_database.h"
+
+namespace nmine {
+
+/// Decorator adding retry-with-backoff around any SequenceDatabase. One
+/// logical Scan() counts one scan here regardless of how many attempts it
+/// takes underneath (the paper's scan metric counts logical passes; the
+/// inner database's own counter records physical attempts).
+///
+/// Mid-stream failures (records already delivered) are only retried when
+/// the caller supplied a restart callback; otherwise the accumulated
+/// visitor state could not be reset and the error is surfaced instead.
+class RetryingDatabase : public SequenceDatabase {
+ public:
+  /// `inner` must outlive this object. `sleeper` may be null (real clock).
+  RetryingDatabase(const SequenceDatabase* inner, RetryPolicy policy,
+                   Sleeper* sleeper = nullptr)
+      : inner_(inner), policy_(policy), sleeper_(sleeper) {}
+
+  size_t NumSequences() const override { return inner_->NumSequences(); }
+  uint64_t TotalSymbols() const override { return inner_->TotalSymbols(); }
+  using SequenceDatabase::Scan;
+  Status Scan(const Visitor& visitor, const RestartFn& restart) const override;
+
+ private:
+  const SequenceDatabase* inner_;
+  RetryPolicy policy_;
+  Sleeper* sleeper_;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_DB_RETRYING_DATABASE_H_

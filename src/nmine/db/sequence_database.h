@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "nmine/core/sequence.h"
+#include "nmine/core/status.h"
 
 namespace nmine {
 
@@ -14,17 +15,41 @@ namespace nmine {
 /// over the (potentially disk-resident) sequence database. Every call to
 /// Scan() increments a counter that miners report in their results, so the
 /// metric is measured identically for in-memory and on-disk databases.
+///
+/// Scans are fallible: the storage layer is treated as unreliable, and a
+/// truncated or concurrently-rewritten file surfaces as a non-OK Status
+/// instead of a silently partial pass (which would yield silently-wrong
+/// match values that border collapsing trusts as ground truth). On a
+/// non-OK return the caller MUST discard anything the visitor accumulated.
 class SequenceDatabase {
  public:
   using Visitor = std::function<void(const SequenceRecord&)>;
+
+  /// Invoked at the start of every scan attempt (including the first).
+  /// Implementations with internal retry re-deliver records from the first
+  /// one on each attempt; accumulating visitors reset their per-scan state
+  /// here so a retried attempt does not double-count. Implementations that
+  /// receive no restart callback must not retry once a record has been
+  /// delivered.
+  using RestartFn = std::function<void()>;
 
   virtual ~SequenceDatabase() = default;
 
   /// Number of sequences N.
   virtual size_t NumSequences() const = 0;
 
-  /// Visits every sequence once, in storage order. Counts one scan.
-  virtual void Scan(const Visitor& visitor) const = 0;
+  /// Visits every sequence once, in storage order. Counts one scan
+  /// (regardless of internal retry attempts). Returns non-OK when the pass
+  /// could not be completed; the visitor's accumulated state is then
+  /// meaningless and must be discarded.
+  virtual Status Scan(const Visitor& visitor,
+                      const RestartFn& restart) const = 0;
+
+  /// Convenience overload without a restart callback (mid-stream failures
+  /// are then not retried internally).
+  Status Scan(const Visitor& visitor) const {
+    return Scan(visitor, RestartFn());
+  }
 
   /// Total number of symbols across all sequences.
   virtual uint64_t TotalSymbols() const = 0;

@@ -1,12 +1,17 @@
 #include "nmine/gen/matrix_generator.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "nmine/core/check.h"
 
 namespace nmine {
 
 CompatibilityMatrix UniformNoiseMatrix(size_t m, double alpha) {
-  assert(m >= 2);
+  // A one-symbol alphabet has no off-diagonal mass to spread; the identity
+  // is the only column-stochastic matrix.
+  if (m < 2) return CompatibilityMatrix::Identity(m);
+  NMINE_CHECK(alpha >= 0.0 && alpha <= 1.0,
+              "noise level alpha must be within [0, 1]");
   CompatibilityMatrix c(m);
   const double off = alpha / static_cast<double>(m - 1);
   for (size_t i = 0; i < m; ++i) {
@@ -20,11 +25,16 @@ CompatibilityMatrix UniformNoiseMatrix(size_t m, double alpha) {
 
 CompatibilityMatrix SparseRandomMatrix(size_t m, double compat_fraction,
                                        double diagonal_mass, Rng* rng) {
-  assert(m >= 2);
-  assert(diagonal_mass > 0.0 && diagonal_mass <= 1.0);
+  if (m < 2) return CompatibilityMatrix::Identity(m);
+  NMINE_CHECK(diagonal_mass > 0.0 && diagonal_mass <= 1.0,
+              "diagonal_mass must be within (0, 1]");
   CompatibilityMatrix c(m);
-  const size_t num_compat = std::max<size_t>(
-      1, static_cast<size_t>(compat_fraction * static_cast<double>(m)));
+  // At most m-1 distinct off-diagonal rows exist per column; clamping keeps
+  // the distinct-row selection loop below finite for any compat_fraction.
+  const size_t num_compat = std::min<size_t>(
+      m - 1,
+      std::max<size_t>(
+          1, static_cast<size_t>(compat_fraction * static_cast<double>(m))));
   for (size_t j = 0; j < m; ++j) {  // per observed-symbol column
     c.Set(static_cast<SymbolId>(j), static_cast<SymbolId>(j), diagonal_mass);
     double residual = 1.0 - diagonal_mass;
@@ -80,7 +90,13 @@ CompatibilityMatrix PosteriorFromEmission(
     const std::vector<std::vector<double>>& emission_rows,
     const std::vector<double>& priors) {
   const size_t m = emission_rows.size();
-  assert(priors.size() == m);
+  NMINE_CHECK(priors.size() == m,
+              "PosteriorFromEmission: priors length must equal the number "
+              "of emission rows");
+  for (const std::vector<double>& row : emission_rows) {
+    NMINE_CHECK(row.size() == m,
+                "PosteriorFromEmission: emission matrix must be square");
+  }
   CompatibilityMatrix c(m);
   for (size_t j = 0; j < m; ++j) {  // observed
     double denom = 0.0;

@@ -1,12 +1,16 @@
 #include "nmine/gen/noise_model.h"
 
-#include <cassert>
+#include "nmine/core/check.h"
 
 namespace nmine {
 
 Sequence ApplyUniformNoise(const Sequence& seq, double alpha, size_t m,
                            Rng* rng) {
-  assert(m >= 2);
+  // With fewer than two symbols no *different* symbol exists to substitute;
+  // the only consistent noise channel is the identity.
+  if (m < 2) return seq;
+  NMINE_CHECK(alpha >= 0.0 && alpha <= 1.0,
+              "noise level alpha must be within [0, 1]");
   Sequence out;
   out.reserve(seq.size());
   for (SymbolId s : seq) {
@@ -38,7 +42,11 @@ EmissionModel::EmissionModel(std::vector<std::vector<double>> rows)
     : rows_(std::move(rows)) {
   samplers_.reserve(rows_.size());
   for (const std::vector<double>& row : rows_) {
-    assert(row.size() == rows_.size());
+    // Emission rows frequently come from config files; a ragged matrix
+    // must fail loudly in release builds too.
+    NMINE_CHECK(row.size() == rows_.size(),
+                "EmissionModel row length differs from the number of rows "
+                "(matrix must be square)");
     samplers_.emplace_back(row);
   }
 }

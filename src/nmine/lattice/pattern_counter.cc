@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "nmine/core/check.h"
+
 namespace nmine {
 
 PatternTrie::PatternTrie(const std::vector<Pattern>& patterns)
@@ -133,23 +135,27 @@ class BatchEvaluator {
   std::optional<PatternTrie> trie_;
 };
 
-std::vector<double> AverageOverDb(const SequenceDatabase& db,
-                                  const std::vector<Pattern>& patterns,
-                                  const CompatibilityMatrix* c) {
+Status AverageOverDb(const SequenceDatabase& db,
+                     const std::vector<Pattern>& patterns,
+                     const CompatibilityMatrix* c,
+                     std::vector<double>* totals) {
   BatchEvaluator evaluator(patterns, c);
-  std::vector<double> totals(patterns.size(), 0.0);
+  totals->assign(patterns.size(), 0.0);
   std::vector<double> best;
-  db.Scan([&](const SequenceRecord& r) {
-    evaluator.Best(r.symbols, &best);
-    for (size_t i = 0; i < totals.size(); ++i) {
-      totals[i] += best[i];
-    }
-  });
+  Status s = db.Scan(
+      [&](const SequenceRecord& r) {
+        evaluator.Best(r.symbols, &best);
+        for (size_t i = 0; i < totals->size(); ++i) {
+          (*totals)[i] += best[i];
+        }
+      },
+      /*restart=*/[&] { totals->assign(patterns.size(), 0.0); });
+  if (!s.ok()) return s;
   const double n = static_cast<double>(db.NumSequences());
   if (n > 0) {
-    for (double& t : totals) t /= n;
+    for (double& t : *totals) t /= n;
   }
-  return totals;
+  return Status::Ok();
 }
 
 std::vector<double> AverageOverRecords(
@@ -173,15 +179,36 @@ std::vector<double> AverageOverRecords(
 
 }  // namespace
 
+Status TryCountMatches(const SequenceDatabase& db,
+                       const CompatibilityMatrix& c,
+                       const std::vector<Pattern>& patterns,
+                       std::vector<double>* values) {
+  return AverageOverDb(db, patterns, &c, values);
+}
+
+Status TryCountSupports(const SequenceDatabase& db,
+                        const std::vector<Pattern>& patterns,
+                        std::vector<double>* values) {
+  return AverageOverDb(db, patterns, nullptr, values);
+}
+
 std::vector<double> CountMatches(const SequenceDatabase& db,
                                  const CompatibilityMatrix& c,
                                  const std::vector<Pattern>& patterns) {
-  return AverageOverDb(db, patterns, &c);
+  std::vector<double> values;
+  Status s = AverageOverDb(db, patterns, &c, &values);
+  NMINE_CHECK(s.ok(), "CountMatches on a fallible database failed; use "
+                      "TryCountMatches to handle scan errors");
+  return values;
 }
 
 std::vector<double> CountSupports(const SequenceDatabase& db,
                                   const std::vector<Pattern>& patterns) {
-  return AverageOverDb(db, patterns, nullptr);
+  std::vector<double> values;
+  Status s = AverageOverDb(db, patterns, nullptr, &values);
+  NMINE_CHECK(s.ok(), "CountSupports on a fallible database failed; use "
+                      "TryCountSupports to handle scan errors");
+  return values;
 }
 
 std::vector<double> CountMatchesInRecords(

@@ -56,7 +56,23 @@ class PatternTrie {
 };
 
 /// Match of every pattern in `patterns` over the whole database
-/// (Definition 3.7), computed in ONE scan.
+/// (Definition 3.7), computed in ONE scan. On failure `*values` is
+/// meaningless; miners must surface the status instead of consuming the
+/// partial counts. Retried scan attempts reset the accumulators via the
+/// database's restart callback, so retries never double-count.
+Status TryCountMatches(const SequenceDatabase& db,
+                       const CompatibilityMatrix& c,
+                       const std::vector<Pattern>& patterns,
+                       std::vector<double>* values);
+
+/// Support of every pattern over the whole database, in one scan.
+Status TryCountSupports(const SequenceDatabase& db,
+                        const std::vector<Pattern>& patterns,
+                        std::vector<double>* values);
+
+/// Convenience wrappers for infallible (in-memory) databases: tests,
+/// examples, and benches. Scan errors are impossible there; fallible
+/// databases must go through the TryCount* variants.
 std::vector<double> CountMatches(const SequenceDatabase& db,
                                  const CompatibilityMatrix& c,
                                  const std::vector<Pattern>& patterns);

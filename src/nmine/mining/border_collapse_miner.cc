@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <string>
+#include <utility>
 
 #include "nmine/lattice/halfway.h"
 #include "nmine/lattice/pattern_counter.h"
 #include "nmine/lattice/pattern_set.h"
 #include "nmine/mining/levelwise_miner.h"
+#include "nmine/mining/phase3_checkpoint.h"
 #include "nmine/mining/symbol_scan.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
@@ -156,30 +159,136 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
   auto start = std::chrono::steady_clock::now();
   int64_t scans_before = db.scan_count();
   MiningResult result;
-  Rng rng(options_.seed);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
 
-  // ---- Phase 1: symbol matches + sample, one scan (Algorithm 4.1).
-  SymbolScanResult phase1 =
-      metric_ == Metric::kMatch
-          ? ScanSymbolsAndSample(db, c, options_.sample_size, &rng)
-          : ScanSymbolSupports(db, c.size(), options_.sample_size, &rng);
-  result.symbol_match = phase1.symbol_match;
+  auto finish = [&](MiningResult* r) {
+    r->scans = db.scan_count() - scans_before + r->scans;
+    r->seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    EmitResultMetrics(*r, "collapse");
+  };
+  auto fail = [&](Status status) {
+    // A partial pattern set would be indistinguishable from a complete
+    // one, so failure returns only the status and the cost accounting.
+    result.status = std::move(status);
+    result.frequent = PatternSet();
+    result.values = PatternMap<double>();
+    result.border = Border();
+    finish(&result);
+    return result;
+  };
 
-  // ---- Phase 2: classify patterns on the in-memory sample.
-  SampleClassification cls =
-      ClassifySamplePatterns(phase1.sample.records(), c, phase1.symbol_match,
-                             metric_, options_);
-  result.level_stats = cls.level_stats;
-  result.truncated = cls.truncated;
-  result.ambiguous_after_sample = cls.ambiguous.size();
-  result.ambiguous_with_unit_spread = cls.ambiguous_with_unit_spread;
-  result.accepted_from_sample = cls.frequent.size();
+  // State the Phase-3 loop runs on: the unresolved ambiguous region and
+  // the sample estimates closure-frequent patterns inherit. Filled either
+  // by Phases 1-2 or from a checkpoint of an interrupted run.
+  std::vector<Pattern> ambiguous;
+  PatternMap<double> sample_values;
+  bool resumed = false;
+  const std::string& ckpt_path = options_.phase3_checkpoint_path;
 
-  // Sample-frequent patterns are accepted with probability 1 - delta
-  // (Claim 4.1); they carry their sample estimates.
-  for (const Pattern& p : cls.frequent) {
-    result.frequent.Insert(p);
-    result.values[p] = cls.sample_values[p];
+  if (!ckpt_path.empty()) {
+    Phase3Checkpoint expected;
+    expected.metric = metric_;
+    expected.min_threshold = options_.min_threshold;
+    expected.num_sequences = db.NumSequences();
+    expected.total_symbols = db.TotalSymbols();
+    Phase3Checkpoint cp;
+    Status s = LoadPhase3Checkpoint(ckpt_path, expected, &cp);
+    if (s.ok()) {
+      resumed = true;
+      reg.GetCounter("phase3.resumes").Increment();
+      NMINE_LOG(kInfo, "phase3")
+          .Msg("resuming border collapse from checkpoint")
+          .Str("path", ckpt_path)
+          .Num("resolved", cp.resolved_frequent.size())
+          .Num("unresolved", cp.unresolved.size())
+          .Num("scans_completed", cp.scans_completed);
+      for (const auto& [p, v] : cp.resolved_frequent) {
+        result.frequent.Insert(p);
+        result.values[p] = v;
+      }
+      for (const auto& [p, v] : cp.unresolved) {
+        ambiguous.push_back(p);
+        sample_values[p] = v;
+      }
+      result.symbol_match = cp.symbol_match;
+      result.ambiguous_after_sample = cp.ambiguous_after_sample;
+      result.ambiguous_with_unit_spread = cp.ambiguous_with_unit_spread;
+      result.accepted_from_sample = cp.accepted_from_sample;
+      result.truncated = cp.truncated;
+      result.scans = cp.scans_completed;  // finish() adds this run's scans
+    } else if (s.code() != StatusCode::kNotFound) {
+      NMINE_LOG(kWarn, "phase3")
+          .Msg("ignoring unusable checkpoint; starting fresh")
+          .Str("path", ckpt_path)
+          .Str("status", s.ToString());
+    }
+  }
+
+  if (!resumed) {
+    Rng rng(options_.seed);
+
+    // ---- Phase 1: symbol matches + sample, one scan (Algorithm 4.1).
+    SymbolScanResult phase1 =
+        metric_ == Metric::kMatch
+            ? ScanSymbolsAndSample(db, c, options_.sample_size, &rng)
+            : ScanSymbolSupports(db, c.size(), options_.sample_size, &rng);
+    if (!phase1.status.ok()) return fail(phase1.status);
+    result.symbol_match = phase1.symbol_match;
+
+    // ---- Phase 2: classify patterns on the in-memory sample.
+    SampleClassification cls = ClassifySamplePatterns(
+        phase1.sample.records(), c, phase1.symbol_match, metric_, options_);
+    result.level_stats = cls.level_stats;
+    result.truncated = cls.truncated;
+    result.ambiguous_after_sample = cls.ambiguous.size();
+    result.ambiguous_with_unit_spread = cls.ambiguous_with_unit_spread;
+    result.accepted_from_sample = cls.frequent.size();
+
+    // Sample-frequent patterns are accepted with probability 1 - delta
+    // (Claim 4.1); they carry their sample estimates.
+    for (const Pattern& p : cls.frequent) {
+      result.frequent.Insert(p);
+      result.values[p] = cls.sample_values[p];
+    }
+    ambiguous = std::move(cls.ambiguous);
+    sample_values = std::move(cls.sample_values);
+  }
+
+  auto write_checkpoint = [&] {
+    Phase3Checkpoint cp;
+    cp.metric = metric_;
+    cp.min_threshold = options_.min_threshold;
+    cp.num_sequences = db.NumSequences();
+    cp.total_symbols = db.TotalSymbols();
+    cp.scans_completed = db.scan_count() - scans_before + result.scans;
+    cp.ambiguous_after_sample = result.ambiguous_after_sample;
+    cp.ambiguous_with_unit_spread = result.ambiguous_with_unit_spread;
+    cp.accepted_from_sample = result.accepted_from_sample;
+    cp.truncated = result.truncated;
+    cp.symbol_match = result.symbol_match;
+    for (const Pattern& p : result.frequent.ToSortedVector()) {
+      cp.resolved_frequent.emplace_back(p, result.values[p]);
+    }
+    for (const Pattern& p : ambiguous) {
+      cp.unresolved.emplace_back(p, sample_values[p]);
+    }
+    Status s = WritePhase3Checkpoint(ckpt_path, cp);
+    if (s.ok()) {
+      reg.GetCounter("phase3.checkpoints").Increment();
+    } else {
+      NMINE_LOG(kWarn, "phase3")
+          .Msg("checkpoint write failed; continuing without")
+          .Str("path", ckpt_path)
+          .Str("status", s.ToString());
+    }
+  };
+
+  // Checkpoint the Phase-1/2 output before the first probe scan, so even a
+  // first-scan fault resumes without repeating the sample phase.
+  if (!ckpt_path.empty() && !resumed && !ambiguous.empty()) {
+    write_checkpoint();
   }
 
   // ---- Phase 3: border collapsing over the ambiguous region
@@ -187,8 +296,6 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
   // lattice levels — the halfway layer has the highest collapsing power —
   // batched by the memory budget; every probe scan is followed by Apriori
   // closure over the remaining ambiguous patterns.
-  std::vector<Pattern> ambiguous = cls.ambiguous;
-  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.GetGauge("phase3.budget.max_counters")
       .Set(static_cast<double>(options_.max_counters_per_scan));
   obs::TraceSpan phase3_span("phase3.border_collapse", "phase3");
@@ -226,10 +333,32 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
       probe_set.Insert(ambiguous.front());
     }
 
-    // One scan of the full database for the whole probe set.
-    std::vector<double> values =
-        metric_ == Metric::kMatch ? CountMatches(db, c, probe)
-                                  : CountSupports(db, probe);
+    // One scan of the full database for the whole probe set. A transient
+    // scan fault is retried at the miner level (on top of any retrying the
+    // database itself does): only this unresolved probe batch is
+    // re-counted — resolved patterns are never probed again.
+    std::vector<double> values;
+    Status scan_status = Status::Ok();
+    for (size_t attempt = 0; attempt <= options_.phase3_scan_retries;
+         ++attempt) {
+      if (attempt > 0) {
+        reg.GetCounter("phase3.scan_retries").Increment();
+        NMINE_LOG(kWarn, "phase3")
+            .Msg("retrying failed probe scan")
+            .Num("attempt", attempt)
+            .Num("probe_size", probe.size())
+            .Str("status", scan_status.ToString());
+      }
+      scan_status = metric_ == Metric::kMatch
+                        ? TryCountMatches(db, c, probe, &values)
+                        : TryCountSupports(db, probe, &values);
+      if (scan_status.ok() || !scan_status.IsTransient()) break;
+    }
+    if (!scan_status.ok()) {
+      // The checkpoint (when configured) still holds the last good state;
+      // a rerun resumes from exactly this probe batch.
+      return fail(scan_status);
+    }
 
     std::vector<Pattern> probed_frequent;
     std::vector<Pattern> probed_infrequent;
@@ -255,7 +384,7 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
       for (const Pattern& f : probed_frequent) {
         if (p.IsSubpatternOf(f)) {
           result.frequent.Insert(p);
-          result.values[p] = cls.sample_values[p];  // sample estimate
+          result.values[p] = sample_values[p];  // sample estimate
           resolved = true;
           ++closure_frequent;
           break;
@@ -273,6 +402,11 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
       if (!resolved) remaining.push_back(p);
     }
     ambiguous = std::move(remaining);
+
+    // Persist the collapsed state: a fault on the NEXT scan resumes here.
+    if (!ckpt_path.empty() && !ambiguous.empty()) {
+      write_checkpoint();
+    }
 
     reg.GetCounter("phase3.scans").Increment();
     reg.GetCounter("phase3.probed").Add(static_cast<int64_t>(probe.size()));
@@ -310,11 +444,8 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
   }
 
   BuildBorder(&result);
-  result.scans = db.scan_count() - scans_before;
-  result.seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
-  EmitResultMetrics(result, "collapse");
+  if (!ckpt_path.empty()) RemovePhase3Checkpoint(ckpt_path);
+  finish(&result);
   return result;
 }
 

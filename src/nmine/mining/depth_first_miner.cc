@@ -1,6 +1,7 @@
 #include "nmine/mining/depth_first_miner.h"
 
 #include <chrono>
+#include <utility>
 #include <vector>
 
 #include "nmine/mining/levelwise_miner.h"
@@ -183,9 +184,20 @@ MiningResult DepthFirstMiner::Mine(const SequenceDatabase& db,
   sequences.reserve(db.NumSequences());
   {
     obs::TraceSpan load_span("depthfirst.load", "depthfirst");
-    db.Scan([&sequences](const SequenceRecord& r) {
-      sequences.push_back(r.symbols);
-    });
+    Status load_status = db.Scan(
+        [&sequences](const SequenceRecord& r) {
+          sequences.push_back(r.symbols);
+        },
+        /*restart=*/[&sequences] { sequences.clear(); });
+    if (!load_status.ok()) {
+      result.status = std::move(load_status);
+      result.scans = db.scan_count() - scans_before;
+      result.seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      EmitResultMetrics(result, "depthfirst");
+      return result;
+    }
   }
 
   DepthFirstSearch search(metric_, options_, c, std::move(sequences));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <utility>
 
 #include "nmine/lattice/pattern_counter.h"
 #include "nmine/obs/logger.h"
@@ -11,8 +12,8 @@
 namespace nmine {
 namespace {
 
-using CountFn =
-    std::function<std::vector<double>(const std::vector<Pattern>&)>;
+using CountFn = std::function<Status(const std::vector<Pattern>&,
+                                     std::vector<double>*)>;
 using ThresholdFn = std::function<double(const Pattern&)>;
 
 /// Shared level-wise loop: `count` evaluates a batch of candidates (and
@@ -33,7 +34,19 @@ MiningResult RunLevelwise(size_t m, const ThresholdFn& threshold_of,
   for (size_t level = 1; level <= max_level && !candidates.empty(); ++level) {
     obs::TraceSpan level_span("levelwise.level", "levelwise");
     level_span.Arg("level", level).Arg("candidates", candidates.size());
-    std::vector<double> values = count(candidates);
+    std::vector<double> values;
+    Status count_status = count(candidates, &values);
+    if (!count_status.ok()) {
+      // Levels already mined would be a silently incomplete answer; return
+      // only the failure and what cost accounting exists.
+      result.status = std::move(count_status);
+      result.frequent = PatternSet();
+      result.values = PatternMap<double>();
+      result.seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      return result;
+    }
     LevelStats stats;
     stats.level = level;
     stats.num_candidates = candidates.size();
@@ -88,18 +101,28 @@ void BuildBorder(MiningResult* result) {
   }
 }
 
-MiningResult LevelwiseMiner::Mine(const SequenceDatabase& db,
-                                  const CompatibilityMatrix& c) const {
-  CountFn count;
-  if (metric_ == Metric::kMatch) {
-    count = [&db, &c](const std::vector<Pattern>& patterns) {
-      return CountMatches(db, c, patterns);
-    };
-  } else {
-    count = [&db](const std::vector<Pattern>& patterns) {
-      return CountSupports(db, patterns);
+namespace {
+
+/// Fallible batch counter over a database for the level-wise loop.
+CountFn DbCounter(const SequenceDatabase& db, const CompatibilityMatrix& c,
+                  Metric metric) {
+  if (metric == Metric::kMatch) {
+    return [&db, &c](const std::vector<Pattern>& patterns,
+                     std::vector<double>* values) {
+      return TryCountMatches(db, c, patterns, values);
     };
   }
+  return [&db](const std::vector<Pattern>& patterns,
+               std::vector<double>* values) {
+    return TryCountSupports(db, patterns, values);
+  };
+}
+
+}  // namespace
+
+MiningResult LevelwiseMiner::Mine(const SequenceDatabase& db,
+                                  const CompatibilityMatrix& c) const {
+  CountFn count = DbCounter(db, c, metric_);
   int64_t scans_before = db.scan_count();
   obs::TraceSpan mine_span("mine.levelwise", "mining");
   const double threshold = options_.min_threshold;
@@ -117,12 +140,16 @@ MiningResult LevelwiseMiner::MineRecords(
     const CompatibilityMatrix& c) const {
   CountFn count;
   if (metric_ == Metric::kMatch) {
-    count = [&records, &c](const std::vector<Pattern>& patterns) {
-      return CountMatchesInRecords(records, c, patterns);
+    count = [&records, &c](const std::vector<Pattern>& patterns,
+                           std::vector<double>* values) {
+      *values = CountMatchesInRecords(records, c, patterns);
+      return Status::Ok();
     };
   } else {
-    count = [&records](const std::vector<Pattern>& patterns) {
-      return CountSupportsInRecords(records, patterns);
+    count = [&records](const std::vector<Pattern>& patterns,
+                       std::vector<double>* values) {
+      *values = CountSupportsInRecords(records, patterns);
+      return Status::Ok();
     };
   }
   const double threshold = options_.min_threshold;
@@ -135,16 +162,7 @@ MiningResult LevelwiseMiner::MineRecords(
 MiningResult LevelwiseMiner::MineWithThreshold(
     const SequenceDatabase& db, const CompatibilityMatrix& c,
     const std::function<double(const Pattern&)>& threshold_of) const {
-  CountFn count;
-  if (metric_ == Metric::kMatch) {
-    count = [&db, &c](const std::vector<Pattern>& patterns) {
-      return CountMatches(db, c, patterns);
-    };
-  } else {
-    count = [&db](const std::vector<Pattern>& patterns) {
-      return CountSupports(db, patterns);
-    };
-  }
+  CountFn count = DbCounter(db, c, metric_);
   int64_t scans_before = db.scan_count();
   obs::TraceSpan mine_span("mine.levelwise_calibrated", "mining");
   MiningResult result = RunLevelwise(

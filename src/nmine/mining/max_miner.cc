@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "nmine/lattice/pattern_counter.h"
 #include "nmine/lattice/pattern_set.h"
@@ -93,9 +94,23 @@ MiningResult MaxMiner::Mine(const SequenceDatabase& db,
   const size_t m = c.size();
   const bool contiguous = options_.space.max_gap == 0;
 
-  auto count = [&](const std::vector<Pattern>& patterns) {
-    return metric_ == Metric::kMatch ? CountMatches(db, c, patterns)
-                                     : CountSupports(db, patterns);
+  auto count = [&](const std::vector<Pattern>& patterns,
+                   std::vector<double>* values) {
+    return metric_ == Metric::kMatch
+               ? TryCountMatches(db, c, patterns, values)
+               : TryCountSupports(db, patterns, values);
+  };
+  auto fail = [&](Status status) {
+    result.status = std::move(status);
+    result.frequent = PatternSet();
+    result.values = PatternMap<double>();
+    result.border = Border();
+    result.scans = db.scan_count() - scans_before;
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    EmitResultMetrics(result, "maxminer");
+    return result;
   };
 
   // Patterns certified frequent by a counted look-ahead jump: anything they
@@ -147,7 +162,9 @@ MiningResult MaxMiner::Mine(const SequenceDatabase& db,
     batch.insert(batch.end(), jumps.begin(), jumps.end());
     std::vector<double> values;
     if (!batch.empty()) {
-      values = count(batch);  // one scan serves candidates and jumps
+      // One scan serves candidates and jumps.
+      Status count_status = count(batch, &values);
+      if (!count_status.ok()) return fail(std::move(count_status));
     }
 
     frontier.clear();

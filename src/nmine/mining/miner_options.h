@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <string>
 
 #include "nmine/lattice/candidate_gen.h"
 
@@ -57,6 +58,20 @@ struct MinerOptions {
 
   /// Seed for sampling (Phase 1 is the only randomized step).
   uint64_t seed = 42;
+
+  // --- Fault tolerance (border-collapsing miner) ---
+
+  /// Miner-level retries of a failed Phase-3 probe scan, on top of any
+  /// retrying the database itself performs. Only the unresolved probe
+  /// batch is re-counted; resolved patterns are never re-probed.
+  size_t phase3_scan_retries = 1;
+
+  /// When non-empty, Phase-3 probe state is checkpointed to this file
+  /// after every successful scan. A later run with the same options and
+  /// database resumes border collapsing from the unresolved patterns
+  /// instead of redoing Phases 1-3 from scratch. The file is removed on
+  /// successful completion.
+  std::string phase3_checkpoint_path;
 };
 
 }  // namespace nmine

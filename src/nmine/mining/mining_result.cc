@@ -21,6 +21,14 @@ const char* ToString(Metric metric) {
 void EmitResultMetrics(const MiningResult& result, const char* algorithm) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.GetCounter("mining.runs").Increment();
+  if (!result.ok()) {
+    reg.GetCounter("mining.failed_runs").Increment();
+    NMINE_LOG(kError, "mining")
+        .Msg("run failed")
+        .Str("algorithm", algorithm)
+        .Str("status", result.status.ToString())
+        .Num("scans", result.scans);
+  }
   reg.GetCounter(std::string("mining.algorithm.") + algorithm + ".runs")
       .Increment();
   reg.GetCounter("mining.scans").Add(result.scans);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "nmine/core/pattern.h"
+#include "nmine/core/status.h"
 #include "nmine/lattice/border.h"
 #include "nmine/lattice/pattern_set.h"
 
@@ -22,6 +23,14 @@ struct LevelStats {
 /// Output of any miner: the frequent-pattern set, its border, metric
 /// values, and cost accounting.
 struct MiningResult {
+  /// Outcome of the run. Non-OK when a database scan failed and could not
+  /// be recovered by retries; the pattern sets are then empty (a partial
+  /// answer would be indistinguishable from a complete one) and only the
+  /// cost accounting below remains meaningful.
+  Status status = Status::Ok();
+
+  bool ok() const { return status.ok(); }
+
   /// All frequent patterns (match/support >= threshold).
   PatternSet frequent;
 

@@ -1,0 +1,68 @@
+#ifndef NMINE_MINING_PHASE3_CHECKPOINT_H_
+#define NMINE_MINING_PHASE3_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nmine/core/pattern.h"
+#include "nmine/core/status.h"
+#include "nmine/mining/miner_options.h"
+
+namespace nmine {
+
+/// Border-collapsing probe state persisted between Phase-3 scans, so a run
+/// killed by a scan fault resumes from the unresolved batch instead of
+/// redoing Phases 1-3 from scratch (each probe scan is a full pass over
+/// the disk-resident database — the dominant cost the paper optimizes).
+///
+/// The guard fields tie a checkpoint to one (database, metric, threshold)
+/// configuration; Load refuses mismatches so stale state can never leak
+/// into a different mining run.
+struct Phase3Checkpoint {
+  // --- Guard: must match the resuming run exactly. ---
+  Metric metric = Metric::kMatch;
+  double min_threshold = 0.0;
+  uint64_t num_sequences = 0;
+  uint64_t total_symbols = 0;
+
+  /// Probe scans already completed (restored into MiningResult::scans so
+  /// cost accounting spans the interrupted and resumed runs).
+  int64_t scans_completed = 0;
+
+  // --- Diagnostics carried across the resume (Phase 1/2 outputs). ---
+  uint64_t ambiguous_after_sample = 0;
+  uint64_t ambiguous_with_unit_spread = 0;
+  uint64_t accepted_from_sample = 0;
+  bool truncated = false;
+  std::vector<double> symbol_match;
+
+  /// Patterns already known frequent, with their values (exact for probed
+  /// patterns, sample estimates for sample-accepted ones).
+  std::vector<std::pair<Pattern, double>> resolved_frequent;
+
+  /// Still-ambiguous patterns with their sample estimates (the estimate is
+  /// assigned when Apriori closure later accepts the pattern un-probed).
+  std::vector<std::pair<Pattern, double>> unresolved;
+};
+
+/// Writes `cp` to `path` atomically (temp file + rename), so a crash while
+/// checkpointing never destroys the previous good checkpoint.
+Status WritePhase3Checkpoint(const std::string& path,
+                             const Phase3Checkpoint& cp);
+
+/// Loads a checkpoint. kNotFound when no file exists (fresh run),
+/// kDataLoss on a malformed file, kFailedPrecondition when the guard
+/// fields disagree with `expected` (the caller's configuration).
+Status LoadPhase3Checkpoint(const std::string& path,
+                            const Phase3Checkpoint& expected,
+                            Phase3Checkpoint* cp);
+
+/// Removes the checkpoint file if present (called on successful
+/// completion). Best-effort; missing files are fine.
+void RemovePhase3Checkpoint(const std::string& path);
+
+}  // namespace nmine
+
+#endif  // NMINE_MINING_PHASE3_CHECKPOINT_H_

@@ -1,6 +1,8 @@
 #include "nmine/mining/symbol_scan.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
 
 #include "nmine/db/reservoir_sampler.h"
 #include "nmine/obs/logger.h"
@@ -38,7 +40,12 @@ SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
   SymbolScanResult result;
   result.symbol_match.assign(m, 0.0);
 
-  SequentialSampler sampler(sample_size, n_seq, rng);
+  // Snapshotting the generator lets a retried scan attempt redraw the
+  // exact same sample, so a run that recovers from a transient fault is
+  // bit-identical to a fault-free run.
+  const Rng rng_snapshot = *rng;
+  std::optional<SequentialSampler> sampler;
+  sampler.emplace(sample_size, n_seq, rng);
 
   // Epoch-stamped per-sequence state avoids O(m) clearing per sequence.
   std::vector<double> max_match(m, 0.0);
@@ -46,37 +53,52 @@ SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
   std::vector<uint64_t> seen_epoch(m, 0);  // distinct-symbol flags
   uint64_t epoch = 0;
 
-  db.Scan([&](const SequenceRecord& record) {
-    ++epoch;
-    for (SymbolId observed : record.symbols) {
-      size_t oi = static_cast<size_t>(observed);
-      if (seen_epoch[oi] == epoch) continue;  // first occurrence only
-      seen_epoch[oi] = epoch;
-      for (const CompatibilityMatrix::Entry& e : c.ColumnNonZeros(observed)) {
-        size_t ti = static_cast<size_t>(e.symbol);
-        if (max_match_epoch[ti] != epoch) {
-          max_match_epoch[ti] = epoch;
-          max_match[ti] = e.value;
-        } else if (e.value > max_match[ti]) {
-          max_match[ti] = e.value;
+  result.status = db.Scan(
+      [&](const SequenceRecord& record) {
+        ++epoch;
+        for (SymbolId observed : record.symbols) {
+          size_t oi = static_cast<size_t>(observed);
+          if (seen_epoch[oi] == epoch) continue;  // first occurrence only
+          seen_epoch[oi] = epoch;
+          for (const CompatibilityMatrix::Entry& e :
+               c.ColumnNonZeros(observed)) {
+            size_t ti = static_cast<size_t>(e.symbol);
+            if (max_match_epoch[ti] != epoch) {
+              max_match_epoch[ti] = epoch;
+              max_match[ti] = e.value;
+            } else if (e.value > max_match[ti]) {
+              max_match[ti] = e.value;
+            }
+          }
         }
-      }
-    }
-    for (size_t d = 0; d < m; ++d) {
-      if (max_match_epoch[d] == epoch) {
-        result.symbol_match[d] +=
-            max_match[d] / static_cast<double>(n_seq);
-      }
-    }
-    if (sample_size > 0) {
-      sampler.Offer(record);
-    }
-  });
+        for (size_t d = 0; d < m; ++d) {
+          if (max_match_epoch[d] == epoch) {
+            result.symbol_match[d] +=
+                max_match[d] / static_cast<double>(n_seq);
+          }
+        }
+        if (sample_size > 0) {
+          sampler->Offer(record);
+        }
+      },
+      /*restart=*/[&] {
+        result.symbol_match.assign(m, 0.0);
+        std::fill(max_match_epoch.begin(), max_match_epoch.end(), 0);
+        std::fill(seen_epoch.begin(), seen_epoch.end(), 0);
+        epoch = 0;
+        *rng = rng_snapshot;
+        sampler.emplace(sample_size, n_seq, rng);
+      });
+  if (!result.status.ok()) {
+    result.symbol_match.clear();
+    result.sample = InMemorySequenceDatabase();
+    return result;
+  }
 
   RecordPhase1("symbol match scan", n_seq, sample_size,
-               sampler.sample().size());
-  span.Arg("sequences", n_seq).Arg("sample", sampler.sample().size());
-  result.sample = sampler.TakeDatabase();
+               sampler->sample().size());
+  span.Arg("sequences", n_seq).Arg("sample", sampler->sample().size());
+  result.sample = sampler->TakeDatabase();
   return result;
 }
 
@@ -87,27 +109,42 @@ SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
   SymbolScanResult result;
   result.symbol_match.assign(m, 0.0);
 
-  SequentialSampler sampler(sample_size, n_seq, rng);
+  const Rng rng_snapshot = *rng;
+  std::optional<SequentialSampler> sampler;
+  sampler.emplace(sample_size, n_seq, rng);
   std::vector<uint64_t> seen_epoch(m, 0);
   uint64_t epoch = 0;
 
-  db.Scan([&](const SequenceRecord& record) {
-    ++epoch;
-    for (SymbolId observed : record.symbols) {
-      size_t oi = static_cast<size_t>(observed);
-      if (seen_epoch[oi] == epoch) continue;
-      seen_epoch[oi] = epoch;
-      result.symbol_match[oi] += 1.0 / static_cast<double>(n_seq);
-    }
-    if (sample_size > 0) {
-      sampler.Offer(record);
-    }
-  });
+  result.status = db.Scan(
+      [&](const SequenceRecord& record) {
+        ++epoch;
+        for (SymbolId observed : record.symbols) {
+          size_t oi = static_cast<size_t>(observed);
+          if (seen_epoch[oi] == epoch) continue;
+          seen_epoch[oi] = epoch;
+          result.symbol_match[oi] += 1.0 / static_cast<double>(n_seq);
+        }
+        if (sample_size > 0) {
+          sampler->Offer(record);
+        }
+      },
+      /*restart=*/[&] {
+        result.symbol_match.assign(m, 0.0);
+        std::fill(seen_epoch.begin(), seen_epoch.end(), 0);
+        epoch = 0;
+        *rng = rng_snapshot;
+        sampler.emplace(sample_size, n_seq, rng);
+      });
+  if (!result.status.ok()) {
+    result.symbol_match.clear();
+    result.sample = InMemorySequenceDatabase();
+    return result;
+  }
 
   RecordPhase1("symbol support scan", n_seq, sample_size,
-               sampler.sample().size());
-  span.Arg("sequences", n_seq).Arg("sample", sampler.sample().size());
-  result.sample = sampler.TakeDatabase();
+               sampler->sample().size());
+  span.Arg("sequences", n_seq).Arg("sample", sampler->sample().size());
+  result.sample = sampler->TakeDatabase();
   return result;
 }
 

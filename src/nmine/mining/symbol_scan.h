@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nmine/core/compatibility_matrix.h"
+#include "nmine/core/status.h"
 #include "nmine/db/in_memory_database.h"
 #include "nmine/db/sequence_database.h"
 #include "nmine/stats/random.h"
@@ -19,6 +20,10 @@ struct SymbolScanResult {
 
   /// The in-memory sample (min(sample_size, N) sequences, uniform).
   InMemorySequenceDatabase sample;
+
+  /// Scan outcome. On failure `symbol_match` and `sample` are empty; the
+  /// caller must abort the mining run with this status.
+  Status status = Status::Ok();
 };
 
 /// Phase 1 of the probabilistic algorithm: in ONE scan of `db`, computes

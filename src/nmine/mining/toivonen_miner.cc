@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <utility>
 
 #include "nmine/lattice/pattern_counter.h"
 #include "nmine/lattice/pattern_set.h"
@@ -24,12 +25,26 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
   MiningResult result;
   Rng rng(options_.seed);
 
+  auto fail = [&](Status status) {
+    result.status = std::move(status);
+    result.frequent = PatternSet();
+    result.values = PatternMap<double>();
+    result.border = Border();
+    result.scans = db.scan_count() - scans_before;
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    EmitResultMetrics(result, "toivonen");
+    return result;
+  };
+
   // Phase 1 and Phase 2 are shared with the probabilistic algorithm; the
   // baselines differ only in how ambiguous patterns are finalized.
   SymbolScanResult phase1 =
       metric_ == Metric::kMatch
           ? ScanSymbolsAndSample(db, c, options_.sample_size, &rng)
           : ScanSymbolSupports(db, c.size(), options_.sample_size, &rng);
+  if (!phase1.status.ok()) return fail(phase1.status);
   result.symbol_match = phase1.symbol_match;
 
   SampleClassification cls =
@@ -77,9 +92,12 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
           std::min(todo.size(), pos + options_.max_counters_per_scan);
       std::vector<Pattern> batch(todo.begin() + static_cast<long>(pos),
                                  todo.begin() + static_cast<long>(batch_end));
-      std::vector<double> values =
-          metric_ == Metric::kMatch ? CountMatches(db, c, batch)
-                                    : CountSupports(db, batch);
+      std::vector<double> values;
+      Status count_status =
+          metric_ == Metric::kMatch
+              ? TryCountMatches(db, c, batch, &values)
+              : TryCountSupports(db, batch, &values);
+      if (!count_status.ok()) return fail(std::move(count_status));
       size_t batch_frequent = 0;
       for (size_t i = 0; i < batch.size(); ++i) {
         if (values[i] >= options_.min_threshold) {

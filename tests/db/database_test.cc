@@ -49,10 +49,10 @@ TEST(DiskDatabaseTest, RoundTripsThroughDisk) {
   std::string path = TempPath("roundtrip.nmsq");
   ASSERT_TRUE(dbformat::WriteDatabaseFile(path, mem.records()).ok);
 
-  IoResult error;
+  Status error;
   std::unique_ptr<DiskSequenceDatabase> disk =
       DiskSequenceDatabase::Open(path, &error);
-  ASSERT_NE(disk, nullptr) << error.message;
+  ASSERT_NE(disk, nullptr) << error.ToString();
   EXPECT_EQ(disk->NumSequences(), mem.NumSequences());
   EXPECT_EQ(disk->TotalSymbols(), mem.TotalSymbols());
 
@@ -68,10 +68,10 @@ TEST(DiskDatabaseTest, RoundTripsThroughDisk) {
 }
 
 TEST(DiskDatabaseTest, OpenMissingFileFails) {
-  IoResult error;
+  Status error;
   EXPECT_EQ(DiskSequenceDatabase::Open("/nonexistent/nope.nmsq", &error),
             nullptr);
-  EXPECT_FALSE(error.ok);
+  EXPECT_EQ(error.code(), StatusCode::kNotFound);
 }
 
 TEST(DiskDatabaseTest, OpenRejectsBadMagic) {
@@ -82,9 +82,10 @@ TEST(DiskDatabaseTest, OpenRejectsBadMagic) {
     std::fputs("JUNKJUNKJUNK", f);
     std::fclose(f);
   }
-  IoResult error;
+  Status error;
   EXPECT_EQ(DiskSequenceDatabase::Open(path, &error), nullptr);
-  EXPECT_NE(error.message.find("magic"), std::string::npos);
+  EXPECT_EQ(error.code(), StatusCode::kDataLoss);
+  EXPECT_NE(error.message().find("magic"), std::string::npos);
   std::remove(path.c_str());
 }
 
@@ -98,19 +99,19 @@ TEST(DiskDatabaseTest, OpenRejectsTruncatedFile) {
     std::fwrite(bytes.data(), 1, bytes.size() - 3, f);  // drop the tail
     std::fclose(f);
   }
-  IoResult error;
+  Status error;
   EXPECT_EQ(DiskSequenceDatabase::Open(path, &error), nullptr);
-  EXPECT_FALSE(error.ok);
+  EXPECT_FALSE(error.ok());
   std::remove(path.c_str());
 }
 
 TEST(DiskDatabaseTest, EmptyDatabaseRoundTrips) {
   std::string path = TempPath("empty.nmsq");
   ASSERT_TRUE(dbformat::WriteDatabaseFile(path, {}).ok);
-  IoResult error;
+  Status error;
   std::unique_ptr<DiskSequenceDatabase> disk =
       DiskSequenceDatabase::Open(path, &error);
-  ASSERT_NE(disk, nullptr) << error.message;
+  ASSERT_NE(disk, nullptr) << error.ToString();
   EXPECT_EQ(disk->NumSequences(), 0u);
   std::remove(path.c_str());
 }

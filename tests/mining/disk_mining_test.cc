@@ -31,9 +31,9 @@ class DiskMiningTest : public ::testing::Test {
     path_ = std::string(::testing::TempDir()) + "/disk_mining.nmsq";
     ASSERT_TRUE(
         dbformat::WriteDatabaseFile(path_, workload_.test.records()).ok);
-    IoResult error;
+    Status error;
     disk_ = DiskSequenceDatabase::Open(path_, &error);
-    ASSERT_NE(disk_, nullptr) << error.message;
+    ASSERT_NE(disk_, nullptr) << error.ToString();
   }
 
   void TearDown() override { std::remove(path_.c_str()); }

@@ -24,7 +24,17 @@
 //   --trace-out FILE      record Chrome trace_event spans; open the file in
 //                         chrome://tracing or https://ui.perfetto.dev
 //
-// Exit status: 0 on success, 1 on usage/IO errors.
+// Fault-tolerance flags for `mine` (drills and recovery; see README
+// "Robustness"):
+//   --scan-retries N        retries per failed scan (default 2; 0 disables)
+//   --retry-backoff-ms B    initial backoff, doubled per retry (default 5)
+//   --fault-plan SPEC       inject scan faults, e.g. "open-fail:1" or
+//                           "corrupt-from:0" (see db/fault_injecting_database.h)
+//   --phase3-checkpoint F   checkpoint border-collapsing probe state to F
+//   --phase3-retries N      miner-level re-probes of a failed Phase-3 batch
+//
+// Exit status: 0 on success, 1 on usage/IO errors, 2 when a database scan
+// or mining run failed at runtime (e.g. unrecoverable fault).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,8 +49,11 @@
 #include "nmine/bio/blosum.h"
 #include "nmine/bio/fasta.h"
 #include "nmine/core/matrix_io.h"
+#include "nmine/core/status.h"
 #include "nmine/db/disk_database.h"
+#include "nmine/db/fault_injecting_database.h"
 #include "nmine/db/format.h"
+#include "nmine/db/retrying_database.h"
 #include "nmine/eval/calibration.h"
 #include "nmine/eval/table.h"
 #include "nmine/gen/matrix_generator.h"
@@ -269,21 +282,31 @@ int CmdInfo(const Flags& flags) {
     std::fprintf(stderr, "info: database path required\n");
     return 1;
   }
-  IoResult error;
+  Status error;
   std::unique_ptr<DiskSequenceDatabase> db =
       DiskSequenceDatabase::Open(flags.positional()[0], &error);
   if (db == nullptr) {
-    std::fprintf(stderr, "info: %s\n", error.message.c_str());
+    std::fprintf(stderr, "info: %s\n", error.ToString().c_str());
     return 1;
   }
   size_t min_len = SIZE_MAX;
   size_t max_len = 0;
   SymbolId max_symbol = -1;
-  db->Scan([&](const SequenceRecord& r) {
-    min_len = std::min(min_len, r.symbols.size());
-    max_len = std::max(max_len, r.symbols.size());
-    for (SymbolId s : r.symbols) max_symbol = std::max(max_symbol, s);
-  });
+  Status scan_status = db->Scan(
+      [&](const SequenceRecord& r) {
+        min_len = std::min(min_len, r.symbols.size());
+        max_len = std::max(max_len, r.symbols.size());
+        for (SymbolId s : r.symbols) max_symbol = std::max(max_symbol, s);
+      },
+      /*restart=*/[&] {
+        min_len = SIZE_MAX;
+        max_len = 0;
+        max_symbol = -1;
+      });
+  if (!scan_status.ok()) {
+    std::fprintf(stderr, "info: %s\n", scan_status.ToString().c_str());
+    return 2;
+  }
   std::printf("sequences:     %zu\n", db->NumSequences());
   std::printf("total symbols: %llu\n",
               static_cast<unsigned long long>(db->TotalSymbols()));
@@ -332,20 +355,57 @@ int CmdMine(const Flags& flags) {
     std::fprintf(stderr, "mine: database path required\n");
     return 1;
   }
-  IoResult error;
-  std::unique_ptr<DiskSequenceDatabase> db =
-      DiskSequenceDatabase::Open(flags.positional()[0], &error);
+  // Retry policy shared by the disk database (real I/O faults) and the
+  // retrying decorator above the fault injector (drill faults).
+  RetryPolicy retry;
+  retry.max_attempts =
+      1 + static_cast<int>(std::max(0LL, flags.GetInt("scan-retries", 2)));
+  retry.initial_backoff_ms = flags.GetDouble("retry-backoff-ms", 5.0);
+
+  Status error;
+  DiskSequenceDatabase::Options db_options;
+  db_options.retry = retry;
+  std::unique_ptr<DiskSequenceDatabase> db = DiskSequenceDatabase::Open(
+      flags.positional()[0], db_options, &error);
   if (db == nullptr) {
-    std::fprintf(stderr, "mine: %s\n", error.message.c_str());
+    std::fprintf(stderr, "mine: %s\n", error.ToString().c_str());
     return 1;
+  }
+
+  // Optional fault-injection drill: Retrying(FaultInjecting(disk)), so the
+  // injected faults exercise the same retry path as real ones. The plan
+  // applies to mining scans only (the alphabet probe below runs directly
+  // on disk), which keeps drill scan indices deterministic: index 0 is the
+  // first mining scan.
+  std::unique_ptr<FaultInjectingDatabase> injector;
+  std::unique_ptr<RetryingDatabase> retrier;
+  const SequenceDatabase* mine_db = db.get();
+  std::string fault_spec = flags.Get("fault-plan", "");
+  if (!fault_spec.empty()) {
+    std::string plan_error;
+    std::optional<FaultPlan> plan = FaultPlan::Parse(fault_spec, &plan_error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "mine: %s\n", plan_error.c_str());
+      return 1;
+    }
+    injector =
+        std::make_unique<FaultInjectingDatabase>(db.get(), std::move(*plan));
+    retrier = std::make_unique<RetryingDatabase>(injector.get(), retry);
+    mine_db = retrier.get();
   }
 
   // Determine the alphabet size from the data when only implicit matrices
   // are requested.
   SymbolId max_symbol = -1;
-  db->Scan([&](const SequenceRecord& r) {
-    for (SymbolId s : r.symbols) max_symbol = std::max(max_symbol, s);
-  });
+  Status probe_status = db->Scan(
+      [&](const SequenceRecord& r) {
+        for (SymbolId s : r.symbols) max_symbol = std::max(max_symbol, s);
+      },
+      /*restart=*/[&] { max_symbol = -1; });
+  if (!probe_status.ok()) {
+    std::fprintf(stderr, "mine: %s\n", probe_status.ToString().c_str());
+    return 2;
+  }
   size_t m = static_cast<size_t>(max_symbol + 1);
 
   std::optional<CompatibilityMatrix> c;
@@ -354,6 +414,11 @@ int CmdMine(const Flags& flags) {
     c = ReadCompatibilityMatrixFile(flags.Get("matrix", ""), &merr);
     if (!c.has_value()) {
       std::fprintf(stderr, "mine: %s\n", merr.message.c_str());
+      if (merr.code == MatrixIoCode::kNotStochastic) {
+        std::fprintf(stderr,
+                     "mine: every column of a compatibility matrix must sum "
+                     "to 1 (Definition 3.4); re-normalize the file\n");
+      }
       return 1;
     }
     if (c->size() < m) {
@@ -380,6 +445,9 @@ int CmdMine(const Flags& flags) {
   options.sample_size = static_cast<size_t>(flags.GetInt("sample", 1000));
   options.delta = flags.GetDouble("delta", 1e-4);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.phase3_scan_retries =
+      static_cast<size_t>(std::max(0LL, flags.GetInt("phase3-retries", 1)));
+  options.phase3_checkpoint_path = flags.Get("phase3-checkpoint", "");
 
   std::string algorithm = flags.Get("algorithm", "collapse");
   std::string calibrate = flags.Get("calibrate", "none");
@@ -399,23 +467,34 @@ int CmdMine(const Flags& flags) {
     LevelwiseMiner miner(metric, options);
     double tau = options.min_threshold;
     result = miner.MineWithThreshold(
-        *db, *c, [&calibration, tau](const Pattern& p) {
+        *mine_db, *c, [&calibration, tau](const Pattern& p) {
           return calibration.ThresholdFor(p, tau);
         });
   } else if (algorithm == "collapse") {
-    result = BorderCollapseMiner(metric, options).Mine(*db, *c);
+    result = BorderCollapseMiner(metric, options).Mine(*mine_db, *c);
   } else if (algorithm == "levelwise") {
-    result = LevelwiseMiner(metric, options).Mine(*db, *c);
+    result = LevelwiseMiner(metric, options).Mine(*mine_db, *c);
   } else if (algorithm == "maxminer") {
-    result = MaxMiner(metric, options).Mine(*db, *c);
+    result = MaxMiner(metric, options).Mine(*mine_db, *c);
   } else if (algorithm == "toivonen") {
-    result = ToivonenMiner(metric, options).Mine(*db, *c);
+    result = ToivonenMiner(metric, options).Mine(*mine_db, *c);
   } else if (algorithm == "depthfirst") {
-    result = DepthFirstMiner(metric, options).Mine(*db, *c);
+    result = DepthFirstMiner(metric, options).Mine(*mine_db, *c);
   } else {
     std::fprintf(stderr, "mine: unknown --algorithm '%s'\n",
                  algorithm.c_str());
     return 1;
+  }
+
+  if (!result.ok()) {
+    std::fprintf(stderr, "mine: mining failed: %s\n",
+                 result.status.ToString().c_str());
+    if (result.status.code() == StatusCode::kDataLoss) {
+      std::fprintf(stderr,
+                   "mine: the database appears corrupted; retries cannot "
+                   "recover it\n");
+    }
+    return 2;
   }
 
   Table table({"pattern", "value"});
