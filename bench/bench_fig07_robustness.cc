@@ -13,20 +13,23 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "harness.h"
 #include "nmine/eval/table.h"
-#include "nmine/eval/timer.h"
 #include "nmine/gen/matrix_generator.h"
 #include "nmine/gen/noise_model.h"
 
 using namespace nmine;
 using namespace nmine::benchutil;
 
-int main() {
-  WallTimer timer;
+namespace {
+
+void RunFig07(const bench::BenchContext& ctx) {
   RobustnessWorkload w = MakeRobustnessStandard(/*seed=*/101);
   MiningResult reference = MineReference(w.standard);
-  std::printf("Reference |R| = %zu patterns (support model, noise-free)\n\n",
-              reference.frequent.size());
+  if (ctx.verbose) {
+    std::printf("Reference |R| = %zu patterns (support model, noise-free)\n\n",
+                reference.frequent.size());
+  }
 
   const double alphas[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
 
@@ -76,8 +79,10 @@ int main() {
       support_01 = std::move(support);
     }
   }
-  std::cout << "Figure 7(a)/(b): quality vs degree of noise alpha\n";
-  fig7ab.Print(std::cout);
+  if (ctx.verbose) {
+    std::cout << "Figure 7(a)/(b): quality vs degree of noise alpha\n";
+    fig7ab.Print(std::cout);
+  }
 
   Table fig7cd({"non-eternal symbols", "support acc/comp",
                 "match(g-cal) acc/comp"});
@@ -90,10 +95,15 @@ int main() {
                    QualityCell(CompareResultSets(sup_k, ref_k)),
                    QualityCell(CompareResultSets(mat_k, ref_k))});
   }
-  std::cout << "\nFigure 7(c)/(d): quality vs pattern length at alpha=0.1\n";
-  fig7cd.Print(std::cout);
+  if (ctx.verbose) {
+    std::cout << "\nFigure 7(c)/(d): quality vs pattern length at alpha=0.1\n";
+    fig7cd.Print(std::cout);
+  }
+}
 
-  benchutil::WriteBenchJson("fig07_robustness", timer.Seconds());
-  std::printf("\n[done in %.1f s]\n", timer.Seconds());
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RegisterScenario("fig07_robustness", RunFig07);
+  return bench::BenchMain(argc, argv, {.reps = 1, .warmup = 0});
 }

@@ -7,16 +7,17 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "harness.h"
 #include "nmine/eval/table.h"
-#include "nmine/eval/timer.h"
 #include "nmine/gen/matrix_generator.h"
 #include "nmine/gen/noise_model.h"
 
 using namespace nmine;
 using namespace nmine::benchutil;
 
-int main() {
-  WallTimer timer;
+namespace {
+
+void RunFig08(const bench::BenchContext& ctx) {
   const double alpha = 0.2;
   RobustnessWorkload w = MakeRobustnessStandard(/*seed=*/101);
   MiningResult reference = MineReference(w.standard);
@@ -38,10 +39,16 @@ int main() {
         {Table::Num(e * 100.0, 0),
          QualityCell(CompareResultSets(match.frequent, reference.frequent))});
   }
-  std::cout << "Figure 8: match-model quality vs error in the "
-               "compatibility matrix (alpha = 0.2)\n";
-  fig8.Print(std::cout);
-  benchutil::WriteBenchJson("fig08_matrix_error", timer.Seconds());
-  std::printf("\n[done in %.1f s]\n", timer.Seconds());
-  return 0;
+  if (ctx.verbose) {
+    std::cout << "Figure 8: match-model quality vs error in the "
+                 "compatibility matrix (alpha = 0.2)\n";
+    fig8.Print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RegisterScenario("fig08_matrix_error", RunFig08);
+  return bench::BenchMain(argc, argv, {.reps = 1, .warmup = 0});
 }

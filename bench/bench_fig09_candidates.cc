@@ -6,9 +6,9 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "harness.h"
 #include "nmine/eval/calibration.h"
 #include "nmine/eval/table.h"
-#include "nmine/eval/timer.h"
 #include "nmine/gen/matrix_generator.h"
 #include "nmine/gen/noise_model.h"
 #include "nmine/gen/sequence_generator.h"
@@ -16,8 +16,9 @@
 using namespace nmine;
 using namespace nmine::benchutil;
 
-int main() {
-  WallTimer timer;
+namespace {
+
+void RunFig09(const bench::BenchContext& ctx) {
   const double alpha = 0.3;
   const double tau = 0.012;
   const size_t kMaxLevel = 20;
@@ -72,10 +73,16 @@ int main() {
     fig9.AddRow({Table::Int(static_cast<long long>(level)), Table::Int(s),
                  Table::Int(mm)});
   }
-  std::printf("Figure 9: candidate patterns per level (alpha = %.1f, "
-              "min threshold = %.3f)\n", alpha, tau);
-  fig9.Print(std::cout);
-  benchutil::WriteBenchJson("fig09_candidates", timer.Seconds());
-  std::printf("\n[done in %.1f s]\n", timer.Seconds());
-  return 0;
+  if (ctx.verbose) {
+    std::printf("Figure 9: candidate patterns per level (alpha = %.1f, "
+                "min threshold = %.3f)\n", alpha, tau);
+    fig9.Print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RegisterScenario("fig09_candidates", RunFig09);
+  return bench::BenchMain(argc, argv, {.reps = 1, .warmup = 0});
 }

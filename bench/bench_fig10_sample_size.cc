@@ -5,8 +5,8 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "harness.h"
 #include "nmine/eval/table.h"
-#include "nmine/eval/timer.h"
 #include "nmine/gen/matrix_generator.h"
 #include "nmine/gen/noise_model.h"
 #include "nmine/gen/sequence_generator.h"
@@ -16,8 +16,9 @@
 using namespace nmine;
 using namespace nmine::benchutil;
 
-int main() {
-  WallTimer timer;
+namespace {
+
+void RunFig10(const bench::BenchContext& ctx) {
   const size_t m = 20;
   const double tau = 0.30;
 
@@ -68,10 +69,16 @@ int main() {
                   Table::Int(static_cast<long long>(counts[si][1])),
                   Table::Int(static_cast<long long>(counts[si][2]))});
   }
-  std::cout << "Figure 10: ambiguous patterns vs sample size "
-               "(min_match = 0.30, 1 - delta = 0.9999)\n";
-  fig10.Print(std::cout);
-  benchutil::WriteBenchJson("fig10_sample_size", timer.Seconds());
-  std::printf("\n[done in %.1f s]\n", timer.Seconds());
-  return 0;
+  if (ctx.verbose) {
+    std::cout << "Figure 10: ambiguous patterns vs sample size "
+                 "(min_match = 0.30, 1 - delta = 0.9999)\n";
+    fig10.Print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RegisterScenario("fig10_sample_size", RunFig10);
+  return bench::BenchMain(argc, argv, {.reps = 1, .warmup = 0});
 }

@@ -13,8 +13,8 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "harness.h"
 #include "nmine/eval/table.h"
-#include "nmine/eval/timer.h"
 #include "nmine/gen/matrix_generator.h"
 #include "nmine/gen/noise_model.h"
 #include "nmine/gen/sequence_generator.h"
@@ -47,10 +47,7 @@ InMemorySequenceDatabase MakeSkewedStandard(Rng* rng,
   return db;
 }
 
-}  // namespace
-
-int main() {
-  WallTimer timer;
+void RunFig11(const bench::BenchContext& ctx) {
   const size_t m = 20;
   Rng rng(707);
   std::vector<Pattern> planted;
@@ -141,13 +138,19 @@ int main() {
     fig11a.AddRow(std::move(row));
   }
 
-  std::cout << "Figure 11(a): average restricted spread R by pattern "
-               "length (Zipf background)\n";
-  fig11a.Print(std::cout);
-  std::cout << "\nFigure 11(b): ambiguous patterns, restricted R vs "
-               "R = 1 (sample = 300, 1 - delta = 0.9999)\n";
-  fig11b.Print(std::cout);
-  benchutil::WriteBenchJson("fig11_spread", timer.Seconds());
-  std::printf("\n[done in %.1f s]\n", timer.Seconds());
-  return 0;
+  if (ctx.verbose) {
+    std::cout << "Figure 11(a): average restricted spread R by pattern "
+                 "length (Zipf background)\n";
+    fig11a.Print(std::cout);
+    std::cout << "\nFigure 11(b): ambiguous patterns, restricted R vs "
+                 "R = 1 (sample = 300, 1 - delta = 0.9999)\n";
+    fig11b.Print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RegisterScenario("fig11_spread", RunFig11);
+  return bench::BenchMain(argc, argv, {.reps = 1, .warmup = 0});
 }

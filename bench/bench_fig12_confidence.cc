@@ -7,8 +7,8 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "harness.h"
 #include "nmine/eval/table.h"
-#include "nmine/eval/timer.h"
 #include "nmine/gen/matrix_generator.h"
 #include "nmine/gen/noise_model.h"
 #include "nmine/gen/sequence_generator.h"
@@ -17,8 +17,9 @@
 using namespace nmine;
 using namespace nmine::benchutil;
 
-int main() {
-  WallTimer timer;
+namespace {
+
+void RunFig12(const bench::BenchContext& ctx) {
   const size_t m = 20;
   const double alpha = 0.2;
   // Threshold and planting are tuned so that a sizable population of
@@ -72,10 +73,16 @@ int main() {
                       r.ambiguous_after_sample)),
                   Table::Num(err, 5)});
   }
-  std::cout << "Figure 12: ambiguous patterns and error rate vs "
-               "confidence (sample = 300, min_match = 0.12)\n";
-  fig12.Print(std::cout);
-  benchutil::WriteBenchJson("fig12_confidence", timer.Seconds());
-  std::printf("\n[done in %.1f s]\n", timer.Seconds());
-  return 0;
+  if (ctx.verbose) {
+    std::cout << "Figure 12: ambiguous patterns and error rate vs "
+                 "confidence (sample = 300, min_match = 0.12)\n";
+    fig12.Print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RegisterScenario("fig12_confidence", RunFig12);
+  return bench::BenchMain(argc, argv, {.reps = 1, .warmup = 0});
 }

@@ -6,8 +6,8 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "harness.h"
 #include "nmine/eval/table.h"
-#include "nmine/eval/timer.h"
 #include "nmine/gen/matrix_generator.h"
 #include "nmine/gen/noise_model.h"
 #include "nmine/gen/sequence_generator.h"
@@ -17,8 +17,9 @@
 using namespace nmine;
 using namespace nmine::benchutil;
 
-int main() {
-  WallTimer timer;
+namespace {
+
+void RunFig13(const bench::BenchContext& ctx) {
   const size_t m = 20;
   const double alpha = 0.2;
   // Threshold and plantings chosen so that many patterns' true matches sit
@@ -88,19 +89,25 @@ int main() {
                   relative_excess.BinHigh(b) * 100.0);
     fig13.AddRow({label, Table::Num(relative_excess.Fraction(b), 3)});
   }
-  std::cout << "Figure 13: where the missed patterns' true matches lie "
-               "(aggregated over " << kReps << " runs)\n";
-  fig13.Print(std::cout);
-  std::printf(
-      "\nmissed %zu of %zu frequent patterns (%.4f%%); within 5%% of the "
-      "threshold: %.1f%%\n",
-      total_missed, total_truth,
-      total_truth == 0
-          ? 0.0
-          : 100.0 * static_cast<double>(total_missed) /
-                static_cast<double>(total_truth),
-      100.0 * relative_excess.CumulativeFraction(0.049));
-  benchutil::WriteBenchJson("fig13_missing", timer.Seconds());
-  std::printf("[done in %.1f s]\n", timer.Seconds());
-  return 0;
+  if (ctx.verbose) {
+    std::cout << "Figure 13: where the missed patterns' true matches lie "
+                 "(aggregated over " << kReps << " runs)\n";
+    fig13.Print(std::cout);
+    std::printf(
+        "\nmissed %zu of %zu frequent patterns (%.4f%%); within 5%% of the "
+        "threshold: %.1f%%\n",
+        total_missed, total_truth,
+        total_truth == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(total_missed) /
+                  static_cast<double>(total_truth),
+        100.0 * relative_excess.CumulativeFraction(0.049));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RegisterScenario("fig13_missing", RunFig13);
+  return bench::BenchMain(argc, argv, {.reps = 1, .warmup = 0});
 }

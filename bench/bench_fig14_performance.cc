@@ -10,8 +10,8 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "harness.h"
 #include "nmine/eval/table.h"
-#include "nmine/eval/timer.h"
 #include "nmine/gen/matrix_generator.h"
 #include "nmine/gen/noise_model.h"
 #include "nmine/gen/sequence_generator.h"
@@ -23,8 +23,9 @@
 using namespace nmine;
 using namespace nmine::benchutil;
 
-int main() {
-  WallTimer timer;
+namespace {
+
+void RunFig14(const bench::BenchContext& ctx) {
   const size_t m = 20;
   const double alpha = 0.1;
 
@@ -110,10 +111,16 @@ int main() {
                     Table::Int(e.result.scans), Table::Int(counted)});
     }
   }
-  std::cout << "Figure 14: CPU time, scans, and full-database counting "
-               "work of the algorithms\n";
-  fig14.Print(std::cout);
-  benchutil::WriteBenchJson("fig14_performance", timer.Seconds());
-  std::printf("\n[done in %.1f s]\n", timer.Seconds());
-  return 0;
+  if (ctx.verbose) {
+    std::cout << "Figure 14: CPU time, scans, and full-database counting "
+                 "work of the algorithms\n";
+    fig14.Print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RegisterScenario("fig14_performance", RunFig14);
+  return bench::BenchMain(argc, argv, {.reps = 1, .warmup = 0});
 }

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "harness.h"
 #include "nmine/eval/table.h"
 #include "nmine/eval/timer.h"
 #include "nmine/gen/matrix_generator.h"
@@ -17,8 +18,9 @@
 using namespace nmine;
 using namespace nmine::benchutil;
 
-int main() {
-  WallTimer timer;
+namespace {
+
+void RunFig15(const bench::BenchContext& ctx) {
   Table fig15({"m", "scans", "response time s", "frequent patterns"});
 
   for (size_t m : {20u, 50u, 100u, 500u, 1000u, 2000u, 5000u}) {
@@ -74,10 +76,16 @@ int main() {
                   Table::Int(r.scans), Table::Num(run.Seconds(), 3),
                   Table::Int(static_cast<long long>(r.frequent.size()))});
   }
-  std::cout << "Figure 15: scans and response time vs number of distinct "
-               "symbols (sparse matrices, ~10% compatibility)\n";
-  fig15.Print(std::cout);
-  benchutil::WriteBenchJson("fig15_scalability", timer.Seconds());
-  std::printf("\n[done in %.1f s]\n", timer.Seconds());
-  return 0;
+  if (ctx.verbose) {
+    std::cout << "Figure 15: scans and response time vs number of distinct "
+                 "symbols (sparse matrices, ~10% compatibility)\n";
+    fig15.Print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RegisterScenario("fig15_scalability", RunFig15);
+  return bench::BenchMain(argc, argv, {.reps = 1, .warmup = 0});
 }

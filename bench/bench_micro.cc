@@ -1,9 +1,19 @@
-// Microbenchmarks (google-benchmark) for the hot paths: sliding-window
-// match computation, trie-batched counting vs naive counting, the Phase-1
-// symbol scan, and the varint codec.
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the hot paths: sliding-window match computation,
+// trie-batched counting vs naive counting, the Phase-1 symbol scan, and
+// the varint codec. Each scenario runs a fixed amount of work per
+// repetition, so the harness's median/MAD over reps is directly
+// comparable across builds; the smoke subset is the CI perf gate.
+//
+// The match loop (micro.sequence_match) deliberately exercises code with
+// NO profiler instrumentation inside it: SequenceMatch carries no scopes,
+// so this scenario doubles as the guard that leaving NMINE_PROFILE_SCOPE
+// in the library costs nothing on the innermost loops (the disabled-state
+// cost of a scope is one relaxed atomic load, and there are none here).
+#include <cstdint>
+#include <string>
+#include <vector>
 
-#include "bench_util.h"
+#include "harness.h"
 #include "nmine/core/match.h"
 #include "nmine/db/format.h"
 #include "nmine/gen/matrix_generator.h"
@@ -14,6 +24,12 @@
 
 namespace nmine {
 namespace {
+
+/// Keeps `value` observable so the compiler cannot elide the computation.
+template <typename T>
+inline void KeepAlive(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
 
 CompatibilityMatrix Matrix20() { return UniformNoiseMatrix(20, 0.2); }
 
@@ -37,43 +53,12 @@ std::vector<Pattern> MakePatterns(size_t count, size_t k) {
   return out;
 }
 
-void BM_SequenceMatch(benchmark::State& state) {
-  CompatibilityMatrix c = Matrix20();
-  Rng rng(3);
-  Sequence seq = RandomSequence(static_cast<size_t>(state.range(0)), 20,
-                                &rng);
-  Pattern p = RandomPattern(8, 0, 20, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SequenceMatch(c, p, seq));
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(seq.size()));
-}
-BENCHMARK(BM_SequenceMatch)->Arg(100)->Arg(1000)->Arg(10000);
-
-void BM_TrieBatchCount(benchmark::State& state) {
-  CompatibilityMatrix c = Matrix20();
-  InMemorySequenceDatabase db = MakeDb(50, 100);
-  std::vector<Pattern> patterns =
-      MakePatterns(static_cast<size_t>(state.range(0)), 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        CountMatchesInRecords(db.records(), c, patterns));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_TrieBatchCount)->Arg(16)->Arg(256)->Arg(2048);
-
-// Mining-realistic batch: level-(k+1) candidates are right-extensions of
-// shared frequent prefixes, so the trie evaluates each prefix once per
-// window. (On unrelated random patterns with a dense matrix the naive
-// loop wins — see BM_NaiveBatchCount.)
-void BM_TrieBatchCountSharedPrefixes(benchmark::State& state) {
-  CompatibilityMatrix c = Matrix20();
-  InMemorySequenceDatabase db = MakeDb(50, 100);
+/// Level-(k+1) style batch: right-extensions of shared frequent prefixes,
+/// the shape on which the counting trie earns its keep.
+std::vector<Pattern> MakeSharedPrefixPatterns(size_t count) {
   Rng rng(7);
   std::vector<Pattern> patterns;
-  const size_t groups = static_cast<size_t>(state.range(0)) / 20;
+  const size_t groups = count / 20;
   for (size_t g = 0; g < groups; ++g) {
     Pattern prefix = RandomPattern(4, 0, 20, &rng);
     for (SymbolId sym = 0; sym < 20; ++sym) {
@@ -82,81 +67,97 @@ void BM_TrieBatchCountSharedPrefixes(benchmark::State& state) {
       patterns.push_back(Pattern(std::move(body)));
     }
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        CountMatchesInRecords(db.records(), c, patterns));
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(patterns.size()));
+  return patterns;
 }
-BENCHMARK(BM_TrieBatchCountSharedPrefixes)->Arg(320)->Arg(2048);
 
-void BM_NaiveBatchCountSharedPrefixes(benchmark::State& state) {
-  CompatibilityMatrix c = Matrix20();
-  InMemorySequenceDatabase db = MakeDb(50, 100);
-  Rng rng(7);
-  std::vector<Pattern> patterns;
-  const size_t groups = static_cast<size_t>(state.range(0)) / 20;
-  for (size_t g = 0; g < groups; ++g) {
-    Pattern prefix = RandomPattern(4, 0, 20, &rng);
-    for (SymbolId sym = 0; sym < 20; ++sym) {
-      std::vector<SymbolId> body = prefix.body();
-      body.push_back(sym);
-      patterns.push_back(Pattern(std::move(body)));
-    }
-  }
-  for (auto _ : state) {
-    std::vector<double> out(patterns.size(), 0.0);
-    for (size_t i = 0; i < patterns.size(); ++i) {
-      for (const SequenceRecord& r : db.records()) {
-        out[i] += SequenceMatch(c, patterns[i], r.symbols);
-      }
-    }
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(patterns.size()));
-}
-BENCHMARK(BM_NaiveBatchCountSharedPrefixes)->Arg(320)->Arg(2048);
-
-void BM_NaiveBatchCount(benchmark::State& state) {
-  CompatibilityMatrix c = Matrix20();
-  InMemorySequenceDatabase db = MakeDb(50, 100);
-  std::vector<Pattern> patterns =
-      MakePatterns(static_cast<size_t>(state.range(0)), 4);
-  for (auto _ : state) {
-    std::vector<double> out(patterns.size(), 0.0);
-    for (size_t i = 0; i < patterns.size(); ++i) {
-      for (const SequenceRecord& r : db.records()) {
-        out[i] += SequenceMatch(c, patterns[i], r.symbols);
-      }
-    }
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_NaiveBatchCount)->Arg(16)->Arg(256)->Arg(2048);
-
-void BM_SymbolScan(benchmark::State& state) {
-  CompatibilityMatrix c = Matrix20();
-  InMemorySequenceDatabase db =
-      MakeDb(static_cast<size_t>(state.range(0)), 200);
-  for (auto _ : state) {
+void RunSequenceMatch(const bench::BenchContext&) {
+  static const CompatibilityMatrix c = Matrix20();
+  static const Sequence seq = [] {
+    Rng rng(3);
+    return RandomSequence(1000, 20, &rng);
+  }();
+  static const Pattern p = [] {
     Rng rng(4);
-    benchmark::DoNotOptimize(ScanSymbolsAndSample(db, c, 0, &rng));
+    return RandomPattern(8, 0, 20, &rng);
+  }();
+  for (int i = 0; i < 2000; ++i) {
+    double match = SequenceMatch(c, p, seq);
+    KeepAlive(match);
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(db.TotalSymbols()));
 }
-BENCHMARK(BM_SymbolScan)->Arg(100)->Arg(1000);
 
-void BM_VarintRoundTrip(benchmark::State& state) {
-  std::vector<uint64_t> values;
-  Rng rng(5);
-  for (int i = 0; i < 1024; ++i) {
-    values.push_back(rng.UniformInt(1u << 20));
+void RunTrieBatchCount(const bench::BenchContext&) {
+  static const CompatibilityMatrix c = Matrix20();
+  static const InMemorySequenceDatabase db = MakeDb(50, 100);
+  static const std::vector<Pattern> patterns = MakePatterns(256, 4);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> out = CountMatchesInRecords(db.records(), c,
+                                                    patterns);
+    KeepAlive(out);
   }
-  for (auto _ : state) {
+}
+
+void RunNaiveBatchCount(const bench::BenchContext&) {
+  static const CompatibilityMatrix c = Matrix20();
+  static const InMemorySequenceDatabase db = MakeDb(50, 100);
+  static const std::vector<Pattern> patterns = MakePatterns(256, 4);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> out(patterns.size(), 0.0);
+    for (size_t j = 0; j < patterns.size(); ++j) {
+      for (const SequenceRecord& r : db.records()) {
+        out[j] += SequenceMatch(c, patterns[j], r.symbols);
+      }
+    }
+    KeepAlive(out);
+  }
+}
+
+void RunTrieSharedPrefixes(const bench::BenchContext&) {
+  static const CompatibilityMatrix c = Matrix20();
+  static const InMemorySequenceDatabase db = MakeDb(50, 100);
+  static const std::vector<Pattern> patterns = MakeSharedPrefixPatterns(320);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> out = CountMatchesInRecords(db.records(), c,
+                                                    patterns);
+    KeepAlive(out);
+  }
+}
+
+void RunNaiveSharedPrefixes(const bench::BenchContext&) {
+  static const CompatibilityMatrix c = Matrix20();
+  static const InMemorySequenceDatabase db = MakeDb(50, 100);
+  static const std::vector<Pattern> patterns = MakeSharedPrefixPatterns(320);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> out(patterns.size(), 0.0);
+    for (size_t j = 0; j < patterns.size(); ++j) {
+      for (const SequenceRecord& r : db.records()) {
+        out[j] += SequenceMatch(c, patterns[j], r.symbols);
+      }
+    }
+    KeepAlive(out);
+  }
+}
+
+void RunSymbolScan(const bench::BenchContext&) {
+  static const CompatibilityMatrix c = Matrix20();
+  static const InMemorySequenceDatabase db = MakeDb(1000, 200);
+  for (int i = 0; i < 5; ++i) {
+    Rng rng(4);
+    SymbolScanResult result = ScanSymbolsAndSample(db, c, 0, &rng);
+    KeepAlive(result);
+  }
+}
+
+void RunVarintRoundTrip(const bench::BenchContext&) {
+  static const std::vector<uint64_t> values = [] {
+    std::vector<uint64_t> out;
+    Rng rng(5);
+    for (int i = 0; i < 1024; ++i) {
+      out.push_back(rng.UniformInt(1u << 20));
+    }
+    return out;
+  }();
+  for (int i = 0; i < 2000; ++i) {
     std::string buf;
     for (uint64_t v : values) {
       dbformat::PutVarint64(v, &buf);
@@ -168,23 +169,42 @@ void BM_VarintRoundTrip(benchmark::State& state) {
     while (pos < end && dbformat::GetVarint64(&pos, end, &out)) {
       sum += out;
     }
-    benchmark::DoNotOptimize(sum);
+    KeepAlive(sum);
   }
-  state.SetItemsProcessed(state.iterations() * 1024);
 }
-BENCHMARK(BM_VarintRoundTrip);
 
-void BM_HalfwayGeneration(benchmark::State& state) {
-  Rng rng(6);
-  Pattern p2 = RandomPattern(static_cast<size_t>(state.range(0)), 0, 20,
-                             &rng);
-  Pattern p1({p2[0]});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        HalfwayPatterns(p1, p2, /*contiguous=*/false, 4096));
+void RunHalfwayGeneration(const bench::BenchContext&) {
+  static const Pattern p2 = [] {
+    Rng rng(6);
+    return RandomPattern(10, 0, 20, &rng);
+  }();
+  static const Pattern p1({p2[0]});
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<Pattern> halfway =
+        HalfwayPatterns(p1, p2, /*contiguous=*/false, 4096);
+    KeepAlive(halfway);
   }
 }
-BENCHMARK(BM_HalfwayGeneration)->Arg(6)->Arg(10)->Arg(14);
 
 }  // namespace
 }  // namespace nmine
+
+int main(int argc, char** argv) {
+  using nmine::bench::RegisterScenario;
+  RegisterScenario("micro.sequence_match", nmine::RunSequenceMatch,
+                   {.smoke = true});
+  RegisterScenario("micro.trie_batch_count", nmine::RunTrieBatchCount,
+                   {.smoke = true});
+  RegisterScenario("micro.naive_batch_count", nmine::RunNaiveBatchCount);
+  RegisterScenario("micro.trie_shared_prefixes",
+                   nmine::RunTrieSharedPrefixes);
+  RegisterScenario("micro.naive_shared_prefixes",
+                   nmine::RunNaiveSharedPrefixes);
+  RegisterScenario("micro.symbol_scan", nmine::RunSymbolScan,
+                   {.smoke = true});
+  RegisterScenario("micro.varint_roundtrip", nmine::RunVarintRoundTrip,
+                   {.smoke = true});
+  RegisterScenario("micro.halfway_generation", nmine::RunHalfwayGeneration,
+                   {.smoke = true});
+  return nmine::bench::BenchMain(argc, argv, {.reps = 5, .warmup = 1});
+}

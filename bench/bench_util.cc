@@ -1,12 +1,10 @@
 #include "bench_util.h"
 
 #include <cstdio>
-#include <fstream>
 
+#include "harness.h"
 #include "nmine/eval/calibration.h"
 #include "nmine/gen/sequence_generator.h"
-#include "nmine/obs/json_util.h"
-#include "nmine/obs/metrics.h"
 
 namespace nmine {
 namespace benchutil {
@@ -91,20 +89,8 @@ std::string QualityCell(const ModelQuality& q) {
 }
 
 void WriteBenchJson(const std::string& name, double seconds) {
-  std::string path = "BENCH_" + name + ".json";
-  std::string out = "{\n  \"bench\": ";
-  obs::AppendJsonString(name, &out);
-  out.append(",\n  \"seconds\": ");
-  obs::AppendJsonNumber(seconds, &out);
-  out.append(",\n  \"metrics\": ");
-  out.append(obs::MetricsRegistry::Global().SnapshotJson());
-  out.append("}\n");
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file.is_open() || !(file << out)) {
-    std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
-    return;
-  }
-  std::printf("[metrics snapshot written to %s]\n", path.c_str());
+  bench::WriteBenchJsonV2(name, bench::ComputeRepStats({seconds}),
+                          bench::ResolveOutDir(""));
 }
 
 }  // namespace benchutil

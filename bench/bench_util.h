@@ -68,10 +68,14 @@ MiningResult MineMatchModelCalibrated(const InMemorySequenceDatabase& test,
 /// Renders q as "acc/comp" percentages.
 std::string QualityCell(const ModelQuality& q);
 
-/// Writes BENCH_<name>.json in the working directory: total wall-clock
-/// seconds plus the global metrics-registry snapshot accumulated over the
-/// bench's mining runs, so the perf trajectory is machine-readable next to
-/// the human table. Prints a one-line note (or a warning on IO failure).
+/// Writes BENCH_<name>.json for a single timed run: wall-clock seconds
+/// plus the global metrics/profiler snapshots, so the perf trajectory is
+/// machine-readable next to the human table. Emits the harness's
+/// schema-v2 document (single-rep stats, ISO-8601 UTC timestamp, build
+/// fingerprint) into $NMINE_BENCH_OUT_DIR when set, else the working
+/// directory. Prints a one-line note (or a warning on IO failure).
+/// Harness-run scenarios need not call this — BenchMain writes the same
+/// document with full repetition stats.
 void WriteBenchJson(const std::string& name, double seconds);
 
 }  // namespace benchutil

@@ -1,0 +1,160 @@
+#include "compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <ostream>
+
+#include "nmine/eval/table.h"
+#include "nmine/obs/json_parse.h"
+
+namespace nmine {
+namespace bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsBenchFile(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name.rfind("BENCH_", 0) == 0 && path.extension() == ".json";
+}
+
+/// BENCH_*.json files in `dir`, keyed by file name for matching.
+std::map<std::string, std::string> ListBenchFiles(const std::string& dir) {
+  std::map<std::string, std::string> out;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && IsBenchFile(entry.path())) {
+      out[entry.path().filename().string()] = entry.path().string();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool LoadSnapshot(const std::string& path, SnapshotStats* out,
+                  std::string* error) {
+  std::optional<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.has_value() || !doc->is_object()) {
+    *error = "cannot read or parse " + path;
+    return false;
+  }
+  const obs::JsonValue* bench = doc->Get("bench");
+  out->name = bench != nullptr && bench->is_string() ? bench->string_value
+                                                     : path;
+  const obs::JsonValue* stats = doc->Get("stats");
+  if (stats != nullptr && stats->is_object()) {
+    out->median = stats->GetNumber("median", doc->GetNumber("seconds", 0.0));
+    out->mad = stats->GetNumber("mad", 0.0);
+  } else {
+    // Schema v1: a single wall-clock number and no spread estimate.
+    out->median = doc->GetNumber("seconds", 0.0);
+    out->mad = 0.0;
+  }
+  const obs::JsonValue* fp = doc->Get("fingerprint");
+  if (fp != nullptr) {
+    const obs::JsonValue* sha = fp->Get("git_sha");
+    if (sha != nullptr && sha->is_string()) out->git_sha = sha->string_value;
+  }
+  return true;
+}
+
+CompareEntry CompareStats(const SnapshotStats& old_stats,
+                          const SnapshotStats& new_stats, double threshold) {
+  CompareEntry e;
+  e.name = old_stats.name;
+  e.old_median = old_stats.median;
+  e.new_median = new_stats.median;
+  e.old_mad = old_stats.mad;
+  e.new_mad = new_stats.mad;
+  if (e.old_median > 0.0) {
+    e.delta_pct = (e.new_median - e.old_median) / e.old_median * 100.0;
+  }
+  const double noise = 3.0 * std::max(e.old_mad, e.new_mad);
+  const double delta = e.new_median - e.old_median;
+  e.regression =
+      e.new_median > e.old_median * (1.0 + threshold) && delta > noise;
+  e.improvement =
+      e.new_median < e.old_median * (1.0 - threshold) && -delta > noise;
+  return e;
+}
+
+bool CompareFilesOrDirs(const std::string& old_path,
+                        const std::string& new_path, double threshold,
+                        CompareReport* report, std::string* error) {
+  std::vector<std::pair<std::string, std::string>> pairs;  // old, new
+  std::error_code ec;
+  const bool old_is_dir = fs::is_directory(old_path, ec);
+  const bool new_is_dir = fs::is_directory(new_path, ec);
+  if (old_is_dir != new_is_dir) {
+    *error = "cannot compare a directory against a file";
+    return false;
+  }
+  if (old_is_dir) {
+    std::map<std::string, std::string> old_files = ListBenchFiles(old_path);
+    std::map<std::string, std::string> new_files = ListBenchFiles(new_path);
+    for (const auto& [file, path] : old_files) {
+      auto it = new_files.find(file);
+      if (it == new_files.end()) {
+        report->only_in_old.push_back(file);
+      } else {
+        pairs.emplace_back(path, it->second);
+      }
+    }
+    for (const auto& [file, path] : new_files) {
+      if (old_files.find(file) == old_files.end()) {
+        report->only_in_new.push_back(file);
+      }
+    }
+    if (pairs.empty()) {
+      *error = "no matching BENCH_*.json files between " + old_path +
+               " and " + new_path;
+      return false;
+    }
+  } else {
+    pairs.emplace_back(old_path, new_path);
+  }
+
+  for (const auto& [old_file, new_file] : pairs) {
+    SnapshotStats old_stats;
+    SnapshotStats new_stats;
+    if (!LoadSnapshot(old_file, &old_stats, error) ||
+        !LoadSnapshot(new_file, &new_stats, error)) {
+      return false;
+    }
+    CompareEntry e = CompareStats(old_stats, new_stats, threshold);
+    report->has_regression = report->has_regression || e.regression;
+    report->entries.push_back(std::move(e));
+  }
+  std::sort(report->entries.begin(), report->entries.end(),
+            [](const CompareEntry& a, const CompareEntry& b) {
+              return a.name < b.name;
+            });
+  return true;
+}
+
+void PrintReport(const CompareReport& report, std::ostream& os) {
+  Table table({"bench", "old median s", "new median s", "delta", "verdict"});
+  for (const CompareEntry& e : report.entries) {
+    char delta[32];
+    std::snprintf(delta, sizeof(delta), "%+.1f%%", e.delta_pct);
+    const char* verdict = e.regression      ? "REGRESSION"
+                          : e.improvement   ? "improvement"
+                                            : "ok";
+    table.AddRow({e.name, Table::Num(e.old_median, 4),
+                  Table::Num(e.new_median, 4), delta, verdict});
+  }
+  table.Print(os);
+  for (const std::string& name : report.only_in_old) {
+    os << "missing from new snapshot: " << name << "\n";
+  }
+  for (const std::string& name : report.only_in_new) {
+    os << "only in new snapshot: " << name << "\n";
+  }
+}
+
+}  // namespace bench
+}  // namespace nmine

@@ -1,0 +1,66 @@
+#ifndef NMINE_BENCH_COMPARE_H_
+#define NMINE_BENCH_COMPARE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nmine {
+namespace bench {
+
+/// What bench_compare needs from one BENCH_*.json document. Schema v1
+/// files (no "stats" object) load with median = "seconds" and mad = 0.
+struct SnapshotStats {
+  std::string name;
+  double median = 0.0;
+  double mad = 0.0;
+  std::string git_sha;  // "" when the file carries no fingerprint
+};
+
+/// Parses one snapshot file; false (with *error set) on IO/parse trouble.
+bool LoadSnapshot(const std::string& path, SnapshotStats* out,
+                  std::string* error);
+
+/// One bench present in both snapshots.
+struct CompareEntry {
+  std::string name;
+  double old_median = 0.0;
+  double new_median = 0.0;
+  double old_mad = 0.0;
+  double new_mad = 0.0;
+  double delta_pct = 0.0;  // (new - old) / old * 100, 0 when old == 0
+  /// Slower beyond noise: new > old * (1 + threshold) AND the absolute
+  /// delta exceeds 3x the larger of the two MADs.
+  bool regression = false;
+  /// Faster by the same margin (informational only).
+  bool improvement = false;
+};
+
+/// The regression rule, exposed for tests. `threshold` is fractional
+/// (0.15 = 15%).
+CompareEntry CompareStats(const SnapshotStats& old_stats,
+                          const SnapshotStats& new_stats, double threshold);
+
+struct CompareReport {
+  std::vector<CompareEntry> entries;
+  std::vector<std::string> only_in_old;  // bench names missing from new
+  std::vector<std::string> only_in_new;
+  bool has_regression = false;
+};
+
+/// Compares two snapshot files, or two directories of BENCH_*.json files
+/// matched by file name. Returns false (with *error set) when nothing
+/// could be compared.
+bool CompareFilesOrDirs(const std::string& old_path,
+                        const std::string& new_path, double threshold,
+                        CompareReport* report, std::string* error);
+
+/// Human-readable table of the report.
+void PrintReport(const CompareReport& report, std::ostream& os);
+
+inline constexpr double kDefaultRegressionThreshold = 0.15;
+
+}  // namespace bench
+}  // namespace nmine
+
+#endif  // NMINE_BENCH_COMPARE_H_

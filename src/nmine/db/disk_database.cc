@@ -5,6 +5,8 @@
 #include <fstream>
 #include <vector>
 
+#include "nmine/db/scan_telemetry.h"
+
 namespace nmine {
 namespace {
 
@@ -130,6 +132,7 @@ std::unique_ptr<DiskSequenceDatabase> DiskSequenceDatabase::Open(
 Status DiskSequenceDatabase::Scan(const Visitor& visitor,
                                   const RestartFn& restart) const {
   CountScan();
+  db_telemetry::RecordScanStarted();
   return RunScanWithRetry(
       options_.retry, options_.sleeper,
       /*can_replay=*/static_cast<bool>(restart), "disk scan", [&](int) {
@@ -198,6 +201,7 @@ Status DiskSequenceDatabase::StreamFile(const Visitor* visitor,
     ++*num_sequences;
     if (visitor != nullptr) {
       if (delivered_records != nullptr) *delivered_records = true;
+      db_telemetry::RecordSequenceVisited();
       (*visitor)(record);
     }
   }

@@ -1,5 +1,7 @@
 #include "nmine/db/in_memory_database.h"
 
+#include "nmine/db/scan_telemetry.h"
+
 namespace nmine {
 
 InMemorySequenceDatabase InMemorySequenceDatabase::FromSequences(
@@ -37,8 +39,10 @@ void InMemorySequenceDatabase::Add(SequenceRecord record) {
 Status InMemorySequenceDatabase::Scan(const Visitor& visitor,
                                       const RestartFn& restart) const {
   CountScan();
+  db_telemetry::RecordScanStarted();
   if (restart) restart();
   for (const SequenceRecord& r : records_) {
+    db_telemetry::RecordSequenceVisited();
     visitor(r);
   }
   return Status::Ok();

@@ -1,5 +1,7 @@
 #include "nmine/lattice/candidate_gen.h"
 
+#include "nmine/obs/profiler.h"
+
 namespace nmine {
 
 bool InSpace(const Pattern& p, const PatternSpaceOptions& opts) {
@@ -55,6 +57,7 @@ std::vector<Pattern> NextLevelCandidates(
     const std::vector<SymbolId>& symbols, const PatternSpaceOptions& opts,
     const std::function<bool(const Pattern&)>& subpattern_ok,
     size_t max_out) {
+  NMINE_PROFILE_SCOPE("candidate_gen.next_level");
   std::vector<Pattern> out;
   for (const Pattern& p : level_k) {
     if (out.size() >= max_out) break;

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "nmine/core/check.h"
+#include "nmine/obs/profiler.h"
 
 namespace nmine {
 
@@ -139,11 +140,18 @@ Status AverageOverDb(const SequenceDatabase& db,
                      const std::vector<Pattern>& patterns,
                      const CompatibilityMatrix* c,
                      std::vector<double>* totals) {
+  NMINE_PROFILE_SCOPE("count.db_batch");
+  // Flat pre-resolved section so the per-sequence M(P,s) window-sliding
+  // cost is attributed without any per-record path lookup (and without any
+  // cost at all while the profiler is disabled).
+  obs::Profiler::Section* window_section =
+      obs::ResolveSection("count.window_slide");
   BatchEvaluator evaluator(patterns, c);
   totals->assign(patterns.size(), 0.0);
   std::vector<double> best;
   Status s = db.Scan(
       [&](const SequenceRecord& r) {
+        obs::SectionTimer timer(window_section);
         evaluator.Best(r.symbols, &best);
         for (size_t i = 0; i < totals->size(); ++i) {
           (*totals)[i] += best[i];
@@ -161,10 +169,14 @@ Status AverageOverDb(const SequenceDatabase& db,
 std::vector<double> AverageOverRecords(
     const std::vector<SequenceRecord>& records,
     const std::vector<Pattern>& patterns, const CompatibilityMatrix* c) {
+  NMINE_PROFILE_SCOPE("count.records_batch");
+  obs::Profiler::Section* window_section =
+      obs::ResolveSection("count.window_slide");
   BatchEvaluator evaluator(patterns, c);
   std::vector<double> totals(patterns.size(), 0.0);
   std::vector<double> best;
   for (const SequenceRecord& r : records) {
+    obs::SectionTimer timer(window_section);
     evaluator.Best(r.symbols, &best);
     for (size_t i = 0; i < totals.size(); ++i) {
       totals[i] += best[i];

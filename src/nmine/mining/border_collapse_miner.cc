@@ -14,6 +14,7 @@
 #include "nmine/mining/symbol_scan.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
+#include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
 
 namespace nmine {
@@ -38,6 +39,7 @@ SampleClassification ClassifySamplePatterns(
     const std::vector<double>& symbol_match, Metric metric,
     const MinerOptions& options) {
   obs::TraceSpan phase2_span("phase2.sample_mining", "phase2");
+  NMINE_PROFILE_SCOPE("phase2.sample_mining");
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   SampleClassification out;
   const size_t m = c.size();
@@ -156,6 +158,7 @@ SampleClassification ClassifySamplePatterns(
 MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
                                        const CompatibilityMatrix& c) const {
   obs::TraceSpan mine_span("mine.border_collapse", "mining");
+  NMINE_PROFILE_SCOPE("mine.border_collapse");
   auto start = std::chrono::steady_clock::now();
   int64_t scans_before = db.scan_count();
   MiningResult result;
@@ -299,11 +302,13 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
   reg.GetGauge("phase3.budget.max_counters")
       .Set(static_cast<double>(options_.max_counters_per_scan));
   obs::TraceSpan phase3_span("phase3.border_collapse", "phase3");
+  NMINE_PROFILE_SCOPE("phase3.border_collapse");
   phase3_span.Arg("ambiguous_initial", ambiguous.size());
   while (!ambiguous.empty()) {
     // One full-database probe scan per iteration: spans and counters below
     // account the probe batch and the collapse it produces.
     obs::TraceSpan scan_span("phase3.scan", "phase3");
+    NMINE_PROFILE_SCOPE("phase3.scan");
     const size_t ambiguous_before = ambiguous.size();
     // Group the remaining ambiguous patterns by level.
     std::map<size_t, std::vector<const Pattern*>> by_level;

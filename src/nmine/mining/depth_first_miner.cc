@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nmine/mining/levelwise_miner.h"
+#include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
 
 namespace nmine {
@@ -175,6 +176,7 @@ class DepthFirstSearch {
 MiningResult DepthFirstMiner::Mine(const SequenceDatabase& db,
                                    const CompatibilityMatrix& c) const {
   obs::TraceSpan mine_span("mine.depthfirst", "mining");
+  NMINE_PROFILE_SCOPE("mine.depthfirst");
   auto start = std::chrono::steady_clock::now();
   int64_t scans_before = db.scan_count();
   MiningResult result;
@@ -184,6 +186,7 @@ MiningResult DepthFirstMiner::Mine(const SequenceDatabase& db,
   sequences.reserve(db.NumSequences());
   {
     obs::TraceSpan load_span("depthfirst.load", "depthfirst");
+    NMINE_PROFILE_SCOPE("depthfirst.load");
     Status load_status = db.Scan(
         [&sequences](const SequenceRecord& r) {
           sequences.push_back(r.symbols);
@@ -203,6 +206,7 @@ MiningResult DepthFirstMiner::Mine(const SequenceDatabase& db,
   DepthFirstSearch search(metric_, options_, c, std::move(sequences));
   {
     obs::TraceSpan search_span("depthfirst.search", "depthfirst");
+    NMINE_PROFILE_SCOPE("depthfirst.search");
     search.Run(&result);
   }
 

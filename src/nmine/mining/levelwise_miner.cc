@@ -7,6 +7,7 @@
 
 #include "nmine/lattice/pattern_counter.h"
 #include "nmine/obs/logger.h"
+#include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
 
 namespace nmine {
@@ -33,6 +34,7 @@ MiningResult RunLevelwise(size_t m, const ThresholdFn& threshold_of,
 
   for (size_t level = 1; level <= max_level && !candidates.empty(); ++level) {
     obs::TraceSpan level_span("levelwise.level", "levelwise");
+    NMINE_PROFILE_SCOPE("levelwise.level");
     level_span.Arg("level", level).Arg("candidates", candidates.size());
     std::vector<double> values;
     Status count_status = count(candidates, &values);
@@ -125,6 +127,7 @@ MiningResult LevelwiseMiner::Mine(const SequenceDatabase& db,
   CountFn count = DbCounter(db, c, metric_);
   int64_t scans_before = db.scan_count();
   obs::TraceSpan mine_span("mine.levelwise", "mining");
+  NMINE_PROFILE_SCOPE("mine.levelwise");
   const double threshold = options_.min_threshold;
   MiningResult result = RunLevelwise(
       c.size(), [threshold](const Pattern&) { return threshold; },
@@ -165,6 +168,7 @@ MiningResult LevelwiseMiner::MineWithThreshold(
   CountFn count = DbCounter(db, c, metric_);
   int64_t scans_before = db.scan_count();
   obs::TraceSpan mine_span("mine.levelwise_calibrated", "mining");
+  NMINE_PROFILE_SCOPE("mine.levelwise_calibrated");
   MiningResult result = RunLevelwise(
       c.size(), threshold_of, options_.space, options_.max_level,
       options_.max_candidates_per_level, count);

@@ -9,6 +9,7 @@
 #include "nmine/mining/levelwise_miner.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
+#include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
 
 namespace nmine {
@@ -87,6 +88,7 @@ std::vector<Pattern> BuildJumps(const std::vector<Pattern>& frontier,
 MiningResult MaxMiner::Mine(const SequenceDatabase& db,
                             const CompatibilityMatrix& c) const {
   obs::TraceSpan mine_span("mine.maxminer", "mining");
+  NMINE_PROFILE_SCOPE("mine.maxminer");
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   auto start = std::chrono::steady_clock::now();
   int64_t scans_before = db.scan_count();
@@ -128,6 +130,7 @@ MiningResult MaxMiner::Mine(const SequenceDatabase& db,
   for (size_t level = 1;
        level <= options_.max_level && !candidates.empty(); ++level) {
     obs::TraceSpan level_span("maxminer.level", "maxminer");
+    NMINE_PROFILE_SCOPE("maxminer.level");
     level_span.Arg("level", level).Arg("candidates", candidates.size());
     // Split candidates into covered (frequent via a certified jump) and
     // those that must be counted.

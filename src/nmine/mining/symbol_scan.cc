@@ -7,6 +7,7 @@
 #include "nmine/db/reservoir_sampler.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
+#include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
 
 namespace nmine {
@@ -35,6 +36,9 @@ SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
                                       const CompatibilityMatrix& c,
                                       size_t sample_size, Rng* rng) {
   obs::TraceSpan span("phase1.symbol_scan", "phase1");
+  NMINE_PROFILE_SCOPE("phase1.symbol_scan");
+  obs::Profiler::Section* offer_section =
+      obs::ResolveSection("phase1.sample.offer");
   const size_t m = c.size();
   const size_t n_seq = db.NumSequences();
   SymbolScanResult result;
@@ -78,6 +82,7 @@ SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
           }
         }
         if (sample_size > 0) {
+          obs::SectionTimer timer(offer_section);
           sampler->Offer(record);
         }
       },
@@ -105,6 +110,9 @@ SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
 SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
                                     size_t sample_size, Rng* rng) {
   obs::TraceSpan span("phase1.symbol_scan", "phase1");
+  NMINE_PROFILE_SCOPE("phase1.symbol_scan");
+  obs::Profiler::Section* offer_section =
+      obs::ResolveSection("phase1.sample.offer");
   const size_t n_seq = db.NumSequences();
   SymbolScanResult result;
   result.symbol_match.assign(m, 0.0);
@@ -125,6 +133,7 @@ SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
           result.symbol_match[oi] += 1.0 / static_cast<double>(n_seq);
         }
         if (sample_size > 0) {
+          obs::SectionTimer timer(offer_section);
           sampler->Offer(record);
         }
       },

@@ -12,6 +12,7 @@
 #include "nmine/mining/symbol_scan.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
+#include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
 
 namespace nmine {
@@ -19,6 +20,7 @@ namespace nmine {
 MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
                                  const CompatibilityMatrix& c) const {
   obs::TraceSpan mine_span("mine.toivonen", "mining");
+  NMINE_PROFILE_SCOPE("mine.toivonen");
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   auto start = std::chrono::steady_clock::now();
   int64_t scans_before = db.scan_count();
@@ -88,6 +90,7 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
     size_t pos = 0;
     while (pos < todo.size()) {
       obs::TraceSpan scan_span("toivonen.verify_scan", "toivonen");
+      NMINE_PROFILE_SCOPE("toivonen.verify_scan");
       size_t batch_end =
           std::min(todo.size(), pos + options_.max_counters_per_scan);
       std::vector<Pattern> batch(todo.begin() + static_cast<long>(pos),

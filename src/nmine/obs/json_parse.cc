@@ -1,10 +1,12 @@
-#include "test_json.h"
+#include "nmine/obs/json_parse.h"
 
 #include <cctype>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace nmine {
-namespace testjson {
+namespace obs {
 namespace {
 
 class Parser {
@@ -211,5 +213,14 @@ std::optional<JsonValue> ParseJson(const std::string& text) {
   return Parser(text).Parse();
 }
 
-}  // namespace testjson
+std::optional<JsonValue> ParseJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return ParseJson(buf.str());
+}
+
+}  // namespace obs
 }  // namespace nmine

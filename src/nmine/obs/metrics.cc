@@ -61,6 +61,39 @@ double HistogramMetric::mean() const {
   return sum() / static_cast<double>(n);
 }
 
+double HistogramMetric::Quantile(double q) const {
+  const std::vector<int64_t> bucket_counts = counts();
+  int64_t total = 0;
+  for (int64_t c : bucket_counts) total += c;
+  if (total == 0) return 0.0;
+  const double lo_clamp = min();
+  const double hi_clamp = max();
+  if (q <= 0.0) return lo_clamp;
+  if (q >= 1.0) return hi_clamp;
+  // Rank of the target observation in cumulative order (1-based).
+  const double target = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    int64_t c = bucket_counts[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cumulative + c) < target) {
+      cumulative += c;
+      continue;
+    }
+    // The target rank falls in bucket i. Interpolate linearly between the
+    // bucket's edges; the first bucket starts at the observed min and the
+    // overflow bucket ends at the observed max.
+    double lower = i == 0 ? lo_clamp : bounds_[i - 1];
+    double upper = i < bounds_.size() ? bounds_[i] : hi_clamp;
+    lower = std::max(lower, lo_clamp);
+    upper = std::min(std::max(upper, lower), hi_clamp);
+    double within = (target - static_cast<double>(cumulative)) /
+                    static_cast<double>(c);
+    return lower + (upper - lower) * within;
+  }
+  return hi_clamp;
+}
+
 void HistogramMetric::Reset() {
   for (std::atomic<int64_t>& b : buckets_) {
     b.store(0, std::memory_order_relaxed);
@@ -164,6 +197,12 @@ std::string MetricsRegistry::SnapshotJson() const {
     AppendJsonNumber(hist->min(), &out);
     out.append(", \"max\": ");
     AppendJsonNumber(hist->max(), &out);
+    out.append(", \"p50\": ");
+    AppendJsonNumber(hist->Quantile(0.50), &out);
+    out.append(", \"p95\": ");
+    AppendJsonNumber(hist->Quantile(0.95), &out);
+    out.append(", \"p99\": ");
+    AppendJsonNumber(hist->Quantile(0.99), &out);
     out.append("}");
   }
   out.append(first ? "}\n}\n" : "\n  }\n}\n");

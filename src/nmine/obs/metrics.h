@@ -54,6 +54,12 @@ class HistogramMetric {
   double min() const;
   double max() const;
   double mean() const;
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// bucket containing the target rank; the open-ended first and overflow
+  /// buckets are clamped to the observed min/max. 0.0 when empty.
+  double Quantile(double q) const;
+
   void Reset();
 
  private:
@@ -76,7 +82,8 @@ class HistogramMetric {
 ///     "gauges":     {"phase1.sample_size": 400, ...},
 ///     "histograms": {"phase2.band_width":
 ///        {"bounds": [...], "counts": [...], "count": N,
-///         "sum": S, "min": m, "max": M}, ...}
+///         "sum": S, "min": m, "max": M,
+///         "p50": .., "p95": .., "p99": ..}, ...}
 ///   }
 class MetricsRegistry {
  public:

@@ -1,0 +1,120 @@
+#include "nmine/obs/profiler.h"
+
+#include "nmine/obs/json_util.h"
+
+namespace nmine {
+namespace obs {
+namespace {
+
+/// Slash-separated path of the scopes currently open on this thread.
+thread_local std::string tls_path;
+
+}  // namespace
+
+ProfileStats Profiler::Section::stats() const {
+  ProfileStats s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.total_ns = total_ns_.load(std::memory_order_relaxed);
+  int64_t min_seen = min_ns_.load(std::memory_order_relaxed);
+  s.min_ns = s.count > 0 ? min_seen : 0;
+  s.max_ns = max_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Profiler::Section::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(INT64_MAX, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+Profiler::Section& Profiler::GetSection(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sections_.find(name);
+  if (it == sections_.end()) {
+    it = sections_.emplace(name, nullptr).first;
+    it->second.reset(new Section(&it->first));
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, ProfileStats>> Profiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, ProfileStats>> out;
+  out.reserve(sections_.size());
+  for (const auto& [name, section] : sections_) {
+    ProfileStats s = section->stats();
+    if (s.count == 0) continue;
+    out.emplace_back(name, s);
+  }
+  return out;
+}
+
+std::string Profiler::SnapshotJson() const {
+  std::vector<std::pair<std::string, ProfileStats>> snapshot = Snapshot();
+  std::string out = "{\"sections\": {";
+  bool first = true;
+  for (const auto& [name, s] : snapshot) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(name, &out);
+    out.append(": {\"count\": ");
+    AppendJsonNumber(static_cast<double>(s.count), &out);
+    out.append(", \"total_ns\": ");
+    AppendJsonNumber(static_cast<double>(s.total_ns), &out);
+    out.append(", \"min_ns\": ");
+    AppendJsonNumber(static_cast<double>(s.min_ns), &out);
+    out.append(", \"max_ns\": ");
+    AppendJsonNumber(static_cast<double>(s.max_ns), &out);
+    out.append(", \"mean_ns\": ");
+    AppendJsonNumber(s.count > 0 ? static_cast<double>(s.total_ns) /
+                                       static_cast<double>(s.count)
+                                 : 0.0,
+                     &out);
+    out.append("}");
+  }
+  out.append(first ? "}}" : "\n  }}");
+  return out;
+}
+
+std::string Profiler::CurrentSection() const {
+  const std::string* current = current_.load(std::memory_order_acquire);
+  // The pointee is a map key that is never erased, so the dereference is
+  // safe even though another thread may move current_ on concurrently.
+  return current == nullptr ? std::string() : *current;
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, section] : sections_) section->Reset();
+}
+
+ProfileScope::ProfileScope(const char* name) {
+  Profiler& profiler = Profiler::Global();
+  if (!profiler.enabled()) return;
+  prev_path_size_ = tls_path.size();
+  if (!tls_path.empty()) tls_path.push_back('/');
+  tls_path.append(name);
+  section_ = &profiler.GetSection(tls_path);
+  prev_current_ = profiler.current_.exchange(&section_->name(),
+                                             std::memory_order_acq_rel);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ProfileScope::~ProfileScope() {
+  if (section_ == nullptr) return;
+  section_->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+  tls_path.resize(prev_path_size_);
+  Profiler::Global().current_.store(prev_current_,
+                                    std::memory_order_release);
+}
+
+}  // namespace obs
+}  // namespace nmine

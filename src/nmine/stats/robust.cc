@@ -1,0 +1,37 @@
+#include "nmine/stats/robust.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nmine {
+namespace {
+
+/// Median by nth_element; takes its argument by value as scratch space.
+double MedianInPlace(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid),
+                   values.end());
+  double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  double lower =
+      *std::max_element(values.begin(), values.begin() + static_cast<long>(mid));
+  return (lower + upper) / 2.0;
+}
+
+}  // namespace
+
+double Median(const std::vector<double>& values) {
+  return MedianInPlace(values);
+}
+
+double MedianAbsDeviation(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double med = MedianInPlace(values);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::fabs(v - med));
+  return MedianInPlace(std::move(deviations));
+}
+
+}  // namespace nmine

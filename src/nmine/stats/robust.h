@@ -1,0 +1,22 @@
+#ifndef NMINE_STATS_ROBUST_H_
+#define NMINE_STATS_ROBUST_H_
+
+#include <vector>
+
+namespace nmine {
+
+/// Robust location/spread estimators for small noisy samples — the bench
+/// harness summarizes repetition timings with these because median/MAD are
+/// insensitive to the occasional scheduler hiccup that ruins a mean/stddev.
+
+/// Median of `values` (0.0 for an empty sample); averages the two middle
+/// elements for even sizes. Does not modify the input.
+double Median(const std::vector<double>& values);
+
+/// Median absolute deviation from the median: median(|x_i - median(x)|).
+/// 0.0 for samples of size < 2.
+double MedianAbsDeviation(const std::vector<double>& values);
+
+}  // namespace nmine
+
+#endif  // NMINE_STATS_ROBUST_H_

@@ -62,6 +62,49 @@ TEST(HistogramMetricTest, ResetClearsEverything) {
   EXPECT_EQ(counts[1], 0);
 }
 
+TEST(HistogramMetricTest, QuantilesInterpolateWithinBuckets) {
+  // 20 observations, 1..20, split evenly across the two bounded buckets.
+  HistogramMetric h({10.0, 20.0});
+  for (int v = 1; v <= 20; ++v) h.Observe(v);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.50), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), 19.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 19.8);
+  // The extremes clamp to the observed min/max.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 20.0);
+}
+
+TEST(HistogramMetricTest, OverflowBucketQuantilesClampToObservedRange) {
+  HistogramMetric h({1.0});
+  h.Observe(100.0);
+  h.Observe(200.0);
+  // Both observations sit in the open-ended overflow bucket, whose edges
+  // are taken from the observed min/max rather than infinity.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.50), 150.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 199.0);
+}
+
+TEST(HistogramMetricTest, QuantileOfEmptyHistogramIsZero) {
+  HistogramMetric h({1.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramMetricTest, SnapshotJsonCarriesQuantiles) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.GetHistogram("latency", {10.0, 20.0});
+  for (int v = 1; v <= 20; ++v) h.Observe(v);
+  auto parsed = testjson::ParseJson(reg.SnapshotJson());
+  ASSERT_TRUE(parsed.has_value());
+  const testjson::JsonValue* hist =
+      parsed->Get("histograms")->Get("latency");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->GetNumber("p50", -1.0), 10.0);
+  EXPECT_DOUBLE_EQ(hist->GetNumber("p95", -1.0), 19.0);
+  EXPECT_DOUBLE_EQ(hist->GetNumber("p99", -1.0), 19.8);
+  EXPECT_DOUBLE_EQ(hist->GetNumber("count", -1.0), 20.0);
+  EXPECT_DOUBLE_EQ(hist->GetNumber("sum", -1.0), 210.0);
+}
+
 TEST(MetricsRegistryTest, GetReturnsStableInstances) {
   MetricsRegistry reg;
   Counter& a = reg.GetCounter("x");

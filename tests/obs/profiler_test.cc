@@ -1,0 +1,141 @@
+#include "nmine/obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "../test_json.h"
+
+namespace nmine {
+namespace obs {
+namespace {
+
+/// The profiler is process-global; each test starts from a disabled,
+/// zeroed state and leaves it that way.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::Global().Disable();
+    Profiler::Global().Reset();
+  }
+  void TearDown() override {
+    Profiler::Global().Disable();
+    Profiler::Global().Reset();
+  }
+};
+
+TEST_F(ProfilerTest, DisabledScopesRecordNothing) {
+  {
+    NMINE_PROFILE_SCOPE("disabled.outer");
+    NMINE_PROFILE_SCOPE("disabled.inner");
+  }
+  EXPECT_EQ(ResolveSection("disabled.flat"), nullptr);
+  EXPECT_TRUE(Profiler::Global().Snapshot().empty());
+  EXPECT_EQ(Profiler::Global().CurrentSection(), "");
+}
+
+TEST_F(ProfilerTest, NestedScopesFormSlashSeparatedPaths) {
+  Profiler& p = Profiler::Global();
+  p.Enable();
+  {
+    NMINE_PROFILE_SCOPE("outer");
+    EXPECT_EQ(p.CurrentSection(), "outer");
+    for (int i = 0; i < 3; ++i) {
+      NMINE_PROFILE_SCOPE("inner");
+      EXPECT_EQ(p.CurrentSection(), "outer/inner");
+    }
+    // Leaving the nested scope restores the enclosing section.
+    EXPECT_EQ(p.CurrentSection(), "outer");
+  }
+  EXPECT_EQ(p.CurrentSection(), "");
+  p.Disable();
+
+  auto snapshot = p.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "outer");
+  EXPECT_EQ(snapshot[0].second.count, 1u);
+  EXPECT_EQ(snapshot[1].first, "outer/inner");
+  EXPECT_EQ(snapshot[1].second.count, 3u);
+  EXPECT_GE(snapshot[1].second.min_ns, 0);
+  EXPECT_GE(snapshot[1].second.max_ns, snapshot[1].second.min_ns);
+  EXPECT_GE(snapshot[0].second.total_ns, snapshot[1].second.total_ns);
+}
+
+TEST_F(ProfilerTest, SectionTimerRecordsIntoResolvedSection) {
+  Profiler& p = Profiler::Global();
+  p.Enable();
+  Profiler::Section* section = ResolveSection("flat.loop");
+  ASSERT_NE(section, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    SectionTimer timer(section);
+  }
+  p.Disable();
+  ProfileStats s = section->stats();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_GE(s.total_ns, 0);
+  // A null section (the disabled fast path) must be a no-op.
+  SectionTimer noop(nullptr);
+}
+
+TEST_F(ProfilerTest, SnapshotJsonParsesAndCarriesAggregates) {
+  Profiler& p = Profiler::Global();
+  p.Enable();
+  {
+    NMINE_PROFILE_SCOPE("phase");
+  }
+  p.Disable();
+
+  auto parsed = testjson::ParseJson(p.SnapshotJson());
+  ASSERT_TRUE(parsed.has_value());
+  const testjson::JsonValue* sections = parsed->Get("sections");
+  ASSERT_NE(sections, nullptr);
+  const testjson::JsonValue* phase = sections->Get("phase");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->GetNumber("count", -1), 1.0);
+  EXPECT_GE(phase->GetNumber("total_ns", -1), 0.0);
+  EXPECT_GE(phase->GetNumber("mean_ns", -1), 0.0);
+  EXPECT_GE(phase->GetNumber("max_ns", -1), phase->GetNumber("min_ns", 0.0));
+}
+
+TEST_F(ProfilerTest, ResetZeroesAggregatesButKeepsReferences) {
+  Profiler& p = Profiler::Global();
+  p.Enable();
+  Profiler::Section* section = ResolveSection("reset.me");
+  section->Record(100);
+  p.Reset();
+  EXPECT_TRUE(p.Snapshot().empty());
+  // The reference is still the live section.
+  section->Record(7);
+  ProfileStats s = section->stats();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.total_ns, 7);
+  EXPECT_EQ(s.min_ns, 7);
+  EXPECT_EQ(s.max_ns, 7);
+  p.Disable();
+}
+
+TEST_F(ProfilerTest, ConcurrentRecordingsAllLand) {
+  Profiler& p = Profiler::Global();
+  p.Enable();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&p] {
+      Profiler::Section& section = p.GetSection("mt.section");
+      for (int i = 0; i < kPerThread; ++i) {
+        section.Record(i + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  p.Disable();
+  ProfileStats s = p.GetSection("mt.section").stats();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(s.min_ns, 1);
+  EXPECT_EQ(s.max_ns, kPerThread);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace nmine

@@ -1,0 +1,45 @@
+#include "nmine/stats/robust.h"
+
+#include <gtest/gtest.h>
+
+namespace nmine {
+namespace {
+
+TEST(MedianTest, EmptyIsZero) { EXPECT_EQ(Median({}), 0.0); }
+
+TEST(MedianTest, OddSizePicksMiddle) {
+  EXPECT_DOUBLE_EQ(Median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({9.0, 1.0, 5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Median({2.0, -1.0, 100.0, 4.0, 3.0}), 3.0);
+}
+
+TEST(MedianTest, EvenSizeAveragesMiddleTwo) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0}), 1.5);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(MedianTest, DoesNotModifyInput) {
+  std::vector<double> values = {9.0, 1.0, 5.0};
+  Median(values);
+  EXPECT_EQ(values, (std::vector<double>{9.0, 1.0, 5.0}));
+}
+
+TEST(MedianAbsDeviationTest, TinySamplesAreZero) {
+  EXPECT_EQ(MedianAbsDeviation({}), 0.0);
+  EXPECT_EQ(MedianAbsDeviation({42.0}), 0.0);
+}
+
+TEST(MedianAbsDeviationTest, KnownValues) {
+  // median = 3, |x - 3| = {2, 1, 0, 1, 2} -> MAD = 1.
+  EXPECT_DOUBLE_EQ(MedianAbsDeviation({1.0, 2.0, 3.0, 4.0, 5.0}), 1.0);
+  // Constant samples have no spread.
+  EXPECT_DOUBLE_EQ(MedianAbsDeviation({7.0, 7.0, 7.0}), 0.0);
+}
+
+TEST(MedianAbsDeviationTest, RobustToOneOutlier) {
+  // The outlier moves the mean wildly but barely touches the MAD.
+  EXPECT_DOUBLE_EQ(MedianAbsDeviation({1.0, 2.0, 3.0, 4.0, 1000.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace nmine

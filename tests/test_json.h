@@ -1,45 +1,23 @@
 #ifndef NMINE_TESTS_TEST_JSON_H_
 #define NMINE_TESTS_TEST_JSON_H_
 
-#include <map>
-#include <memory>
 #include <optional>
 #include <string>
-#include <vector>
+
+#include "nmine/obs/json_parse.h"
 
 namespace nmine {
 namespace testjson {
 
-/// Minimal JSON value for verifying the observability subsystem's output
-/// (metrics snapshots, trace_event files, JSON-lines logs) by parsing it
-/// back instead of string-matching. Not a general-purpose parser: strict
-/// RFC 8259 subset, no \uXXXX decoding beyond Latin-1.
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+/// The tests historically had their own minimal JSON parser; it now lives
+/// in the library (nmine/obs/json_parse.h) so bench_compare and other
+/// tools can read the JSON this system emits. These aliases keep the
+/// test-side spelling stable.
+using JsonValue = ::nmine::obs::JsonValue;
 
-  Type type = Type::kNull;
-  bool bool_value = false;
-  double number_value = 0.0;
-  std::string string_value;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  bool is_object() const { return type == Type::kObject; }
-  bool is_array() const { return type == Type::kArray; }
-  bool is_number() const { return type == Type::kNumber; }
-  bool is_string() const { return type == Type::kString; }
-
-  /// Object member access; nullptr when absent or not an object.
-  const JsonValue* Get(const std::string& key) const {
-    if (type != Type::kObject) return nullptr;
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-/// Parses `text` as one JSON document (trailing whitespace allowed).
-/// Returns nullopt on any syntax error.
-std::optional<JsonValue> ParseJson(const std::string& text);
+inline std::optional<JsonValue> ParseJson(const std::string& text) {
+  return ::nmine::obs::ParseJson(text);
+}
 
 }  // namespace testjson
 }  // namespace nmine

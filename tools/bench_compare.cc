@@ -1,0 +1,53 @@
+// Diffs two BENCH_*.json snapshots (or two directories of them, matched
+// by file name) and fails when a bench got slower beyond noise: median
+// up by more than --threshold (default 15%) AND by more than 3x the
+// larger MAD of the two runs. Exit codes: 0 clean, 1 regression,
+// 2 usage/IO error.
+//
+//   bench_compare old.json new.json
+//   bench_compare --threshold=0.10 bench/baselines build/bench_out
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/compare.h"
+
+int main(int argc, char** argv) {
+  double threshold = nmine::bench::kDefaultRegressionThreshold;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2 || threshold <= 0.0) {
+    std::fprintf(stderr,
+                 "usage: bench_compare [--threshold=FRACTION] "
+                 "<old.json|old_dir> <new.json|new_dir>\n");
+    return 2;
+  }
+
+  nmine::bench::CompareReport report;
+  std::string error;
+  if (!nmine::bench::CompareFilesOrDirs(paths[0], paths[1], threshold,
+                                        &report, &error)) {
+    std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+    return 2;
+  }
+  nmine::bench::PrintReport(report, std::cout);
+  if (report.has_regression) {
+    std::printf("FAIL: at least one bench regressed beyond %.0f%% + noise\n",
+                threshold * 100.0);
+    return 1;
+  }
+  std::printf("OK: no regression beyond %.0f%% + noise\n", threshold * 100.0);
+  return 0;
+}

@@ -23,6 +23,9 @@
 //   --metrics-out FILE    dump the metrics-registry snapshot as JSON on exit
 //   --trace-out FILE      record Chrome trace_event spans; open the file in
 //                         chrome://tracing or https://ui.perfetto.dev
+//   --progress[=SECONDS]  log a heartbeat every SECONDS (default 5) with the
+//                         current phase, scan counts, and elapsed time;
+//                         forces info-level stderr logging if logging is off
 //
 // Fault-tolerance flags for `mine` (drills and recovery; see README
 // "Robustness"):
@@ -35,15 +38,19 @@
 //
 // Exit status: 0 on success, 1 on usage/IO errors, 2 when a database scan
 // or mining run failed at runtime (e.g. unrecoverable fault).
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "nmine/bio/blosum.h"
@@ -66,6 +73,7 @@
 #include "nmine/mining/toivonen_miner.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
+#include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
 
 namespace nmine {
@@ -80,7 +88,10 @@ class Flags {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) == 0) {
         std::string key = arg.substr(2);
-        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+          values_[key.substr(0, eq)].push_back(key.substr(eq + 1));
+        } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
           values_[key].push_back(argv[++i]);
         } else {
           values_[key].push_back("");  // boolean flag
@@ -166,10 +177,37 @@ class ObsSession {
     if (!trace_out_.empty()) {
       obs::Tracer::Global().Start();
     }
+    if (flags.Has("progress")) {
+      std::string value = flags.Get("progress", "");
+      double interval_s = value.empty() ? 5.0 : std::atof(value.c_str());
+      if (interval_s <= 0.0) {
+        std::fprintf(stderr, "bad --progress interval '%s' (want seconds > 0)\n",
+                     value.c_str());
+        return;
+      }
+      // The heartbeat reads the profiler's current section, and must be
+      // visible even when logging is otherwise off.
+      obs::Profiler::Global().Enable();
+      if (*level == obs::LogLevel::kOff) {
+        if (logger.level() == obs::LogLevel::kOff) {
+          logger.SetLevel(obs::LogLevel::kInfo);
+        }
+        logger.AddSink(std::make_unique<obs::TextSink>(&std::cerr));
+      }
+      StartHeartbeat(interval_s);
+    }
     ok_ = true;
   }
 
   ~ObsSession() {
+    if (progress_thread_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(progress_mutex_);
+        progress_stop_ = true;
+      }
+      progress_cv_.notify_all();
+      progress_thread_.join();
+    }
     if (!metrics_out_.empty()) {
       if (!obs::MetricsRegistry::Global().WriteJsonFile(metrics_out_)) {
         std::fprintf(stderr, "cannot write --metrics-out file '%s'\n",
@@ -189,9 +227,37 @@ class ObsSession {
   bool ok() const { return ok_; }
 
  private:
+  void StartHeartbeat(double interval_s) {
+    progress_thread_ = std::thread([this, interval_s] {
+      auto start = std::chrono::steady_clock::now();
+      std::unique_lock<std::mutex> lock(progress_mutex_);
+      while (!progress_cv_.wait_for(
+          lock, std::chrono::duration<double>(interval_s),
+          [this] { return progress_stop_; })) {
+        double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        std::string phase = obs::Profiler::Global().CurrentSection();
+        obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+        NMINE_LOG(kInfo, "progress")
+            .Msg("heartbeat")
+            .Str("phase", phase.empty() ? "idle" : phase)
+            .Num("elapsed_s", elapsed)
+            .Num("scans_started", metrics.CounterValue("db.scans.started"))
+            .Num("sequences_scanned",
+                 metrics.CounterValue("db.sequences_scanned"));
+      }
+    });
+  }
+
   bool ok_ = false;
   std::string metrics_out_;
   std::string trace_out_;
+  bool progress_stop_ = false;
+  std::mutex progress_mutex_;
+  std::condition_variable progress_cv_;
+  std::thread progress_thread_;
 };
 
 std::optional<Pattern> ParseIdPattern(const std::string& text) {
