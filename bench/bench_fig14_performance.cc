@@ -56,6 +56,7 @@ void RunFig14(const bench::BenchContext& ctx) {
     options.sample_size = 400;
     options.delta = 0.01;
     options.seed = 21;
+    options.num_threads = ctx.threads;
 
     struct Entry {
       const char* name;

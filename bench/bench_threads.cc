@@ -1,0 +1,105 @@
+// Thread-scaling bench: the Figure-14 workload (deep border, long planted
+// patterns) mined by border collapsing at a fixed threshold with 1, 2, 4,
+// and 8 worker threads. The parallel scan engine is bit-identical to the
+// serial one, so the only thing that may change between scenarios is the
+// wall clock; each scenario cross-checks its border against the serial
+// run and warns loudly on any divergence.
+//
+// Interpreting the numbers: speedup = median(threads.fig14_t1) /
+// median(threads.fig14_tN). On a single-core machine (like the committed
+// baseline environment) the t2/t4/t8 scenarios measure scheduling
+// overhead, not speedup — expect ~1x there and read multi-core results
+// only from multi-core runs.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "harness.h"
+#include "nmine/eval/table.h"
+#include "nmine/gen/matrix_generator.h"
+#include "nmine/gen/noise_model.h"
+#include "nmine/gen/sequence_generator.h"
+#include "nmine/mining/border_collapse_miner.h"
+
+using namespace nmine;
+using namespace nmine::benchutil;
+
+namespace {
+
+struct Workload {
+  InMemorySequenceDatabase test;
+  CompatibilityMatrix c = CompatibilityMatrix::Identity(1);
+};
+
+/// Same construction as bench_fig14_performance.cc (same seeds), so the
+/// scaling numbers are measured on exactly the Figure-14 input.
+Workload MakeFig14Workload() {
+  const size_t m = 20;
+  const double alpha = 0.1;
+  Rng rng(1404);
+  GeneratorConfig config;
+  config.num_sequences = 800;
+  config.min_length = 50;
+  config.max_length = 70;
+  config.alphabet_size = m;
+  InMemorySequenceDatabase standard = GenerateDatabase(config, &rng);
+  for (int i = 0; i < 3; ++i) {
+    PlantIntoDatabase(RandomPattern(12, 0, m, &rng), 0.55, &standard, &rng);
+  }
+  Rng noise_rng(1405);
+  Workload w;
+  w.test = ApplyUniformNoise(standard, alpha, m, &noise_rng);
+  w.c = UniformNoiseMatrix(m, alpha);
+  return w;
+}
+
+MinerOptions Fig14Options(size_t num_threads) {
+  MinerOptions options;
+  options.min_threshold = 0.25;
+  options.space.max_span = 14;
+  options.max_level = 14;
+  options.sample_size = 400;
+  options.delta = 0.01;
+  options.seed = 21;
+  options.num_threads = num_threads;
+  return options;
+}
+
+void RunWithThreads(const bench::BenchContext& ctx, const Workload& w,
+                    size_t num_threads) {
+  BorderCollapseMiner miner(Metric::kMatch, Fig14Options(num_threads));
+  MiningResult result = miner.Mine(w.test, w.c);
+
+  if (num_threads != 1) {
+    // Determinism cross-check: sharded counting must not change the mined
+    // border. Serial reference mined once, cached across reps.
+    static const std::vector<Pattern> serial_border = [&w] {
+      BorderCollapseMiner serial(Metric::kMatch, Fig14Options(1));
+      return serial.Mine(w.test, w.c).border.ToSortedVector();
+    }();
+    if (result.border.ToSortedVector() != serial_border) {
+      std::printf(
+          "WARNING: border at %zu threads differs from the serial border\n",
+          num_threads);
+    }
+  }
+  if (ctx.verbose) {
+    std::printf("threads=%zu: %zu frequent, border %zu, %lld scans\n",
+                num_threads, result.frequent.size(), result.border.size(),
+                static_cast<long long>(result.scans));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Shared across scenarios and reps: the workload is input, not work.
+  static const Workload w = MakeFig14Workload();
+  for (size_t t : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    bench::RegisterScenario(
+        "threads.fig14_t" + std::to_string(t),
+        [t](const bench::BenchContext& ctx) { RunWithThreads(ctx, w, t); },
+        {.smoke = true});
+  }
+  return bench::BenchMain(argc, argv, {.reps = 3, .warmup = 1});
+}

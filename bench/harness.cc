@@ -75,8 +75,9 @@ double NowSecondsSince(std::chrono::steady_clock::time_point start) {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--reps=N] [--warmup=N] [--filter=SUBSTRING]\n"
-               "          [--smoke] [--list] [--out-dir=DIR]\n",
+               "usage: %s [--reps=N] [--warmup=N] [--threads=N]\n"
+               "          [--filter=SUBSTRING] [--smoke] [--list]\n"
+               "          [--out-dir=DIR]\n",
                argv0);
 }
 
@@ -198,6 +199,7 @@ bool WriteBenchJsonV2(const std::string& name, const RepStats& stats,
 int BenchMain(int argc, char** argv, HarnessDefaults defaults) {
   int reps = defaults.reps;
   int warmup = defaults.warmup;
+  long long threads = 1;
   std::string filter;
   std::string out_dir_flag;
   bool smoke_only = false;
@@ -216,6 +218,8 @@ int BenchMain(int argc, char** argv, HarnessDefaults defaults) {
       reps = std::atoi(value.c_str());
     } else if (key == "--warmup") {
       warmup = std::atoi(value.c_str());
+    } else if (key == "--threads") {
+      threads = std::atoll(value.c_str());
     } else if (key == "--filter") {
       filter = value;
     } else if (key == "--out-dir") {
@@ -232,6 +236,7 @@ int BenchMain(int argc, char** argv, HarnessDefaults defaults) {
   }
   if (reps < 1) reps = 1;
   if (warmup < 0) warmup = 0;
+  if (threads < 0) threads = 1;
 
   std::vector<const Scenario*> selected;
   for (const Scenario& s : Registry()) {
@@ -265,6 +270,7 @@ int BenchMain(int argc, char** argv, HarnessDefaults defaults) {
       BenchContext ctx;
       ctx.rep = -1;
       ctx.warmup = true;
+      ctx.threads = static_cast<size_t>(threads);
       ctx.verbose = !spoke;
       spoke = true;
       s->fn(ctx);
@@ -278,6 +284,7 @@ int BenchMain(int argc, char** argv, HarnessDefaults defaults) {
     for (int r = 0; r < reps; ++r) {
       BenchContext ctx;
       ctx.rep = r;
+      ctx.threads = static_cast<size_t>(threads);
       ctx.verbose = !spoke;
       spoke = true;
       auto start = std::chrono::steady_clock::now();

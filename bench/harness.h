@@ -20,6 +20,11 @@ struct BenchContext {
   /// gate human-readable tables and printf output on this so repeated
   /// repetitions stay quiet.
   bool verbose = false;
+  /// Worker threads requested via --threads (default 1; 0 = one per
+  /// hardware thread). Scenarios that mine should forward this to
+  /// MinerOptions::num_threads; fixed-thread scaling scenarios (e.g.
+  /// bench_threads) may ignore it.
+  size_t threads = 1;
 };
 
 using ScenarioFn = std::function<void(const BenchContext&)>;
@@ -57,6 +62,8 @@ struct HarnessDefaults {
 /// scenario. Flags:
 ///   --reps=N      measured repetitions per scenario
 ///   --warmup=N    untimed warmup executions per scenario
+///   --threads=N   worker threads handed to scenarios via
+///                 BenchContext::threads (default 1; 0 = hardware)
 ///   --filter=SUB  only scenarios whose name contains SUB
 ///   --smoke       only scenarios registered with smoke=true
 ///   --list        print scenario names and exit

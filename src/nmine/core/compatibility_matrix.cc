@@ -2,17 +2,20 @@
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "nmine/core/check.h"
 
 namespace nmine {
 
 CompatibilityMatrix::CompatibilityMatrix(size_t m)
-    : m_(m), data_(m * m, 0.0) {}
+    : m_(m), data_(m * m, 0.0), col_data_(m * m, 0.0) {}
 
 CompatibilityMatrix::CompatibilityMatrix(
     const std::vector<std::vector<double>>& rows)
-    : m_(rows.size()), data_(rows.size() * rows.size(), 0.0) {
+    : m_(rows.size()),
+      data_(rows.size() * rows.size(), 0.0),
+      col_data_(rows.size() * rows.size(), 0.0) {
   for (size_t i = 0; i < m_; ++i) {
     // Rows often come from parsed user input; a ragged matrix must die
     // loudly even in release builds instead of reading out of bounds.
@@ -21,6 +24,7 @@ CompatibilityMatrix::CompatibilityMatrix(
                 "rows (matrix must be square)");
     for (size_t j = 0; j < m_; ++j) {
       data_[i * m_ + j] = rows[i][j];
+      col_data_[j * m_ + i] = rows[i][j];
     }
   }
 }
@@ -29,8 +33,43 @@ CompatibilityMatrix CompatibilityMatrix::Identity(size_t m) {
   CompatibilityMatrix c(m);
   for (size_t i = 0; i < m; ++i) {
     c.data_[i * m + i] = 1.0;
+    c.col_data_[i * m + i] = 1.0;
   }
   return c;
+}
+
+CompatibilityMatrix::CompatibilityMatrix(const CompatibilityMatrix& other)
+    : m_(other.m_), data_(other.data_), col_data_(other.col_data_) {}
+
+CompatibilityMatrix& CompatibilityMatrix::operator=(
+    const CompatibilityMatrix& other) {
+  if (this == &other) return *this;
+  m_ = other.m_;
+  data_ = other.data_;
+  col_data_ = other.col_data_;
+  index_built_.store(false, std::memory_order_release);
+  column_nonzeros_.clear();
+  row_nonzeros_.clear();
+  column_max_.clear();
+  return *this;
+}
+
+CompatibilityMatrix::CompatibilityMatrix(CompatibilityMatrix&& other) noexcept
+    : m_(other.m_),
+      data_(std::move(other.data_)),
+      col_data_(std::move(other.col_data_)) {}
+
+CompatibilityMatrix& CompatibilityMatrix::operator=(
+    CompatibilityMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  m_ = other.m_;
+  data_ = std::move(other.data_);
+  col_data_ = std::move(other.col_data_);
+  index_built_.store(false, std::memory_order_release);
+  column_nonzeros_.clear();
+  row_nonzeros_.clear();
+  column_max_.clear();
+  return *this;
 }
 
 void CompatibilityMatrix::Set(SymbolId true_sym, SymbolId observed,
@@ -41,7 +80,9 @@ void CompatibilityMatrix::Set(SymbolId true_sym, SymbolId observed,
               "CompatibilityMatrix::Set with out-of-range symbol");
   data_[static_cast<size_t>(true_sym) * m_ + static_cast<size_t>(observed)] =
       value;
-  index_built_ = false;
+  col_data_[static_cast<size_t>(observed) * m_ +
+            static_cast<size_t>(true_sym)] = value;
+  index_built_.store(false, std::memory_order_release);
 }
 
 MatrixValidation CompatibilityMatrix::Validate(double tolerance) const {
@@ -110,7 +151,12 @@ double CompatibilityMatrix::MaxInColumn(SymbolId observed) const {
 }
 
 void CompatibilityMatrix::EnsureIndex() const {
-  if (index_built_) return;
+  // Double-checked: parallel scan workers may race to the first lookup.
+  // The acquire load pairs with the release store so a reader that sees
+  // index_built_ == true also sees the fully-built index vectors.
+  if (index_built_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (index_built_.load(std::memory_order_relaxed)) return;
   column_nonzeros_.assign(m_, {});
   row_nonzeros_.assign(m_, {});
   column_max_.assign(m_, 0.0);
@@ -125,7 +171,7 @@ void CompatibilityMatrix::EnsureIndex() const {
       }
     }
   }
-  index_built_ = true;
+  index_built_.store(true, std::memory_order_release);
 }
 
 }  // namespace nmine

@@ -1,7 +1,9 @@
 #ifndef NMINE_CORE_COMPATIBILITY_MATRIX_H_
 #define NMINE_CORE_COMPATIBILITY_MATRIX_H_
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,10 +38,13 @@ class CompatibilityMatrix {
   /// The identity matrix: the noise-free environment.
   static CompatibilityMatrix Identity(size_t m);
 
-  CompatibilityMatrix(const CompatibilityMatrix&) = default;
-  CompatibilityMatrix& operator=(const CompatibilityMatrix&) = default;
-  CompatibilityMatrix(CompatibilityMatrix&&) = default;
-  CompatibilityMatrix& operator=(CompatibilityMatrix&&) = default;
+  // Hand-written because the lazy-index guard is an atomic + mutex (see
+  // EnsureIndex); copies take the source's entries and rebuild the index
+  // lazily on first use.
+  CompatibilityMatrix(const CompatibilityMatrix& other);
+  CompatibilityMatrix& operator=(const CompatibilityMatrix& other);
+  CompatibilityMatrix(CompatibilityMatrix&& other) noexcept;
+  CompatibilityMatrix& operator=(CompatibilityMatrix&& other) noexcept;
 
   /// Number of distinct symbols m.
   size_t size() const { return m_; }
@@ -51,6 +56,16 @@ class CompatibilityMatrix {
     if (IsWildcard(true_sym)) return 1.0;
     return data_[static_cast<size_t>(true_sym) * m_ +
                  static_cast<size_t>(observed)];
+  }
+
+  /// Contiguous column for `observed`: Column(d)[t] == C(t, d) for every
+  /// non-wildcard true symbol t. Backed by a column-major mirror kept in
+  /// sync by Set(), so this is a single pointer add — match kernels hoist
+  /// it out of their innermost product (one lookup per sequence position
+  /// instead of one indexed load per (position, pattern symbol) pair).
+  /// Callers handle the wildcard (factor 1.0) before indexing.
+  const double* Column(SymbolId observed) const {
+    return col_data_.data() + static_cast<size_t>(observed) * m_;
   }
 
   /// Sets C(true_sym, observed) = value. Invalidates cached indexes.
@@ -75,7 +90,10 @@ class CompatibilityMatrix {
 
   /// Non-zero entries of the column for `observed`: all true symbols that
   /// `observed` may be a (mis)representation of. The index is built lazily
-  /// and cached; Set() invalidates it.
+  /// and cached; Set() invalidates it. The lazy build is thread-safe
+  /// (double-checked under a mutex), so concurrent scan workers may race
+  /// to the first lookup; Set() itself is NOT safe against concurrent
+  /// readers — mutate matrices only before handing them to miners.
   const std::vector<Entry>& ColumnNonZeros(SymbolId observed) const;
 
   /// Non-zero entries of the row for `true_sym`: all observed symbols that
@@ -89,10 +107,13 @@ class CompatibilityMatrix {
   void EnsureIndex() const;
 
   size_t m_;
-  std::vector<double> data_;  // row-major: data_[true * m_ + observed]
+  std::vector<double> data_;      // row-major: data_[true * m_ + observed]
+  std::vector<double> col_data_;  // column-major mirror for Column()
 
-  // Lazily built sparse indexes (cleared by Set()).
-  mutable bool index_built_ = false;
+  // Lazily built sparse indexes (cleared by Set()). The guard is atomic so
+  // EnsureIndex can double-check without locking on the hot path.
+  mutable std::atomic<bool> index_built_{false};
+  mutable std::mutex index_mutex_;
   mutable std::vector<std::vector<Entry>> column_nonzeros_;
   mutable std::vector<std::vector<Entry>> row_nonzeros_;
   mutable std::vector<double> column_max_;

@@ -1,6 +1,7 @@
 #include "nmine/core/match.h"
 
 #include <cassert>
+#include <vector>
 
 namespace nmine {
 
@@ -11,7 +12,9 @@ double SegmentMatch(const CompatibilityMatrix& c, const Pattern& p,
   for (size_t i = 0; i < p.length(); ++i) {
     SymbolId true_sym = p[i];
     if (IsWildcard(true_sym)) continue;
-    match *= c(true_sym, seq[offset + i]);
+    // Column(observed)[true] is the same entry as c(true, observed); the
+    // column pointer keeps the inner load a single index.
+    match *= c.Column(seq[offset + i])[static_cast<size_t>(true_sym)];
     if (match == 0.0) return 0.0;
   }
   return match;
@@ -20,11 +23,31 @@ double SegmentMatch(const CompatibilityMatrix& c, const Pattern& p,
 double SequenceMatch(const CompatibilityMatrix& c, const Pattern& p,
                      const Sequence& seq) {
   if (seq.size() < p.length()) return 0.0;
+  // Hoist the per-position column lookup out of the sliding windows: each
+  // sequence position is visited by up to p.length() windows, and the
+  // column pointer depends only on the observed symbol at that position.
+  constexpr size_t kStackPositions = 512;
+  const double* stack_cols[kStackPositions];
+  std::vector<const double*> heap_cols;
+  const double** cols = stack_cols;
+  if (seq.size() > kStackPositions) {
+    heap_cols.resize(seq.size());
+    cols = heap_cols.data();
+  }
+  for (size_t j = 0; j < seq.size(); ++j) {
+    cols[j] = c.Column(seq[j]);
+  }
   double best = 0.0;
   const size_t windows = seq.size() - p.length() + 1;
   for (size_t offset = 0; offset < windows; ++offset) {
-    double m = SegmentMatch(c, p, seq, offset);
-    if (m > best) best = m;
+    double match = 1.0;
+    for (size_t i = 0; i < p.length(); ++i) {
+      SymbolId true_sym = p[i];
+      if (IsWildcard(true_sym)) continue;
+      match *= cols[offset + i][static_cast<size_t>(true_sym)];
+      if (match == 0.0) break;
+    }
+    if (match > best) best = match;
   }
   return best;
 }

@@ -1,0 +1,67 @@
+#include "nmine/exec/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "nmine/exec/thread_pool.h"
+
+namespace nmine {
+namespace exec {
+
+void ParallelFor(size_t num_threads, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  size_t threads = ResolveNumThreads(num_threads);
+  if (threads > count) threads = count;
+  if (threads <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // One shared claim counter; the caller participates, so only
+  // threads - 1 pool tasks are submitted. Each task drains indices until
+  // the counter is exhausted, then reports done; the caller waits for
+  // every helper so fn's effects are visible (mutex pairs acquire with
+  // release) before ParallelFor returns.
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    size_t active = 0;
+    size_t count = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+  };
+  Shared shared;
+  shared.count = count;
+  shared.fn = &fn;
+
+  auto drain = [&shared] {
+    for (;;) {
+      size_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shared.count) return;
+      (*shared.fn)(i);
+    }
+  };
+
+  size_t helpers = threads - 1;
+  ThreadPool& pool = ThreadPool::Shared();
+  pool.EnsureWorkers(helpers);
+  {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    shared.active = helpers;
+  }
+  for (size_t h = 0; h < helpers; ++h) {
+    pool.Submit([&shared, drain] {
+      drain();
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      if (--shared.active == 0) shared.done_cv.notify_all();
+    });
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(shared.mutex);
+  shared.done_cv.wait(lock, [&shared] { return shared.active == 0; });
+}
+
+}  // namespace exec
+}  // namespace nmine

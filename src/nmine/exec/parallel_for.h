@@ -1,0 +1,30 @@
+#ifndef NMINE_EXEC_PARALLEL_FOR_H_
+#define NMINE_EXEC_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace nmine {
+namespace exec {
+
+/// Runs fn(i) for every i in [0, count) using up to num_threads threads:
+/// the calling thread plus workers from ThreadPool::Shared(). Blocks
+/// until every call has returned (a barrier), so by the time it returns
+/// all writes made by fn are visible to the caller.
+///
+/// Indices are claimed dynamically from a shared counter, so the
+/// ASSIGNMENT of indices to threads is nondeterministic — callers that
+/// need deterministic results must make fn(i) write only to slot i of a
+/// pre-sized output and combine slots in index order afterwards (see
+/// ShardedScanReducer).
+///
+/// num_threads follows the ExecPolicy convention: 0 means hardware
+/// concurrency, 1 runs the whole loop inline on the calling thread.
+/// fn must not throw; it runs on pool workers with no unwinding path.
+void ParallelFor(size_t num_threads, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace exec
+}  // namespace nmine
+
+#endif  // NMINE_EXEC_PARALLEL_FOR_H_

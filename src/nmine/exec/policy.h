@@ -1,0 +1,44 @@
+#ifndef NMINE_EXEC_POLICY_H_
+#define NMINE_EXEC_POLICY_H_
+
+#include <cstddef>
+
+namespace nmine {
+namespace exec {
+
+/// Number of hardware threads, never 0 (thread_pool.cc).
+size_t HardwareThreads();
+
+/// Resolves a num_threads knob: 0 means "use the hardware concurrency".
+size_t ResolveNumThreads(size_t requested);
+
+/// Records per shard: the unit of the deterministic reduction. Shard
+/// boundaries depend only on this value (never on the thread count), so
+/// the same shard size yields bit-identical results for every thread
+/// count, including 1.
+inline constexpr size_t kDefaultShardSize = 256;
+
+/// How scan-shaped work is executed. The policy deliberately cannot
+/// change WHAT is computed: per-shard partial results are always merged
+/// in ascending shard order, so every setting produces the same bits and
+/// only wall-clock time varies. The number of charged database scans is
+/// likewise unaffected (parallelism splits the evaluation of one pass,
+/// never the pass itself).
+struct ExecPolicy {
+  /// Worker threads to use (including the calling thread); 0 means
+  /// "hardware concurrency", 1 runs inline with no pool involvement.
+  size_t num_threads = 1;
+
+  /// Records per shard. Changing it changes the floating-point grouping
+  /// (within double rounding), so comparisons of stored values must use
+  /// the same shard size on both sides. Leave at the default outside
+  /// tests.
+  size_t shard_size = kDefaultShardSize;
+
+  size_t ResolvedThreads() const { return ResolveNumThreads(num_threads); }
+};
+
+}  // namespace exec
+}  // namespace nmine
+
+#endif  // NMINE_EXEC_POLICY_H_

@@ -1,0 +1,136 @@
+#include "nmine/exec/sharded_reduce.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "nmine/exec/parallel_for.h"
+
+namespace nmine {
+namespace exec {
+
+namespace {
+
+void MergeInto(std::vector<double>* totals, const std::vector<double>& partial) {
+  for (size_t i = 0; i < totals->size(); ++i) {
+    (*totals)[i] += partial[i];
+  }
+}
+
+}  // namespace
+
+ShardedScanReducer::ShardedScanReducer(size_t accum_size,
+                                       const ExecPolicy& policy,
+                                       RecordFnFactory factory)
+    : accum_size_(accum_size),
+      shard_size_(std::max<size_t>(1, policy.shard_size)),
+      threads_(policy.ResolvedThreads()),
+      factory_(std::move(factory)) {
+  totals_.assign(accum_size_, 0.0);
+  if (threads_ <= 1) {
+    BeginSerialShard();
+  } else {
+    // Two shards per thread bounds buffered records (and partial vectors)
+    // per wave while leaving enough shards to keep every worker busy.
+    wave_.resize(2 * threads_);
+    for (auto& shard : wave_) shard.reserve(shard_size_);
+    partials_.resize(wave_.size());
+  }
+}
+
+void ShardedScanReducer::BeginSerialShard() {
+  serial_fn_ = factory_();
+  serial_partial_.assign(accum_size_, 0.0);
+  serial_count_ = 0;
+}
+
+void ShardedScanReducer::Consume(const SequenceRecord& record) {
+  if (threads_ <= 1) {
+    serial_fn_(record, &serial_partial_);
+    if (++serial_count_ == shard_size_) {
+      MergeInto(&totals_, serial_partial_);
+      BeginSerialShard();
+    }
+    return;
+  }
+  wave_[current_shard_].push_back(record);
+  if (wave_[current_shard_].size() == shard_size_) {
+    ++current_shard_;
+    if (current_shard_ == wave_.size()) FlushWave();
+  }
+}
+
+void ShardedScanReducer::FlushWave() {
+  size_t n_shards = current_shard_;
+  if (n_shards < wave_.size() && !wave_[n_shards].empty()) ++n_shards;
+  if (n_shards == 0) return;
+  ParallelFor(threads_, n_shards, [this](size_t i) {
+    partials_[i].assign(accum_size_, 0.0);
+    RecordFn fn = factory_();
+    for (const SequenceRecord& r : wave_[i]) {
+      fn(r, &partials_[i]);
+    }
+  });
+  // ParallelFor is a barrier, so merging in ascending shard order here
+  // reproduces the serial grouping exactly.
+  for (size_t i = 0; i < n_shards; ++i) {
+    MergeInto(&totals_, partials_[i]);
+    wave_[i].clear();
+  }
+  current_shard_ = 0;
+}
+
+void ShardedScanReducer::Restart() {
+  totals_.assign(accum_size_, 0.0);
+  if (threads_ <= 1) {
+    BeginSerialShard();
+    return;
+  }
+  // No tasks are in flight between Consume calls (waves are synchronous),
+  // so dropping the buffers cannot race with workers.
+  for (auto& shard : wave_) shard.clear();
+  current_shard_ = 0;
+}
+
+std::vector<double> ShardedScanReducer::Finish() {
+  if (threads_ <= 1) {
+    if (serial_count_ > 0) MergeInto(&totals_, serial_partial_);
+    BeginSerialShard();
+  } else {
+    FlushWave();
+  }
+  return std::move(totals_);
+}
+
+std::vector<double> ReduceRecords(const std::vector<SequenceRecord>& records,
+                                  size_t accum_size, const ExecPolicy& policy,
+                                  const RecordFnFactory& factory) {
+  const size_t shard_size = std::max<size_t>(1, policy.shard_size);
+  const size_t threads = policy.ResolvedThreads();
+  const size_t n_shards = (records.size() + shard_size - 1) / shard_size;
+  std::vector<double> totals(accum_size, 0.0);
+  if (n_shards == 0) return totals;
+
+  // Same wave structure as the streaming reducer, but shards are index
+  // ranges into `records` — no copies.
+  const size_t wave_width = threads <= 1 ? 1 : 2 * threads;
+  std::vector<std::vector<double>> partials(std::min(wave_width, n_shards));
+  for (size_t base = 0; base < n_shards; base += wave_width) {
+    const size_t count = std::min(wave_width, n_shards - base);
+    ParallelFor(threads, count, [&](size_t i) {
+      partials[i].assign(accum_size, 0.0);
+      RecordFn fn = factory();
+      const size_t begin = (base + i) * shard_size;
+      const size_t end = std::min(begin + shard_size, records.size());
+      for (size_t r = begin; r < end; ++r) {
+        fn(records[r], &partials[i]);
+      }
+    });
+    for (size_t i = 0; i < count; ++i) {
+      MergeInto(&totals, partials[i]);
+    }
+  }
+  return totals;
+}
+
+}  // namespace exec
+}  // namespace nmine

@@ -1,9 +1,11 @@
 #include "nmine/lattice/pattern_counter.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
 #include "nmine/core/check.h"
+#include "nmine/exec/sharded_reduce.h"
 #include "nmine/obs/profiler.h"
 
 namespace nmine {
@@ -47,12 +49,26 @@ void PatternTrie::BestMatches(const CompatibilityMatrix& c,
                               const Sequence& seq,
                               std::vector<double>* best) const {
   best->assign(num_patterns_, 0.0);
+  // Hoist the per-position column lookup once per sequence: every trie
+  // walk that crosses position j reads factors from the same column
+  // C(., seq[j]), so the walk's inner loop is a single indexed load.
+  constexpr size_t kStackPositions = 512;
+  const double* stack_cols[kStackPositions];
+  std::vector<const double*> heap_cols;
+  const double** cols = stack_cols;
+  if (seq.size() > kStackPositions) {
+    heap_cols.resize(seq.size());
+    cols = heap_cols.data();
+  }
+  for (size_t j = 0; j < seq.size(); ++j) {
+    cols[j] = c.Column(seq[j]);
+  }
   for (size_t offset = 0; offset < seq.size(); ++offset) {
-    WalkMatch(c, seq, offset, 0, 1.0, best);
+    WalkMatch(cols, seq, offset, 0, 1.0, best);
   }
 }
 
-void PatternTrie::WalkMatch(const CompatibilityMatrix& c, const Sequence& seq,
+void PatternTrie::WalkMatch(const double* const* cols, const Sequence& seq,
                             size_t offset, size_t node, double product,
                             std::vector<double>* best) const {
   const Node& n = nodes_[node];
@@ -61,11 +77,11 @@ void PatternTrie::WalkMatch(const CompatibilityMatrix& c, const Sequence& seq,
     if (product > slot) slot = product;
   }
   if (offset >= seq.size()) return;  // window exhausted; deeper needs symbols
-  SymbolId observed = seq[offset];
+  const double* col = cols[offset];
   for (const auto& [sym, child] : n.children) {
-    double factor = IsWildcard(sym) ? 1.0 : c(sym, observed);
+    double factor = IsWildcard(sym) ? 1.0 : col[static_cast<size_t>(sym)];
     if (factor == 0.0) continue;
-    WalkMatch(c, seq, offset + 1, static_cast<size_t>(child),
+    WalkMatch(cols, seq, offset + 1, static_cast<size_t>(child),
               product * factor, best);
   }
 }
@@ -104,9 +120,16 @@ bool UseTrieForMatrix(const CompatibilityMatrix& c) {
   return c.Sparsity() >= 0.5;
 }
 
-/// Per-sequence evaluator: either the trie or the naive per-pattern loop.
+/// Per-sequence evaluator: either the trie or the flat per-pattern loop.
+/// The evaluator itself is immutable after construction and shared across
+/// scan workers; all mutable state lives in a per-shard Scratch.
 class BatchEvaluator {
  public:
+  struct Scratch {
+    std::vector<double> best;
+    std::vector<const double*> cols;  // flat path: per-position columns
+  };
+
   BatchEvaluator(const std::vector<Pattern>& patterns,
                  const CompatibilityMatrix* c)
       : patterns_(patterns), c_(c) {
@@ -115,18 +138,39 @@ class BatchEvaluator {
     }
   }
 
-  void Best(const Sequence& seq, std::vector<double>* best) const {
+  void Best(const Sequence& seq, Scratch* scratch) const {
     if (trie_.has_value()) {
       if (c_ != nullptr) {
-        trie_->BestMatches(*c_, seq, best);
+        trie_->BestMatches(*c_, seq, &scratch->best);
       } else {
-        trie_->BestSupports(seq, best);
+        trie_->BestSupports(seq, &scratch->best);
       }
       return;
     }
-    best->resize(patterns_.size());
+    // Flat path: the per-position column pointers are shared by ALL
+    // patterns in the batch, so hoist them once per sequence.
+    scratch->best.assign(patterns_.size(), 0.0);
+    scratch->cols.resize(seq.size());
+    for (size_t j = 0; j < seq.size(); ++j) {
+      scratch->cols[j] = c_->Column(seq[j]);
+    }
+    const double* const* cols = scratch->cols.data();
     for (size_t i = 0; i < patterns_.size(); ++i) {
-      (*best)[i] = SequenceMatch(*c_, patterns_[i], seq);
+      const Pattern& p = patterns_[i];
+      if (seq.size() < p.length()) continue;
+      double best = 0.0;
+      const size_t windows = seq.size() - p.length() + 1;
+      for (size_t offset = 0; offset < windows; ++offset) {
+        double match = 1.0;
+        for (size_t k = 0; k < p.length(); ++k) {
+          SymbolId true_sym = p[k];
+          if (IsWildcard(true_sym)) continue;
+          match *= cols[offset + k][static_cast<size_t>(true_sym)];
+          if (match == 0.0) break;
+        }
+        if (match > best) best = match;
+      }
+      scratch->best[i] = best;
     }
   }
 
@@ -136,10 +180,29 @@ class BatchEvaluator {
   std::optional<PatternTrie> trie_;
 };
 
+/// Per-shard kernel over a shared evaluator. The window-sliding section
+/// is recorded from whichever thread runs the shard (Section recording is
+/// atomic), so profiler totals stay truthful under concurrency.
+exec::RecordFnFactory MakeCountKernelFactory(
+    const BatchEvaluator& evaluator, obs::Profiler::Section* window_section,
+    size_t num_patterns) {
+  return [&evaluator, window_section, num_patterns]() -> exec::RecordFn {
+    auto scratch = std::make_shared<BatchEvaluator::Scratch>();
+    return [&evaluator, window_section, num_patterns,
+            scratch](const SequenceRecord& r, std::vector<double>* partial) {
+      obs::SectionTimer timer(window_section);
+      evaluator.Best(r.symbols, scratch.get());
+      for (size_t i = 0; i < num_patterns; ++i) {
+        (*partial)[i] += scratch->best[i];
+      }
+    };
+  };
+}
+
 Status AverageOverDb(const SequenceDatabase& db,
                      const std::vector<Pattern>& patterns,
-                     const CompatibilityMatrix* c,
-                     std::vector<double>* totals) {
+                     const CompatibilityMatrix* c, std::vector<double>* totals,
+                     const exec::ExecPolicy& exec) {
   NMINE_PROFILE_SCOPE("count.db_batch");
   // Flat pre-resolved section so the per-sequence M(P,s) window-sliding
   // cost is attributed without any per-record path lookup (and without any
@@ -147,18 +210,14 @@ Status AverageOverDb(const SequenceDatabase& db,
   obs::Profiler::Section* window_section =
       obs::ResolveSection("count.window_slide");
   BatchEvaluator evaluator(patterns, c);
-  totals->assign(patterns.size(), 0.0);
-  std::vector<double> best;
+  exec::ShardedScanReducer reducer(
+      patterns.size(), exec,
+      MakeCountKernelFactory(evaluator, window_section, patterns.size()));
   Status s = db.Scan(
-      [&](const SequenceRecord& r) {
-        obs::SectionTimer timer(window_section);
-        evaluator.Best(r.symbols, &best);
-        for (size_t i = 0; i < totals->size(); ++i) {
-          (*totals)[i] += best[i];
-        }
-      },
-      /*restart=*/[&] { totals->assign(patterns.size(), 0.0); });
+      [&reducer](const SequenceRecord& r) { reducer.Consume(r); },
+      /*restart=*/[&reducer] { reducer.Restart(); });
   if (!s.ok()) return s;
+  *totals = reducer.Finish();
   const double n = static_cast<double>(db.NumSequences());
   if (n > 0) {
     for (double& t : *totals) t /= n;
@@ -168,20 +227,15 @@ Status AverageOverDb(const SequenceDatabase& db,
 
 std::vector<double> AverageOverRecords(
     const std::vector<SequenceRecord>& records,
-    const std::vector<Pattern>& patterns, const CompatibilityMatrix* c) {
+    const std::vector<Pattern>& patterns, const CompatibilityMatrix* c,
+    const exec::ExecPolicy& exec) {
   NMINE_PROFILE_SCOPE("count.records_batch");
   obs::Profiler::Section* window_section =
       obs::ResolveSection("count.window_slide");
   BatchEvaluator evaluator(patterns, c);
-  std::vector<double> totals(patterns.size(), 0.0);
-  std::vector<double> best;
-  for (const SequenceRecord& r : records) {
-    obs::SectionTimer timer(window_section);
-    evaluator.Best(r.symbols, &best);
-    for (size_t i = 0; i < totals.size(); ++i) {
-      totals[i] += best[i];
-    }
-  }
+  std::vector<double> totals = exec::ReduceRecords(
+      records, patterns.size(), exec,
+      MakeCountKernelFactory(evaluator, window_section, patterns.size()));
   const double n = static_cast<double>(records.size());
   if (n > 0) {
     for (double& t : totals) t /= n;
@@ -194,30 +248,34 @@ std::vector<double> AverageOverRecords(
 Status TryCountMatches(const SequenceDatabase& db,
                        const CompatibilityMatrix& c,
                        const std::vector<Pattern>& patterns,
-                       std::vector<double>* values) {
-  return AverageOverDb(db, patterns, &c, values);
+                       std::vector<double>* values,
+                       const exec::ExecPolicy& exec) {
+  return AverageOverDb(db, patterns, &c, values, exec);
 }
 
 Status TryCountSupports(const SequenceDatabase& db,
                         const std::vector<Pattern>& patterns,
-                        std::vector<double>* values) {
-  return AverageOverDb(db, patterns, nullptr, values);
+                        std::vector<double>* values,
+                        const exec::ExecPolicy& exec) {
+  return AverageOverDb(db, patterns, nullptr, values, exec);
 }
 
 std::vector<double> CountMatches(const SequenceDatabase& db,
                                  const CompatibilityMatrix& c,
-                                 const std::vector<Pattern>& patterns) {
+                                 const std::vector<Pattern>& patterns,
+                                 const exec::ExecPolicy& exec) {
   std::vector<double> values;
-  Status s = AverageOverDb(db, patterns, &c, &values);
+  Status s = AverageOverDb(db, patterns, &c, &values, exec);
   NMINE_CHECK(s.ok(), "CountMatches on a fallible database failed; use "
                       "TryCountMatches to handle scan errors");
   return values;
 }
 
 std::vector<double> CountSupports(const SequenceDatabase& db,
-                                  const std::vector<Pattern>& patterns) {
+                                  const std::vector<Pattern>& patterns,
+                                  const exec::ExecPolicy& exec) {
   std::vector<double> values;
-  Status s = AverageOverDb(db, patterns, nullptr, &values);
+  Status s = AverageOverDb(db, patterns, nullptr, &values, exec);
   NMINE_CHECK(s.ok(), "CountSupports on a fallible database failed; use "
                       "TryCountSupports to handle scan errors");
   return values;
@@ -225,14 +283,14 @@ std::vector<double> CountSupports(const SequenceDatabase& db,
 
 std::vector<double> CountMatchesInRecords(
     const std::vector<SequenceRecord>& records, const CompatibilityMatrix& c,
-    const std::vector<Pattern>& patterns) {
-  return AverageOverRecords(records, patterns, &c);
+    const std::vector<Pattern>& patterns, const exec::ExecPolicy& exec) {
+  return AverageOverRecords(records, patterns, &c, exec);
 }
 
 std::vector<double> CountSupportsInRecords(
     const std::vector<SequenceRecord>& records,
-    const std::vector<Pattern>& patterns) {
-  return AverageOverRecords(records, patterns, nullptr);
+    const std::vector<Pattern>& patterns, const exec::ExecPolicy& exec) {
+  return AverageOverRecords(records, patterns, nullptr, exec);
 }
 
 }  // namespace nmine

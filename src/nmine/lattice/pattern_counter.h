@@ -8,6 +8,7 @@
 #include "nmine/core/match.h"
 #include "nmine/core/pattern.h"
 #include "nmine/db/sequence_database.h"
+#include "nmine/exec/policy.h"
 
 namespace nmine {
 
@@ -45,7 +46,7 @@ class PatternTrie {
     std::vector<int32_t> pattern_indices;  // patterns ending at this node
   };
 
-  void WalkMatch(const CompatibilityMatrix& c, const Sequence& seq,
+  void WalkMatch(const double* const* cols, const Sequence& seq,
                  size_t offset, size_t node, double product,
                  std::vector<double>* best) const;
   void WalkSupport(const Sequence& seq, size_t offset, size_t node,
@@ -60,34 +61,44 @@ class PatternTrie {
 /// meaningless; miners must surface the status instead of consuming the
 /// partial counts. Retried scan attempts reset the accumulators via the
 /// database's restart callback, so retries never double-count.
+///
+/// All counters take an exec::ExecPolicy: sequences are sharded across
+/// worker threads and per-shard partial sums are merged in fixed shard
+/// order, so results are bit-identical for every num_threads (including
+/// the default serial policy) and the number of charged scans never
+/// changes — only wall-clock time does.
 Status TryCountMatches(const SequenceDatabase& db,
                        const CompatibilityMatrix& c,
                        const std::vector<Pattern>& patterns,
-                       std::vector<double>* values);
+                       std::vector<double>* values,
+                       const exec::ExecPolicy& exec = {});
 
 /// Support of every pattern over the whole database, in one scan.
 Status TryCountSupports(const SequenceDatabase& db,
                         const std::vector<Pattern>& patterns,
-                        std::vector<double>* values);
+                        std::vector<double>* values,
+                        const exec::ExecPolicy& exec = {});
 
 /// Convenience wrappers for infallible (in-memory) databases: tests,
 /// examples, and benches. Scan errors are impossible there; fallible
 /// databases must go through the TryCount* variants.
 std::vector<double> CountMatches(const SequenceDatabase& db,
                                  const CompatibilityMatrix& c,
-                                 const std::vector<Pattern>& patterns);
+                                 const std::vector<Pattern>& patterns,
+                                 const exec::ExecPolicy& exec = {});
 
 /// Support of every pattern over the whole database, in one scan.
 std::vector<double> CountSupports(const SequenceDatabase& db,
-                                  const std::vector<Pattern>& patterns);
+                                  const std::vector<Pattern>& patterns,
+                                  const exec::ExecPolicy& exec = {});
 
 /// In-memory variants used for the sample (no scan is charged).
 std::vector<double> CountMatchesInRecords(
     const std::vector<SequenceRecord>& records, const CompatibilityMatrix& c,
-    const std::vector<Pattern>& patterns);
+    const std::vector<Pattern>& patterns, const exec::ExecPolicy& exec = {});
 std::vector<double> CountSupportsInRecords(
     const std::vector<SequenceRecord>& records,
-    const std::vector<Pattern>& patterns);
+    const std::vector<Pattern>& patterns, const exec::ExecPolicy& exec = {});
 
 }  // namespace nmine
 

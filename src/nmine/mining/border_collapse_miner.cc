@@ -62,10 +62,13 @@ SampleClassification ClassifySamplePatterns(
        ++level) {
     obs::TraceSpan level_span("phase2.level", "phase2");
     level_span.Arg("level", level).Arg("candidates", candidates.size());
+    // Phase 2 runs on the in-memory sample, so no scans are charged; the
+    // exec policy still shards the per-level counting across workers.
+    const exec::ExecPolicy exec = ExecPolicyFor(options);
     std::vector<double> values =
         metric == Metric::kMatch
-            ? CountMatchesInRecords(records, c, candidates)
-            : CountSupportsInRecords(records, candidates);
+            ? CountMatchesInRecords(records, c, candidates, exec)
+            : CountSupportsInRecords(records, candidates, exec);
     LevelStats stats;
     stats.level = level;
     stats.num_candidates = candidates.size();
@@ -229,14 +232,16 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
     }
   }
 
+  const exec::ExecPolicy exec = ExecPolicyFor(options_);
   if (!resumed) {
     Rng rng(options_.seed);
 
     // ---- Phase 1: symbol matches + sample, one scan (Algorithm 4.1).
     SymbolScanResult phase1 =
         metric_ == Metric::kMatch
-            ? ScanSymbolsAndSample(db, c, options_.sample_size, &rng)
-            : ScanSymbolSupports(db, c.size(), options_.sample_size, &rng);
+            ? ScanSymbolsAndSample(db, c, options_.sample_size, &rng, exec)
+            : ScanSymbolSupports(db, c.size(), options_.sample_size, &rng,
+                                 exec);
     if (!phase1.status.ok()) return fail(phase1.status);
     result.symbol_match = phase1.symbol_match;
 
@@ -355,8 +360,8 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
             .Str("status", scan_status.ToString());
       }
       scan_status = metric_ == Metric::kMatch
-                        ? TryCountMatches(db, c, probe, &values)
-                        : TryCountSupports(db, probe, &values);
+                        ? TryCountMatches(db, c, probe, &values, exec)
+                        : TryCountSupports(db, probe, &values, exec);
       if (scan_status.ok() || !scan_status.IsTransient()) break;
     }
     if (!scan_status.ok()) {

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "nmine/exec/parallel_for.h"
 #include "nmine/mining/levelwise_miner.h"
 #include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
@@ -32,19 +33,28 @@ class DepthFirstSearch {
   void Run(MiningResult* result) {
     result_ = result;
     const size_t m = c_.size();
-    // Root level: every symbol, with its full projection.
+    // Root level: every symbol, with its full projection. The projections
+    // are independent per symbol, so they are built in parallel into
+    // per-symbol slots; the selection pass below stays serial and in
+    // symbol order, making the result identical for every thread count.
+    // The recursive extension stays serial: its per-level truncation
+    // counters make the traversal order-dependent.
+    std::vector<std::vector<WindowEntry>> projections(m);
+    std::vector<double> matches(m, 0.0);
+    exec::ParallelFor(options_.num_threads, m, [&](size_t d) {
+      projections[d] = RootProjection(static_cast<SymbolId>(d));
+      matches[d] = AverageMax(projections[d]);
+    });
     std::vector<SymbolId> frequent_symbols;
     std::vector<std::pair<Pattern, std::vector<WindowEntry>>> roots;
     for (size_t d = 0; d < m; ++d) {
       SymbolId sym = static_cast<SymbolId>(d);
-      std::vector<WindowEntry> projection = RootProjection(sym);
       CountCandidate(1);
-      double match = AverageMax(projection);
-      if (match >= options_.min_threshold && !projection.empty()) {
+      if (matches[d] >= options_.min_threshold && !projections[d].empty()) {
         Pattern p({sym});
-        Record(p, match, 1);
+        Record(p, matches[d], 1);
         frequent_symbols.push_back(sym);
-        roots.emplace_back(std::move(p), std::move(projection));
+        roots.emplace_back(std::move(p), std::move(projections[d]));
       }
     }
     frequent_symbols_ = std::move(frequent_symbols);

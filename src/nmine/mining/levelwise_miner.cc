@@ -107,16 +107,16 @@ namespace {
 
 /// Fallible batch counter over a database for the level-wise loop.
 CountFn DbCounter(const SequenceDatabase& db, const CompatibilityMatrix& c,
-                  Metric metric) {
+                  Metric metric, const exec::ExecPolicy& exec) {
   if (metric == Metric::kMatch) {
-    return [&db, &c](const std::vector<Pattern>& patterns,
-                     std::vector<double>* values) {
-      return TryCountMatches(db, c, patterns, values);
+    return [&db, &c, exec](const std::vector<Pattern>& patterns,
+                           std::vector<double>* values) {
+      return TryCountMatches(db, c, patterns, values, exec);
     };
   }
-  return [&db](const std::vector<Pattern>& patterns,
-               std::vector<double>* values) {
-    return TryCountSupports(db, patterns, values);
+  return [&db, exec](const std::vector<Pattern>& patterns,
+                     std::vector<double>* values) {
+    return TryCountSupports(db, patterns, values, exec);
   };
 }
 
@@ -124,7 +124,7 @@ CountFn DbCounter(const SequenceDatabase& db, const CompatibilityMatrix& c,
 
 MiningResult LevelwiseMiner::Mine(const SequenceDatabase& db,
                                   const CompatibilityMatrix& c) const {
-  CountFn count = DbCounter(db, c, metric_);
+  CountFn count = DbCounter(db, c, metric_, ExecPolicyFor(options_));
   int64_t scans_before = db.scan_count();
   obs::TraceSpan mine_span("mine.levelwise", "mining");
   NMINE_PROFILE_SCOPE("mine.levelwise");
@@ -142,16 +142,17 @@ MiningResult LevelwiseMiner::MineRecords(
     const std::vector<SequenceRecord>& records,
     const CompatibilityMatrix& c) const {
   CountFn count;
+  const exec::ExecPolicy exec = ExecPolicyFor(options_);
   if (metric_ == Metric::kMatch) {
-    count = [&records, &c](const std::vector<Pattern>& patterns,
-                           std::vector<double>* values) {
-      *values = CountMatchesInRecords(records, c, patterns);
+    count = [&records, &c, exec](const std::vector<Pattern>& patterns,
+                                 std::vector<double>* values) {
+      *values = CountMatchesInRecords(records, c, patterns, exec);
       return Status::Ok();
     };
   } else {
-    count = [&records](const std::vector<Pattern>& patterns,
-                       std::vector<double>* values) {
-      *values = CountSupportsInRecords(records, patterns);
+    count = [&records, exec](const std::vector<Pattern>& patterns,
+                             std::vector<double>* values) {
+      *values = CountSupportsInRecords(records, patterns, exec);
       return Status::Ok();
     };
   }
@@ -165,7 +166,7 @@ MiningResult LevelwiseMiner::MineRecords(
 MiningResult LevelwiseMiner::MineWithThreshold(
     const SequenceDatabase& db, const CompatibilityMatrix& c,
     const std::function<double(const Pattern&)>& threshold_of) const {
-  CountFn count = DbCounter(db, c, metric_);
+  CountFn count = DbCounter(db, c, metric_, ExecPolicyFor(options_));
   int64_t scans_before = db.scan_count();
   obs::TraceSpan mine_span("mine.levelwise_calibrated", "mining");
   NMINE_PROFILE_SCOPE("mine.levelwise_calibrated");

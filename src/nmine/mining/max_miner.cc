@@ -96,11 +96,12 @@ MiningResult MaxMiner::Mine(const SequenceDatabase& db,
   const size_t m = c.size();
   const bool contiguous = options_.space.max_gap == 0;
 
+  const exec::ExecPolicy exec = ExecPolicyFor(options_);
   auto count = [&](const std::vector<Pattern>& patterns,
                    std::vector<double>* values) {
     return metric_ == Metric::kMatch
-               ? TryCountMatches(db, c, patterns, values)
-               : TryCountSupports(db, patterns, values);
+               ? TryCountMatches(db, c, patterns, values, exec)
+               : TryCountSupports(db, patterns, values, exec);
   };
   auto fail = [&](Status status) {
     result.status = std::move(status);

@@ -6,6 +6,7 @@
 #include <limits>
 #include <string>
 
+#include "nmine/exec/policy.h"
 #include "nmine/lattice/candidate_gen.h"
 
 namespace nmine {
@@ -59,6 +60,15 @@ struct MinerOptions {
   /// Seed for sampling (Phase 1 is the only randomized step).
   uint64_t seed = 42;
 
+  // --- Parallel execution (src/nmine/exec) ---
+
+  /// Worker threads for scan-shaped hot paths (pattern counting, Phase-1
+  /// symbol scanning, Phase-2 sample mining, Phase-3 probe batches);
+  /// 0 = hardware concurrency. Results are bit-identical for every
+  /// setting (deterministic sharded reduction), and the number of charged
+  /// database scans never changes — only wall-clock time does.
+  size_t num_threads = 1;
+
   // --- Fault tolerance (border-collapsing miner) ---
 
   /// Miner-level retries of a failed Phase-3 probe scan, on top of any
@@ -73,6 +83,14 @@ struct MinerOptions {
   /// successful completion.
   std::string phase3_checkpoint_path;
 };
+
+/// The exec policy implied by these options (shard size stays at the
+/// deterministic default; only the thread count is a user knob).
+inline exec::ExecPolicy ExecPolicyFor(const MinerOptions& options) {
+  exec::ExecPolicy policy;
+  policy.num_threads = options.num_threads;
+  return policy;
+}
 
 }  // namespace nmine
 

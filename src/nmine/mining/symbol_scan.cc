@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "nmine/db/reservoir_sampler.h"
+#include "nmine/exec/sharded_reduce.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
 #include "nmine/obs/profiler.h"
@@ -34,7 +36,8 @@ void RecordPhase1(const char* name, size_t n_seq, size_t sample_target,
 
 SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
                                       const CompatibilityMatrix& c,
-                                      size_t sample_size, Rng* rng) {
+                                      size_t sample_size, Rng* rng,
+                                      const exec::ExecPolicy& exec) {
   obs::TraceSpan span("phase1.symbol_scan", "phase1");
   NMINE_PROFILE_SCOPE("phase1.symbol_scan");
   obs::Profiler::Section* offer_section =
@@ -51,46 +54,57 @@ SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
   std::optional<SequentialSampler> sampler;
   sampler.emplace(sample_size, n_seq, rng);
 
-  // Epoch-stamped per-sequence state avoids O(m) clearing per sequence.
-  std::vector<double> max_match(m, 0.0);
-  std::vector<uint64_t> max_match_epoch(m, 0);
-  std::vector<uint64_t> seen_epoch(m, 0);  // distinct-symbol flags
-  uint64_t epoch = 0;
+  // Per-symbol accumulation is sharded: each shard kernel owns its
+  // epoch-stamped scratch (avoids O(m) clearing per sequence) and folds
+  // max_match / n into an m-sized partial merged in shard order. The
+  // sampler is NOT sharded — it consumes RNG draws sequentially, so it
+  // stays on the scanning thread in delivery order and the sample is the
+  // same for every thread count.
+  struct MatchScratch {
+    explicit MatchScratch(size_t m)
+        : max_match(m, 0.0), max_match_epoch(m, 0), seen_epoch(m, 0) {}
+    std::vector<double> max_match;
+    std::vector<uint64_t> max_match_epoch;
+    std::vector<uint64_t> seen_epoch;  // distinct-symbol flags
+    uint64_t epoch = 0;
+  };
+  exec::ShardedScanReducer reducer(m, exec, [&c, m, n_seq]() -> exec::RecordFn {
+    auto st = std::make_shared<MatchScratch>(m);
+    return [&c, m, n_seq, st](const SequenceRecord& record,
+                              std::vector<double>* partial) {
+      uint64_t epoch = ++st->epoch;
+      for (SymbolId observed : record.symbols) {
+        size_t oi = static_cast<size_t>(observed);
+        if (st->seen_epoch[oi] == epoch) continue;  // first occurrence only
+        st->seen_epoch[oi] = epoch;
+        for (const CompatibilityMatrix::Entry& e : c.ColumnNonZeros(observed)) {
+          size_t ti = static_cast<size_t>(e.symbol);
+          if (st->max_match_epoch[ti] != epoch) {
+            st->max_match_epoch[ti] = epoch;
+            st->max_match[ti] = e.value;
+          } else if (e.value > st->max_match[ti]) {
+            st->max_match[ti] = e.value;
+          }
+        }
+      }
+      for (size_t d = 0; d < m; ++d) {
+        if (st->max_match_epoch[d] == epoch) {
+          (*partial)[d] += st->max_match[d] / static_cast<double>(n_seq);
+        }
+      }
+    };
+  });
 
   result.status = db.Scan(
       [&](const SequenceRecord& record) {
-        ++epoch;
-        for (SymbolId observed : record.symbols) {
-          size_t oi = static_cast<size_t>(observed);
-          if (seen_epoch[oi] == epoch) continue;  // first occurrence only
-          seen_epoch[oi] = epoch;
-          for (const CompatibilityMatrix::Entry& e :
-               c.ColumnNonZeros(observed)) {
-            size_t ti = static_cast<size_t>(e.symbol);
-            if (max_match_epoch[ti] != epoch) {
-              max_match_epoch[ti] = epoch;
-              max_match[ti] = e.value;
-            } else if (e.value > max_match[ti]) {
-              max_match[ti] = e.value;
-            }
-          }
-        }
-        for (size_t d = 0; d < m; ++d) {
-          if (max_match_epoch[d] == epoch) {
-            result.symbol_match[d] +=
-                max_match[d] / static_cast<double>(n_seq);
-          }
-        }
+        reducer.Consume(record);
         if (sample_size > 0) {
           obs::SectionTimer timer(offer_section);
           sampler->Offer(record);
         }
       },
       /*restart=*/[&] {
-        result.symbol_match.assign(m, 0.0);
-        std::fill(max_match_epoch.begin(), max_match_epoch.end(), 0);
-        std::fill(seen_epoch.begin(), seen_epoch.end(), 0);
-        epoch = 0;
+        reducer.Restart();
         *rng = rng_snapshot;
         sampler.emplace(sample_size, n_seq, rng);
       });
@@ -99,6 +113,7 @@ SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
     result.sample = InMemorySequenceDatabase();
     return result;
   }
+  result.symbol_match = reducer.Finish();
 
   RecordPhase1("symbol match scan", n_seq, sample_size,
                sampler->sample().size());
@@ -108,7 +123,8 @@ SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
 }
 
 SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
-                                    size_t sample_size, Rng* rng) {
+                                    size_t sample_size, Rng* rng,
+                                    const exec::ExecPolicy& exec) {
   obs::TraceSpan span("phase1.symbol_scan", "phase1");
   NMINE_PROFILE_SCOPE("phase1.symbol_scan");
   obs::Profiler::Section* offer_section =
@@ -120,27 +136,36 @@ SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
   const Rng rng_snapshot = *rng;
   std::optional<SequentialSampler> sampler;
   sampler.emplace(sample_size, n_seq, rng);
-  std::vector<uint64_t> seen_epoch(m, 0);
-  uint64_t epoch = 0;
+
+  struct SupportScratch {
+    explicit SupportScratch(size_t m) : seen_epoch(m, 0) {}
+    std::vector<uint64_t> seen_epoch;
+    uint64_t epoch = 0;
+  };
+  exec::ShardedScanReducer reducer(m, exec, [m, n_seq]() -> exec::RecordFn {
+    auto st = std::make_shared<SupportScratch>(m);
+    return [n_seq, st](const SequenceRecord& record,
+                       std::vector<double>* partial) {
+      uint64_t epoch = ++st->epoch;
+      for (SymbolId observed : record.symbols) {
+        size_t oi = static_cast<size_t>(observed);
+        if (st->seen_epoch[oi] == epoch) continue;
+        st->seen_epoch[oi] = epoch;
+        (*partial)[oi] += 1.0 / static_cast<double>(n_seq);
+      }
+    };
+  });
 
   result.status = db.Scan(
       [&](const SequenceRecord& record) {
-        ++epoch;
-        for (SymbolId observed : record.symbols) {
-          size_t oi = static_cast<size_t>(observed);
-          if (seen_epoch[oi] == epoch) continue;
-          seen_epoch[oi] = epoch;
-          result.symbol_match[oi] += 1.0 / static_cast<double>(n_seq);
-        }
+        reducer.Consume(record);
         if (sample_size > 0) {
           obs::SectionTimer timer(offer_section);
           sampler->Offer(record);
         }
       },
       /*restart=*/[&] {
-        result.symbol_match.assign(m, 0.0);
-        std::fill(seen_epoch.begin(), seen_epoch.end(), 0);
-        epoch = 0;
+        reducer.Restart();
         *rng = rng_snapshot;
         sampler.emplace(sample_size, n_seq, rng);
       });
@@ -149,6 +174,7 @@ SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
     result.sample = InMemorySequenceDatabase();
     return result;
   }
+  result.symbol_match = reducer.Finish();
 
   RecordPhase1("symbol support scan", n_seq, sample_size,
                sampler->sample().size());

@@ -8,6 +8,7 @@
 #include "nmine/core/status.h"
 #include "nmine/db/in_memory_database.h"
 #include "nmine/db/sequence_database.h"
+#include "nmine/exec/policy.h"
 #include "nmine/stats/random.h"
 
 namespace nmine {
@@ -35,14 +36,22 @@ struct SymbolScanResult {
 ///
 /// When `sample_size == 0` no sample is kept (useful for computing symbol
 /// matches alone).
+///
+/// Under a parallel exec policy the per-symbol match accumulation is
+/// sharded across workers (deterministic ordered merge, bit-identical to
+/// serial), while the reservoir sampler always runs on the scanning
+/// thread in delivery order — it consumes RNG draws sequentially, so the
+/// sample is the same for every thread count. Still exactly ONE scan.
 SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
                                       const CompatibilityMatrix& c,
-                                      size_t sample_size, Rng* rng);
+                                      size_t sample_size, Rng* rng,
+                                      const exec::ExecPolicy& exec = {});
 
 /// Support-model analogue: symbol_match[d] is the fraction of sequences in
 /// which d occurs at least once.
 SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
-                                    size_t sample_size, Rng* rng);
+                                    size_t sample_size, Rng* rng,
+                                    const exec::ExecPolicy& exec = {});
 
 }  // namespace nmine
 

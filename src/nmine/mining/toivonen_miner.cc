@@ -42,10 +42,11 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
 
   // Phase 1 and Phase 2 are shared with the probabilistic algorithm; the
   // baselines differ only in how ambiguous patterns are finalized.
+  const exec::ExecPolicy exec = ExecPolicyFor(options_);
   SymbolScanResult phase1 =
       metric_ == Metric::kMatch
-          ? ScanSymbolsAndSample(db, c, options_.sample_size, &rng)
-          : ScanSymbolSupports(db, c.size(), options_.sample_size, &rng);
+          ? ScanSymbolsAndSample(db, c, options_.sample_size, &rng, exec)
+          : ScanSymbolSupports(db, c.size(), options_.sample_size, &rng, exec);
   if (!phase1.status.ok()) return fail(phase1.status);
   result.symbol_match = phase1.symbol_match;
 
@@ -98,8 +99,8 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
       std::vector<double> values;
       Status count_status =
           metric_ == Metric::kMatch
-              ? TryCountMatches(db, c, batch, &values)
-              : TryCountSupports(db, batch, &values);
+              ? TryCountMatches(db, c, batch, &values, exec)
+              : TryCountSupports(db, batch, &values, exec);
       if (!count_status.ok()) return fail(std::move(count_status));
       size_t batch_frequent = 0;
       for (size_t i = 0; i < batch.size(); ++i) {

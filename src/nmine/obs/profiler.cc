@@ -9,6 +9,11 @@ namespace {
 /// Slash-separated path of the scopes currently open on this thread.
 thread_local std::string tls_path;
 
+/// Cache of StateForThisThread(), keyed by owner so distinct Profiler
+/// instances (tests) never share a slot.
+thread_local Profiler* tls_state_owner = nullptr;
+thread_local void* tls_state = nullptr;
+
 }  // namespace
 
 ProfileStats Profiler::Section::stats() const {
@@ -31,6 +36,25 @@ void Profiler::Section::Reset() {
 Profiler& Profiler::Global() {
   static Profiler* profiler = new Profiler();
   return *profiler;
+}
+
+Profiler::ThreadState* Profiler::StateForThisThread() {
+  if (tls_state_owner == this) {
+    return static_cast<ThreadState*>(tls_state);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_states_.push_back(std::make_unique<ThreadState>());
+  ThreadState* state = thread_states_.back().get();
+  tls_state_owner = this;
+  tls_state = state;
+  return state;
+}
+
+void Profiler::Enable() {
+  // Whoever enables profiling is the main thread: --progress reports its
+  // section, not whatever scan worker last opened a scope.
+  main_state_.store(StateForThisThread(), std::memory_order_release);
+  enabled_.store(true, std::memory_order_relaxed);
 }
 
 Profiler::Section& Profiler::GetSection(const std::string& name) {
@@ -83,9 +107,11 @@ std::string Profiler::SnapshotJson() const {
 }
 
 std::string Profiler::CurrentSection() const {
-  const std::string* current = current_.load(std::memory_order_acquire);
+  ThreadState* main = main_state_.load(std::memory_order_acquire);
+  if (main == nullptr) return std::string();
+  const std::string* current = main->current.load(std::memory_order_acquire);
   // The pointee is a map key that is never erased, so the dereference is
-  // safe even though another thread may move current_ on concurrently.
+  // safe even though the main thread may move `current` on concurrently.
   return current == nullptr ? std::string() : *current;
 }
 
@@ -101,8 +127,9 @@ ProfileScope::ProfileScope(const char* name) {
   if (!tls_path.empty()) tls_path.push_back('/');
   tls_path.append(name);
   section_ = &profiler.GetSection(tls_path);
-  prev_current_ = profiler.current_.exchange(&section_->name(),
-                                             std::memory_order_acq_rel);
+  state_ = profiler.StateForThisThread();
+  prev_current_ = state_->current.exchange(&section_->name(),
+                                           std::memory_order_acq_rel);
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -112,8 +139,7 @@ ProfileScope::~ProfileScope() {
                        std::chrono::steady_clock::now() - start_)
                        .count());
   tls_path.resize(prev_path_size_);
-  Profiler::Global().current_.store(prev_current_,
-                                    std::memory_order_release);
+  state_->current.store(prev_current_, std::memory_order_release);
 }
 
 }  // namespace obs

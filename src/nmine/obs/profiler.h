@@ -80,8 +80,10 @@ class Profiler {
   Profiler& operator=(const Profiler&) = delete;
 
   /// Scopes only measure while enabled. Sections survive Disable() so a
-  /// snapshot can be taken after the measured region.
-  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  /// snapshot can be taken after the measured region. The calling thread
+  /// is designated the "main" thread whose open section CurrentSection()
+  /// reports.
+  void Enable();
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
@@ -96,9 +98,13 @@ class Profiler {
   ///  "max_ns": .., "mean_ns": ..}, ...}} — empty sections are skipped.
   std::string SnapshotJson() const;
 
-  /// The section path most recently entered by any thread while enabled
-  /// ("" when idle). Used by the --progress heartbeat to name the current
-  /// phase; last-writer-wins is fine for that purpose.
+  /// The section path currently open on the MAIN thread — the thread that
+  /// called Enable() — or "" when idle. Used by the --progress heartbeat
+  /// to name the current phase. Current-section state is kept per thread,
+  /// so scan workers entering and leaving their own scopes never clobber
+  /// the main thread's phase (a single shared pointer would be
+  /// last-writer-wins under concurrency and the heartbeat would flicker
+  /// between worker sections).
   std::string CurrentSection() const;
 
   /// Zeroes all aggregates; registrations and references stay valid.
@@ -107,10 +113,22 @@ class Profiler {
  private:
   friend class ProfileScope;
 
+  /// Per-thread current-section slot. Owned by the profiler (registered
+  /// on a thread's first scope and kept until process exit, so a reader
+  /// never dereferences a freed state even after the thread has died).
+  struct ThreadState {
+    std::atomic<const std::string*> current{nullptr};
+  };
+
+  /// This thread's state, registering it on first use. Cached in a
+  /// thread_local, so the common case is two loads.
+  ThreadState* StateForThisThread();
+
   std::atomic<bool> enabled_{false};
-  std::atomic<const std::string*> current_{nullptr};
+  std::atomic<ThreadState*> main_state_{nullptr};
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Section>> sections_;
+  std::vector<std::unique_ptr<ThreadState>> thread_states_;
 };
 
 /// RAII scope against the global profiler. Builds the hierarchical path
@@ -125,6 +143,7 @@ class ProfileScope {
 
  private:
   Profiler::Section* section_ = nullptr;
+  Profiler::ThreadState* state_ = nullptr;
   const std::string* prev_current_ = nullptr;
   size_t prev_path_size_ = 0;
   std::chrono::steady_clock::time_point start_;

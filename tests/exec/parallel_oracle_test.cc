@@ -1,0 +1,225 @@
+// Determinism oracle for the parallel scan engine: every parallel
+// counting path must be BIT-IDENTICAL to its serial run — same shard
+// grouping, same merge order, so the floating-point sums are the same
+// doubles, not merely close. All comparisons below are exact (EXPECT_EQ
+// on doubles is deliberate).
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nmine/core/compatibility_matrix.h"
+#include "nmine/core/pattern.h"
+#include "nmine/db/fault_injecting_database.h"
+#include "nmine/db/in_memory_database.h"
+#include "nmine/db/retrying_database.h"
+#include "nmine/exec/policy.h"
+#include "nmine/gen/matrix_generator.h"
+#include "nmine/gen/sequence_generator.h"
+#include "nmine/lattice/pattern_counter.h"
+#include "nmine/mining/border_collapse_miner.h"
+#include "nmine/mining/symbol_scan.h"
+#include "nmine/stats/random.h"
+
+namespace nmine {
+namespace {
+
+constexpr size_t kAlphabet = 8;
+
+InMemorySequenceDatabase MakeDatabase(size_t n_seq, uint64_t seed) {
+  Rng rng(seed);
+  GeneratorConfig config;
+  config.num_sequences = n_seq;
+  config.min_length = 10;
+  config.max_length = 30;
+  config.alphabet_size = kAlphabet;
+  config.planted.push_back(Pattern({1, 2, 3}));
+  config.plant_probability = 0.4;
+  return GenerateDatabase(config, &rng);
+}
+
+std::vector<Pattern> TestPatterns() {
+  return {
+      Pattern({1}),
+      Pattern({1, 2}),
+      Pattern({1, 2, 3}),
+      Pattern({2, kWildcard, 1}),
+      Pattern({3, kWildcard, kWildcard, 5}),
+      Pattern({0, 4}),
+      Pattern({7, 6, 5}),
+  };
+}
+
+exec::ExecPolicy Policy(size_t threads, size_t shard_size) {
+  exec::ExecPolicy policy;
+  policy.num_threads = threads;
+  policy.shard_size = shard_size;
+  return policy;
+}
+
+// The thread counts exercised against each serial reference: even, odd,
+// and more threads than the 1-core CI machine has (oversubscription must
+// not change results either).
+const size_t kThreadCounts[] = {1, 2, 4, 7};
+const size_t kShardSizes[] = {16, exec::kDefaultShardSize};
+
+class ParallelOracleTest : public ::testing::Test {
+ protected:
+  InMemorySequenceDatabase db_ = MakeDatabase(400, 99);
+  std::vector<Pattern> patterns_ = TestPatterns();
+  // Dense matrix: every column is full, the match walk sees partial
+  // credit everywhere. Sparse (identity): columns have one entry, the
+  // support-style early exits dominate.
+  CompatibilityMatrix dense_ = UniformNoiseMatrix(kAlphabet, 0.15);
+  CompatibilityMatrix sparse_ = CompatibilityMatrix::Identity(kAlphabet);
+};
+
+TEST_F(ParallelOracleTest, CountMatchesBitIdentical) {
+  for (const CompatibilityMatrix* c : {&dense_, &sparse_}) {
+    for (size_t shard : kShardSizes) {
+      std::vector<double> reference =
+          CountMatches(db_, *c, patterns_, Policy(1, shard));
+      for (size_t threads : kThreadCounts) {
+        std::vector<double> got =
+            CountMatches(db_, *c, patterns_, Policy(threads, shard));
+        ASSERT_EQ(got.size(), reference.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i], reference[i])
+              << "threads=" << threads << " shard=" << shard << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ParallelOracleTest, CountSupportsBitIdentical) {
+  for (size_t shard : kShardSizes) {
+    std::vector<double> reference =
+        CountSupports(db_, patterns_, Policy(1, shard));
+    for (size_t threads : kThreadCounts) {
+      std::vector<double> got =
+          CountSupports(db_, patterns_, Policy(threads, shard));
+      EXPECT_EQ(got, reference) << "threads=" << threads << " shard=" << shard;
+    }
+  }
+}
+
+TEST_F(ParallelOracleTest, InRecordsVariantsBitIdentical) {
+  const std::vector<SequenceRecord>& records = db_.records();
+  std::vector<double> match_ref =
+      CountMatchesInRecords(records, dense_, patterns_, Policy(1, 16));
+  std::vector<double> support_ref =
+      CountSupportsInRecords(records, patterns_, Policy(1, 16));
+  for (size_t threads : kThreadCounts) {
+    EXPECT_EQ(CountMatchesInRecords(records, dense_, patterns_,
+                                    Policy(threads, 16)),
+              match_ref)
+        << "threads=" << threads;
+    EXPECT_EQ(CountSupportsInRecords(records, patterns_,
+                                     Policy(threads, 16)),
+              support_ref)
+        << "threads=" << threads;
+  }
+}
+
+// Phase 1: the sharded symbol-match accumulation must be bit-identical AND
+// the reservoir sample must contain exactly the same records (the sampler
+// stays on the scanning thread, consuming RNG draws in delivery order).
+TEST_F(ParallelOracleTest, SymbolScanBitIdenticalIncludingSample) {
+  const size_t sample_size = 50;
+  Rng ref_rng(7);
+  SymbolScanResult reference =
+      ScanSymbolsAndSample(db_, dense_, sample_size, &ref_rng, Policy(1, 32));
+  ASSERT_TRUE(reference.status.ok());
+  for (size_t threads : kThreadCounts) {
+    Rng rng(7);
+    SymbolScanResult got =
+        ScanSymbolsAndSample(db_, dense_, sample_size, &rng,
+                             Policy(threads, 32));
+    ASSERT_TRUE(got.status.ok());
+    EXPECT_EQ(got.symbol_match, reference.symbol_match)
+        << "threads=" << threads;
+    ASSERT_EQ(got.sample.NumSequences(), reference.sample.NumSequences());
+    for (size_t i = 0; i < got.sample.records().size(); ++i) {
+      EXPECT_EQ(got.sample.records()[i].id, reference.sample.records()[i].id)
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST_F(ParallelOracleTest, SymbolSupportScanBitIdentical) {
+  Rng ref_rng(7);
+  SymbolScanResult reference =
+      ScanSymbolSupports(db_, kAlphabet, 50, &ref_rng, Policy(1, 32));
+  ASSERT_TRUE(reference.status.ok());
+  for (size_t threads : kThreadCounts) {
+    Rng rng(7);
+    SymbolScanResult got =
+        ScanSymbolSupports(db_, kAlphabet, 50, &rng, Policy(threads, 32));
+    ASSERT_TRUE(got.status.ok());
+    EXPECT_EQ(got.symbol_match, reference.symbol_match)
+        << "threads=" << threads;
+  }
+}
+
+// A retried scan restarts the reducer; the recovered parallel run must
+// still equal the fault-free serial run. short-read:1:5 delivers five
+// records and then fails once, so the restart fires with buffered,
+// partially-merged state in flight.
+TEST_F(ParallelOracleTest, RetriedParallelScanEqualsFaultFreeSerial) {
+  std::vector<double> reference =
+      CountMatches(db_, dense_, patterns_, Policy(1, 16));
+  for (size_t threads : kThreadCounts) {
+    std::string error;
+    std::optional<FaultPlan> plan = FaultPlan::Parse("short-read:1:5", &error);
+    ASSERT_TRUE(plan.has_value()) << error;
+    FaultInjectingDatabase faulty(&db_, *plan);
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.initial_backoff_ms = 0.0;
+    RetryingDatabase retrying(&faulty, policy);
+    std::vector<double> got;
+    Status status = TryCountMatches(retrying, dense_, patterns_, &got,
+                                    Policy(threads, 16));
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(got, reference) << "threads=" << threads;
+    EXPECT_GE(faulty.attempts(), 2);
+  }
+}
+
+// End to end: a full border-collapsing run (Phase 1 sample, Phase 2
+// in-memory mining, Phase 3 probes) must produce the same border, the
+// same frequent set, and the same values at 4 threads as at 1.
+TEST_F(ParallelOracleTest, BorderCollapseMinerBitIdenticalAcrossThreads) {
+  MinerOptions options;
+  options.min_threshold = 0.3;
+  options.space.max_span = 5;
+  options.max_level = 5;
+  options.sample_size = 100;
+  options.delta = 0.05;
+  options.seed = 11;
+
+  options.num_threads = 1;
+  MiningResult serial =
+      BorderCollapseMiner(Metric::kMatch, options).Mine(db_, dense_);
+  ASSERT_TRUE(serial.ok());
+
+  options.num_threads = 4;
+  MiningResult parallel =
+      BorderCollapseMiner(Metric::kMatch, options).Mine(db_, dense_);
+  ASSERT_TRUE(parallel.ok());
+
+  EXPECT_EQ(parallel.frequent.ToSortedVector(),
+            serial.frequent.ToSortedVector());
+  EXPECT_EQ(parallel.border.ToSortedVector(), serial.border.ToSortedVector());
+  EXPECT_EQ(parallel.scans, serial.scans);
+  for (const auto& [pattern, value] : serial.values) {
+    auto it = parallel.values.find(pattern);
+    ASSERT_NE(it, parallel.values.end()) << pattern.ToString();
+    EXPECT_EQ(it->second, value) << pattern.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace nmine

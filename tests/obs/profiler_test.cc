@@ -136,6 +136,29 @@ TEST_F(ProfilerTest, ConcurrentRecordingsAllLand) {
   EXPECT_EQ(s.max_ns, kPerThread);
 }
 
+// The --progress heartbeat reports the MAIN thread's open section (the
+// thread that called Enable); scopes opened by scan workers must neither
+// clobber it while running nor blank it when they close.
+TEST_F(ProfilerTest, WorkerScopesDoNotClobberMainCurrentSection) {
+  Profiler& p = Profiler::Global();
+  p.Enable();
+  {
+    NMINE_PROFILE_SCOPE("main.work");
+    ASSERT_EQ(p.CurrentSection(), "main.work");
+    std::thread worker([&p] {
+      NMINE_PROFILE_SCOPE("worker.shard");
+      EXPECT_EQ(p.CurrentSection(), "main.work");
+    });
+    worker.join();
+    // The worker's scope closed; the main thread's section must survive.
+    EXPECT_EQ(p.CurrentSection(), "main.work");
+  }
+  EXPECT_EQ(p.CurrentSection(), "");
+  p.Disable();
+  // The worker's timing still landed in its own section.
+  EXPECT_EQ(p.GetSection("worker.shard").stats().count, 1u);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace nmine

@@ -13,8 +13,15 @@
 //       [--matrix C.txt | --uniform-alpha A | --identity]
 //       [--algorithm collapse|levelwise|maxminer|toivonen|depthfirst]
 //       [--threshold T] [--max-span K] [--max-gap G] [--max-level K]
-//       [--sample N] [--delta D] [--seed S]
+//       [--sample N] [--delta D] [--seed S] [--threads N]
 //       [--calibrate none|expected|survival] [--csv]
+//
+// Parallelism:
+//   --threads N    worker threads for database scans and pattern counting
+//                  (default 1; 0 = one per hardware thread). Results are
+//                  bit-identical for every N, and the accounted scan count
+//                  does not change: parallelism splits the evaluation work
+//                  of one pass, never the pass itself.
 //
 // Observability (every command accepts these; see README "Observability"):
 //   --log-level trace|debug|info|warn|error|off   leveled stderr logging
@@ -511,6 +518,8 @@ int CmdMine(const Flags& flags) {
   options.sample_size = static_cast<size_t>(flags.GetInt("sample", 1000));
   options.delta = flags.GetDouble("delta", 1e-4);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.num_threads =
+      static_cast<size_t>(std::max(0LL, flags.GetInt("threads", 1)));
   options.phase3_scan_retries =
       static_cast<size_t>(std::max(0LL, flags.GetInt("phase3-retries", 1)));
   options.phase3_checkpoint_path = flags.Get("phase3-checkpoint", "");
