@@ -1,0 +1,15 @@
+#include "nmine/core/metric.h"
+
+namespace nmine {
+
+const char* ToString(Metric metric) {
+  switch (metric) {
+    case Metric::kSupport:
+      return "support";
+    case Metric::kMatch:
+      return "match";
+  }
+  return "unknown";
+}
+
+}  // namespace nmine

@@ -1,0 +1,16 @@
+#ifndef NMINE_CORE_METRIC_H_
+#define NMINE_CORE_METRIC_H_
+
+namespace nmine {
+
+/// Which significance metric drives the mining.
+enum class Metric {
+  kSupport,  // classical exact-occurrence frequency
+  kMatch,    // the paper's noise-compensated metric (Definition 3.7)
+};
+
+const char* ToString(Metric metric);
+
+}  // namespace nmine
+
+#endif  // NMINE_CORE_METRIC_H_

@@ -19,6 +19,9 @@ enum class StatusCode {
   kInvalidArgument,     // malformed configuration or parameters
   kFailedPrecondition,  // state mismatch (e.g. stale checkpoint)
   kInternal,            // bug: should never surface to users
+  kCancelled,           // the operator requested cooperative cancellation
+  kDeadlineExceeded,    // the run's monotonic deadline passed
+  kResourceExhausted,   // the memory-budget degradation ladder ran out
 };
 
 const char* ToString(StatusCode code);
@@ -55,6 +58,15 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

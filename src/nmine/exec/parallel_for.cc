@@ -5,25 +5,30 @@
 #include <mutex>
 
 #include "nmine/exec/thread_pool.h"
+#include "nmine/runtime/run_control.h"
 
 namespace nmine {
 namespace exec {
 
 void ParallelFor(size_t num_threads, size_t count,
-                 const std::function<void(size_t)>& fn) {
+                 const std::function<void(size_t)>& fn,
+                 const runtime::RunControl* run) {
   if (count == 0) return;
   size_t threads = ResolveNumThreads(num_threads);
   if (threads > count) threads = count;
   if (threads <= 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+    for (size_t i = 0; i < count; ++i) {
+      if (runtime::StopRequested(run)) return;
+      fn(i);
+    }
     return;
   }
 
   // One shared claim counter; the caller participates, so only
   // threads - 1 pool tasks are submitted. Each task drains indices until
-  // the counter is exhausted, then reports done; the caller waits for
-  // every helper so fn's effects are visible (mutex pairs acquire with
-  // release) before ParallelFor returns.
+  // the counter is exhausted (or the run is stopped), then reports done;
+  // the caller waits for every helper so fn's effects are visible (mutex
+  // pairs acquire with release) before ParallelFor returns.
   struct Shared {
     std::atomic<size_t> next{0};
     std::mutex mutex;
@@ -31,13 +36,16 @@ void ParallelFor(size_t num_threads, size_t count,
     size_t active = 0;
     size_t count = 0;
     const std::function<void(size_t)>* fn = nullptr;
+    const runtime::RunControl* run = nullptr;
   };
   Shared shared;
   shared.count = count;
   shared.fn = &fn;
+  shared.run = run;
 
   auto drain = [&shared] {
     for (;;) {
+      if (runtime::StopRequested(shared.run)) return;
       size_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= shared.count) return;
       (*shared.fn)(i);

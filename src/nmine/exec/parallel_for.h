@@ -5,6 +5,11 @@
 #include <functional>
 
 namespace nmine {
+
+namespace runtime {
+class RunControl;
+}  // namespace runtime
+
 namespace exec {
 
 /// Runs fn(i) for every i in [0, count) using up to num_threads threads:
@@ -21,8 +26,15 @@ namespace exec {
 /// num_threads follows the ExecPolicy convention: 0 means hardware
 /// concurrency, 1 runs the whole loop inline on the calling thread.
 /// fn must not throw; it runs on pool workers with no unwinding path.
+///
+/// When `run` is non-null it is polled between index claims: once the run
+/// is stopped (cancel or deadline) no NEW indices are claimed, though
+/// in-flight fn calls finish (nothing is interrupted mid-record). Callers
+/// must treat the loop's output as incomplete whenever run->StopRequested()
+/// — check runtime::CheckRun afterwards and discard on non-OK.
 void ParallelFor(size_t num_threads, size_t count,
-                 const std::function<void(size_t)>& fn);
+                 const std::function<void(size_t)>& fn,
+                 const runtime::RunControl* run = nullptr);
 
 }  // namespace exec
 }  // namespace nmine

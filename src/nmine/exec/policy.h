@@ -4,6 +4,11 @@
 #include <cstddef>
 
 namespace nmine {
+
+namespace runtime {
+class RunControl;
+}  // namespace runtime
+
 namespace exec {
 
 /// Number of hardware threads, never 0 (thread_pool.cc).
@@ -34,6 +39,13 @@ struct ExecPolicy {
   /// the same shard size on both sides. Leave at the default outside
   /// tests.
   size_t shard_size = kDefaultShardSize;
+
+  /// Cooperative cancellation / deadline token, polled at shard
+  /// boundaries. A stopped reduction skips remaining kernel work (its
+  /// totals become meaningless — callers observe the stop through
+  /// runtime::CheckRun and discard them). nullptr = never stop; the only
+  /// cost is a null-pointer branch per shard.
+  const runtime::RunControl* run = nullptr;
 
   size_t ResolvedThreads() const { return ResolveNumThreads(num_threads); }
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "nmine/exec/parallel_for.h"
+#include "nmine/runtime/run_control.h"
 
 namespace nmine {
 namespace exec {
@@ -24,6 +25,7 @@ ShardedScanReducer::ShardedScanReducer(size_t accum_size,
     : accum_size_(accum_size),
       shard_size_(std::max<size_t>(1, policy.shard_size)),
       threads_(policy.ResolvedThreads()),
+      run_(policy.run),
       factory_(std::move(factory)) {
   totals_.assign(accum_size_, 0.0);
   if (threads_ <= 1) {
@@ -44,11 +46,16 @@ void ShardedScanReducer::BeginSerialShard() {
 }
 
 void ShardedScanReducer::Consume(const SequenceRecord& record) {
+  // Once stopped, records stream past unprocessed: the scan completes (so
+  // database retry accounting stays simple) but no more kernel work runs,
+  // and the now-meaningless totals are discarded by the caller.
+  if (stopped_) return;
   if (threads_ <= 1) {
     serial_fn_(record, &serial_partial_);
     if (++serial_count_ == shard_size_) {
       MergeInto(&totals_, serial_partial_);
       BeginSerialShard();
+      stopped_ = runtime::StopRequested(run_);
     }
     return;
   }
@@ -63,24 +70,35 @@ void ShardedScanReducer::FlushWave() {
   size_t n_shards = current_shard_;
   if (n_shards < wave_.size() && !wave_[n_shards].empty()) ++n_shards;
   if (n_shards == 0) return;
-  ParallelFor(threads_, n_shards, [this](size_t i) {
-    partials_[i].assign(accum_size_, 0.0);
-    RecordFn fn = factory_();
-    for (const SequenceRecord& r : wave_[i]) {
-      fn(r, &partials_[i]);
-    }
-  });
-  // ParallelFor is a barrier, so merging in ascending shard order here
-  // reproduces the serial grouping exactly.
-  for (size_t i = 0; i < n_shards; ++i) {
-    MergeInto(&totals_, partials_[i]);
-    wave_[i].clear();
+  if (runtime::StopRequested(run_)) stopped_ = true;
+  if (!stopped_) {
+    ParallelFor(
+        threads_, n_shards,
+        [this](size_t i) {
+          partials_[i].assign(accum_size_, 0.0);
+          RecordFn fn = factory_();
+          for (const SequenceRecord& r : wave_[i]) {
+            fn(r, &partials_[i]);
+          }
+        },
+        run_);
+    if (runtime::StopRequested(run_)) stopped_ = true;
   }
+  if (!stopped_) {
+    // ParallelFor is a barrier, so merging in ascending shard order here
+    // reproduces the serial grouping exactly. A stopped ParallelFor may
+    // have skipped shards (stale partials), so merging is gated above.
+    for (size_t i = 0; i < n_shards; ++i) {
+      MergeInto(&totals_, partials_[i]);
+    }
+  }
+  for (size_t i = 0; i < n_shards; ++i) wave_[i].clear();
   current_shard_ = 0;
 }
 
 void ShardedScanReducer::Restart() {
   totals_.assign(accum_size_, 0.0);
+  stopped_ = runtime::StopRequested(run_);
   if (threads_ <= 1) {
     BeginSerialShard();
     return;
@@ -93,7 +111,7 @@ void ShardedScanReducer::Restart() {
 
 std::vector<double> ShardedScanReducer::Finish() {
   if (threads_ <= 1) {
-    if (serial_count_ > 0) MergeInto(&totals_, serial_partial_);
+    if (serial_count_ > 0 && !stopped_) MergeInto(&totals_, serial_partial_);
     BeginSerialShard();
   } else {
     FlushWave();
@@ -111,20 +129,27 @@ std::vector<double> ReduceRecords(const std::vector<SequenceRecord>& records,
   if (n_shards == 0) return totals;
 
   // Same wave structure as the streaming reducer, but shards are index
-  // ranges into `records` — no copies.
+  // ranges into `records` — no copies. Stops between waves (and between
+  // shards, inside ParallelFor) when policy.run is stopped; the partial
+  // totals are then meaningless and the caller discards them.
   const size_t wave_width = threads <= 1 ? 1 : 2 * threads;
   std::vector<std::vector<double>> partials(std::min(wave_width, n_shards));
   for (size_t base = 0; base < n_shards; base += wave_width) {
+    if (runtime::StopRequested(policy.run)) break;
     const size_t count = std::min(wave_width, n_shards - base);
-    ParallelFor(threads, count, [&](size_t i) {
-      partials[i].assign(accum_size, 0.0);
-      RecordFn fn = factory();
-      const size_t begin = (base + i) * shard_size;
-      const size_t end = std::min(begin + shard_size, records.size());
-      for (size_t r = begin; r < end; ++r) {
-        fn(records[r], &partials[i]);
-      }
-    });
+    ParallelFor(
+        threads, count,
+        [&](size_t i) {
+          partials[i].assign(accum_size, 0.0);
+          RecordFn fn = factory();
+          const size_t begin = (base + i) * shard_size;
+          const size_t end = std::min(begin + shard_size, records.size());
+          for (size_t r = begin; r < end; ++r) {
+            fn(records[r], &partials[i]);
+          }
+        },
+        policy.run);
+    if (runtime::StopRequested(policy.run)) break;
     for (size_t i = 0; i < count; ++i) {
       MergeInto(&totals, partials[i]);
     }

@@ -62,6 +62,12 @@ class ShardedScanReducer {
 
   /// Flushes any buffered records and returns the merged totals. Call
   /// once, after Scan returned OK.
+  ///
+  /// Cancellation: when policy.run is set it is polled at shard
+  /// boundaries; once stopped, remaining kernel work is skipped (records
+  /// keep streaming by, unprocessed). The totals are then meaningless —
+  /// the caller must check runtime::CheckRun after the scan and discard
+  /// them on non-OK, which TryCountMatches/TryCountSupports do.
   std::vector<double> Finish();
 
  private:
@@ -71,6 +77,8 @@ class ShardedScanReducer {
   const size_t accum_size_;
   const size_t shard_size_;
   const size_t threads_;
+  const runtime::RunControl* run_;
+  bool stopped_ = false;
   RecordFnFactory factory_;
 
   std::vector<double> totals_;

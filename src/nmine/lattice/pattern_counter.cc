@@ -7,6 +7,7 @@
 #include "nmine/core/check.h"
 #include "nmine/exec/sharded_reduce.h"
 #include "nmine/obs/profiler.h"
+#include "nmine/runtime/run_control.h"
 
 namespace nmine {
 
@@ -204,6 +205,9 @@ Status AverageOverDb(const SequenceDatabase& db,
                      const CompatibilityMatrix* c, std::vector<double>* totals,
                      const exec::ExecPolicy& exec) {
   NMINE_PROFILE_SCOPE("count.db_batch");
+  // Refuse to start (and charge) a scan for an already-stopped run.
+  Status rs = runtime::CheckRun(exec.run);
+  if (!rs.ok()) return rs;
   // Flat pre-resolved section so the per-sequence M(P,s) window-sliding
   // cost is attributed without any per-record path lookup (and without any
   // cost at all while the profiler is disabled).
@@ -217,6 +221,11 @@ Status AverageOverDb(const SequenceDatabase& db,
       [&reducer](const SequenceRecord& r) { reducer.Consume(r); },
       /*restart=*/[&reducer] { reducer.Restart(); });
   if (!s.ok()) return s;
+  // A run stopped mid-scan skipped kernel work: the totals are garbage.
+  // Surface the typed stop status instead (the aborted scan stays charged
+  // on the failed run; a resumed run repeats it).
+  rs = runtime::CheckRun(exec.run);
+  if (!rs.ok()) return rs;
   *totals = reducer.Finish();
   const double n = static_cast<double>(db.NumSequences());
   if (n > 0) {

@@ -67,6 +67,11 @@ class PatternTrie {
 /// order, so results are bit-identical for every num_threads (including
 /// the default serial policy) and the number of charged scans never
 /// changes — only wall-clock time does.
+///
+/// When exec.run is set, the TryCount* variants refuse to start a scan for
+/// an already-stopped run (kCancelled/kDeadlineExceeded, no scan charged)
+/// and discard the accumulation of a scan stopped midway (the scan stays
+/// charged; a resumed run repeats it).
 Status TryCountMatches(const SequenceDatabase& db,
                        const CompatibilityMatrix& c,
                        const std::vector<Pattern>& patterns,

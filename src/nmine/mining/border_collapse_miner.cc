@@ -9,13 +9,14 @@
 #include "nmine/lattice/halfway.h"
 #include "nmine/lattice/pattern_counter.h"
 #include "nmine/lattice/pattern_set.h"
+#include "nmine/mining/governed_count.h"
 #include "nmine/mining/levelwise_miner.h"
-#include "nmine/mining/phase3_checkpoint.h"
 #include "nmine/mining/symbol_scan.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
 #include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
+#include "nmine/runtime/run_checkpoint.h"
 
 namespace nmine {
 namespace {
@@ -37,7 +38,8 @@ double PatternSpread(const Pattern& p,
 SampleClassification ClassifySamplePatterns(
     const std::vector<SequenceRecord>& records, const CompatibilityMatrix& c,
     const std::vector<double>& symbol_match, Metric metric,
-    const MinerOptions& options) {
+    const MinerOptions& options, runtime::ResourceGovernor* governor,
+    const runtime::RunControl* run) {
   obs::TraceSpan phase2_span("phase2.sample_mining", "phase2");
   NMINE_PROFILE_SCOPE("phase2.sample_mining");
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
@@ -57,18 +59,30 @@ SampleClassification ClassifySamplePatterns(
   std::vector<Pattern> keep_level;
   std::vector<SymbolId> keep_symbols;
 
+  // Phase 2 runs on the in-memory sample, so no scans are charged; the
+  // exec policy still shards the per-level counting across workers, and
+  // the governor may slice a level into several exact batches (also free).
+  const exec::ExecPolicy exec = ExecPolicyFor(options);
+  const BatchCountFn count_records =
+      [&records, &c, metric, exec, run](const std::vector<Pattern>& batch,
+                                        std::vector<double>* vals) {
+        *vals = metric == Metric::kMatch
+                    ? CountMatchesInRecords(records, c, batch, exec)
+                    : CountSupportsInRecords(records, batch, exec);
+        // A stop mid-batch leaves garbage values; surface it here so the
+        // level loop below aborts instead of classifying noise.
+        return runtime::CheckRun(run);
+      };
+
   std::vector<Pattern> candidates = Level1Candidates(all_symbols);
   for (size_t level = 1; level <= options.max_level && !candidates.empty();
        ++level) {
     obs::TraceSpan level_span("phase2.level", "phase2");
     level_span.Arg("level", level).Arg("candidates", candidates.size());
-    // Phase 2 runs on the in-memory sample, so no scans are charged; the
-    // exec policy still shards the per-level counting across workers.
-    const exec::ExecPolicy exec = ExecPolicyFor(options);
-    std::vector<double> values =
-        metric == Metric::kMatch
-            ? CountMatchesInRecords(records, c, candidates, exec)
-            : CountSupportsInRecords(records, candidates, exec);
+    std::vector<double> values;
+    out.status = GovernedCount(candidates, governor, run, count_records,
+                               &values);
+    if (!out.status.ok()) return out;
     LevelStats stats;
     stats.level = level;
     stats.num_candidates = candidates.size();
@@ -166,12 +180,15 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
   int64_t scans_before = db.scan_count();
   MiningResult result;
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const runtime::RunControl* run = options_.run_control;
+  runtime::ResourceGovernor governor(options_.memory_budget_bytes);
 
   auto finish = [&](MiningResult* r) {
     r->scans = db.scan_count() - scans_before + r->scans;
     r->seconds = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - start)
                      .count();
+    r->degradation_steps = governor.degradation_steps();
     EmitResultMetrics(*r, "collapse");
   };
   auto fail = [&](Status status) {
@@ -185,45 +202,70 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
     return result;
   };
 
+  // Whole-run checkpointing (stage 1/2/3 boundaries) supersedes the
+  // legacy Phase-3-only path when both are configured.
+  const bool whole_run = !options_.run_checkpoint_path.empty();
+  const std::string& ckpt_path = whole_run
+                                     ? options_.run_checkpoint_path
+                                     : options_.phase3_checkpoint_path;
+
+  auto make_guard = [&] {
+    runtime::RunCheckpoint g;
+    g.metric = metric_;
+    g.min_threshold = options_.min_threshold;
+    g.num_sequences = db.NumSequences();
+    g.total_symbols = db.TotalSymbols();
+    g.sample_size = options_.sample_size;
+    g.seed = options_.seed;
+    g.delta = options_.delta;
+    return g;
+  };
+
   // State the Phase-3 loop runs on: the unresolved ambiguous region and
   // the sample estimates closure-frequent patterns inherit. Filled either
   // by Phases 1-2 or from a checkpoint of an interrupted run.
   std::vector<Pattern> ambiguous;
   PatternMap<double> sample_values;
-  bool resumed = false;
-  const std::string& ckpt_path = options_.phase3_checkpoint_path;
+  std::vector<SequenceRecord> sample_records;
+  bool resumed = false;       // stage >= 2: Phases 1-2 are final
+  bool have_phase1 = false;   // stage 1: Phase 1 is final, Phase 2 reruns
 
   if (!ckpt_path.empty()) {
-    Phase3Checkpoint expected;
-    expected.metric = metric_;
-    expected.min_threshold = options_.min_threshold;
-    expected.num_sequences = db.NumSequences();
-    expected.total_symbols = db.TotalSymbols();
-    Phase3Checkpoint cp;
-    Status s = LoadPhase3Checkpoint(ckpt_path, expected, &cp);
+    runtime::RunCheckpoint cp;
+    Status s = runtime::LoadRunCheckpoint(ckpt_path, make_guard(), &cp);
     if (s.ok()) {
-      resumed = true;
       reg.GetCounter("phase3.resumes").Increment();
       NMINE_LOG(kInfo, "phase3")
           .Msg("resuming border collapse from checkpoint")
           .Str("path", ckpt_path)
+          .Str("stage", ToString(cp.stage))
           .Num("resolved", cp.resolved_frequent.size())
           .Num("unresolved", cp.unresolved.size())
           .Num("scans_completed", cp.scans_completed);
-      for (const auto& [p, v] : cp.resolved_frequent) {
-        result.frequent.Insert(p);
-        result.values[p] = v;
-      }
-      for (const auto& [p, v] : cp.unresolved) {
-        ambiguous.push_back(p);
-        sample_values[p] = v;
-      }
       result.symbol_match = cp.symbol_match;
       result.ambiguous_after_sample = cp.ambiguous_after_sample;
       result.ambiguous_with_unit_spread = cp.ambiguous_with_unit_spread;
       result.accepted_from_sample = cp.accepted_from_sample;
       result.truncated = cp.truncated;
+      result.effective_sample_size = cp.effective_sample_size;
+      result.final_epsilon = cp.final_epsilon;
       result.scans = cp.scans_completed;  // finish() adds this run's scans
+      if (cp.stage == runtime::RunStage::kPhase1Done) {
+        // Phase 1's scan is already consumed; its sample re-enters the
+        // pipeline exactly as if the scan had just finished.
+        sample_records = std::move(cp.sample);
+        have_phase1 = true;
+      } else {
+        resumed = true;
+        for (const auto& [p, v] : cp.resolved_frequent) {
+          result.frequent.Insert(p);
+          result.values[p] = v;
+        }
+        for (const auto& [p, v] : cp.unresolved) {
+          ambiguous.push_back(p);
+          sample_values[p] = v;
+        }
+      }
     } else if (s.code() != StatusCode::kNotFound) {
       NMINE_LOG(kWarn, "phase3")
           .Msg("ignoring unusable checkpoint; starting fresh")
@@ -233,21 +275,100 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
   }
 
   const exec::ExecPolicy exec = ExecPolicyFor(options_);
-  if (!resumed) {
-    Rng rng(options_.seed);
 
-    // ---- Phase 1: symbol matches + sample, one scan (Algorithm 4.1).
-    SymbolScanResult phase1 =
-        metric_ == Metric::kMatch
-            ? ScanSymbolsAndSample(db, c, options_.sample_size, &rng, exec)
-            : ScanSymbolSupports(db, c.size(), options_.sample_size, &rng,
-                                 exec);
-    if (!phase1.status.ok()) return fail(phase1.status);
-    result.symbol_match = phase1.symbol_match;
+  auto write_checkpoint = [&](runtime::RunStage stage) {
+    runtime::RunCheckpoint cp = make_guard();
+    cp.stage = stage;
+    cp.scans_completed = db.scan_count() - scans_before + result.scans;
+    cp.ambiguous_after_sample = result.ambiguous_after_sample;
+    cp.ambiguous_with_unit_spread = result.ambiguous_with_unit_spread;
+    cp.accepted_from_sample = result.accepted_from_sample;
+    cp.truncated = result.truncated;
+    cp.effective_sample_size = result.effective_sample_size;
+    cp.final_epsilon = result.final_epsilon;
+    cp.symbol_match = result.symbol_match;
+    if (stage == runtime::RunStage::kPhase1Done) {
+      cp.sample = sample_records;
+    } else {
+      for (const Pattern& p : result.frequent.ToSortedVector()) {
+        cp.resolved_frequent.emplace_back(p, result.values[p]);
+      }
+      for (const Pattern& p : ambiguous) {
+        cp.unresolved.emplace_back(p, sample_values[p]);
+      }
+    }
+    Status s = runtime::WriteRunCheckpoint(ckpt_path, cp);
+    if (s.ok()) {
+      reg.GetCounter("runtime.checkpoints").Increment();
+      if (stage != runtime::RunStage::kPhase1Done) {
+        reg.GetCounter("phase3.checkpoints").Increment();
+      }
+    } else {
+      NMINE_LOG(kWarn, "phase3")
+          .Msg("checkpoint write failed; continuing without")
+          .Str("path", ckpt_path)
+          .Str("status", s.ToString());
+    }
+  };
+
+  if (!resumed) {
+    if (!have_phase1) {
+      // ---- Phase 1: symbol matches + sample, one scan (Algorithm 4.1).
+      Status rs = runtime::CheckRun(run);
+      if (!rs.ok()) return fail(rs);
+      Rng rng(options_.seed);
+      SymbolScanResult phase1 =
+          metric_ == Metric::kMatch
+              ? ScanSymbolsAndSample(db, c, options_.sample_size, &rng, exec)
+              : ScanSymbolSupports(db, c.size(), options_.sample_size, &rng,
+                                   exec);
+      if (!phase1.status.ok()) return fail(phase1.status);
+      result.symbol_match = phase1.symbol_match;
+      sample_records = phase1.sample.records();
+    }
+
+    // ---- Memory-budget admission (degradation ladder step 2, decided at
+    // the Phase-1 boundary): shrink the in-memory sample when it does not
+    // fit. The kept prefix re-derives epsilon from the smaller n, so the
+    // ambiguous band widens and more patterns are probed exactly —
+    // degraded cost, never degraded correctness.
+    size_t sample_bytes = 0;
+    for (const SequenceRecord& r : sample_records) {
+      sample_bytes += runtime::RecordBytes(r);
+    }
+    const size_t charged_before_sample = governor.charged_bytes();
+    size_t kept = governor.AdmitSample(sample_records.size(), sample_bytes,
+                                       /*min_keep=*/1);
+    if (kept == 0 && !sample_records.empty()) {
+      return fail(Status::ResourceExhausted(
+          "memory budget cannot hold even a one-sequence sample"));
+    }
+    if (kept < sample_records.size()) sample_records.resize(kept);
+    result.effective_sample_size = sample_records.size();
+    result.final_epsilon =
+        sample_records.empty()
+            ? 0.0
+            : ChernoffEpsilon(1.0, options_.delta, sample_records.size());
+
+    // The Phase-1 scan is consumed: snapshot it so a later kill skips
+    // straight to Phase 2 on resume.
+    if (whole_run && !have_phase1) {
+      write_checkpoint(runtime::RunStage::kPhase1Done);
+    }
 
     // ---- Phase 2: classify patterns on the in-memory sample.
-    SampleClassification cls = ClassifySamplePatterns(
-        phase1.sample.records(), c, phase1.symbol_match, metric_, options_);
+    Status rs = runtime::CheckRun(run);
+    if (!rs.ok()) return fail(rs);  // the stage-1 snapshot stays on disk
+    SampleClassification cls =
+        ClassifySamplePatterns(sample_records, c, result.symbol_match,
+                               metric_, options_, &governor, run);
+    if (!cls.status.ok()) return fail(cls.status);
+    // The sample is dead after Phase 2 (its checkpoint copy, when wanted,
+    // is already on disk): return its bytes so Phase-3 probe batches get
+    // the full remaining budget.
+    governor.Release(governor.charged_bytes() - charged_before_sample);
+    sample_records.clear();
+    sample_records.shrink_to_fit();
     result.level_stats = cls.level_stats;
     result.truncated = cls.truncated;
     result.ambiguous_after_sample = cls.ambiguous.size();
@@ -262,41 +383,20 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
     }
     ambiguous = std::move(cls.ambiguous);
     sample_values = std::move(cls.sample_values);
-  }
 
-  auto write_checkpoint = [&] {
-    Phase3Checkpoint cp;
-    cp.metric = metric_;
-    cp.min_threshold = options_.min_threshold;
-    cp.num_sequences = db.NumSequences();
-    cp.total_symbols = db.TotalSymbols();
-    cp.scans_completed = db.scan_count() - scans_before + result.scans;
-    cp.ambiguous_after_sample = result.ambiguous_after_sample;
-    cp.ambiguous_with_unit_spread = result.ambiguous_with_unit_spread;
-    cp.accepted_from_sample = result.accepted_from_sample;
-    cp.truncated = result.truncated;
-    cp.symbol_match = result.symbol_match;
-    for (const Pattern& p : result.frequent.ToSortedVector()) {
-      cp.resolved_frequent.emplace_back(p, result.values[p]);
-    }
+    // The ambiguous region lives until Phase 3 resolves it; account it.
+    size_t region_bytes = 0;
     for (const Pattern& p : ambiguous) {
-      cp.unresolved.emplace_back(p, sample_values[p]);
+      region_bytes += runtime::PatternBytes(p) + sizeof(double);
     }
-    Status s = WritePhase3Checkpoint(ckpt_path, cp);
-    if (s.ok()) {
-      reg.GetCounter("phase3.checkpoints").Increment();
-    } else {
-      NMINE_LOG(kWarn, "phase3")
-          .Msg("checkpoint write failed; continuing without")
-          .Str("path", ckpt_path)
-          .Str("status", s.ToString());
-    }
-  };
+    Status charge = governor.Charge("ambiguous-region", region_bytes);
+    if (!charge.ok()) return fail(std::move(charge));
 
-  // Checkpoint the Phase-1/2 output before the first probe scan, so even a
-  // first-scan fault resumes without repeating the sample phase.
-  if (!ckpt_path.empty() && !resumed && !ambiguous.empty()) {
-    write_checkpoint();
+    // Checkpoint the Phase-1/2 output before the first probe scan, so even
+    // a first-scan fault resumes without repeating the sample phase.
+    if (!ckpt_path.empty() && !ambiguous.empty()) {
+      write_checkpoint(runtime::RunStage::kPhase2Done);
+    }
   }
 
   // ---- Phase 3: border collapsing over the ambiguous region
@@ -310,6 +410,15 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
   NMINE_PROFILE_SCOPE("phase3.border_collapse");
   phase3_span.Arg("ambiguous_initial", ambiguous.size());
   while (!ambiguous.empty()) {
+    // Flush-and-stop: a cancel/deadline observed between probe scans
+    // persists the exact collapsed state (consumed scans only) before the
+    // typed failure, so a rerun resumes bit-identically.
+    Status rs = runtime::CheckRun(run);
+    if (!rs.ok()) {
+      if (!ckpt_path.empty()) write_checkpoint(runtime::RunStage::kPhase3Progress);
+      return fail(rs);
+    }
+
     // One full-database probe scan per iteration: spans and counters below
     // account the probe batch and the collapse it produces.
     obs::TraceSpan scan_span("phase3.scan", "phase3");
@@ -323,6 +432,19 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
     const size_t lo = by_level.begin()->first;
     const size_t hi = by_level.rbegin()->first;
 
+    // Degradation ladder step 1: the probe batch is capped by the memory
+    // budget below max_counters_per_scan (more scans, each probing fewer
+    // patterns — results stay exact).
+    size_t batch_cap = options_.max_counters_per_scan;
+    if (!governor.unlimited()) {
+      batch_cap =
+          governor.AdmitBatch(batch_cap, CounterBytes(ambiguous.front()));
+      if (batch_cap == 0) {
+        return fail(Status::ResourceExhausted(
+            "memory budget cannot hold a single probe counter"));
+      }
+    }
+
     // Fill the probe set in bisection order until memory is full.
     std::vector<Pattern> probe;
     PatternSet probe_set;
@@ -330,11 +452,11 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
       auto it = by_level.find(level);
       if (it == by_level.end()) continue;
       for (const Pattern* p : it->second) {
-        if (probe.size() >= options_.max_counters_per_scan) break;
+        if (probe.size() >= batch_cap) break;
         probe.push_back(*p);
         probe_set.Insert(*p);
       }
-      if (probe.size() >= options_.max_counters_per_scan) break;
+      if (probe.size() >= batch_cap) break;
     }
     if (probe.empty()) {
       // Degenerate memory budget; probe at least one pattern so the loop
@@ -365,8 +487,10 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
       if (scan_status.ok() || !scan_status.IsTransient()) break;
     }
     if (!scan_status.ok()) {
-      // The checkpoint (when configured) still holds the last good state;
-      // a rerun resumes from exactly this probe batch.
+      // The checkpoint (when configured) still holds the last good state —
+      // deliberately NOT rewritten here: an aborted scan is charged to
+      // this failed run but never checkpointed, so a rerun repeats it and
+      // total charged scans match an uninterrupted run.
       return fail(scan_status);
     }
 
@@ -415,7 +539,7 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
 
     // Persist the collapsed state: a fault on the NEXT scan resumes here.
     if (!ckpt_path.empty() && !ambiguous.empty()) {
-      write_checkpoint();
+      write_checkpoint(runtime::RunStage::kPhase3Progress);
     }
 
     reg.GetCounter("phase3.scans").Increment();
@@ -454,7 +578,7 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
   }
 
   BuildBorder(&result);
-  if (!ckpt_path.empty()) RemovePhase3Checkpoint(ckpt_path);
+  if (!ckpt_path.empty()) runtime::RemoveRunCheckpoint(ckpt_path);
   finish(&result);
   return result;
 }

@@ -8,6 +8,8 @@
 #include "nmine/lattice/border.h"
 #include "nmine/mining/miner_options.h"
 #include "nmine/mining/mining_result.h"
+#include "nmine/runtime/resource_governor.h"
+#include "nmine/runtime/run_control.h"
 #include "nmine/stats/chernoff.h"
 
 namespace nmine {
@@ -33,16 +35,28 @@ struct SampleClassification {
   std::vector<LevelStats> level_stats;
   /// True if the max_candidates_per_level guardrail fired.
   bool truncated = false;
+  /// Non-OK when the run was stopped (kCancelled / kDeadlineExceeded) or
+  /// the memory budget could not hold even a one-counter batch
+  /// (kResourceExhausted). The classification is then incomplete and the
+  /// caller must fail the run with this status.
+  Status status = Status::Ok();
 };
 
 /// Phase 2: level-wise traversal of the sample, labelling each candidate
 /// frequent / ambiguous / infrequent via the Chernoff bound with the
 /// restricted spread R = min_i match[d_i] (Claims 4.1, 4.2).
 /// `symbol_match` holds the full-database per-symbol matches from Phase 1.
+///
+/// `governor` (optional) bounds the per-level counting batches: when the
+/// budget binds, a level is counted in several exact in-memory slices
+/// instead of one (free — no scans are involved). `run` (optional) is
+/// polled at level and slice boundaries; see SampleClassification::status.
 SampleClassification ClassifySamplePatterns(
     const std::vector<SequenceRecord>& records, const CompatibilityMatrix& c,
     const std::vector<double>& symbol_match, Metric metric,
-    const MinerOptions& options);
+    const MinerOptions& options,
+    runtime::ResourceGovernor* governor = nullptr,
+    const runtime::RunControl* run = nullptr);
 
 /// The paper's probabilistic algorithm (Section 4):
 ///   Phase 1 — one scan: per-symbol matches + random sample;

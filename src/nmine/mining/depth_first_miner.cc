@@ -8,6 +8,8 @@
 #include "nmine/mining/levelwise_miner.h"
 #include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
+#include "nmine/runtime/resource_governor.h"
+#include "nmine/runtime/run_control.h"
 
 namespace nmine {
 namespace {
@@ -41,10 +43,16 @@ class DepthFirstSearch {
     // counters make the traversal order-dependent.
     std::vector<std::vector<WindowEntry>> projections(m);
     std::vector<double> matches(m, 0.0);
-    exec::ParallelFor(options_.num_threads, m, [&](size_t d) {
-      projections[d] = RootProjection(static_cast<SymbolId>(d));
-      matches[d] = AverageMax(projections[d]);
-    });
+    exec::ParallelFor(
+        options_.num_threads, m,
+        [&](size_t d) {
+          projections[d] = RootProjection(static_cast<SymbolId>(d));
+          matches[d] = AverageMax(projections[d]);
+        },
+        options_.run_control);
+    // A stop during the root build leaves some slots unfilled; the caller
+    // detects it via CheckRun and discards the result.
+    if (runtime::StopRequested(options_.run_control)) return;
     std::vector<SymbolId> frequent_symbols;
     std::vector<std::pair<Pattern, std::vector<WindowEntry>>> roots;
     for (size_t d = 0; d < m; ++d) {
@@ -122,6 +130,9 @@ class DepthFirstSearch {
 
   void Extend(const Pattern& p, const std::vector<WindowEntry>& projection,
               size_t level) {
+    // Cooperative stop: unwind the recursion between node expansions. The
+    // caller discards the partial traversal via CheckRun.
+    if (runtime::StopRequested(options_.run_control)) return;
     if (level > options_.max_level) return;
     const size_t span = p.length();
     for (size_t gap = 0; gap <= options_.space.max_gap; ++gap) {
@@ -190,8 +201,31 @@ MiningResult DepthFirstMiner::Mine(const SequenceDatabase& db,
   auto start = std::chrono::steady_clock::now();
   int64_t scans_before = db.scan_count();
   MiningResult result;
+  const runtime::RunControl* run = options_.run_control;
+  runtime::ResourceGovernor governor(options_.memory_budget_bytes);
 
-  // Single accounted pass: the data is memory-resident from here on.
+  auto fail = [&](Status status) {
+    result.status = std::move(status);
+    result.frequent = PatternSet();
+    result.values = PatternMap<double>();
+    result.border = Border();
+    result.scans = db.scan_count() - scans_before;
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    result.degradation_steps = governor.degradation_steps();
+    EmitResultMetrics(result, "depthfirst");
+    return result;
+  };
+
+  // Refuse to charge the load scan for a stopped run.
+  Status rs = runtime::CheckRun(run);
+  if (!rs.ok()) return fail(rs);
+
+  // Single accounted pass: the data is memory-resident from here on. The
+  // resident database is this miner's dominant allocation, so it is
+  // charged against the memory budget; depth-first has no sample to
+  // shrink, so a budget too small for the database fails outright.
   std::vector<Sequence> sequences;
   sequences.reserve(db.NumSequences());
   {
@@ -202,15 +236,16 @@ MiningResult DepthFirstMiner::Mine(const SequenceDatabase& db,
           sequences.push_back(r.symbols);
         },
         /*restart=*/[&sequences] { sequences.clear(); });
-    if (!load_status.ok()) {
-      result.status = std::move(load_status);
-      result.scans = db.scan_count() - scans_before;
-      result.seconds = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
-      EmitResultMetrics(result, "depthfirst");
-      return result;
+    if (load_status.ok()) load_status = runtime::CheckRun(run);
+    if (!load_status.ok()) return fail(std::move(load_status));
+  }
+  if (!governor.unlimited()) {
+    size_t resident_bytes = 0;
+    for (const Sequence& s : sequences) {
+      resident_bytes += s.size() * sizeof(SymbolId) + sizeof(Sequence);
     }
+    Status charge = governor.Charge("resident-database", resident_bytes);
+    if (!charge.ok()) return fail(std::move(charge));
   }
 
   DepthFirstSearch search(metric_, options_, c, std::move(sequences));
@@ -219,6 +254,10 @@ MiningResult DepthFirstMiner::Mine(const SequenceDatabase& db,
     NMINE_PROFILE_SCOPE("depthfirst.search");
     search.Run(&result);
   }
+  // A cancel/deadline mid-search leaves a partial traversal in `result`;
+  // discard it and surface the typed status.
+  rs = runtime::CheckRun(run);
+  if (!rs.ok()) return fail(rs);
 
   BuildBorder(&result);
   result.scans = db.scan_count() - scans_before;

@@ -1,0 +1,40 @@
+#ifndef NMINE_MINING_GOVERNED_COUNT_H_
+#define NMINE_MINING_GOVERNED_COUNT_H_
+
+#include <functional>
+#include <vector>
+
+#include "nmine/core/pattern.h"
+#include "nmine/core/status.h"
+#include "nmine/runtime/resource_governor.h"
+#include "nmine/runtime/run_control.h"
+
+namespace nmine {
+
+/// A fallible batch counter: evaluates `patterns` and fills `values`
+/// (one entry per pattern, same order). Against a database, each call
+/// charges one scan.
+using BatchCountFn = std::function<Status(const std::vector<Pattern>&,
+                                          std::vector<double>*)>;
+
+/// Estimated transient bytes one pattern contributes to a counting batch
+/// (its trie share plus its counter slots).
+size_t CounterBytes(const Pattern& p);
+
+/// Counts `patterns` through `count` in batches the resource governor
+/// admits, concatenating values in input order.
+///
+/// With a null/unlimited governor this is a single `count` call —
+/// bit-identical to the ungoverned path. When the memory budget binds,
+/// the batch shrinks (degradation ladder step: more scans, each counting
+/// fewer patterns, results still exact); kResourceExhausted only when not
+/// even one counter fits. `run` is checked before every batch so a
+/// cancelled run stops between scans.
+Status GovernedCount(const std::vector<Pattern>& patterns,
+                     runtime::ResourceGovernor* governor,
+                     const runtime::RunControl* run,
+                     const BatchCountFn& count, std::vector<double>* values);
+
+}  // namespace nmine
+
+#endif  // NMINE_MINING_GOVERNED_COUNT_H_

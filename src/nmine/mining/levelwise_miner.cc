@@ -6,9 +6,12 @@
 #include <utility>
 
 #include "nmine/lattice/pattern_counter.h"
+#include "nmine/mining/governed_count.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
+#include "nmine/runtime/resource_governor.h"
+#include "nmine/runtime/run_control.h"
 
 namespace nmine {
 namespace {
@@ -124,7 +127,17 @@ CountFn DbCounter(const SequenceDatabase& db, const CompatibilityMatrix& c,
 
 MiningResult LevelwiseMiner::Mine(const SequenceDatabase& db,
                                   const CompatibilityMatrix& c) const {
-  CountFn count = DbCounter(db, c, metric_, ExecPolicyFor(options_));
+  runtime::ResourceGovernor governor(options_.memory_budget_bytes);
+  CountFn inner = DbCounter(db, c, metric_, ExecPolicyFor(options_));
+  // Under a memory budget each level is counted in governor-admitted
+  // batches (extra scans, exact results); the run control stops the loop
+  // between scans.
+  CountFn count = [&governor, this, &inner](
+                      const std::vector<Pattern>& patterns,
+                      std::vector<double>* values) {
+    return GovernedCount(patterns, &governor, options_.run_control, inner,
+                         values);
+  };
   int64_t scans_before = db.scan_count();
   obs::TraceSpan mine_span("mine.levelwise", "mining");
   NMINE_PROFILE_SCOPE("mine.levelwise");
@@ -134,6 +147,7 @@ MiningResult LevelwiseMiner::Mine(const SequenceDatabase& db,
       options_.space, options_.max_level, options_.max_candidates_per_level,
       count);
   result.scans = db.scan_count() - scans_before;
+  result.degradation_steps = governor.degradation_steps();
   EmitResultMetrics(result, "levelwise");
   return result;
 }
@@ -143,17 +157,19 @@ MiningResult LevelwiseMiner::MineRecords(
     const CompatibilityMatrix& c) const {
   CountFn count;
   const exec::ExecPolicy exec = ExecPolicyFor(options_);
+  // A stop mid-count leaves garbage values, so each in-memory count is
+  // followed by a run check before the level is classified.
   if (metric_ == Metric::kMatch) {
     count = [&records, &c, exec](const std::vector<Pattern>& patterns,
                                  std::vector<double>* values) {
       *values = CountMatchesInRecords(records, c, patterns, exec);
-      return Status::Ok();
+      return runtime::CheckRun(exec.run);
     };
   } else {
     count = [&records, exec](const std::vector<Pattern>& patterns,
                              std::vector<double>* values) {
       *values = CountSupportsInRecords(records, patterns, exec);
-      return Status::Ok();
+      return runtime::CheckRun(exec.run);
     };
   }
   const double threshold = options_.min_threshold;
@@ -166,7 +182,14 @@ MiningResult LevelwiseMiner::MineRecords(
 MiningResult LevelwiseMiner::MineWithThreshold(
     const SequenceDatabase& db, const CompatibilityMatrix& c,
     const std::function<double(const Pattern&)>& threshold_of) const {
-  CountFn count = DbCounter(db, c, metric_, ExecPolicyFor(options_));
+  runtime::ResourceGovernor governor(options_.memory_budget_bytes);
+  CountFn inner = DbCounter(db, c, metric_, ExecPolicyFor(options_));
+  CountFn count = [&governor, this, &inner](
+                      const std::vector<Pattern>& patterns,
+                      std::vector<double>* values) {
+    return GovernedCount(patterns, &governor, options_.run_control, inner,
+                         values);
+  };
   int64_t scans_before = db.scan_count();
   obs::TraceSpan mine_span("mine.levelwise_calibrated", "mining");
   NMINE_PROFILE_SCOPE("mine.levelwise_calibrated");
@@ -174,6 +197,7 @@ MiningResult LevelwiseMiner::MineWithThreshold(
       c.size(), threshold_of, options_.space, options_.max_level,
       options_.max_candidates_per_level, count);
   result.scans = db.scan_count() - scans_before;
+  result.degradation_steps = governor.degradation_steps();
   EmitResultMetrics(result, "levelwise");
   return result;
 }

@@ -6,6 +6,7 @@
 
 #include "nmine/lattice/pattern_counter.h"
 #include "nmine/lattice/pattern_set.h"
+#include "nmine/mining/governed_count.h"
 #include "nmine/mining/levelwise_miner.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
@@ -97,11 +98,21 @@ MiningResult MaxMiner::Mine(const SequenceDatabase& db,
   const bool contiguous = options_.space.max_gap == 0;
 
   const exec::ExecPolicy exec = ExecPolicyFor(options_);
-  auto count = [&](const std::vector<Pattern>& patterns,
-                   std::vector<double>* values) {
+  runtime::ResourceGovernor governor(options_.memory_budget_bytes);
+  const BatchCountFn inner = [&](const std::vector<Pattern>& patterns,
+                                 std::vector<double>* values) {
     return metric_ == Metric::kMatch
                ? TryCountMatches(db, c, patterns, values, exec)
                : TryCountSupports(db, patterns, values, exec);
+  };
+  // GovernedCount preserves input order, so the values of a split batch
+  // still line up with to_count followed by jumps. Under a binding budget
+  // a level costs several scans instead of one; the run control stops the
+  // loop between scans.
+  auto count = [&](const std::vector<Pattern>& patterns,
+                   std::vector<double>* values) {
+    return GovernedCount(patterns, &governor, options_.run_control, inner,
+                         values);
   };
   auto fail = [&](Status status) {
     result.status = std::move(status);
@@ -112,6 +123,7 @@ MiningResult MaxMiner::Mine(const SequenceDatabase& db,
     result.seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
+    result.degradation_steps = governor.degradation_steps();
     EmitResultMetrics(result, "maxminer");
     return result;
   };
@@ -239,6 +251,7 @@ MiningResult MaxMiner::Mine(const SequenceDatabase& db,
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+  result.degradation_steps = governor.degradation_steps();
   EmitResultMetrics(result, "maxminer");
   return result;
 }

@@ -6,18 +6,12 @@
 #include <limits>
 #include <string>
 
+#include "nmine/core/metric.h"
 #include "nmine/exec/policy.h"
 #include "nmine/lattice/candidate_gen.h"
+#include "nmine/runtime/run_control.h"
 
 namespace nmine {
-
-/// Which significance metric drives the mining.
-enum class Metric {
-  kSupport,  // classical exact-occurrence frequency
-  kMatch,    // the paper's noise-compensated metric (Definition 3.7)
-};
-
-const char* ToString(Metric metric);
 
 /// Options shared by all miners. Probabilistic-algorithm knobs are ignored
 /// by the deterministic miners.
@@ -82,13 +76,40 @@ struct MinerOptions {
   /// instead of redoing Phases 1-3 from scratch. The file is removed on
   /// successful completion.
   std::string phase3_checkpoint_path;
+
+  // --- Run lifecycle governance (src/nmine/runtime) ---
+
+  /// Cooperative cancellation / deadline token, shared with the driver
+  /// (CLI signal handlers, --deadline). Polled at shard, level, and batch
+  /// boundaries; a stopped run flushes its checkpoint and returns
+  /// kCancelled / kDeadlineExceeded with an EMPTY pattern set — never a
+  /// silently-partial one. nullptr = ungoverned (no polling overhead).
+  const runtime::RunControl* run_control = nullptr;
+
+  /// Approximate cap, in bytes, on mining working memory (the in-memory
+  /// sample, candidate pattern batches, borders). 0 = unlimited. When the
+  /// budget binds, the run degrades instead of failing: first Phase-3
+  /// probe batches shrink below max_counters_per_scan (more scans, still
+  /// exact), then the sample shrinks and epsilon is recomputed from the
+  /// new n (wider ambiguous band, still exact); only when even the floor
+  /// cannot fit does mining fail with kResourceExhausted.
+  size_t memory_budget_bytes = 0;
+
+  /// When non-empty, whole-run checkpoints are written at every phase
+  /// boundary (after Phase 1, after Phase 2, after every Phase-3 probe
+  /// scan), and a cancelled/expired run flushes its progress here before
+  /// returning. Supersedes phase3_checkpoint_path (which only covers
+  /// Phase 3) when both are set. The file is removed on success.
+  std::string run_checkpoint_path;
 };
 
 /// The exec policy implied by these options (shard size stays at the
-/// deterministic default; only the thread count is a user knob).
+/// deterministic default; the thread count and the cancellation token are
+/// the user knobs).
 inline exec::ExecPolicy ExecPolicyFor(const MinerOptions& options) {
   exec::ExecPolicy policy;
   policy.num_threads = options.num_threads;
+  policy.run = options.run_control;
   return policy;
 }
 

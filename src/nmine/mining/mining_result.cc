@@ -8,16 +8,6 @@
 
 namespace nmine {
 
-const char* ToString(Metric metric) {
-  switch (metric) {
-    case Metric::kSupport:
-      return "support";
-    case Metric::kMatch:
-      return "match";
-  }
-  return "unknown";
-}
-
 void EmitResultMetrics(const MiningResult& result, const char* algorithm) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.GetCounter("mining.runs").Increment();
@@ -49,6 +39,16 @@ void EmitResultMetrics(const MiningResult& result, const char* algorithm) {
       .Add(static_cast<int64_t>(result.ambiguous_with_unit_spread));
   reg.GetCounter("phase2.accepted_from_sample")
       .Add(static_cast<int64_t>(result.accepted_from_sample));
+  if (result.degradation_steps > 0) {
+    reg.GetCounter("mining.degraded_runs").Increment();
+    reg.GetCounter("mining.degradation_steps")
+        .Add(result.degradation_steps);
+  }
+  if (result.effective_sample_size > 0) {
+    reg.GetGauge("mining.last.effective_sample_size")
+        .Set(static_cast<double>(result.effective_sample_size));
+    reg.GetGauge("mining.last.final_epsilon").Set(result.final_epsilon);
+  }
   reg.GetGauge("mining.last.scans").Set(static_cast<double>(result.scans));
   reg.GetGauge("mining.last.seconds").Set(result.seconds);
   reg.GetGauge("mining.last.frequent")

@@ -70,6 +70,21 @@ struct MiningResult {
   /// Phase-1 per-symbol match (index = symbol id).
   std::vector<double> symbol_match;
 
+  // --- Run lifecycle / resource governance (runtime/resource_governor.h) ---
+
+  /// Sample sequences actually kept in memory after any memory-budget
+  /// degradation (== the configured sample size, capped at the database
+  /// size, when the budget never bound). 0 for miners without a sample.
+  size_t effective_sample_size = 0;
+
+  /// The unit-spread Chernoff half-width epsilon recomputed from the
+  /// effective sample size (0.0 for miners without a sample phase).
+  double final_epsilon = 0.0;
+
+  /// Degradation-ladder steps the resource governor took (probe-batch
+  /// shrink and sample shrink each count once per run).
+  int degradation_steps = 0;
+
   /// Frequent patterns in deterministic order.
   std::vector<Pattern> FrequentSorted() const {
     return frequent.ToSortedVector();

@@ -1,210 +1,74 @@
 #include "nmine/mining/phase3_checkpoint.h"
 
-#include <cmath>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <utility>
 
-#include "nmine/obs/logger.h"
+#include "nmine/runtime/checkpoint_io.h"
+#include "nmine/runtime/run_checkpoint.h"
 
 namespace nmine {
 namespace {
 
-constexpr const char kMagic[] = "nmine-phase3-checkpoint";
-constexpr int kVersion = 1;
+// The Phase-3 checkpoint is the kPhase3Progress stage of the whole-run
+// checkpoint format (runtime/run_checkpoint.h); these adapters map the
+// legacy struct onto it. The sampling guard fields stay at their zero
+// defaults on both the write and the expected side, so Phase-3-only
+// callers keep their exact guard semantics.
 
-/// One pattern per line: `<value> <token> <token> ...` where a token is a
-/// raw symbol id or `*`. Doubles are printed with max_digits10 so the
-/// resumed run reproduces the interrupted run's values bit-for-bit.
-void WritePatternLine(std::ostream& out, const Pattern& p, double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  out << buf << ' ' << p.ToString() << '\n';
+runtime::RunCheckpoint ToRunCheckpoint(const Phase3Checkpoint& cp) {
+  runtime::RunCheckpoint out;
+  out.stage = runtime::RunStage::kPhase3Progress;
+  out.metric = cp.metric;
+  out.min_threshold = cp.min_threshold;
+  out.num_sequences = cp.num_sequences;
+  out.total_symbols = cp.total_symbols;
+  out.scans_completed = cp.scans_completed;
+  out.ambiguous_after_sample = cp.ambiguous_after_sample;
+  out.ambiguous_with_unit_spread = cp.ambiguous_with_unit_spread;
+  out.accepted_from_sample = cp.accepted_from_sample;
+  out.truncated = cp.truncated;
+  out.symbol_match = cp.symbol_match;
+  out.resolved_frequent = cp.resolved_frequent;
+  out.unresolved = cp.unresolved;
+  return out;
 }
 
-bool ParsePatternLine(const std::string& line, Pattern* p, double* value) {
-  std::istringstream in(line);
-  if (!(in >> *value)) return false;
-  std::vector<SymbolId> body;
-  std::string token;
-  while (in >> token) {
-    if (token == "*") {
-      body.push_back(kWildcard);
-    } else {
-      try {
-        size_t pos = 0;
-        long id = std::stol(token, &pos);
-        if (pos != token.size() || id < 0) return false;
-        body.push_back(static_cast<SymbolId>(id));
-      } catch (...) {
-        return false;
-      }
-    }
-  }
-  if (!Pattern::IsValidBody(body)) return false;
-  *p = Pattern(std::move(body));
-  return true;
+Phase3Checkpoint FromRunCheckpoint(runtime::RunCheckpoint cp) {
+  Phase3Checkpoint out;
+  out.metric = cp.metric;
+  out.min_threshold = cp.min_threshold;
+  out.num_sequences = cp.num_sequences;
+  out.total_symbols = cp.total_symbols;
+  out.scans_completed = cp.scans_completed;
+  out.ambiguous_after_sample = cp.ambiguous_after_sample;
+  out.ambiguous_with_unit_spread = cp.ambiguous_with_unit_spread;
+  out.accepted_from_sample = cp.accepted_from_sample;
+  out.truncated = cp.truncated;
+  out.symbol_match = std::move(cp.symbol_match);
+  out.resolved_frequent = std::move(cp.resolved_frequent);
+  out.unresolved = std::move(cp.unresolved);
+  return out;
 }
 
 }  // namespace
 
 Status WritePhase3Checkpoint(const std::string& path,
                              const Phase3Checkpoint& cp) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      return Status::Unavailable("cannot open checkpoint temp file '" + tmp +
-                                 "'");
-    }
-    out << kMagic << " v" << kVersion << '\n';
-    out << "metric " << ToString(cp.metric) << '\n';
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", cp.min_threshold);
-    out << "threshold " << buf << '\n';
-    out << "db " << cp.num_sequences << ' ' << cp.total_symbols << '\n';
-    out << "scans " << cp.scans_completed << '\n';
-    out << "diag " << cp.ambiguous_after_sample << ' '
-        << cp.ambiguous_with_unit_spread << ' ' << cp.accepted_from_sample
-        << ' ' << (cp.truncated ? 1 : 0) << '\n';
-    out << "symbol_match " << cp.symbol_match.size();
-    for (double v : cp.symbol_match) {
-      std::snprintf(buf, sizeof(buf), "%.17g", v);
-      out << ' ' << buf;
-    }
-    out << '\n';
-    out << "frequent " << cp.resolved_frequent.size() << '\n';
-    for (const auto& [p, v] : cp.resolved_frequent) {
-      WritePatternLine(out, p, v);
-    }
-    out << "unresolved " << cp.unresolved.size() << '\n';
-    for (const auto& [p, v] : cp.unresolved) {
-      WritePatternLine(out, p, v);
-    }
-    out.flush();
-    if (!out) {
-      return Status::Unavailable("short write to checkpoint temp file '" +
-                                 tmp + "'");
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return Status::Unavailable("cannot rename checkpoint into place: " +
-                               ec.message());
-  }
-  return Status::Ok();
+  return runtime::WriteRunCheckpoint(path, ToRunCheckpoint(cp));
 }
 
 Status LoadPhase3Checkpoint(const std::string& path,
                             const Phase3Checkpoint& expected,
                             Phase3Checkpoint* cp) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::NotFound("no checkpoint at '" + path + "'");
-  }
-  auto corrupt = [&path](const std::string& what) {
-    return Status::DataLoss("malformed checkpoint '" + path + "': " + what);
-  };
-
-  std::string line;
-  if (!std::getline(in, line) ||
-      line != std::string(kMagic) + " v" + std::to_string(kVersion)) {
-    return corrupt("bad header");
-  }
-
-  Phase3Checkpoint loaded;
-  std::string word, metric_name;
-  if (!(in >> word >> metric_name) || word != "metric") {
-    return corrupt("missing metric");
-  }
-  if (metric_name == "match") {
-    loaded.metric = Metric::kMatch;
-  } else if (metric_name == "support") {
-    loaded.metric = Metric::kSupport;
-  } else {
-    return corrupt("unknown metric '" + metric_name + "'");
-  }
-  if (!(in >> word >> loaded.min_threshold) || word != "threshold") {
-    return corrupt("missing threshold");
-  }
-  if (!(in >> word >> loaded.num_sequences >> loaded.total_symbols) ||
-      word != "db") {
-    return corrupt("missing db fingerprint");
-  }
-  if (!(in >> word >> loaded.scans_completed) || word != "scans" ||
-      loaded.scans_completed < 0) {
-    return corrupt("missing scans");
-  }
-  int truncated = 0;
-  if (!(in >> word >> loaded.ambiguous_after_sample >>
-        loaded.ambiguous_with_unit_spread >> loaded.accepted_from_sample >>
-        truncated) ||
-      word != "diag") {
-    return corrupt("missing diagnostics");
-  }
-  loaded.truncated = truncated != 0;
-  size_t n_match = 0;
-  if (!(in >> word >> n_match) || word != "symbol_match") {
-    return corrupt("missing symbol_match");
-  }
-  loaded.symbol_match.resize(n_match);
-  for (size_t i = 0; i < n_match; ++i) {
-    if (!(in >> loaded.symbol_match[i])) {
-      return corrupt("short symbol_match");
-    }
-  }
-
-  auto read_patterns =
-      [&](const char* section,
-          std::vector<std::pair<Pattern, double>>* out) -> Status {
-    size_t count = 0;
-    if (!(in >> word >> count) || word != section) {
-      return corrupt(std::string("missing ") + section + " section");
-    }
-    std::getline(in, line);  // consume end of the count line
-    out->reserve(count);
-    for (size_t i = 0; i < count; ++i) {
-      if (!std::getline(in, line)) {
-        return corrupt(std::string("short ") + section + " section");
-      }
-      Pattern p;
-      double v = 0.0;
-      if (!ParsePatternLine(line, &p, &v)) {
-        return corrupt("bad pattern line '" + line + "'");
-      }
-      out->emplace_back(std::move(p), v);
-    }
-    return Status::Ok();
-  };
-  Status s = read_patterns("frequent", &loaded.resolved_frequent);
+  runtime::RunCheckpoint loaded;
+  Status s =
+      runtime::LoadRunCheckpoint(path, ToRunCheckpoint(expected), &loaded);
   if (!s.ok()) return s;
-  s = read_patterns("unresolved", &loaded.unresolved);
-  if (!s.ok()) return s;
-
-  if (loaded.metric != expected.metric ||
-      loaded.min_threshold != expected.min_threshold ||
-      loaded.num_sequences != expected.num_sequences ||
-      loaded.total_symbols != expected.total_symbols) {
-    return Status::FailedPrecondition(
-        "checkpoint '" + path +
-        "' was written for a different run (metric/threshold/database "
-        "mismatch); delete it to start fresh");
-  }
-  *cp = std::move(loaded);
+  *cp = FromRunCheckpoint(std::move(loaded));
   return Status::Ok();
 }
 
 void RemovePhase3Checkpoint(const std::string& path) {
-  std::error_code ec;
-  std::filesystem::remove(path, ec);
-  if (ec) {
-    NMINE_LOG(kWarn, "phase3")
-        .Msg("could not remove checkpoint")
-        .Str("path", path)
-        .Str("error", ec.message());
-  }
+  runtime::BestEffortRemoveFile(path, "phase3");
 }
 
 }  // namespace nmine

@@ -6,9 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "nmine/core/metric.h"
 #include "nmine/core/pattern.h"
 #include "nmine/core/status.h"
-#include "nmine/mining/miner_options.h"
 
 namespace nmine {
 
@@ -16,6 +16,10 @@ namespace nmine {
 /// killed by a scan fault resumes from the unresolved batch instead of
 /// redoing Phases 1-3 from scratch (each probe scan is a full pass over
 /// the disk-resident database — the dominant cost the paper optimizes).
+///
+/// This is the kPhase3Progress stage of the whole-run checkpoint format
+/// (runtime/run_checkpoint.h), kept as a thin adapter for callers that
+/// only need Phase-3 fault tolerance.
 ///
 /// The guard fields tie a checkpoint to one (database, metric, threshold)
 /// configuration; Load refuses mismatches so stale state can never leak

@@ -8,6 +8,7 @@
 #include "nmine/db/reservoir_sampler.h"
 #include "nmine/exec/sharded_reduce.h"
 #include "nmine/obs/logger.h"
+#include "nmine/runtime/run_control.h"
 #include "nmine/obs/metrics.h"
 #include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
@@ -46,6 +47,12 @@ SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
   const size_t n_seq = db.NumSequences();
   SymbolScanResult result;
   result.symbol_match.assign(m, 0.0);
+  // Refuse to start (and charge) the Phase-1 scan for a stopped run.
+  result.status = runtime::CheckRun(exec.run);
+  if (!result.status.ok()) {
+    result.symbol_match.clear();
+    return result;
+  }
 
   // Snapshotting the generator lets a retried scan attempt redraw the
   // exact same sample, so a run that recovers from a transient fault is
@@ -108,6 +115,9 @@ SymbolScanResult ScanSymbolsAndSample(const SequenceDatabase& db,
         *rng = rng_snapshot;
         sampler.emplace(sample_size, n_seq, rng);
       });
+  // A run stopped mid-scan skipped reducer work: the accumulation is
+  // garbage, so surface the typed stop status (the scan stays charged).
+  if (result.status.ok()) result.status = runtime::CheckRun(exec.run);
   if (!result.status.ok()) {
     result.symbol_match.clear();
     result.sample = InMemorySequenceDatabase();
@@ -132,6 +142,11 @@ SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
   const size_t n_seq = db.NumSequences();
   SymbolScanResult result;
   result.symbol_match.assign(m, 0.0);
+  result.status = runtime::CheckRun(exec.run);
+  if (!result.status.ok()) {
+    result.symbol_match.clear();
+    return result;
+  }
 
   const Rng rng_snapshot = *rng;
   std::optional<SequentialSampler> sampler;
@@ -169,6 +184,7 @@ SymbolScanResult ScanSymbolSupports(const SequenceDatabase& db, size_t m,
         *rng = rng_snapshot;
         sampler.emplace(sample_size, n_seq, rng);
       });
+  if (result.status.ok()) result.status = runtime::CheckRun(exec.run);
   if (!result.status.ok()) {
     result.symbol_match.clear();
     result.sample = InMemorySequenceDatabase();

@@ -8,12 +8,16 @@
 #include "nmine/lattice/pattern_counter.h"
 #include "nmine/lattice/pattern_set.h"
 #include "nmine/mining/border_collapse_miner.h"
+#include "nmine/mining/governed_count.h"
 #include "nmine/mining/levelwise_miner.h"
 #include "nmine/mining/symbol_scan.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
 #include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
+#include "nmine/runtime/resource_governor.h"
+#include "nmine/runtime/run_control.h"
+#include "nmine/stats/chernoff.h"
 
 namespace nmine {
 
@@ -26,6 +30,8 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
   int64_t scans_before = db.scan_count();
   MiningResult result;
   Rng rng(options_.seed);
+  const runtime::RunControl* run = options_.run_control;
+  runtime::ResourceGovernor governor(options_.memory_budget_bytes);
 
   auto fail = [&](Status status) {
     result.status = std::move(status);
@@ -36,6 +42,7 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
     result.seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
+    result.degradation_steps = governor.degradation_steps();
     EmitResultMetrics(result, "toivonen");
     return result;
   };
@@ -50,9 +57,37 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
   if (!phase1.status.ok()) return fail(phase1.status);
   result.symbol_match = phase1.symbol_match;
 
+  // Memory-budget admission of the in-memory sample (same degradation
+  // ladder as the probabilistic miner: a shrunken sample widens the
+  // Chernoff band and sends more patterns to exact verification).
+  std::vector<SequenceRecord> sample_records = phase1.sample.records();
+  size_t sample_bytes = 0;
+  for (const SequenceRecord& r : sample_records) {
+    sample_bytes += runtime::RecordBytes(r);
+  }
+  const size_t charged_before_sample = governor.charged_bytes();
+  size_t kept = governor.AdmitSample(sample_records.size(), sample_bytes,
+                                     /*min_keep=*/1);
+  if (kept == 0 && !sample_records.empty()) {
+    return fail(Status::ResourceExhausted(
+        "memory budget cannot hold even a one-sequence sample"));
+  }
+  if (kept < sample_records.size()) sample_records.resize(kept);
+  result.effective_sample_size = sample_records.size();
+  result.final_epsilon =
+      sample_records.empty()
+          ? 0.0
+          : ChernoffEpsilon(1.0, options_.delta, sample_records.size());
+
   SampleClassification cls =
-      ClassifySamplePatterns(phase1.sample.records(), c, phase1.symbol_match,
-                             metric_, options_);
+      ClassifySamplePatterns(sample_records, c, phase1.symbol_match, metric_,
+                             options_, &governor, run);
+  if (!cls.status.ok()) return fail(cls.status);
+  // The sample is dead after Phase 2: return its bytes so verification
+  // batches get the full remaining budget.
+  governor.Release(governor.charged_bytes() - charged_before_sample);
+  sample_records.clear();
+  sample_records.shrink_to_fit();
   result.level_stats = cls.level_stats;
   result.truncated = cls.truncated;
   result.ambiguous_after_sample = cls.ambiguous.size();
@@ -67,7 +102,8 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
   // Level-wise finalization: verify ambiguous patterns against the full
   // database from the LOWEST level upward, pruning superpatterns of
   // verified-infrequent patterns along the way. Each batch of at most
-  // max_counters_per_scan counters costs one scan.
+  // max_counters_per_scan counters costs one scan; the memory budget may
+  // cap batches further (more scans, results still exact).
   std::map<size_t, std::vector<Pattern>> by_level;
   for (const Pattern& p : cls.ambiguous) {
     by_level[p.NumSymbols()].push_back(p);
@@ -90,10 +126,20 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
         .Add(static_cast<int64_t>(patterns.size() - todo.size()));
     size_t pos = 0;
     while (pos < todo.size()) {
+      // Stop between verification scans, never mid-scan.
+      Status rs = runtime::CheckRun(run);
+      if (!rs.ok()) return fail(rs);
       obs::TraceSpan scan_span("toivonen.verify_scan", "toivonen");
       NMINE_PROFILE_SCOPE("toivonen.verify_scan");
-      size_t batch_end =
-          std::min(todo.size(), pos + options_.max_counters_per_scan);
+      size_t batch_cap = options_.max_counters_per_scan;
+      if (!governor.unlimited()) {
+        batch_cap = governor.AdmitBatch(batch_cap, CounterBytes(todo[pos]));
+        if (batch_cap == 0) {
+          return fail(Status::ResourceExhausted(
+              "memory budget cannot hold a single verification counter"));
+        }
+      }
+      size_t batch_end = std::min(todo.size(), pos + batch_cap);
       std::vector<Pattern> batch(todo.begin() + static_cast<long>(pos),
                                  todo.begin() + static_cast<long>(batch_end));
       std::vector<double> values;
@@ -132,6 +178,7 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+  result.degradation_steps = governor.degradation_steps();
   EmitResultMetrics(result, "toivonen");
   return result;
 }

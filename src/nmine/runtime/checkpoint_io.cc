@@ -1,0 +1,76 @@
+#include "nmine/runtime/checkpoint_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "nmine/obs/logger.h"
+
+namespace nmine {
+namespace runtime {
+namespace {
+
+/// fsync the file at `path` so the rename below publishes durable bytes.
+/// Best-effort on platforms without fsync semantics.
+bool SyncFile(const std::string& path) {
+#ifdef _WIN32
+  (void)path;
+  return true;
+#else
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#endif
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Unavailable("cannot open temp file '" + tmp + "'");
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      return Status::Unavailable("short write to temp file '" + tmp + "'");
+    }
+  }
+  if (!SyncFile(tmp)) {
+    return Status::Unavailable("cannot fsync temp file '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Unavailable("cannot rename '" + tmp + "' into place: " +
+                               ec.message());
+  }
+  return Status::Ok();
+}
+
+void BestEffortRemoveFile(const std::string& path, const char* component) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) {
+    NMINE_LOG(kWarn, component)
+        .Msg("could not remove file")
+        .Str("path", path)
+        .Str("error", ec.message());
+  }
+}
+
+}  // namespace runtime
+}  // namespace nmine

@@ -1,0 +1,25 @@
+#ifndef NMINE_RUNTIME_CHECKPOINT_IO_H_
+#define NMINE_RUNTIME_CHECKPOINT_IO_H_
+
+#include <string>
+
+#include "nmine/core/status.h"
+
+namespace nmine {
+namespace runtime {
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, fsync, rename. A crash at any point leaves either the
+/// previous file or the new one — never a torn mixture — so the last good
+/// checkpoint always survives a failed flush.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Removes `path` if present. Best-effort: a failure is logged under
+/// `component` and otherwise ignored (a stale checkpoint is refused by its
+/// guard fields on the next load, so leaking one is safe).
+void BestEffortRemoveFile(const std::string& path, const char* component);
+
+}  // namespace runtime
+}  // namespace nmine
+
+#endif  // NMINE_RUNTIME_CHECKPOINT_IO_H_

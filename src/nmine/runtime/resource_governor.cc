@@ -1,0 +1,121 @@
+#include "nmine/runtime/resource_governor.h"
+
+#include <limits>
+
+#include "nmine/obs/logger.h"
+#include "nmine/obs/metrics.h"
+
+namespace nmine {
+namespace runtime {
+
+size_t ResourceGovernor::RemainingBytes() const {
+  if (budget_ == 0) return std::numeric_limits<size_t>::max();
+  return charged_ >= budget_ ? 0 : budget_ - charged_;
+}
+
+Status ResourceGovernor::Charge(const char* what, size_t bytes) {
+  if (budget_ == 0) return Status::Ok();
+  if (bytes > RemainingBytes()) {
+    obs::MetricsRegistry::Global().GetCounter("governor.exhausted")
+        .Increment();
+    NMINE_LOG(kError, "governor")
+        .Msg("memory budget exhausted")
+        .Str("what", what)
+        .Num("requested_bytes", bytes)
+        .Num("charged_bytes", charged_)
+        .Num("budget_bytes", budget_);
+    return Status::ResourceExhausted(
+        std::string("memory budget exhausted charging ") + what);
+  }
+  charged_ += bytes;
+  return Status::Ok();
+}
+
+void ResourceGovernor::Release(size_t bytes) {
+  if (budget_ == 0) return;
+  charged_ = bytes >= charged_ ? 0 : charged_ - bytes;
+}
+
+size_t ResourceGovernor::AdmitSample(size_t available, size_t sample_bytes,
+                                     size_t min_keep) {
+  if (budget_ == 0 || available == 0) {
+    return available;
+  }
+  const size_t remaining = RemainingBytes();
+  if (sample_bytes <= remaining) {
+    charged_ += sample_bytes;
+    return available;
+  }
+  // Shrink pro-rata against HALF the remaining budget: the other half
+  // stays free for counting batches and borders, otherwise a shrunken
+  // sample that exactly fills the budget would starve every later
+  // admission. Epsilon widens when the caller recomputes it from the
+  // smaller n.
+  const size_t per_record = sample_bytes / available;
+  size_t keep = per_record == 0 ? available : (remaining / 2) / per_record;
+  if (keep > available) keep = available;
+  if (keep < min_keep) {
+    obs::MetricsRegistry::Global().GetCounter("governor.exhausted")
+        .Increment();
+    NMINE_LOG(kError, "governor")
+        .Msg("memory budget cannot hold the minimum sample")
+        .Num("available", available)
+        .Num("min_keep", min_keep)
+        .Num("sample_bytes", sample_bytes)
+        .Num("remaining_bytes", remaining);
+    return 0;
+  }
+  ++degradation_steps_;
+  obs::MetricsRegistry::Global().GetCounter("governor.sample_shrinks")
+      .Increment();
+  NMINE_LOG(kWarn, "governor")
+      .Msg("degrading: shrinking in-memory sample to fit memory budget")
+      .Num("available", available)
+      .Num("kept", keep)
+      .Num("sample_bytes", sample_bytes)
+      .Num("remaining_bytes", remaining);
+  charged_ += keep * per_record;
+  return keep;
+}
+
+size_t ResourceGovernor::AdmitBatch(size_t want, size_t bytes_per_counter) {
+  if (budget_ == 0 || want == 0) return want;
+  if (bytes_per_counter == 0) bytes_per_counter = 1;
+  const size_t remaining = RemainingBytes();
+  size_t fit = remaining / bytes_per_counter;
+  if (fit >= want) return want;
+  if (fit == 0) {
+    obs::MetricsRegistry::Global().GetCounter("governor.exhausted")
+        .Increment();
+    NMINE_LOG(kError, "governor")
+        .Msg("memory budget cannot hold a single counter")
+        .Num("bytes_per_counter", bytes_per_counter)
+        .Num("remaining_bytes", remaining);
+    return 0;
+  }
+  if (!batch_shrink_logged_) {
+    batch_shrink_logged_ = true;
+    ++degradation_steps_;
+    NMINE_LOG(kWarn, "governor")
+        .Msg("degrading: shrinking counter batches to fit memory budget")
+        .Num("requested", want)
+        .Num("admitted", fit)
+        .Num("bytes_per_counter", bytes_per_counter)
+        .Num("remaining_bytes", remaining);
+  }
+  obs::MetricsRegistry::Global().GetCounter("governor.probe_batch_shrinks")
+      .Increment();
+  return fit;
+}
+
+size_t PatternBytes(const Pattern& p) {
+  // Body vector payload + vector header + map-node bookkeeping estimate.
+  return p.body().size() * sizeof(SymbolId) + sizeof(Pattern) + 48;
+}
+
+size_t RecordBytes(const SequenceRecord& rec) {
+  return rec.symbols.size() * sizeof(SymbolId) + sizeof(SequenceRecord);
+}
+
+}  // namespace runtime
+}  // namespace nmine

@@ -1,0 +1,94 @@
+#ifndef NMINE_RUNTIME_RESOURCE_GOVERNOR_H_
+#define NMINE_RUNTIME_RESOURCE_GOVERNOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "nmine/core/pattern.h"
+#include "nmine/core/sequence.h"
+#include "nmine/core/status.h"
+
+namespace nmine {
+namespace runtime {
+
+/// Byte-level accounting of mining working memory (the in-memory sample,
+/// candidate pattern batches, borders) against a configurable budget, with
+/// a degradation ladder instead of a hard failure:
+///
+///   1. Shrink Phase-3 probe batches below max_counters_per_scan — more
+///      probe scans, results still exact.
+///   2. Shrink the in-memory sample and recompute epsilon from the new n —
+///      a wider ambiguous band means more exact probe work, results still
+///      exact (a prefix of a uniform random sample is itself uniform).
+///   3. Only when even the floors cannot fit, fail kResourceExhausted.
+///
+/// Every degradation step is logged and counted in the metrics registry
+/// (governor.probe_batch_shrinks, governor.sample_shrinks,
+/// governor.exhausted). A budget of 0 disables all accounting: every
+/// admission succeeds and no bytes are tracked.
+///
+/// The governor is a per-run, single-threaded object owned by the miner;
+/// worker threads never touch it (their transient per-shard accumulators
+/// are charged once, by the miner, as `accum_bytes * threads`).
+class ResourceGovernor {
+ public:
+  /// `budget_bytes` = 0 means unlimited.
+  explicit ResourceGovernor(size_t budget_bytes)
+      : budget_(budget_bytes) {}
+
+  bool unlimited() const { return budget_ == 0; }
+  size_t budget_bytes() const { return budget_; }
+  size_t charged_bytes() const { return charged_; }
+
+  /// Bytes still available for new charges (SIZE_MAX when unlimited).
+  size_t RemainingBytes() const;
+
+  /// Charges `bytes` of long-lived working state (sample, borders,
+  /// resolved-pattern sets) under `what`. kResourceExhausted when it does
+  /// not fit; the caller decides whether a ladder step can shed load
+  /// first. Charges are cumulative until Release.
+  Status Charge(const char* what, size_t bytes);
+
+  /// Returns previously charged bytes to the budget (clamped at zero).
+  void Release(size_t bytes);
+
+  /// Ladder step 2 (decided at the Phase-1 boundary): how many of the
+  /// `available` sampled sequences, whose in-memory footprint is
+  /// `sample_bytes`, may be kept. Admits everything when it fits;
+  /// otherwise shrinks the sample pro-rata to HALF the remaining budget
+  /// (the other half stays free for counting batches; logging + counting
+  /// the step) and returns the reduced count, at least `min_keep`. 0 when
+  /// not even `min_keep` sequences fit — the caller then fails
+  /// kResourceExhausted. The admitted bytes are charged.
+  size_t AdmitSample(size_t available, size_t sample_bytes, size_t min_keep);
+
+  /// Ladder step 1 (applied per Phase-3 scan / per level batch): how many
+  /// of `want` candidate counters, at `bytes_per_counter` each, fit in the
+  /// remaining budget. Returns `want` when unconstrained; a smaller batch
+  /// (>= 1, logging + counting the first shrink per run) when the budget
+  /// binds; 0 when not even one counter fits. Nothing is charged — batch
+  /// memory is transient and bounded by the returned size.
+  size_t AdmitBatch(size_t want, size_t bytes_per_counter);
+
+  /// Number of ladder steps taken so far (probe-batch shrinks count once
+  /// per run, sample shrinks once per run).
+  int degradation_steps() const { return degradation_steps_; }
+
+ private:
+  size_t budget_ = 0;
+  size_t charged_ = 0;
+  int degradation_steps_ = 0;
+  bool batch_shrink_logged_ = false;
+};
+
+/// Approximate resident footprint of a pattern (body vector + bookkeeping).
+size_t PatternBytes(const Pattern& p);
+
+/// Approximate resident footprint of a sampled sequence record.
+size_t RecordBytes(const SequenceRecord& rec);
+
+}  // namespace runtime
+}  // namespace nmine
+
+#endif  // NMINE_RUNTIME_RESOURCE_GOVERNOR_H_

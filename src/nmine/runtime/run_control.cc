@@ -1,0 +1,47 @@
+#include "nmine/runtime/run_control.h"
+
+#include <chrono>
+#include <limits>
+
+namespace nmine {
+namespace runtime {
+
+int64_t RunControl::NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RunControl::SetDeadlineAfter(double seconds) {
+  // A monotonic timestamp of 0 means "no deadline", so clamp pathological
+  // arguments to 1ns past now instead of 0.
+  const double ns = seconds * 1e9;
+  int64_t deadline = NowNanos() + static_cast<int64_t>(ns > 0.0 ? ns : 0.0);
+  if (deadline == 0) deadline = 1;
+  deadline_ns_.store(deadline, std::memory_order_relaxed);
+}
+
+double RunControl::RemainingSeconds() const {
+  int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+  if (d == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(d - NowNanos()) * 1e-9;
+}
+
+Status RunControl::Check() const {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("run cancelled by operator request");
+  }
+  int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+  if (d != 0 && NowNanos() >= d) {
+    return Status::DeadlineExceeded("run deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+void RunControl::Reset() {
+  cancelled_.store(false, std::memory_order_relaxed);
+  deadline_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace runtime
+}  // namespace nmine

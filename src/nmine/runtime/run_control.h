@@ -1,0 +1,94 @@
+#ifndef NMINE_RUNTIME_RUN_CONTROL_H_
+#define NMINE_RUNTIME_RUN_CONTROL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "nmine/core/status.h"
+
+namespace nmine {
+namespace runtime {
+
+/// Cooperative cancellation token plus an optional monotonic deadline for
+/// one mining run.
+///
+/// A RunControl is shared between the driver (CLI signal handlers, a
+/// deadline set at startup) and the workers (miners, the exec layer): the
+/// driver flips the token, and the workers poll it at natural boundaries —
+/// shard boundaries inside ParallelFor / ShardedScanReducer, per-level and
+/// per-batch boundaries in the miners. Nothing is ever interrupted
+/// mid-record, so a stopped run is always at a consistent point: it
+/// flushes its checkpoint (when configured) and returns a typed non-OK
+/// status, never a silently-partial pattern set.
+///
+/// RequestCancel() is a single relaxed atomic store, so it is safe to call
+/// from a POSIX signal handler. All polling methods are lock-free.
+class RunControl {
+ public:
+  RunControl() = default;
+  RunControl(const RunControl&) = delete;
+  RunControl& operator=(const RunControl&) = delete;
+
+  /// Requests cooperative cancellation. Async-signal-safe; idempotent.
+  void RequestCancel() {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms (or re-arms) a deadline `seconds` from now on the monotonic
+  /// clock. Non-positive values expire immediately.
+  void SetDeadlineAfter(double seconds);
+
+  /// Removes the deadline (the cancel flag is unaffected).
+  void ClearDeadline() { deadline_ns_.store(0, std::memory_order_relaxed); }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Seconds until the deadline; negative once it passed, +infinity when
+  /// no deadline is armed.
+  double RemainingSeconds() const;
+
+  /// True once the run should stop: cancel requested or deadline passed.
+  /// Cheap enough for per-shard polling (one relaxed load; a clock read
+  /// only when a deadline is armed).
+  bool StopRequested() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != 0 && NowNanos() >= d;
+  }
+
+  /// Ok while the run may continue; kCancelled or kDeadlineExceeded once
+  /// it must stop (cancellation wins when both apply).
+  Status Check() const;
+
+  /// Resets both the cancel flag and the deadline (tests / reuse between
+  /// runs). NOT async-signal-safe by contract, though it only stores.
+  void Reset();
+
+ private:
+  static int64_t NowNanos();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  // 0 = no deadline
+};
+
+/// Null-tolerant polling helpers: every call site takes a `const
+/// RunControl*` that is nullptr for ungoverned runs (benches, tests), in
+/// which case these are a branch on a null pointer and nothing else.
+inline bool StopRequested(const RunControl* run) {
+  return run != nullptr && run->StopRequested();
+}
+
+inline Status CheckRun(const RunControl* run) {
+  return run == nullptr ? Status::Ok() : run->Check();
+}
+
+}  // namespace runtime
+}  // namespace nmine
+
+#endif  // NMINE_RUNTIME_RUN_CONTROL_H_

@@ -1,0 +1,85 @@
+// Status taxonomy: every StatusCode has a distinct human-readable name
+// (the CLI and logs print these), factories set the expected codes, and
+// transience is the retry contract the fault-tolerance layer relies on.
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nmine/core/status.h"
+
+namespace nmine {
+namespace {
+
+std::vector<StatusCode> AllCodes() {
+  return {
+      StatusCode::kOk,
+      StatusCode::kNotFound,
+      StatusCode::kUnavailable,
+      StatusCode::kDataLoss,
+      StatusCode::kInvalidArgument,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kInternal,
+      StatusCode::kCancelled,
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kResourceExhausted,
+  };
+}
+
+TEST(StatusCodeTest, ToStringCoversEveryCodeDistinctly) {
+  std::set<std::string> names;
+  for (StatusCode code : AllCodes()) {
+    const std::string name = ToString(code);
+    EXPECT_FALSE(name.empty());
+    // A fallthrough placeholder would leak into operator output.
+    EXPECT_EQ(name.find("unknown"), std::string::npos) << name;
+    EXPECT_EQ(name.find("?"), std::string::npos) << name;
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), AllCodes().size()) << "duplicate code names";
+}
+
+TEST(StatusCodeTest, LifecycleCodesHaveTheDocumentedNames) {
+  EXPECT_STREQ(ToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(ToString(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(ToString(StatusCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(ToString(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+}
+
+TEST(StatusCodeTest, FactoriesSetTheMatchingCode) {
+  EXPECT_EQ(Status::Ok().code(), StatusCode::kOk);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusCodeTest, OnlyUnavailableIsTransient) {
+  for (StatusCode code : AllCodes()) {
+    Status s = code == StatusCode::kOk ? Status::Ok()
+                                       : Status::Error(code, "x");
+    EXPECT_EQ(s.IsTransient(), code == StatusCode::kUnavailable)
+        << ToString(code);
+  }
+}
+
+TEST(StatusCodeTest, ToStringFormatsCodeAndMessage) {
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  EXPECT_EQ(Status::Cancelled("operator interrupt").ToString(),
+            "CANCELLED: operator interrupt");
+  EXPECT_EQ(Status::ResourceExhausted("").ToString(), "RESOURCE_EXHAUSTED");
+}
+
+}  // namespace
+}  // namespace nmine

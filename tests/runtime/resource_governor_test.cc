@@ -1,0 +1,301 @@
+// ResourceGovernor: byte accounting, the degradation ladder (probe-batch
+// shrink, then sample shrink, then kResourceExhausted), and the end-to-end
+// guarantee that a budget-constrained run degrades cost, never results.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nmine/core/status.h"
+#include "nmine/gen/workload.h"
+#include "nmine/mining/border_collapse_miner.h"
+#include "nmine/mining/governed_count.h"
+#include "nmine/mining/levelwise_miner.h"
+#include "nmine/mining/max_miner.h"
+#include "nmine/mining/toivonen_miner.h"
+#include "nmine/obs/metrics.h"
+#include "nmine/runtime/resource_governor.h"
+#include "nmine/runtime/run_control.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+TEST(ResourceGovernorTest, UnlimitedBudgetAdmitsEverything) {
+  runtime::ResourceGovernor g(0);
+  EXPECT_TRUE(g.unlimited());
+  EXPECT_TRUE(g.Charge("anything", SIZE_MAX / 2).ok());
+  EXPECT_EQ(g.charged_bytes(), 0u);  // unlimited: nothing tracked
+  EXPECT_EQ(g.AdmitBatch(1000, 1 << 20), 1000u);
+  EXPECT_EQ(g.AdmitSample(50, 1 << 30, 1), 50u);
+  EXPECT_EQ(g.degradation_steps(), 0);
+}
+
+TEST(ResourceGovernorTest, ChargeAndReleaseAccounting) {
+  runtime::ResourceGovernor g(1000);
+  EXPECT_FALSE(g.unlimited());
+  EXPECT_EQ(g.RemainingBytes(), 1000u);
+  EXPECT_TRUE(g.Charge("a", 600).ok());
+  EXPECT_EQ(g.charged_bytes(), 600u);
+  EXPECT_EQ(g.RemainingBytes(), 400u);
+  Status s = g.Charge("b", 500);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(g.charged_bytes(), 600u);  // failed charge is not applied
+  g.Release(600);
+  EXPECT_EQ(g.charged_bytes(), 0u);
+  EXPECT_TRUE(g.Charge("b", 500).ok());
+  g.Release(SIZE_MAX);  // clamped at zero, never underflows
+  EXPECT_EQ(g.charged_bytes(), 0u);
+}
+
+TEST(ResourceGovernorTest, AdmitBatchShrinksThenExhausts) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const int64_t shrinks_before =
+      reg.CounterValue("governor.probe_batch_shrinks");
+  const int64_t exhausted_before = reg.CounterValue("governor.exhausted");
+
+  runtime::ResourceGovernor g(1000);
+  // Fits outright: no degradation.
+  EXPECT_EQ(g.AdmitBatch(10, 100), 10u);
+  EXPECT_EQ(g.degradation_steps(), 0);
+  // Does not fit: shrunk to what the remaining budget holds.
+  EXPECT_EQ(g.AdmitBatch(100, 100), 10u);
+  EXPECT_EQ(g.degradation_steps(), 1);
+  // The step is counted once per run, the shrink counter every time.
+  EXPECT_EQ(g.AdmitBatch(100, 100), 10u);
+  EXPECT_EQ(g.degradation_steps(), 1);
+  EXPECT_EQ(reg.CounterValue("governor.probe_batch_shrinks") - shrinks_before,
+            2);
+  // Not even one counter fits: 0, and the exhaustion is counted.
+  EXPECT_EQ(g.AdmitBatch(10, 2000), 0u);
+  EXPECT_EQ(reg.CounterValue("governor.exhausted") - exhausted_before, 1);
+}
+
+TEST(ResourceGovernorTest, AdmitSampleShrinksProRata) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const int64_t shrinks_before = reg.CounterValue("governor.sample_shrinks");
+
+  // Full fit: everything admitted and charged.
+  runtime::ResourceGovernor fits(1000);
+  EXPECT_EQ(fits.AdmitSample(10, 800, 1), 10u);
+  EXPECT_EQ(fits.charged_bytes(), 800u);
+  EXPECT_EQ(fits.degradation_steps(), 0);
+
+  // Binding budget: the kept prefix is pro-rata to HALF the remaining
+  // bytes (the other half stays free for counting batches).
+  runtime::ResourceGovernor binds(400);
+  EXPECT_EQ(binds.AdmitSample(10, 800, 1), 2u);  // (400/2) / (800/10)
+  EXPECT_EQ(binds.charged_bytes(), 160u);
+  EXPECT_EQ(binds.degradation_steps(), 1);
+  EXPECT_EQ(reg.CounterValue("governor.sample_shrinks") - shrinks_before, 1);
+
+  // Below the floor: refused outright.
+  runtime::ResourceGovernor tiny(10);
+  EXPECT_EQ(tiny.AdmitSample(10, 800, 2), 0u);
+}
+
+TEST(GovernedCountTest, UnlimitedGovernorIsASingleCall) {
+  std::vector<Pattern> patterns = {testutil::P({0}), testutil::P({1}),
+                                   testutil::P({2})};
+  int calls = 0;
+  BatchCountFn count = [&calls](const std::vector<Pattern>& batch,
+                                std::vector<double>* values) {
+    ++calls;
+    values->assign(batch.size(), static_cast<double>(batch.size()));
+    return Status::Ok();
+  };
+  std::vector<double> values;
+  runtime::ResourceGovernor unlimited(0);
+  EXPECT_TRUE(
+      GovernedCount(patterns, &unlimited, nullptr, count, &values).ok());
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(values.size(), 3u);
+  // Null governor behaves the same.
+  calls = 0;
+  EXPECT_TRUE(GovernedCount(patterns, nullptr, nullptr, count, &values).ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(GovernedCountTest, BindingBudgetSplitsBatchesInOrder) {
+  std::vector<Pattern> patterns;
+  for (int i = 0; i < 7; ++i) patterns.push_back(testutil::P({i % 3}));
+  const size_t per = CounterBytes(patterns[0]);
+
+  // Budget for exactly 2 counters per batch: 7 patterns -> 4 calls.
+  runtime::ResourceGovernor g(2 * per);
+  int calls = 0;
+  BatchCountFn count = [&calls](const std::vector<Pattern>& batch,
+                                std::vector<double>* values) {
+    values->clear();
+    for (const Pattern& p : batch) {
+      values->push_back(static_cast<double>(p.NumSymbols()) +
+                        static_cast<double>(calls));
+    }
+    ++calls;
+    return Status::Ok();
+  };
+  std::vector<double> values;
+  ASSERT_TRUE(GovernedCount(patterns, &g, nullptr, count, &values).ok());
+  EXPECT_EQ(calls, 4);  // ceil(7 / 2)
+  ASSERT_EQ(values.size(), patterns.size());
+  // Values are concatenated in input order: entry i was produced by batch
+  // i/2, so the call index embedded above must match.
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(values[i], 1.0 + static_cast<double>(i / 2)) << i;
+  }
+}
+
+TEST(GovernedCountTest, ImpossibleBudgetFailsTyped) {
+  std::vector<Pattern> patterns = {testutil::P({0, 1, 2})};
+  runtime::ResourceGovernor g(1);  // cannot hold any counter
+  int calls = 0;
+  BatchCountFn count = [&calls](const std::vector<Pattern>&,
+                                std::vector<double>*) {
+    ++calls;
+    return Status::Ok();
+  };
+  std::vector<double> values;
+  Status s = GovernedCount(patterns, &g, nullptr, count, &values);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(GovernedCountTest, CancelledRunStopsBetweenBatches) {
+  std::vector<Pattern> patterns = {testutil::P({0}), testutil::P({1})};
+  runtime::RunControl run;
+  run.RequestCancel();
+  std::vector<double> values;
+  BatchCountFn count = [](const std::vector<Pattern>&,
+                          std::vector<double>*) { return Status::Ok(); };
+  Status s = GovernedCount(patterns, nullptr, &run, count, &values);
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+}
+
+/// End-to-end: a budget-constrained run must produce the same patterns as
+/// an unlimited run — only cost degrades (smaller probe batches, then a
+/// smaller sample with a recomputed epsilon). Only ladder exhaustion may
+/// yield kResourceExhausted.
+class GovernedMiningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorkloadSpec spec;
+    spec.num_sequences = 80;
+    spec.min_length = 20;
+    spec.max_length = 40;
+    spec.num_planted = 2;
+    spec.planted_symbols_min = 4;
+    spec.planted_symbols_max = 6;
+    spec.seed = 77;
+    workload_ = MakeUniformNoiseWorkload(spec, 0.1);
+  }
+
+  MinerOptions Options() const {
+    MinerOptions o;
+    o.min_threshold = 0.25;
+    o.space.max_span = 6;
+    // Large enough that the budget below shrinks it to a sample whose
+    // Chernoff band still sits near the threshold (a drastically smaller
+    // sample stays correct but probes most of the pattern space).
+    o.sample_size = 60;
+    o.delta = 0.05;
+    o.seed = 3;
+    o.max_counters_per_scan = 8;
+    return o;
+  }
+
+  NoisyWorkload workload_;
+};
+
+TEST_F(GovernedMiningTest, BudgetDegradesCostNotResults) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  MiningResult unlimited =
+      BorderCollapseMiner(Metric::kMatch, Options()).Mine(workload_.test,
+                                                          workload_.matrix);
+  ASSERT_TRUE(unlimited.ok());
+  ASSERT_GT(unlimited.effective_sample_size, 0u);
+
+  // A budget that holds only part of the sample. Large enough that the
+  // shrunken sample's epsilon stays below the threshold (a much smaller
+  // budget still yields correct results, just via an enormous ambiguous
+  // region that probes most of the pattern space).
+  MinerOptions constrained = Options();
+  constrained.memory_budget_bytes = 8900;
+  const int64_t degraded_before = reg.CounterValue("mining.degraded_runs");
+  MiningResult degraded =
+      BorderCollapseMiner(Metric::kMatch, constrained)
+          .Mine(workload_.test, workload_.matrix);
+  ASSERT_TRUE(degraded.ok()) << degraded.status.ToString();
+
+  // Same answer, degraded cost: the probed patterns are exact in both
+  // runs, so the frequent set and border are identical.
+  EXPECT_EQ(unlimited.frequent.ToSortedVector(),
+            degraded.frequent.ToSortedVector());
+  EXPECT_EQ(unlimited.border.ToSortedVector(),
+            degraded.border.ToSortedVector());
+  EXPECT_GT(degraded.degradation_steps, 0);
+  EXPECT_GE(degraded.scans, unlimited.scans);
+  // The shrunken sample widened epsilon.
+  EXPECT_LT(degraded.effective_sample_size, unlimited.effective_sample_size);
+  EXPECT_GT(degraded.final_epsilon, unlimited.final_epsilon);
+  EXPECT_EQ(reg.CounterValue("mining.degraded_runs") - degraded_before, 1);
+}
+
+TEST_F(GovernedMiningTest, ToivonenDegradesTheSameWay) {
+  MiningResult unlimited =
+      ToivonenMiner(Metric::kMatch, Options()).Mine(workload_.test,
+                                                    workload_.matrix);
+  ASSERT_TRUE(unlimited.ok());
+
+  MinerOptions constrained = Options();
+  constrained.memory_budget_bytes = 8192;
+  MiningResult degraded = ToivonenMiner(Metric::kMatch, constrained)
+                              .Mine(workload_.test, workload_.matrix);
+  ASSERT_TRUE(degraded.ok()) << degraded.status.ToString();
+  // Verification is exact in both runs; the degraded run just verifies a
+  // larger ambiguous region in smaller batches.
+  EXPECT_EQ(unlimited.frequent.ToSortedVector(),
+            degraded.frequent.ToSortedVector());
+  EXPECT_GT(degraded.degradation_steps, 0);
+  EXPECT_GE(degraded.scans, unlimited.scans);
+}
+
+TEST_F(GovernedMiningTest, LevelwiseAndMaxMinerSplitScansUnderBudget) {
+  for (bool use_max : {false, true}) {
+    MiningResult unlimited =
+        use_max ? MaxMiner(Metric::kMatch, Options()).Mine(workload_.test,
+                                                           workload_.matrix)
+                : LevelwiseMiner(Metric::kMatch, Options())
+                      .Mine(workload_.test, workload_.matrix);
+    ASSERT_TRUE(unlimited.ok());
+
+    MinerOptions constrained = Options();
+    constrained.memory_budget_bytes = 2048;
+    MiningResult degraded =
+        use_max ? MaxMiner(Metric::kMatch, constrained)
+                      .Mine(workload_.test, workload_.matrix)
+                : LevelwiseMiner(Metric::kMatch, constrained)
+                      .Mine(workload_.test, workload_.matrix);
+    ASSERT_TRUE(degraded.ok()) << degraded.status.ToString();
+    EXPECT_EQ(unlimited.frequent.ToSortedVector(),
+              degraded.frequent.ToSortedVector())
+        << (use_max ? "maxminer" : "levelwise");
+    EXPECT_GT(degraded.degradation_steps, 0);
+    EXPECT_GT(degraded.scans, unlimited.scans);
+  }
+}
+
+TEST_F(GovernedMiningTest, ExhaustedLadderFailsClosed) {
+  // A budget too small for even one sampled sequence: the ladder has no
+  // step left, so the run fails typed with an empty pattern set.
+  MinerOptions impossible = Options();
+  impossible.memory_budget_bytes = 8;
+  MiningResult r = BorderCollapseMiner(Metric::kMatch, impossible)
+                       .Mine(workload_.test, workload_.matrix);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(r.frequent.ToSortedVector().empty());
+  EXPECT_TRUE(r.border.ToSortedVector().empty());
+}
+
+}  // namespace
+}  // namespace nmine

@@ -1,0 +1,135 @@
+// RunControl semantics: cooperative cancellation, monotonic deadlines, and
+// their integration with the exec layer (a stopped run claims no new work
+// and callers observe a typed status, never garbage accumulation).
+#include <atomic>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nmine/core/status.h"
+#include "nmine/db/in_memory_database.h"
+#include "nmine/exec/parallel_for.h"
+#include "nmine/lattice/pattern_counter.h"
+#include "nmine/runtime/run_control.h"
+#include "test_util.h"
+
+namespace nmine {
+namespace {
+
+TEST(RunControlTest, FreshControlAllowsEverything) {
+  runtime::RunControl run;
+  EXPECT_FALSE(run.cancel_requested());
+  EXPECT_FALSE(run.has_deadline());
+  EXPECT_FALSE(run.StopRequested());
+  EXPECT_TRUE(run.Check().ok());
+  EXPECT_TRUE(std::isinf(run.RemainingSeconds()));
+  EXPECT_GT(run.RemainingSeconds(), 0.0);
+}
+
+TEST(RunControlTest, CancelStopsTheRun) {
+  runtime::RunControl run;
+  run.RequestCancel();
+  EXPECT_TRUE(run.cancel_requested());
+  EXPECT_TRUE(run.StopRequested());
+  EXPECT_EQ(run.Check().code(), StatusCode::kCancelled);
+  run.RequestCancel();  // idempotent
+  EXPECT_EQ(run.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(RunControlTest, ExpiredDeadlineStopsTheRun) {
+  runtime::RunControl run;
+  run.SetDeadlineAfter(-1.0);  // non-positive: expires immediately
+  EXPECT_TRUE(run.has_deadline());
+  EXPECT_TRUE(run.StopRequested());
+  EXPECT_EQ(run.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LE(run.RemainingSeconds(), 0.0);
+}
+
+TEST(RunControlTest, FutureDeadlineDoesNotStopTheRun) {
+  runtime::RunControl run;
+  run.SetDeadlineAfter(3600.0);
+  EXPECT_TRUE(run.has_deadline());
+  EXPECT_FALSE(run.StopRequested());
+  EXPECT_TRUE(run.Check().ok());
+  EXPECT_GT(run.RemainingSeconds(), 3500.0);
+  EXPECT_LE(run.RemainingSeconds(), 3600.0);
+}
+
+TEST(RunControlTest, CancellationWinsOverDeadline) {
+  runtime::RunControl run;
+  run.SetDeadlineAfter(-1.0);
+  run.RequestCancel();
+  EXPECT_EQ(run.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(RunControlTest, ClearDeadlineDisarms) {
+  runtime::RunControl run;
+  run.SetDeadlineAfter(-1.0);
+  ASSERT_TRUE(run.StopRequested());
+  run.ClearDeadline();
+  EXPECT_FALSE(run.has_deadline());
+  EXPECT_FALSE(run.StopRequested());
+  EXPECT_TRUE(run.Check().ok());
+}
+
+TEST(RunControlTest, ResetClearsEverything) {
+  runtime::RunControl run;
+  run.RequestCancel();
+  run.SetDeadlineAfter(-1.0);
+  run.Reset();
+  EXPECT_FALSE(run.cancel_requested());
+  EXPECT_FALSE(run.has_deadline());
+  EXPECT_TRUE(run.Check().ok());
+}
+
+TEST(RunControlTest, NullPointerHelpersAreNoOps) {
+  EXPECT_FALSE(runtime::StopRequested(nullptr));
+  EXPECT_TRUE(runtime::CheckRun(nullptr).ok());
+  runtime::RunControl run;
+  EXPECT_FALSE(runtime::StopRequested(&run));
+  run.RequestCancel();
+  EXPECT_TRUE(runtime::StopRequested(&run));
+  EXPECT_EQ(runtime::CheckRun(&run).code(), StatusCode::kCancelled);
+}
+
+TEST(RunControlTest, StoppedParallelForClaimsNoNewIndices) {
+  runtime::RunControl run;
+  run.RequestCancel();
+  std::atomic<int> calls{0};
+  // Serial path: a pre-cancelled run does zero iterations.
+  exec::ParallelFor(1, 1000, [&](size_t) { ++calls; }, &run);
+  EXPECT_EQ(calls.load(), 0);
+  // Parallel path: workers observe the stop before claiming indices.
+  exec::ParallelFor(4, 1000, [&](size_t) { ++calls; }, &run);
+  EXPECT_EQ(calls.load(), 0);
+  // Null run: everything executes.
+  exec::ParallelFor(4, 100, [&](size_t) { ++calls; }, nullptr);
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(RunControlTest, CancelledCountRefusesToChargeAScan) {
+  InMemorySequenceDatabase db = testutil::Figure4Database();
+  CompatibilityMatrix c = testutil::Figure2Matrix();
+  std::vector<Pattern> patterns = {testutil::P({0, 1}), testutil::P({1})};
+
+  runtime::RunControl run;
+  run.RequestCancel();
+  exec::ExecPolicy exec;
+  exec.run = &run;
+
+  const int64_t scans_before = db.scan_count();
+  std::vector<double> values;
+  Status s = TryCountMatches(db, c, patterns, &values, exec);
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  // The pre-scan check refuses to charge a scan for a stopped run.
+  EXPECT_EQ(db.scan_count(), scans_before);
+
+  run.Reset();
+  s = TryCountMatches(db, c, patterns, &values, exec);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(db.scan_count(), scans_before + 1);
+  EXPECT_EQ(values.size(), patterns.size());
+}
+
+}  // namespace
+}  // namespace nmine

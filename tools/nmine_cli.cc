@@ -43,9 +43,29 @@
 //   --phase3-checkpoint F   checkpoint border-collapsing probe state to F
 //   --phase3-retries N      miner-level re-probes of a failed Phase-3 batch
 //
+// Run lifecycle flags for `mine` (see README "Run lifecycle"):
+//   --run-checkpoint F      whole-run checkpoint: snapshot after Phase 1,
+//                           after Phase 2, and after every Phase-3 probe
+//                           scan; an interrupted run rerun with the same
+//                           flags resumes bit-identically (collapse only;
+//                           supersedes --phase3-checkpoint)
+//   --deadline S            stop cooperatively after S seconds: the run
+//                           flushes its checkpoint and exits 3
+//   --memory-budget BYTES   degrade instead of thrash: first shrink probe
+//                           batches, then the in-memory sample (epsilon is
+//                           recomputed); results stay exact, only the scan
+//                           count grows
+//
+// SIGINT/SIGTERM trigger the same cooperative stop as --deadline: finish
+// the current scan boundary, flush the checkpoint, exit 3.
+//
 // Exit status: 0 on success, 1 on usage/IO errors, 2 when a database scan
-// or mining run failed at runtime (e.g. unrecoverable fault).
+// or mining run failed at runtime (unrecoverable fault, corrupt data, or
+// an exhausted memory budget), 3 when the run was cancelled (signal) or
+// hit its --deadline — state is checkpointed when --run-checkpoint (or
+// --phase3-checkpoint) is set, so a rerun resumes where it stopped.
 #include <chrono>
+#include <csignal>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -82,9 +102,18 @@
 #include "nmine/obs/metrics.h"
 #include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
+#include "nmine/runtime/run_control.h"
 
 namespace nmine {
 namespace {
+
+// Process-wide run control so the signal handler can reach it.
+// RunControl::RequestCancel is a relaxed atomic store — async-signal-safe.
+runtime::RunControl g_run_control;
+
+extern "C" void HandleStopSignal(int /*signum*/) {
+  g_run_control.RequestCancel();
+}
 
 /// Minimal --flag value parser: flags may appear in any order after the
 /// command and positional arguments.
@@ -141,7 +170,11 @@ class Flags {
 int Usage() {
   std::fprintf(stderr,
                "usage: nmine_cli <generate|import|info|matrix|mine> [flags]\n"
-               "see the header of tools/nmine_cli.cc for details\n");
+               "see the header of tools/nmine_cli.cc for the flag list\n"
+               "exit status: 0 success; 1 usage or I/O setup error; 2 data\n"
+               "or runtime fault (including an exhausted --memory-budget);\n"
+               "3 cancelled by SIGINT/SIGTERM or --deadline, with progress\n"
+               "checkpointed when --run-checkpoint is set\n");
   return 1;
 }
 
@@ -523,6 +556,22 @@ int CmdMine(const Flags& flags) {
   options.phase3_scan_retries =
       static_cast<size_t>(std::max(0LL, flags.GetInt("phase3-retries", 1)));
   options.phase3_checkpoint_path = flags.Get("phase3-checkpoint", "");
+  options.run_checkpoint_path = flags.Get("run-checkpoint", "");
+  options.memory_budget_bytes =
+      static_cast<size_t>(std::max(0LL, flags.GetInt("memory-budget", 0)));
+
+  // Cooperative stop: SIGINT/SIGTERM and --deadline share one RunControl,
+  // polled at scan/level/batch boundaries by every miner.
+  options.run_control = &g_run_control;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  double deadline_s = flags.GetDouble("deadline", 0.0);
+  if (flags.Has("deadline") && deadline_s <= 0.0) {
+    std::fprintf(stderr, "mine: bad --deadline '%s' (want seconds > 0)\n",
+                 flags.Get("deadline", "").c_str());
+    return 1;
+  }
+  if (deadline_s > 0.0) g_run_control.SetDeadlineAfter(deadline_s);
 
   std::string algorithm = flags.Get("algorithm", "collapse");
   std::string calibrate = flags.Get("calibrate", "none");
@@ -568,6 +617,19 @@ int CmdMine(const Flags& flags) {
       std::fprintf(stderr,
                    "mine: the database appears corrupted; retries cannot "
                    "recover it\n");
+    }
+    if (result.status.code() == StatusCode::kCancelled ||
+        result.status.code() == StatusCode::kDeadlineExceeded) {
+      std::string ckpt = !options.run_checkpoint_path.empty()
+                             ? options.run_checkpoint_path
+                             : options.phase3_checkpoint_path;
+      if (!ckpt.empty()) {
+        std::fprintf(stderr,
+                     "mine: progress checkpointed to '%s'; rerun with the "
+                     "same flags to resume\n",
+                     ckpt.c_str());
+      }
+      return 3;
     }
     return 2;
   }
