@@ -42,6 +42,16 @@ bool LoadSnapshot(const std::string& path, SnapshotStats* out,
     *error = "cannot read or parse " + path;
     return false;
   }
+  out->schema_version =
+      static_cast<int>(doc->GetNumber("schema_version", 1.0));
+  if (out->schema_version < 1 ||
+      out->schema_version > kMaxSupportedSnapshotSchema) {
+    *error = path + ": unsupported schema_version " +
+             std::to_string(out->schema_version) + " (this tool reads <= " +
+             std::to_string(kMaxSupportedSnapshotSchema) +
+             "; rebuild the baseline or update bench_compare)";
+    return false;
+  }
   const obs::JsonValue* bench = doc->Get("bench");
   out->name = bench != nullptr && bench->is_string() ? bench->string_value
                                                      : path;
@@ -107,9 +117,15 @@ bool CompareFilesOrDirs(const std::string& old_path,
     for (const auto& [file, path] : new_files) {
       if (old_files.find(file) == old_files.end()) {
         report->only_in_new.push_back(file);
+        // A result with no baseline is a hole in regression coverage,
+        // not a skippable scenario: fail it so the baseline gets
+        // (re)generated instead of silently rotting.
+        report->errors.push_back(
+            file + ": no baseline in " + old_path +
+            " (regenerate baselines to cover this bench)");
       }
     }
-    if (pairs.empty()) {
+    if (pairs.empty() && report->only_in_new.empty()) {
       *error = "no matching BENCH_*.json files between " + old_path +
                " and " + new_path;
       return false;
@@ -121,13 +137,30 @@ bool CompareFilesOrDirs(const std::string& old_path,
   for (const auto& [old_file, new_file] : pairs) {
     SnapshotStats old_stats;
     SnapshotStats new_stats;
-    if (!LoadSnapshot(old_file, &old_stats, error) ||
-        !LoadSnapshot(new_file, &new_stats, error)) {
-      return false;
+    std::string pair_error;
+    if (!LoadSnapshot(old_file, &old_stats, &pair_error) ||
+        !LoadSnapshot(new_file, &new_stats, &pair_error)) {
+      report->errors.push_back(pair_error);
+      continue;
+    }
+    if (old_stats.schema_version != new_stats.schema_version) {
+      // Cross-schema medians are not comparable like-for-like (v1 has no
+      // spread estimate, so the noise gate degenerates); flag the pair
+      // instead of producing a verdict nobody should trust.
+      report->errors.push_back(
+          old_stats.name + ": schema mismatch (baseline v" +
+          std::to_string(old_stats.schema_version) + " vs new v" +
+          std::to_string(new_stats.schema_version) +
+          "; regenerate the baseline with the current harness)");
+      continue;
     }
     CompareEntry e = CompareStats(old_stats, new_stats, threshold);
     report->has_regression = report->has_regression || e.regression;
     report->entries.push_back(std::move(e));
+  }
+  if (report->entries.empty() && report->errors.empty()) {
+    *error = "nothing comparable between " + old_path + " and " + new_path;
+    return false;
   }
   std::sort(report->entries.begin(), report->entries.end(),
             [](const CompareEntry& a, const CompareEntry& b) {
@@ -151,8 +184,39 @@ void PrintReport(const CompareReport& report, std::ostream& os) {
   for (const std::string& name : report.only_in_old) {
     os << "missing from new snapshot: " << name << "\n";
   }
-  for (const std::string& name : report.only_in_new) {
-    os << "only in new snapshot: " << name << "\n";
+  for (const std::string& error : report.errors) {
+    os << "FAIL: " << error << "\n";
+  }
+}
+
+void PrintMarkdownSummary(const CompareReport& report, double threshold,
+                          std::ostream& os) {
+  os << "### Bench comparison ("
+     << (report.ok() ? "clean" : "FAILED") << ", threshold "
+     << static_cast<int>(threshold * 100.0) << "% + 3×MAD)\n\n";
+  if (!report.entries.empty()) {
+    os << "| bench | old median (s) | new median (s) | delta | verdict |\n"
+       << "|---|---:|---:|---:|---|\n";
+    for (const CompareEntry& e : report.entries) {
+      char old_s[32];
+      char new_s[32];
+      char delta[32];
+      std::snprintf(old_s, sizeof(old_s), "%.4f", e.old_median);
+      std::snprintf(new_s, sizeof(new_s), "%.4f", e.new_median);
+      std::snprintf(delta, sizeof(delta), "%+.1f%%", e.delta_pct);
+      const char* verdict = e.regression    ? "❌ regression"
+                            : e.improvement ? "✅ improvement"
+                                            : "ok";
+      os << "| " << e.name << " | " << old_s << " | " << new_s << " | "
+         << delta << " | " << verdict << " |\n";
+    }
+    os << "\n";
+  }
+  for (const std::string& error : report.errors) {
+    os << "- ❌ " << error << "\n";
+  }
+  for (const std::string& name : report.only_in_old) {
+    os << "- ⚠️ missing from new snapshot: " << name << "\n";
   }
 }
 

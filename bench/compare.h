@@ -12,10 +12,14 @@ namespace bench {
 /// files (no "stats" object) load with median = "seconds" and mad = 0.
 struct SnapshotStats {
   std::string name;
+  int schema_version = 1;  // absent field means v1
   double median = 0.0;
   double mad = 0.0;
   std::string git_sha;  // "" when the file carries no fingerprint
 };
+
+/// Highest BENCH snapshot schema this tool understands.
+inline constexpr int kMaxSupportedSnapshotSchema = 2;
 
 /// Parses one snapshot file; false (with *error set) on IO/parse trouble.
 bool LoadSnapshot(const std::string& path, SnapshotStats* out,
@@ -44,19 +48,33 @@ CompareEntry CompareStats(const SnapshotStats& old_stats,
 struct CompareReport {
   std::vector<CompareEntry> entries;
   std::vector<std::string> only_in_old;  // bench names missing from new
-  std::vector<std::string> only_in_new;
+  std::vector<std::string> only_in_new;  // bench names with no baseline
+  /// Per-scenario failures: a new result with no baseline to diff
+  /// against, or a pair whose snapshots could not be loaded or carry an
+  /// unsupported schema. Any entry here means the comparison is
+  /// incomplete and must fail, independent of has_regression.
+  std::vector<std::string> errors;
   bool has_regression = false;
+
+  bool ok() const { return !has_regression && errors.empty(); }
 };
 
 /// Compares two snapshot files, or two directories of BENCH_*.json files
-/// matched by file name. Returns false (with *error set) when nothing
-/// could be compared.
+/// matched by file name. Returns false (with *error set) only when
+/// nothing could be compared at all; per-scenario trouble (unreadable
+/// file, schema mismatch, missing baseline) lands in report->errors so
+/// the remaining scenarios still get diffed.
 bool CompareFilesOrDirs(const std::string& old_path,
                         const std::string& new_path, double threshold,
                         CompareReport* report, std::string* error);
 
 /// Human-readable table of the report.
 void PrintReport(const CompareReport& report, std::ostream& os);
+
+/// GitHub-flavored markdown delta table (for CI job summaries): one row
+/// per bench plus a failure list when the report is not clean.
+void PrintMarkdownSummary(const CompareReport& report, double threshold,
+                          std::ostream& os);
 
 inline constexpr double kDefaultRegressionThreshold = 0.15;
 

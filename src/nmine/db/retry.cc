@@ -5,6 +5,7 @@
 #include <cmath>
 #include <thread>
 
+#include "nmine/obs/flight_recorder.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
 
@@ -70,6 +71,9 @@ Status RunScanWithRetry(
     }
     double backoff = BackoffMs(policy, i, &jitter_rng);
     reg.GetCounter("db.scan.retries").Increment();
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kScanRetry,
+                                         what, i + 1,
+                                         static_cast<int64_t>(backoff));
     NMINE_LOG(kInfo, "db")
         .Msg("transient scan failure; retrying")
         .Str("op", what)

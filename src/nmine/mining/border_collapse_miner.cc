@@ -12,11 +12,13 @@
 #include "nmine/mining/governed_count.h"
 #include "nmine/mining/levelwise_miner.h"
 #include "nmine/mining/symbol_scan.h"
+#include "nmine/obs/flight_recorder.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
 #include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
 #include "nmine/runtime/run_checkpoint.h"
+#include "nmine/runtime/run_status.h"
 
 namespace nmine {
 namespace {
@@ -314,6 +316,7 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
   if (!resumed) {
     if (!have_phase1) {
       // ---- Phase 1: symbol matches + sample, one scan (Algorithm 4.1).
+      runtime::PublishPhase("phase1");
       Status rs = runtime::CheckRun(run);
       if (!rs.ok()) return fail(rs);
       Rng rng(options_.seed);
@@ -357,6 +360,7 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
     }
 
     // ---- Phase 2: classify patterns on the in-memory sample.
+    runtime::PublishPhase("phase2");
     Status rs = runtime::CheckRun(run);
     if (!rs.ok()) return fail(rs);  // the stage-1 snapshot stays on disk
     SampleClassification cls =
@@ -408,6 +412,7 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
       .Set(static_cast<double>(options_.max_counters_per_scan));
   obs::TraceSpan phase3_span("phase3.border_collapse", "phase3");
   NMINE_PROFILE_SCOPE("phase3.border_collapse");
+  runtime::PublishPhase("phase3");
   phase3_span.Arg("ambiguous_initial", ambiguous.size());
   while (!ambiguous.empty()) {
     // Flush-and-stop: a cancel/deadline observed between probe scans
@@ -475,6 +480,10 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
          ++attempt) {
       if (attempt > 0) {
         reg.GetCounter("phase3.scan_retries").Increment();
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventType::kScanRetry, "phase3.scan",
+            static_cast<int64_t>(attempt),
+            static_cast<int64_t>(probe.size()));
         NMINE_LOG(kWarn, "phase3")
             .Msg("retrying failed probe scan")
             .Num("attempt", attempt)
@@ -575,6 +584,9 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
         .Num("budget", options_.max_counters_per_scan)
         .Num("ambiguous_before", ambiguous_before)
         .Num("ambiguous_after", ambiguous.size());
+    runtime::PublishProgress("phase3.collapse",
+                             static_cast<int64_t>(ambiguous_before),
+                             static_cast<int64_t>(ambiguous.size()));
   }
 
   BuildBorder(&result);

@@ -10,6 +10,7 @@
 #include "nmine/obs/trace.h"
 #include "nmine/runtime/resource_governor.h"
 #include "nmine/runtime/run_control.h"
+#include "nmine/runtime/run_status.h"
 
 namespace nmine {
 namespace {
@@ -231,6 +232,7 @@ MiningResult DepthFirstMiner::Mine(const SequenceDatabase& db,
   {
     obs::TraceSpan load_span("depthfirst.load", "depthfirst");
     NMINE_PROFILE_SCOPE("depthfirst.load");
+    runtime::PublishPhase("depthfirst.load");
     Status load_status = db.Scan(
         [&sequences](const SequenceRecord& r) {
           sequences.push_back(r.symbols);
@@ -252,6 +254,7 @@ MiningResult DepthFirstMiner::Mine(const SequenceDatabase& db,
   {
     obs::TraceSpan search_span("depthfirst.search", "depthfirst");
     NMINE_PROFILE_SCOPE("depthfirst.search");
+    runtime::PublishPhase("depthfirst.search");
     search.Run(&result);
   }
   // A cancel/deadline mid-search leaves a partial traversal in `result`;

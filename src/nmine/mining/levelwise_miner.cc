@@ -12,6 +12,7 @@
 #include "nmine/obs/trace.h"
 #include "nmine/runtime/resource_governor.h"
 #include "nmine/runtime/run_control.h"
+#include "nmine/runtime/run_status.h"
 
 namespace nmine {
 namespace {
@@ -74,6 +75,8 @@ MiningResult RunLevelwise(size_t m, const ThresholdFn& threshold_of,
         .Num("level", level)
         .Num("candidates", stats.num_candidates)
         .Num("frequent", stats.num_frequent);
+    runtime::PublishProgress("levelwise.level", static_cast<int64_t>(level),
+                             static_cast<int64_t>(stats.num_frequent));
     if (frequent_level.empty()) break;
     candidates = NextLevelCandidates(
         frequent_level, frequent_symbols, space,
@@ -141,6 +144,7 @@ MiningResult LevelwiseMiner::Mine(const SequenceDatabase& db,
   int64_t scans_before = db.scan_count();
   obs::TraceSpan mine_span("mine.levelwise", "mining");
   NMINE_PROFILE_SCOPE("mine.levelwise");
+  runtime::PublishPhase("mine.levelwise");
   const double threshold = options_.min_threshold;
   MiningResult result = RunLevelwise(
       c.size(), [threshold](const Pattern&) { return threshold; },
@@ -193,6 +197,7 @@ MiningResult LevelwiseMiner::MineWithThreshold(
   int64_t scans_before = db.scan_count();
   obs::TraceSpan mine_span("mine.levelwise_calibrated", "mining");
   NMINE_PROFILE_SCOPE("mine.levelwise_calibrated");
+  runtime::PublishPhase("mine.levelwise_calibrated");
   MiningResult result = RunLevelwise(
       c.size(), threshold_of, options_.space, options_.max_level,
       options_.max_candidates_per_level, count);

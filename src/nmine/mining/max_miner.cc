@@ -12,6 +12,7 @@
 #include "nmine/obs/metrics.h"
 #include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
+#include "nmine/runtime/run_status.h"
 
 namespace nmine {
 namespace {
@@ -90,6 +91,7 @@ MiningResult MaxMiner::Mine(const SequenceDatabase& db,
                             const CompatibilityMatrix& c) const {
   obs::TraceSpan mine_span("mine.maxminer", "mining");
   NMINE_PROFILE_SCOPE("mine.maxminer");
+  runtime::PublishPhase("mine.maxminer");
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   auto start = std::chrono::steady_clock::now();
   int64_t scans_before = db.scan_count();
@@ -230,6 +232,8 @@ MiningResult MaxMiner::Mine(const SequenceDatabase& db,
         .Num("covered", covered.size())
         .Num("jumps_certified", jumps_certified)
         .Num("frequent", stats.num_frequent);
+    runtime::PublishProgress("maxminer.level", static_cast<int64_t>(level),
+                             static_cast<int64_t>(stats.num_frequent));
 
     if (frontier.empty()) break;
     candidates = NextLevelCandidates(

@@ -17,6 +17,7 @@
 #include "nmine/obs/trace.h"
 #include "nmine/runtime/resource_governor.h"
 #include "nmine/runtime/run_control.h"
+#include "nmine/runtime/run_status.h"
 #include "nmine/stats/chernoff.h"
 
 namespace nmine {
@@ -25,6 +26,7 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
                                  const CompatibilityMatrix& c) const {
   obs::TraceSpan mine_span("mine.toivonen", "mining");
   NMINE_PROFILE_SCOPE("mine.toivonen");
+  runtime::PublishPhase("mine.toivonen");
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   auto start = std::chrono::steady_clock::now();
   int64_t scans_before = db.scan_count();
@@ -169,6 +171,9 @@ MiningResult ToivonenMiner::Mine(const SequenceDatabase& db,
           .Num("level", level)
           .Num("verified", batch.size())
           .Num("frequent", batch_frequent);
+      runtime::PublishProgress("toivonen.verify",
+                               static_cast<int64_t>(level),
+                               static_cast<int64_t>(batch_frequent));
       pos = batch_end;
     }
   }

@@ -1,0 +1,81 @@
+#ifndef NMINE_NET_STATUS_SERVER_H_
+#define NMINE_NET_STATUS_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace nmine {
+namespace net {
+
+/// Minimal read-only embedded HTTP/1.0 status server — the live
+/// introspection surface of a mining run, and the first brick of the
+/// nmine_server daemon's socket layer.
+///
+/// Endpoints (GET only):
+///   /healthz   {"status": "ok", ...} — liveness probe
+///   /statusz   runtime::RunStatusBoard::StatusJson(): current phase,
+///              progress counters, deadline remaining, governor ladder
+///              state, checkpoint age
+///   /metricsz  OpenMetrics text rendering of the metrics registry
+///   /profilez  obs::Profiler::Global().SnapshotJson()
+///   /flightz   obs::FlightRecorder::Global().SnapshotJson()
+///
+/// The accept loop is blocking and runs as one task on the shared
+/// exec::ThreadPool; Start() grows the pool by one worker first, so the
+/// server never steals a scan worker from the miners. Requests are tiny
+/// and handled inline on that worker; the server only ever reads process
+/// state, so it needs no coordination with the run it is observing.
+class StatusServer {
+ public:
+  struct Options {
+    /// TCP port to listen on; 0 picks an ephemeral port (see port()).
+    uint16_t port = 0;
+    /// Loopback by default: this is an introspection port, not a public
+    /// API; expose it deliberately.
+    std::string bind_address = "127.0.0.1";
+  };
+
+  StatusServer() = default;
+  ~StatusServer();
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  /// Binds, listens, and submits the accept loop to the shared thread
+  /// pool. False with *error set when the socket cannot be set up.
+  bool Start(const Options& options, std::string* error);
+
+  /// Closes the listener and waits for the accept loop to drain. Safe to
+  /// call twice or without Start().
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The port actually bound (resolves port 0 to the ephemeral choice).
+  uint16_t port() const { return port_; }
+
+  /// Requests served since Start (any endpoint, including 404s).
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  bool loop_done_ = true;
+};
+
+}  // namespace net
+}  // namespace nmine
+
+#endif  // NMINE_NET_STATUS_SERVER_H_

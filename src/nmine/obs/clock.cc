@@ -1,0 +1,22 @@
+#include "nmine/obs/clock.h"
+
+#include <chrono>
+
+namespace nmine {
+namespace obs {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t ProcessEpochNs() {
+  // First caller fixes the epoch; the static initialization is
+  // thread-safe and every later reader sees the same value.
+  static const int64_t epoch = MonotonicNowNs();
+  return epoch;
+}
+
+}  // namespace obs
+}  // namespace nmine

@@ -1,0 +1,108 @@
+#include "nmine/obs/export/openmetrics.h"
+
+#include <cstdio>
+
+namespace nmine {
+namespace obs {
+namespace {
+
+void AppendNumber(double value, std::string* out) {
+  char buf[64];
+  if (value == static_cast<int64_t>(value) && value > -1e15 && value < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(value)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out->append(buf);
+}
+
+void AppendInt(int64_t value, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string OpenMetricsName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 7);
+  out.append("nmine_");
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string RenderOpenMetrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string om = OpenMetricsName(name);
+    out.append("# TYPE ").append(om).append(" counter\n");
+    out.append(om).append("_total ");
+    AppendInt(value, &out);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string om = OpenMetricsName(name);
+    out.append("# TYPE ").append(om).append(" gauge\n");
+    out.append(om).push_back(' ');
+    AppendNumber(value, &out);
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string om = OpenMetricsName(name);
+    out.append("# TYPE ").append(om).append(" histogram\n");
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      out.append(om).append("_bucket{le=\"");
+      if (i < h.bounds.size()) {
+        std::string bound;
+        AppendNumber(h.bounds[i], &bound);
+        out.append(EscapeLabelValue(bound));
+      } else {
+        out.append("+Inf");
+      }
+      out.append("\"} ");
+      AppendInt(cumulative, &out);
+      out.push_back('\n');
+    }
+    out.append(om).append("_sum ");
+    AppendNumber(h.sum, &out);
+    out.push_back('\n');
+    out.append(om).append("_count ");
+    AppendInt(h.count, &out);
+    out.push_back('\n');
+  }
+  out.append("# EOF\n");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace nmine

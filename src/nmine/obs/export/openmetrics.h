@@ -1,0 +1,45 @@
+#ifndef NMINE_OBS_EXPORT_OPENMETRICS_H_
+#define NMINE_OBS_EXPORT_OPENMETRICS_H_
+
+#include <string>
+
+#include "nmine/obs/metrics.h"
+
+namespace nmine {
+namespace obs {
+
+/// Rewrites a registry metric name as an OpenMetrics metric name: every
+/// character outside [a-zA-Z0-9_:] (notably the '.' separators this
+/// codebase uses) becomes '_', and a leading digit is prefixed with '_'.
+std::string OpenMetricsName(const std::string& name);
+
+/// Escapes a label value per the OpenMetrics exposition format
+/// (backslash, double-quote, and newline are backslash-escaped).
+std::string EscapeLabelValue(const std::string& value);
+
+/// Renders a metrics snapshot in the OpenMetrics / Prometheus text
+/// exposition format, terminated by "# EOF":
+///
+///   # TYPE nmine_phase3_scans counter
+///   nmine_phase3_scans_total 12
+///   # TYPE nmine_phase1_sample_size gauge
+///   nmine_phase1_sample_size 400
+///   # TYPE nmine_phase2_band_width histogram
+///   nmine_phase2_band_width_bucket{le="0.001"} 0
+///   ...
+///   nmine_phase2_band_width_bucket{le="+Inf"} 7
+///   nmine_phase2_band_width_sum 0.42
+///   nmine_phase2_band_width_count 7
+///   # EOF
+///
+/// Histogram bucket counts are rendered cumulatively, as the format
+/// requires (the registry stores per-bucket counts). Every metric name is
+/// prefixed "nmine_". Counter values come from one snapshot, so the
+/// rendering inherits the registry's monotonicity: a later scrape never
+/// shows a smaller counter.
+std::string RenderOpenMetrics(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace nmine
+
+#endif  // NMINE_OBS_EXPORT_OPENMETRICS_H_

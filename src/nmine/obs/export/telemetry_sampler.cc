@@ -1,0 +1,177 @@
+#include "nmine/obs/export/telemetry_sampler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "nmine/obs/clock.h"
+#include "nmine/obs/export/openmetrics.h"
+#include "nmine/obs/json_util.h"
+
+namespace nmine {
+namespace obs {
+namespace {
+
+void AppendCounterMap(
+    const std::vector<std::pair<std::string, int64_t>>& entries,
+    std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [name, value] : entries) {
+    if (!first) out->append(", ");
+    first = false;
+    AppendJsonString(name, out);
+    out->append(": ");
+    AppendJsonNumber(static_cast<double>(value), out);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+TelemetrySampler::~TelemetrySampler() { Stop(); }
+
+bool TelemetrySampler::Start(const Options& options) {
+  if (thread_.joinable() || options.jsonl_path.empty() ||
+      options.interval_s <= 0.0) {
+    return false;
+  }
+  options_ = options;
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Global();
+  }
+  if (options_.profiler == nullptr) options_.profiler = &Profiler::Global();
+  out_.open(options_.jsonl_path, std::ios::binary | std::ios::trunc);
+  if (!out_.is_open()) return false;
+  stop_ = false;
+  thread_ = std::thread([this] { SamplerLoop(); });
+  return true;
+}
+
+void TelemetrySampler::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+bool TelemetrySampler::FlushFinal(const char* reason) {
+  if (!out_.is_open()) return false;
+  WriteRow(reason);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.flush();
+  return out_.good();
+}
+
+uint64_t TelemetrySampler::rows_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+void TelemetrySampler::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!cv_.wait_for(lock,
+                       std::chrono::duration<double>(options_.interval_s),
+                       [this] { return stop_; })) {
+    lock.unlock();
+    WriteRow("tick");
+    lock.lock();
+  }
+}
+
+void TelemetrySampler::WriteRow(const char* reason) {
+  // Snapshot outside the sampler lock: the registry has its own.
+  const MetricsSnapshot snap = options_.registry->Snapshot();
+  const int64_t t_us = SinceEpochUs();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) return;
+  ++seq_;
+  std::string row = "{\"schema\": \"nmine.telemetry.v1\", \"seq\": ";
+  AppendJsonNumber(static_cast<double>(seq_), &row);
+  row.append(", \"t_us\": ");
+  AppendJsonNumber(static_cast<double>(t_us), &row);
+  row.append(", \"interval_s\": ");
+  AppendJsonNumber(options_.interval_s, &row);
+  row.append(", \"reason\": ");
+  AppendJsonString(reason, &row);
+
+  row.append(", \"counters\": ");
+  AppendCounterMap(snap.counters, &row);
+
+  // Deltas and rates against the previous row. Both snapshots are sorted
+  // by name, so a single merge walk pairs them; a counter absent from the
+  // previous row (registered since) deltas from zero.
+  const double dt_s =
+      prev_t_us_ > 0 ? static_cast<double>(t_us - prev_t_us_) / 1e6 : 0.0;
+  row.append(", \"deltas\": {");
+  std::string rates = "{";
+  bool first = true;
+  size_t j = 0;
+  for (const auto& [name, value] : snap.counters) {
+    while (j < prev_counters_.size() && prev_counters_[j].first < name) ++j;
+    const int64_t prev =
+        (j < prev_counters_.size() && prev_counters_[j].first == name)
+            ? prev_counters_[j].second
+            : 0;
+    const int64_t delta = value - prev;
+    if (!first) {
+      row.append(", ");
+      rates.append(", ");
+    }
+    first = false;
+    AppendJsonString(name, &row);
+    row.append(": ");
+    AppendJsonNumber(static_cast<double>(delta), &row);
+    AppendJsonString(name, &rates);
+    rates.append(": ");
+    AppendJsonNumber(dt_s > 0.0 ? static_cast<double>(delta) / dt_s : 0.0,
+                     &rates);
+  }
+  row.append("}, \"rates\": ");
+  rates.push_back('}');
+  row.append(rates);
+
+  row.append(", \"gauges\": {");
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) row.append(", ");
+    first = false;
+    AppendJsonString(name, &row);
+    row.append(": ");
+    AppendJsonNumber(value, &row);
+  }
+  row.push_back('}');
+
+  if (options_.include_profile) {
+    row.append(", \"profile\": {");
+    first = true;
+    for (const auto& [name, stats] : options_.profiler->Snapshot()) {
+      if (!first) row.append(", ");
+      first = false;
+      AppendJsonString(name, &row);
+      row.append(": {\"count\": ");
+      AppendJsonNumber(static_cast<double>(stats.count), &row);
+      row.append(", \"total_ns\": ");
+      AppendJsonNumber(static_cast<double>(stats.total_ns), &row);
+      row.append("}");
+    }
+    row.push_back('}');
+  }
+  row.append("}\n");
+  out_ << row;
+
+  prev_t_us_ = t_us;
+  prev_counters_ = snap.counters;
+
+  if (!options_.openmetrics_path.empty()) {
+    std::ofstream om(options_.openmetrics_path,
+                     std::ios::binary | std::ios::trunc);
+    if (om.is_open()) om << RenderOpenMetrics(snap);
+  }
+}
+
+}  // namespace obs
+}  // namespace nmine

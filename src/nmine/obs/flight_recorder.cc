@@ -1,0 +1,229 @@
+#include "nmine/obs/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "nmine/obs/clock.h"
+#include "nmine/obs/json_util.h"
+
+namespace nmine {
+namespace obs {
+namespace {
+
+/// Signal-safe decimal rendering of a signed 64-bit value into `buf`.
+/// Returns the number of characters written (no terminator).
+size_t FormatInt(int64_t value, char* buf) {
+  char tmp[24];
+  size_t n = 0;
+  uint64_t v;
+  bool negative = value < 0;
+  // Negate via unsigned arithmetic so INT64_MIN is handled.
+  v = negative ? ~static_cast<uint64_t>(value) + 1
+               : static_cast<uint64_t>(value);
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  size_t out = 0;
+  if (negative) buf[out++] = '-';
+  while (n > 0) buf[out++] = tmp[--n];
+  return out;
+}
+
+/// Signal-safe append helpers for DumpToFd's line buffer.
+void AppendRaw(const char* text, char* buf, size_t cap, size_t* len) {
+  while (*text != '\0' && *len < cap) buf[(*len)++] = *text++;
+}
+
+void AppendInt(int64_t value, char* buf, size_t cap, size_t* len) {
+  char tmp[24];
+  size_t n = FormatInt(value, tmp);
+  for (size_t i = 0; i < n && *len < cap; ++i) buf[(*len)++] = tmp[i];
+}
+
+void WriteAll(int fd, const char* buf, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t w = ::write(fd, buf + done, len - done);
+    if (w <= 0) return;  // nothing a signal handler can do about it
+    done += static_cast<size_t>(w);
+  }
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* ToString(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kSpanEnter:
+      return "span_enter";
+    case FlightEventType::kSpanExit:
+      return "span_exit";
+    case FlightEventType::kPhase:
+      return "phase";
+    case FlightEventType::kProgress:
+      return "progress";
+    case FlightEventType::kScanRetry:
+      return "scan_retry";
+    case FlightEventType::kGovernorStep:
+      return "governor_step";
+    case FlightEventType::kCheckpoint:
+      return "checkpoint";
+    case FlightEventType::kCancel:
+      return "cancel";
+    case FlightEventType::kCustom:
+      return "custom";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Enable(size_t capacity) {
+  if (slots_ == nullptr) {
+    capacity_ = RoundUpPow2(capacity);
+    slots_ = std::make_unique<Slot[]>(capacity_);
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::Record(FlightEventType type, const char* name,
+                            int64_t a, int64_t b) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[(seq - 1) & (capacity_ - 1)];
+  slot.marker.store(kWriting, std::memory_order_release);
+  FlightEvent& e = slot.event;
+  e.t_us = SinceEpochUs();
+  e.seq = seq;
+  e.type = type;
+  size_t i = 0;
+  if (name != nullptr) {
+    for (; i < sizeof(e.name) - 1 && name[i] != '\0'; ++i) e.name[i] = name[i];
+  }
+  e.name[i] = '\0';
+  e.a = a;
+  e.b = b;
+  slot.marker.store(seq, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> out;
+  if (slots_ == nullptr) return out;
+  out.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    uint64_t before = slot.marker.load(std::memory_order_acquire);
+    if (before == 0 || before == kWriting) continue;
+    FlightEvent copy = slot.event;
+    uint64_t after = slot.marker.load(std::memory_order_acquire);
+    if (after != before) continue;  // torn by a concurrent writer
+    copy.seq = before;
+    out.push_back(copy);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+std::string FlightRecorder::SnapshotJson() const {
+  std::vector<FlightEvent> events = Snapshot();
+  std::string out = "{\"schema\": \"nmine.flight.v1\", \"total_recorded\": ";
+  AppendJsonNumber(static_cast<double>(total_recorded()), &out);
+  out.append(", \"events\": [");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    out.append(i == 0 ? "\n" : ",\n");
+    out.append("  {\"seq\": ");
+    AppendJsonNumber(static_cast<double>(e.seq), &out);
+    out.append(", \"t_us\": ");
+    AppendJsonNumber(static_cast<double>(e.t_us), &out);
+    out.append(", \"type\": ");
+    AppendJsonString(ToString(e.type), &out);
+    out.append(", \"name\": ");
+    AppendJsonString(e.name, &out);
+    out.append(", \"a\": ");
+    AppendJsonNumber(static_cast<double>(e.a), &out);
+    out.append(", \"b\": ");
+    AppendJsonNumber(static_cast<double>(e.b), &out);
+    out.append("}");
+  }
+  out.append(events.empty() ? "]}\n" : "\n]}\n");
+  return out;
+}
+
+bool FlightRecorder::DumpJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << SnapshotJson();
+  return out.good();
+}
+
+void FlightRecorder::DumpToFd(int fd) const {
+  if (slots_ == nullptr) return;
+  char line[192];
+  size_t len = 0;
+  AppendRaw("{\"schema\":\"nmine.flight.v1\",\"crash_dump\":true,"
+            "\"total_recorded\":",
+            line, sizeof(line), &len);
+  AppendInt(static_cast<int64_t>(total_recorded()), line, sizeof(line), &len);
+  AppendRaw("}\n", line, sizeof(line), &len);
+  WriteAll(fd, line, len);
+
+  // Walk slots in ring order starting at the oldest. Events may be mildly
+  // out of order around a concurrent writer; the seq field disambiguates.
+  const uint64_t total = next_.load(std::memory_order_relaxed);
+  const size_t start = static_cast<size_t>(total & (capacity_ - 1));
+  for (size_t k = 0; k < capacity_; ++k) {
+    const Slot& slot = slots_[(start + k) & (capacity_ - 1)];
+    const uint64_t marker = slot.marker.load(std::memory_order_acquire);
+    if (marker == 0 || marker == kWriting) continue;
+    const FlightEvent& e = slot.event;
+    len = 0;
+    AppendRaw("{\"seq\":", line, sizeof(line), &len);
+    AppendInt(static_cast<int64_t>(marker), line, sizeof(line), &len);
+    AppendRaw(",\"t_us\":", line, sizeof(line), &len);
+    AppendInt(e.t_us, line, sizeof(line), &len);
+    AppendRaw(",\"type\":\"", line, sizeof(line), &len);
+    AppendRaw(ToString(e.type), line, sizeof(line), &len);
+    AppendRaw("\",\"name\":\"", line, sizeof(line), &len);
+    // Names are code-controlled tags; drop anything that would need JSON
+    // escaping rather than escape it in a signal handler.
+    for (size_t i = 0; i < sizeof(e.name) && e.name[i] != '\0'; ++i) {
+      char c = e.name[i];
+      if (c >= 0x20 && c != '"' && c != '\\' && len < sizeof(line)) {
+        line[len++] = c;
+      }
+    }
+    AppendRaw("\",\"a\":", line, sizeof(line), &len);
+    AppendInt(e.a, line, sizeof(line), &len);
+    AppendRaw(",\"b\":", line, sizeof(line), &len);
+    AppendInt(e.b, line, sizeof(line), &len);
+    AppendRaw("}\n", line, sizeof(line), &len);
+    WriteAll(fd, line, len);
+  }
+}
+
+void FlightRecorder::Reset() {
+  if (slots_ == nullptr) return;
+  for (size_t i = 0; i < capacity_; ++i) {
+    slots_[i].marker.store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace nmine

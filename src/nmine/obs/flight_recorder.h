@@ -1,0 +1,114 @@
+#ifndef NMINE_OBS_FLIGHT_RECORDER_H_
+#define NMINE_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nmine {
+namespace obs {
+
+/// What kind of moment a flight-recorder event marks.
+enum class FlightEventType : uint8_t {
+  kSpanEnter = 0,   // a traced span opened (name = span name)
+  kSpanExit = 1,    // a traced span closed (a = duration us)
+  kPhase = 2,       // a miner entered a pipeline phase
+  kProgress = 3,    // periodic progress (a/b = event-specific quantities)
+  kScanRetry = 4,   // a failed scan is being retried (a = attempt)
+  kGovernorStep = 5,  // resource-governor degradation ladder step
+  kCheckpoint = 6,  // a run checkpoint was flushed (a = stage)
+  kCancel = 7,      // cooperative cancellation was requested
+  kCustom = 8,
+};
+
+const char* ToString(FlightEventType type);
+
+/// One recorded event. `name` is a truncated copy of the call site's tag;
+/// `a` and `b` carry two event-specific integers (documented per type).
+struct FlightEvent {
+  int64_t t_us = 0;  // microseconds since the shared process clock epoch
+  uint64_t seq = 0;  // global record sequence number (1-based)
+  FlightEventType type = FlightEventType::kCustom;
+  char name[39] = {0};
+  int64_t a = 0;
+  int64_t b = 0;
+};
+
+/// Lock-free ring buffer holding the last N structured events — the
+/// crash-forensics counterpart of the metrics registry. Writers pay one
+/// fetch_add plus a bounded copy (no locks, no allocation), so Record()
+/// is safe from any thread AND from POSIX signal handlers; this is what
+/// lets a SIGSEGV handler dump the recent event history.
+///
+/// Torn reads are handled seqlock-style: each slot carries the sequence
+/// number of the record it holds, cleared while the slot is being
+/// written; readers skip slots whose sequence changed under them. Under
+/// wrap contention an event may be lost to a newer one — acceptable for a
+/// forensic tail.
+class FlightRecorder {
+ public:
+  /// The process-wide recorder the instrumentation records into.
+  static FlightRecorder& Global();
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Allocates the ring (capacity rounded up to a power of two, >= 64)
+  /// and starts recording. Idempotent; NOT async-signal-safe (allocates).
+  void Enable(size_t capacity = 1024);
+
+  /// Stops recording (events are kept for dumping).
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+
+  /// Records one event. While disabled this is a single relaxed load.
+  /// Lock-free, allocation-free, async-signal-safe once enabled.
+  void Record(FlightEventType type, const char* name, int64_t a = 0,
+              int64_t b = 0);
+
+  /// Total events recorded (including ones already overwritten).
+  uint64_t total_recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// The surviving events, oldest first. Torn slots are skipped.
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// {"schema": "nmine.flight.v1", "total_recorded": N, "events": [...]}.
+  std::string SnapshotJson() const;
+
+  /// Writes SnapshotJson() to `path`; false on IO failure. NOT
+  /// async-signal-safe — for cooperative exits and /flightz.
+  bool DumpJsonFile(const std::string& path) const;
+
+  /// Async-signal-safe dump: JSON-lines, one event per line, written to
+  /// `fd` with write(2) and stack-local integer formatting only. For the
+  /// SIGSEGV/SIGABRT handlers.
+  void DumpToFd(int fd) const;
+
+  /// Drops all recorded events (tests). Not signal-safe.
+  void Reset();
+
+ private:
+  struct Slot {
+    /// 0 = empty; kWriting = mid-update; else event.seq of the contents.
+    std::atomic<uint64_t> marker{0};
+    FlightEvent event;
+  };
+  static constexpr uint64_t kWriting = ~uint64_t{0};
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_{0};
+  size_t capacity_ = 0;  // power of two
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace obs
+}  // namespace nmine
+
+#endif  // NMINE_OBS_FLIGHT_RECORDER_H_

@@ -1,20 +1,14 @@
 #include "nmine/obs/logger.h"
 
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 
+#include "nmine/obs/clock.h"
 #include "nmine/obs/json_util.h"
 
 namespace nmine {
 namespace obs {
 namespace {
-
-int64_t MonotonicNowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 const char* UpperName(LogLevel level) {
   switch (level) {
@@ -127,7 +121,7 @@ void JsonFileSink::Write(const LogRecord& record) {
   if (impl_->out.is_open()) impl_->json.Write(record);
 }
 
-Logger::Logger() : epoch_ns_(MonotonicNowNs()) {}
+Logger::Logger() : epoch_ns_(ProcessEpochNs()) {}
 
 Logger& Logger::Global() {
   static Logger* logger = new Logger();  // intentionally leaked

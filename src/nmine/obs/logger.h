@@ -117,7 +117,9 @@ class Logger {
   /// Dispatches `record` (stamping ts_us) to every sink.
   void Submit(LogRecord record);
 
-  /// Microseconds since the logger's construction (the timestamp base).
+  /// Microseconds since the shared process clock epoch (obs/clock.h) —
+  /// the same base trace spans, telemetry rows, and flight-recorder
+  /// events are stamped with.
   int64_t NowUs() const;
 
  private:

@@ -149,60 +149,86 @@ bool MetricsRegistry::HasCounter(const std::string& name) const {
   return counters_.count(name) > 0;
 }
 
-std::string MetricsRegistry::SnapshotJson() const {
+MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = hist->bounds();
+    h.counts = hist->counts();
+    h.count = hist->count();
+    h.sum = hist->sum();
+    h.min = hist->min();
+    h.max = hist->max();
+    h.p50 = hist->Quantile(0.50);
+    h.p95 = hist->Quantile(0.95);
+    h.p99 = hist->Quantile(0.99);
+    snap.histograms.emplace_back(name, std::move(h));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  const MetricsSnapshot snap = Snapshot();
   std::string out = "{\n  \"counters\": {";
   bool first = true;
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, value] : snap.counters) {
     out.append(first ? "\n    " : ",\n    ");
     first = false;
     AppendJsonString(name, &out);
     out.append(": ");
-    AppendJsonNumber(static_cast<double>(counter->value()), &out);
+    AppendJsonNumber(static_cast<double>(value), &out);
   }
   out.append(first ? "},\n" : "\n  },\n");
   out.append("  \"gauges\": {");
   first = true;
-  for (const auto& [name, gauge] : gauges_) {
+  for (const auto& [name, value] : snap.gauges) {
     out.append(first ? "\n    " : ",\n    ");
     first = false;
     AppendJsonString(name, &out);
     out.append(": ");
-    AppendJsonNumber(gauge->value(), &out);
+    AppendJsonNumber(value, &out);
   }
   out.append(first ? "},\n" : "\n  },\n");
   out.append("  \"histograms\": {");
   first = true;
-  for (const auto& [name, hist] : histograms_) {
+  for (const auto& [name, h] : snap.histograms) {
     out.append(first ? "\n    " : ",\n    ");
     first = false;
     AppendJsonString(name, &out);
     out.append(": {\"bounds\": [");
-    const std::vector<double>& bounds = hist->bounds();
-    for (size_t i = 0; i < bounds.size(); ++i) {
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
       if (i > 0) out.append(", ");
-      AppendJsonNumber(bounds[i], &out);
+      AppendJsonNumber(h.bounds[i], &out);
     }
     out.append("], \"counts\": [");
-    std::vector<int64_t> counts = hist->counts();
-    for (size_t i = 0; i < counts.size(); ++i) {
+    for (size_t i = 0; i < h.counts.size(); ++i) {
       if (i > 0) out.append(", ");
-      AppendJsonNumber(static_cast<double>(counts[i]), &out);
+      AppendJsonNumber(static_cast<double>(h.counts[i]), &out);
     }
     out.append("], \"count\": ");
-    AppendJsonNumber(static_cast<double>(hist->count()), &out);
+    AppendJsonNumber(static_cast<double>(h.count), &out);
     out.append(", \"sum\": ");
-    AppendJsonNumber(hist->sum(), &out);
+    AppendJsonNumber(h.sum, &out);
     out.append(", \"min\": ");
-    AppendJsonNumber(hist->min(), &out);
+    AppendJsonNumber(h.min, &out);
     out.append(", \"max\": ");
-    AppendJsonNumber(hist->max(), &out);
+    AppendJsonNumber(h.max, &out);
     out.append(", \"p50\": ");
-    AppendJsonNumber(hist->Quantile(0.50), &out);
+    AppendJsonNumber(h.p50, &out);
     out.append(", \"p95\": ");
-    AppendJsonNumber(hist->Quantile(0.95), &out);
+    AppendJsonNumber(h.p95, &out);
     out.append(", \"p99\": ");
-    AppendJsonNumber(hist->Quantile(0.99), &out);
+    AppendJsonNumber(h.p99, &out);
     out.append("}");
   }
   out.append(first ? "}\n}\n" : "\n  }\n}\n");

@@ -72,6 +72,29 @@ class HistogramMetric {
   double max_ = 0.0;
 };
 
+/// Point-in-time copy of one histogram's state (see MetricsSnapshot).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;  // bounds.size() + 1 entries (overflow last)
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Structured point-in-time copy of every metric in a registry, sorted by
+/// name within each section. This is what the JSON snapshot, the
+/// OpenMetrics renderer, and the telemetry sampler all consume — one
+/// locked walk of the registry, many renderings.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
 /// Named registry of counters, gauges, and histograms. Get* registers on
 /// first use and returns a stable reference (metrics are never removed, so
 /// references stay valid for the registry's lifetime). Snapshot* renders
@@ -107,6 +130,13 @@ class MetricsRegistry {
   double GaugeValue(const std::string& name) const;
   /// True if a counter with this exact name exists.
   bool HasCounter(const std::string& name) const;
+
+  /// Structured copy of every metric. Values are read with relaxed loads
+  /// while other threads may be incrementing, so a snapshot is a
+  /// consistent-enough point-in-time view: every counter is some value it
+  /// actually held, and counters never appear to run backwards across
+  /// successive snapshots.
+  MetricsSnapshot Snapshot() const;
 
   /// All metrics as a JSON object (sorted by name within each section).
   std::string SnapshotJson() const;

@@ -130,14 +130,12 @@ ProfileScope::ProfileScope(const char* name) {
   state_ = profiler.StateForThisThread();
   prev_current_ = state_->current.exchange(&section_->name(),
                                            std::memory_order_acq_rel);
-  start_ = std::chrono::steady_clock::now();
+  start_ns_ = MonotonicNowNs();
 }
 
 ProfileScope::~ProfileScope() {
   if (section_ == nullptr) return;
-  section_->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                       std::chrono::steady_clock::now() - start_)
-                       .count());
+  section_->Record(MonotonicNowNs() - start_ns_);
   tls_path.resize(prev_path_size_);
   state_->current.store(prev_current_, std::memory_order_release);
 }

@@ -2,7 +2,6 @@
 #define NMINE_OBS_PROFILER_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -10,6 +9,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "nmine/obs/clock.h"
 
 namespace nmine {
 namespace obs {
@@ -146,7 +147,10 @@ class ProfileScope {
   Profiler::ThreadState* state_ = nullptr;
   const std::string* prev_current_ = nullptr;
   size_t prev_path_size_ = 0;
-  std::chrono::steady_clock::time_point start_;
+  /// Start time on the shared monotonic clock (obs/clock.h) — the same
+  /// base the tracer, telemetry sampler, and flight recorder stamp with,
+  /// so profile totals reconcile with span and telemetry timestamps.
+  int64_t start_ns_ = 0;
 };
 
 /// Flat timer for per-record hot loops: the section is resolved once by
@@ -155,21 +159,19 @@ class ProfileScope {
 class SectionTimer {
  public:
   explicit SectionTimer(Profiler::Section* section) : section_(section) {
-    if (section_ != nullptr) start_ = std::chrono::steady_clock::now();
+    if (section_ != nullptr) start_ns_ = MonotonicNowNs();
   }
   SectionTimer(const SectionTimer&) = delete;
   SectionTimer& operator=(const SectionTimer&) = delete;
   ~SectionTimer() {
     if (section_ != nullptr) {
-      section_->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           std::chrono::steady_clock::now() - start_)
-                           .count());
+      section_->Record(MonotonicNowNs() - start_ns_);
     }
   }
 
  private:
   Profiler::Section* section_;
-  std::chrono::steady_clock::time_point start_;
+  int64_t start_ns_ = 0;
 };
 
 /// Resolves a flat section for SectionTimer, or nullptr while disabled.

@@ -1,22 +1,14 @@
 #include "nmine/obs/trace.h"
 
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 
+#include "nmine/obs/clock.h"
+#include "nmine/obs/flight_recorder.h"
 #include "nmine/obs/json_util.h"
 
 namespace nmine {
 namespace obs {
-namespace {
-
-int64_t MonotonicNowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();
@@ -26,7 +18,11 @@ Tracer& Tracer::Global() {
 void Tracer::Start() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
-  epoch_ns_ = MonotonicNowNs();
+  // All trace timestamps sit on the shared process clock base
+  // (obs/clock.h), the same one the telemetry sampler and the flight
+  // recorder stamp with — so spans, telemetry rows, and flight events
+  // correlate directly, whenever tracing was started.
+  epoch_ns_ = ProcessEpochNs();
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -90,6 +86,15 @@ bool Tracer::WriteJsonFile(const std::string& path) const {
 }
 
 TraceSpan::TraceSpan(const char* name, const char* category) {
+  // The flight recorder shadows the coarse span structure even when the
+  // tracer is off: span enter/exit events are exactly the breadcrumbs a
+  // crash dump needs, and TraceSpans only mark phase/level/scan-grain
+  // moments (never per-record loops), so the ring sees a modest rate.
+  FlightRecorder& recorder = FlightRecorder::Global();
+  if (recorder.enabled()) {
+    recorder.Record(FlightEventType::kSpanEnter, name);
+    fr_name_ = name;
+  }
   Tracer& tracer = Tracer::Global();
   if (!tracer.enabled()) return;
   armed_ = true;
@@ -99,6 +104,12 @@ TraceSpan::TraceSpan(const char* name, const char* category) {
 }
 
 TraceSpan::~TraceSpan() {
+  if (fr_name_ != nullptr) {
+    FlightRecorder::Global().Record(FlightEventType::kSpanExit, fr_name_,
+                                    armed_ ? Tracer::Global().NowUs() -
+                                                 event_.ts_us
+                                           : 0);
+  }
   if (!armed_) return;
   Tracer& tracer = Tracer::Global();
   event_.dur_us = tracer.NowUs() - event_.ts_us;

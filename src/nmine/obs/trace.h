@@ -90,6 +90,9 @@ class TraceSpan {
 
  private:
   bool armed_ = false;
+  /// Non-null when the flight recorder logged our enter event and expects
+  /// the matching exit (independent of the tracer being enabled).
+  const char* fr_name_ = nullptr;
   TraceEvent event_;
 };
 

@@ -2,8 +2,10 @@
 
 #include <limits>
 
+#include "nmine/obs/flight_recorder.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
+#include "nmine/runtime/run_status.h"
 
 namespace nmine {
 namespace runtime {
@@ -11,6 +13,11 @@ namespace runtime {
 size_t ResourceGovernor::RemainingBytes() const {
   if (budget_ == 0) return std::numeric_limits<size_t>::max();
   return charged_ >= budget_ ? 0 : budget_ - charged_;
+}
+
+void ResourceGovernor::Publish() const {
+  RunStatusBoard::Global().PublishGovernor(budget_, charged_,
+                                           degradation_steps_);
 }
 
 Status ResourceGovernor::Charge(const char* what, size_t bytes) {
@@ -24,16 +31,21 @@ Status ResourceGovernor::Charge(const char* what, size_t bytes) {
         .Num("requested_bytes", bytes)
         .Num("charged_bytes", charged_)
         .Num("budget_bytes", budget_);
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kGovernorStep, "governor.exhausted",
+        static_cast<int64_t>(bytes), static_cast<int64_t>(RemainingBytes()));
     return Status::ResourceExhausted(
         std::string("memory budget exhausted charging ") + what);
   }
   charged_ += bytes;
+  Publish();
   return Status::Ok();
 }
 
 void ResourceGovernor::Release(size_t bytes) {
   if (budget_ == 0) return;
   charged_ = bytes >= charged_ ? 0 : charged_ - bytes;
+  Publish();
 }
 
 size_t ResourceGovernor::AdmitSample(size_t available, size_t sample_bytes,
@@ -44,6 +56,7 @@ size_t ResourceGovernor::AdmitSample(size_t available, size_t sample_bytes,
   const size_t remaining = RemainingBytes();
   if (sample_bytes <= remaining) {
     charged_ += sample_bytes;
+    Publish();
     return available;
   }
   // Shrink pro-rata against HALF the remaining budget: the other half
@@ -63,11 +76,17 @@ size_t ResourceGovernor::AdmitSample(size_t available, size_t sample_bytes,
         .Num("min_keep", min_keep)
         .Num("sample_bytes", sample_bytes)
         .Num("remaining_bytes", remaining);
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kGovernorStep, "governor.sample_exhausted",
+        static_cast<int64_t>(available), static_cast<int64_t>(min_keep));
     return 0;
   }
   ++degradation_steps_;
   obs::MetricsRegistry::Global().GetCounter("governor.sample_shrinks")
       .Increment();
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kGovernorStep, "governor.sample_shrink",
+      static_cast<int64_t>(available), static_cast<int64_t>(keep));
   NMINE_LOG(kWarn, "governor")
       .Msg("degrading: shrinking in-memory sample to fit memory budget")
       .Num("available", available)
@@ -75,6 +94,7 @@ size_t ResourceGovernor::AdmitSample(size_t available, size_t sample_bytes,
       .Num("sample_bytes", sample_bytes)
       .Num("remaining_bytes", remaining);
   charged_ += keep * per_record;
+  Publish();
   return keep;
 }
 
@@ -91,11 +111,15 @@ size_t ResourceGovernor::AdmitBatch(size_t want, size_t bytes_per_counter) {
         .Msg("memory budget cannot hold a single counter")
         .Num("bytes_per_counter", bytes_per_counter)
         .Num("remaining_bytes", remaining);
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kGovernorStep, "governor.batch_exhausted",
+        static_cast<int64_t>(want), static_cast<int64_t>(remaining));
     return 0;
   }
   if (!batch_shrink_logged_) {
     batch_shrink_logged_ = true;
     ++degradation_steps_;
+    Publish();
     NMINE_LOG(kWarn, "governor")
         .Msg("degrading: shrinking counter batches to fit memory budget")
         .Num("requested", want)
@@ -105,6 +129,9 @@ size_t ResourceGovernor::AdmitBatch(size_t want, size_t bytes_per_counter) {
   }
   obs::MetricsRegistry::Global().GetCounter("governor.probe_batch_shrinks")
       .Increment();
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kGovernorStep, "governor.batch_shrink",
+      static_cast<int64_t>(want), static_cast<int64_t>(fit));
   return fit;
 }
 

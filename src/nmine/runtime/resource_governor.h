@@ -76,6 +76,10 @@ class ResourceGovernor {
   int degradation_steps() const { return degradation_steps_; }
 
  private:
+  /// Mirrors the ladder state onto the process-wide RunStatusBoard so
+  /// /statusz reports it live.
+  void Publish() const;
+
   size_t budget_ = 0;
   size_t charged_ = 0;
   int degradation_steps_ = 0;

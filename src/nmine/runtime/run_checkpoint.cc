@@ -5,7 +5,9 @@
 #include <sstream>
 #include <utility>
 
+#include "nmine/obs/flight_recorder.h"
 #include "nmine/runtime/checkpoint_io.h"
+#include "nmine/runtime/run_status.h"
 
 namespace nmine {
 namespace runtime {
@@ -137,7 +139,15 @@ Status WriteRunCheckpoint(const std::string& path, const RunCheckpoint& cp) {
   // Trailer marker: a file cut short anywhere (torn write, truncated copy)
   // is detected even when the cut lands on a section boundary.
   out.append("end\n");
-  return AtomicWriteFile(path, out);
+  Status status = AtomicWriteFile(path, out);
+  if (status.ok()) {
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kCheckpoint, ToString(cp.stage),
+        static_cast<int64_t>(cp.scans_completed),
+        static_cast<int64_t>(cp.resolved_frequent.size()));
+    RunStatusBoard::Global().NoteCheckpointFlush();
+  }
+  return status;
 }
 
 Status LoadRunCheckpoint(const std::string& path,

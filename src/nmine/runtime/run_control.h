@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "nmine/core/status.h"
+#include "nmine/obs/flight_recorder.h"
 
 namespace nmine {
 namespace runtime {
@@ -30,8 +31,14 @@ class RunControl {
   RunControl& operator=(const RunControl&) = delete;
 
   /// Requests cooperative cancellation. Async-signal-safe; idempotent.
+  /// The first request (only) is logged to the flight recorder, which is
+  /// itself signal-safe, so a crash dump shows when the stop was asked
+  /// for relative to the last spans and governor steps.
   void RequestCancel() {
-    cancelled_.store(true, std::memory_order_relaxed);
+    if (!cancelled_.exchange(true, std::memory_order_relaxed)) {
+      obs::FlightRecorder::Global().Record(obs::FlightEventType::kCancel,
+                                           "run_control.cancel");
+    }
   }
 
   bool cancel_requested() const {

@@ -1,0 +1,145 @@
+#include "nmine/runtime/run_status.h"
+
+#include <cmath>
+
+#include "nmine/obs/clock.h"
+#include "nmine/obs/flight_recorder.h"
+#include "nmine/obs/json_util.h"
+#include "nmine/obs/metrics.h"
+#include "nmine/obs/profiler.h"
+
+namespace nmine {
+namespace runtime {
+namespace {
+
+/// The counters /statusz surfaces as run progress; each maps to a paper
+/// quantity (see DESIGN.md section 13).
+constexpr const char* kProgressCounters[] = {
+    "db.scans.started",       "db.sequences_scanned", "db.scan.retries",
+    "phase2.levels",          "phase2.candidates",    "phase2.frequent",
+    "phase2.ambiguous",       "phase3.scans",         "phase3.probed",
+    "phase3.scan_retries",    "phase3.checkpoints",   "runtime.checkpoints",
+    "governor.probe_batch_shrinks", "governor.sample_shrinks",
+};
+
+}  // namespace
+
+RunStatusBoard& RunStatusBoard::Global() {
+  static RunStatusBoard* board = new RunStatusBoard();
+  return *board;
+}
+
+void RunStatusBoard::BeginRun(const char* command, const char* algorithm) {
+  command_.store(command, std::memory_order_release);
+  algorithm_.store(algorithm, std::memory_order_release);
+  run_start_us_.store(obs::SinceEpochUs(), std::memory_order_release);
+}
+
+void RunStatusBoard::NoteCheckpointFlush() {
+  checkpoint_flush_us_.store(obs::SinceEpochUs(), std::memory_order_release);
+}
+
+void RunStatusBoard::PublishGovernor(uint64_t budget_bytes,
+                                     uint64_t charged_bytes,
+                                     int64_t degradation_steps) {
+  governor_budget_.store(budget_bytes, std::memory_order_relaxed);
+  governor_charged_.store(charged_bytes, std::memory_order_relaxed);
+  governor_steps_.store(degradation_steps, std::memory_order_relaxed);
+}
+
+int64_t RunStatusBoard::uptime_us() const {
+  int64_t start = run_start_us_.load(std::memory_order_acquire);
+  return start == 0 ? 0 : obs::SinceEpochUs() - start;
+}
+
+int64_t RunStatusBoard::checkpoint_age_us() const {
+  int64_t at = checkpoint_flush_us_.load(std::memory_order_acquire);
+  return at < 0 ? -1 : obs::SinceEpochUs() - at;
+}
+
+std::string RunStatusBoard::StatusJson() const {
+  std::string out = "{\"schema\": \"nmine.statusz.v1\", \"command\": ";
+  const char* cmd = command();
+  const char* algo = algorithm();
+  const char* ph = phase();
+  obs::AppendJsonString(cmd == nullptr ? "idle" : cmd, &out);
+  out.append(", \"algorithm\": ");
+  obs::AppendJsonString(algo == nullptr ? "" : algo, &out);
+  out.append(", \"phase\": ");
+  if (ph != nullptr) {
+    obs::AppendJsonString(ph, &out);
+  } else {
+    // Fall back to the profiler's live section path when the miner has
+    // not published a phase (e.g. profiling-only runs).
+    std::string section = obs::Profiler::Global().CurrentSection();
+    obs::AppendJsonString(section.empty() ? "idle" : section, &out);
+  }
+  out.append(", \"uptime_s\": ");
+  obs::AppendJsonNumber(static_cast<double>(uptime_us()) / 1e6, &out);
+
+  const RunControl* run = run_control();
+  out.append(", \"cancel_requested\": ");
+  out.append(run != nullptr && run->cancel_requested() ? "true" : "false");
+  out.append(", \"deadline_remaining_s\": ");
+  if (run != nullptr && run->has_deadline()) {
+    double remaining = run->RemainingSeconds();
+    obs::AppendJsonNumber(std::isfinite(remaining) ? remaining : 0.0, &out);
+  } else {
+    out.append("null");
+  }
+
+  out.append(", \"checkpoint_age_s\": ");
+  int64_t age_us = checkpoint_age_us();
+  if (age_us < 0) {
+    out.append("null");
+  } else {
+    obs::AppendJsonNumber(static_cast<double>(age_us) / 1e6, &out);
+  }
+
+  out.append(", \"governor\": {\"budget_bytes\": ");
+  obs::AppendJsonNumber(static_cast<double>(governor_budget_bytes()), &out);
+  out.append(", \"charged_bytes\": ");
+  obs::AppendJsonNumber(static_cast<double>(governor_charged_bytes()), &out);
+  out.append(", \"degradation_steps\": ");
+  obs::AppendJsonNumber(static_cast<double>(governor_degradation_steps()),
+                        &out);
+  out.append("}");
+
+  out.append(", \"progress\": {");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  bool first = true;
+  for (const char* name : kProgressCounters) {
+    if (!first) out.append(", ");
+    first = false;
+    obs::AppendJsonString(name, &out);
+    out.append(": ");
+    obs::AppendJsonNumber(static_cast<double>(reg.CounterValue(name)), &out);
+  }
+  out.append("}}\n");
+  return out;
+}
+
+void PublishPhase(const char* phase) {
+  RunStatusBoard::Global().SetPhase(phase);
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kPhase, phase);
+}
+
+void PublishProgress(const char* what, int64_t a, int64_t b) {
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kProgress, what,
+                                       a, b);
+}
+
+void RunStatusBoard::Reset() {
+  command_.store(nullptr, std::memory_order_relaxed);
+  algorithm_.store(nullptr, std::memory_order_relaxed);
+  phase_.store(nullptr, std::memory_order_relaxed);
+  run_control_.store(nullptr, std::memory_order_relaxed);
+  run_start_us_.store(0, std::memory_order_relaxed);
+  checkpoint_flush_us_.store(-1, std::memory_order_relaxed);
+  governor_budget_.store(0, std::memory_order_relaxed);
+  governor_charged_.store(0, std::memory_order_relaxed);
+  governor_steps_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace runtime
+}  // namespace nmine

@@ -1,0 +1,117 @@
+#ifndef NMINE_RUNTIME_RUN_STATUS_H_
+#define NMINE_RUNTIME_RUN_STATUS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "nmine/runtime/run_control.h"
+
+namespace nmine {
+namespace runtime {
+
+/// Process-wide, lock-free notice board the live-introspection surface
+/// (/statusz, the telemetry sampler) reads while a run is in flight.
+/// Producers — the CLI driver, the miners at phase boundaries, the
+/// resource governor, the checkpoint writer — publish with single relaxed
+/// stores, so publishing costs nothing measurable and is safe from any
+/// thread. Readers get a point-in-time view that is never torn below the
+/// field level.
+///
+/// Strings are const char* to static storage (string literals at the call
+/// sites): a reader can dereference whatever pointer it loads at any
+/// time, even mid-update.
+class RunStatusBoard {
+ public:
+  static RunStatusBoard& Global();
+
+  RunStatusBoard() = default;
+  RunStatusBoard(const RunStatusBoard&) = delete;
+  RunStatusBoard& operator=(const RunStatusBoard&) = delete;
+
+  /// --- Driver-side setup (CLI) ---
+
+  /// Marks the run as started now; `command` and `algorithm` must point
+  /// to static storage.
+  void BeginRun(const char* command, const char* algorithm);
+  void SetRunControl(const RunControl* run) {
+    run_control_.store(run, std::memory_order_release);
+  }
+
+  /// --- Miner-side publishing ---
+
+  /// `phase` must point to static storage ("phase1", "phase2", ...).
+  void SetPhase(const char* phase) {
+    phase_.store(phase, std::memory_order_release);
+  }
+
+  /// Stamps the time of a successful checkpoint flush.
+  void NoteCheckpointFlush();
+
+  /// Governor ladder state, published by ResourceGovernor on every
+  /// change.
+  void PublishGovernor(uint64_t budget_bytes, uint64_t charged_bytes,
+                       int64_t degradation_steps);
+
+  /// --- Reader side (/statusz) ---
+
+  const char* command() const {
+    return command_.load(std::memory_order_acquire);
+  }
+  const char* algorithm() const {
+    return algorithm_.load(std::memory_order_acquire);
+  }
+  const char* phase() const { return phase_.load(std::memory_order_acquire); }
+  const RunControl* run_control() const {
+    return run_control_.load(std::memory_order_acquire);
+  }
+  /// Microseconds since BeginRun (0 when no run started).
+  int64_t uptime_us() const;
+  /// Microseconds since the last checkpoint flush; -1 when none yet.
+  int64_t checkpoint_age_us() const;
+  uint64_t governor_budget_bytes() const {
+    return governor_budget_.load(std::memory_order_relaxed);
+  }
+  uint64_t governor_charged_bytes() const {
+    return governor_charged_.load(std::memory_order_relaxed);
+  }
+  int64_t governor_degradation_steps() const {
+    return governor_steps_.load(std::memory_order_relaxed);
+  }
+
+  /// The whole board as a JSON object — the /statusz payload body
+  /// ({"schema": "nmine.statusz.v1", "command": ..., "phase": ...,
+  ///   "uptime_s": ..., "deadline_remaining_s": ..., "cancel_requested":
+  ///   ..., "governor": {...}, "checkpoint_age_s": ..., "progress":
+  ///   {...}}). Progress counters are read from the global metrics
+  ///   registry.
+  std::string StatusJson() const;
+
+  /// Clears everything (tests).
+  void Reset();
+
+ private:
+  std::atomic<const char*> command_{nullptr};
+  std::atomic<const char*> algorithm_{nullptr};
+  std::atomic<const char*> phase_{nullptr};
+  std::atomic<const RunControl*> run_control_{nullptr};
+  std::atomic<int64_t> run_start_us_{0};
+  std::atomic<int64_t> checkpoint_flush_us_{-1};
+  std::atomic<uint64_t> governor_budget_{0};
+  std::atomic<uint64_t> governor_charged_{0};
+  std::atomic<int64_t> governor_steps_{0};
+};
+
+/// Publishes a phase transition on the global board AND records it in the
+/// flight recorder, so /statusz and crash dumps agree on where the run
+/// was. `phase` must point to static storage (string literals).
+void PublishPhase(const char* phase);
+
+/// Same, with a progress event instead of a phase change: records a
+/// kProgress flight event (a/b are event-specific quantities, e.g.
+/// level/candidates or remaining/scans).
+void PublishProgress(const char* what, int64_t a, int64_t b);
+
+}  // namespace runtime
+}  // namespace nmine
+
+#endif  // NMINE_RUNTIME_RUN_STATUS_H_

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "bench/harness.h"
 
@@ -118,12 +119,18 @@ TEST_F(CompareFilesTest, DirectoryModeMatchesByFileNameAndReportsMissing) {
 }
 
 TEST_F(CompareFilesTest, ReadsSchemaV1FilesWithoutStats) {
+  // Two v1 files (no "stats" object, no "schema_version"): the loader
+  // falls back to median = "seconds", mad = 0, and the pair compares.
   std::string old_file = old_dir_ + "/BENCH_v1.json";
+  std::string new_file = new_dir_ + "/BENCH_v1.json";
   {
     std::ofstream f(old_file);
     f << "{\"bench\": \"v1\", \"seconds\": 2.0, \"metrics\": {}}\n";
   }
-  std::string new_file = WriteSnapshot(new_dir_, "v1", {3.0, 3.0, 3.0});
+  {
+    std::ofstream f(new_file);
+    f << "{\"bench\": \"v1\", \"seconds\": 3.0, \"metrics\": {}}\n";
+  }
 
   CompareReport report;
   std::string error;
@@ -136,14 +143,90 @@ TEST_F(CompareFilesTest, ReadsSchemaV1FilesWithoutStats) {
   EXPECT_TRUE(report.entries[0].regression);  // 2.0 -> 3.0, zero MAD
 }
 
-TEST_F(CompareFilesTest, UnreadableFileIsAnError) {
+TEST_F(CompareFilesTest, SchemaMismatchIsAPerScenarioError) {
+  // v1 baseline against a v2 run: no trustworthy verdict (v1 carries no
+  // spread estimate), so the pair lands in errors, not entries.
+  std::string old_file = old_dir_ + "/BENCH_m.json";
+  {
+    std::ofstream f(old_file);
+    f << "{\"bench\": \"m\", \"seconds\": 2.0}\n";
+  }
+  std::string new_file = WriteSnapshot(new_dir_, "m", {2.0, 2.0, 2.0});
+
+  CompareReport report;
+  std::string error;
+  ASSERT_TRUE(CompareFilesOrDirs(old_file, new_file,
+                                 kDefaultRegressionThreshold, &report,
+                                 &error))
+      << error;
+  EXPECT_TRUE(report.entries.empty());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].find("schema mismatch"), std::string::npos);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(CompareFilesTest, UnsupportedSchemaVersionFailsTheLoad) {
+  std::string file = old_dir_ + "/BENCH_future.json";
+  {
+    std::ofstream f(file);
+    f << "{\"schema_version\": 99, \"bench\": \"future\", "
+         "\"stats\": {\"median\": 1.0, \"mad\": 0.0}}\n";
+  }
+  SnapshotStats stats;
+  std::string error;
+  EXPECT_FALSE(LoadSnapshot(file, &stats, &error));
+  EXPECT_NE(error.find("unsupported schema_version 99"), std::string::npos);
+}
+
+TEST_F(CompareFilesTest, MissingBaselineIsAPerScenarioError) {
+  WriteSnapshot(old_dir_, "a", {1.0, 1.0, 1.0});
+  WriteSnapshot(new_dir_, "a", {1.0, 1.0, 1.0});
+  WriteSnapshot(new_dir_, "fresh", {2.0});
+
+  CompareReport report;
+  std::string error;
+  ASSERT_TRUE(CompareFilesOrDirs(old_dir_, new_dir_,
+                                 kDefaultRegressionThreshold, &report,
+                                 &error))
+      << error;
+  EXPECT_FALSE(report.has_regression);  // the matched pair is clean...
+  ASSERT_EQ(report.errors.size(), 1u);  // ...but the hole still fails it
+  EXPECT_NE(report.errors[0].find("no baseline"), std::string::npos);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(CompareFilesTest, MarkdownSummaryListsRowsAndFailures) {
+  WriteSnapshot(old_dir_, "a", {1.00, 1.01, 0.99});
+  WriteSnapshot(new_dir_, "a", {1.30, 1.31, 1.29});
+  WriteSnapshot(new_dir_, "fresh", {2.0});
+
+  CompareReport report;
+  std::string error;
+  ASSERT_TRUE(CompareFilesOrDirs(old_dir_, new_dir_,
+                                 kDefaultRegressionThreshold, &report,
+                                 &error))
+      << error;
+  std::ostringstream md;
+  PrintMarkdownSummary(report, kDefaultRegressionThreshold, md);
+  const std::string text = md.str();
+  EXPECT_NE(text.find("FAILED"), std::string::npos);
+  EXPECT_NE(text.find("| a |"), std::string::npos);
+  EXPECT_NE(text.find("regression"), std::string::npos);
+  EXPECT_NE(text.find("no baseline"), std::string::npos);
+}
+
+TEST_F(CompareFilesTest, UnreadableFileIsAPerScenarioError) {
   std::string new_file = WriteSnapshot(new_dir_, "x", {1.0});
   CompareReport report;
   std::string error;
-  EXPECT_FALSE(CompareFilesOrDirs(old_dir_ + "/BENCH_absent.json", new_file,
-                                  kDefaultRegressionThreshold, &report,
-                                  &error));
-  EXPECT_FALSE(error.empty());
+  ASSERT_TRUE(CompareFilesOrDirs(old_dir_ + "/BENCH_absent.json", new_file,
+                                 kDefaultRegressionThreshold, &report,
+                                 &error))
+      << error;
+  EXPECT_TRUE(report.entries.empty());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].find("cannot read"), std::string::npos);
+  EXPECT_FALSE(report.ok());
 }
 
 }  // namespace

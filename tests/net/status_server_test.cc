@@ -1,0 +1,197 @@
+#include "nmine/net/status_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "nmine/obs/json_parse.h"
+#include "nmine/obs/metrics.h"
+#include "nmine/runtime/run_status.h"
+
+namespace nmine {
+namespace net {
+namespace {
+
+struct HttpResult {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+/// Raw-socket GET against 127.0.0.1:port — the same thing the CI smoke
+/// drill does with curl, without depending on curl.
+std::optional<HttpResult> HttpGet(uint16_t port, const std::string& path,
+                                  const std::string& method = "GET") {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request =
+      method + " " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  size_t done = 0;
+  while (done < request.size()) {
+    ssize_t w = ::send(fd, request.data() + done, request.size() - done, 0);
+    if (w <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    done += static_cast<size_t>(w);
+  }
+  std::string raw;
+  char buf[4096];
+  ssize_t r;
+  while ((r = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+
+  HttpResult result;
+  size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return std::nullopt;
+  const std::string headers = raw.substr(0, header_end);
+  result.body = raw.substr(header_end + 4);
+  if (std::sscanf(headers.c_str(), "HTTP/1.0 %d", &result.status) != 1) {
+    return std::nullopt;
+  }
+  size_t ct = headers.find("Content-Type: ");
+  if (ct != std::string::npos) {
+    size_t eol = headers.find("\r\n", ct);
+    result.content_type = headers.substr(ct + 14, eol - ct - 14);
+  }
+  return result;
+}
+
+class StatusServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string error;
+    StatusServer::Options options;  // port 0: ephemeral
+    ASSERT_TRUE(server_.Start(options, &error)) << error;
+    ASSERT_NE(server_.port(), 0);
+  }
+  void TearDown() override { server_.Stop(); }
+
+  StatusServer server_;
+};
+
+TEST_F(StatusServerTest, HealthzReportsOk) {
+  std::optional<HttpResult> r = HttpGet(server_.port(), "/healthz");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 200);
+  std::optional<obs::JsonValue> doc = obs::ParseJson(r->body);
+  ASSERT_TRUE(doc.has_value()) << r->body;
+  const obs::JsonValue* status = doc->Get("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->string_value, "ok");
+  EXPECT_GE(doc->GetNumber("uptime_s", -1.0), 0.0);
+}
+
+TEST_F(StatusServerTest, StatuszServesTheRunBoard) {
+  runtime::RunStatusBoard::Global().BeginRun("mine", "collapse");
+  runtime::RunStatusBoard::Global().SetPhase("phase2");
+  std::optional<HttpResult> r = HttpGet(server_.port(), "/statusz");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 200);
+  std::optional<obs::JsonValue> doc = obs::ParseJson(r->body);
+  ASSERT_TRUE(doc.has_value()) << r->body;
+  const obs::JsonValue* schema = doc->Get("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string_value, "nmine.statusz.v1");
+  const obs::JsonValue* phase = doc->Get("phase");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->string_value, "phase2");
+  EXPECT_NE(doc->Get("governor"), nullptr);
+  runtime::RunStatusBoard::Global().Reset();
+}
+
+TEST_F(StatusServerTest, MetricszServesOpenMetricsText) {
+  obs::MetricsRegistry::Global().GetCounter("statusz.test.metric").Add(3);
+  std::optional<HttpResult> r = HttpGet(server_.port(), "/metricsz");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->content_type.find("openmetrics-text"), std::string::npos);
+  EXPECT_NE(r->body.find("nmine_statusz_test_metric_total"),
+            std::string::npos);
+  ASSERT_GE(r->body.size(), 6u);
+  EXPECT_EQ(r->body.substr(r->body.size() - 6), "# EOF\n");
+}
+
+TEST_F(StatusServerTest, ProfilezAndFlightzReturnJson) {
+  std::optional<HttpResult> profile = HttpGet(server_.port(), "/profilez");
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_EQ(profile->status, 200);
+  EXPECT_TRUE(obs::ParseJson(profile->body).has_value()) << profile->body;
+
+  std::optional<HttpResult> flight = HttpGet(server_.port(), "/flightz");
+  ASSERT_TRUE(flight.has_value());
+  EXPECT_EQ(flight->status, 200);
+  std::optional<obs::JsonValue> doc = obs::ParseJson(flight->body);
+  ASSERT_TRUE(doc.has_value()) << flight->body;
+  const obs::JsonValue* schema = doc->Get("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string_value, "nmine.flight.v1");
+}
+
+TEST_F(StatusServerTest, UnknownPathIs404AndNonGetIs405) {
+  std::optional<HttpResult> missing = HttpGet(server_.port(), "/nope");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+  EXPECT_TRUE(obs::ParseJson(missing->body).has_value());
+
+  std::optional<HttpResult> post = HttpGet(server_.port(), "/statusz", "POST");
+  ASSERT_TRUE(post.has_value());
+  EXPECT_EQ(post->status, 405);
+}
+
+TEST_F(StatusServerTest, CountsRequestsAndIgnoresQueryStrings) {
+  const uint64_t before = server_.requests_served();
+  std::optional<HttpResult> r = HttpGet(server_.port(), "/healthz?probe=1");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 200);  // query string stripped before dispatch
+  EXPECT_GT(server_.requests_served(), before);
+}
+
+TEST(StatusServerLifecycleTest, StopIsIdempotentAndRestartable) {
+  StatusServer server;
+  std::string error;
+  StatusServer::Options options;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  EXPECT_FALSE(server.Start(options, &error));  // already running
+  server.Stop();
+  server.Stop();  // second stop is a no-op
+  EXPECT_FALSE(server.running());
+
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  std::optional<HttpResult> r = HttpGet(server.port(), "/healthz");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 200);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(StatusServerLifecycleTest, RejectsBadBindAddress) {
+  StatusServer server;
+  std::string error;
+  StatusServer::Options options;
+  options.bind_address = "not-an-address";
+  EXPECT_FALSE(server.Start(options, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace nmine

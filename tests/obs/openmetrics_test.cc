@@ -1,0 +1,95 @@
+#include "nmine/obs/export/openmetrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "nmine/obs/metrics.h"
+
+namespace nmine {
+namespace obs {
+namespace {
+
+int64_t ParseValueOf(const std::string& text, const std::string& line_prefix) {
+  size_t pos = text.find(line_prefix);
+  EXPECT_NE(pos, std::string::npos) << "no line starting '" << line_prefix
+                                    << "' in:\n" << text;
+  if (pos == std::string::npos) return -1;
+  return std::stoll(text.substr(pos + line_prefix.size()));
+}
+
+TEST(OpenMetricsNameTest, SanitizesDotsAndPrefixes) {
+  EXPECT_EQ(OpenMetricsName("db.scan.retries"), "nmine_db_scan_retries");
+  EXPECT_EQ(OpenMetricsName("phase3.scans"), "nmine_phase3_scans");
+  EXPECT_EQ(OpenMetricsName("weird-name!x"), "nmine_weird_name_x");
+  EXPECT_EQ(OpenMetricsName("a:b_c9"), "nmine_a:b_c9");
+}
+
+TEST(OpenMetricsNameTest, EscapesLabelValues) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(OpenMetricsRenderTest, GoldenCounterGaugeHistogram) {
+  MetricsRegistry reg;
+  reg.GetCounter("phase3.scans").Add(12);
+  reg.GetGauge("phase1.sample_size").Set(400.0);
+  HistogramMetric& h = reg.GetHistogram("phase2.band_width", {1.0, 2.0});
+  h.Observe(0.5);   // bucket le=1
+  h.Observe(1.5);   // bucket le=2
+  h.Observe(1.5);   // bucket le=2
+  h.Observe(10.0);  // overflow
+
+  const std::string text = RenderOpenMetrics(reg.Snapshot());
+  EXPECT_EQ(text,
+            "# TYPE nmine_phase3_scans counter\n"
+            "nmine_phase3_scans_total 12\n"
+            "# TYPE nmine_phase1_sample_size gauge\n"
+            "nmine_phase1_sample_size 400\n"
+            "# TYPE nmine_phase2_band_width histogram\n"
+            "nmine_phase2_band_width_bucket{le=\"1\"} 1\n"
+            "nmine_phase2_band_width_bucket{le=\"2\"} 3\n"
+            "nmine_phase2_band_width_bucket{le=\"+Inf\"} 4\n"
+            "nmine_phase2_band_width_sum 13.5\n"
+            "nmine_phase2_band_width_count 4\n"
+            "# EOF\n");
+}
+
+TEST(OpenMetricsRenderTest, BucketsAreCumulativeAndInfMatchesCount) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.GetHistogram("x", {1.0, 2.0, 4.0});
+  for (double v : {0.5, 0.5, 1.5, 3.0, 3.0, 3.0, 100.0}) h.Observe(v);
+
+  const std::string text = RenderOpenMetrics(reg.Snapshot());
+  EXPECT_EQ(ParseValueOf(text, "nmine_x_bucket{le=\"1\"} "), 2);
+  EXPECT_EQ(ParseValueOf(text, "nmine_x_bucket{le=\"2\"} "), 3);
+  EXPECT_EQ(ParseValueOf(text, "nmine_x_bucket{le=\"4\"} "), 6);
+  EXPECT_EQ(ParseValueOf(text, "nmine_x_bucket{le=\"+Inf\"} "), 7);
+  EXPECT_EQ(ParseValueOf(text, "nmine_x_count "), 7);
+}
+
+TEST(OpenMetricsRenderTest, EndsWithEofMarkerEvenWhenEmpty) {
+  MetricsRegistry reg;
+  const std::string text = RenderOpenMetrics(reg.Snapshot());
+  EXPECT_EQ(text, "# EOF\n");
+}
+
+TEST(OpenMetricsRenderTest, CountersNeverRunBackwardsAcrossScrapes) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("scrape.me");
+  c.Add(5);
+  const int64_t first =
+      ParseValueOf(RenderOpenMetrics(reg.Snapshot()), "nmine_scrape_me_total ");
+  c.Add(3);
+  const int64_t second =
+      ParseValueOf(RenderOpenMetrics(reg.Snapshot()), "nmine_scrape_me_total ");
+  EXPECT_EQ(first, 5);
+  EXPECT_EQ(second, 8);
+  EXPECT_GE(second, first);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace nmine

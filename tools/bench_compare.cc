@@ -1,13 +1,17 @@
 // Diffs two BENCH_*.json snapshots (or two directories of them, matched
 // by file name) and fails when a bench got slower beyond noise: median
 // up by more than --threshold (default 15%) AND by more than 3x the
-// larger MAD of the two runs. Exit codes: 0 clean, 1 regression,
-// 2 usage/IO error.
+// larger MAD of the two runs. A new bench with no baseline, or a pair
+// whose snapshots carry mismatched/unsupported schema versions, is a
+// per-scenario failure (the rest still get diffed). Exit codes: 0 clean,
+// 1 regression or per-scenario failure, 2 usage/IO error.
 //
 //   bench_compare old.json new.json
 //   bench_compare --threshold=0.10 bench/baselines build/bench_out
+//   bench_compare --summary-out="$GITHUB_STEP_SUMMARY" old_dir new_dir
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,11 +20,14 @@
 
 int main(int argc, char** argv) {
   double threshold = nmine::bench::kDefaultRegressionThreshold;
+  std::string summary_out;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--threshold=", 0) == 0) {
       threshold = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--summary-out=", 0) == 0) {
+      summary_out = arg.substr(14);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -31,7 +38,7 @@ int main(int argc, char** argv) {
   if (paths.size() != 2 || threshold <= 0.0) {
     std::fprintf(stderr,
                  "usage: bench_compare [--threshold=FRACTION] "
-                 "<old.json|old_dir> <new.json|new_dir>\n");
+                 "[--summary-out=FILE] <old.json|old_dir> <new.json|new_dir>\n");
     return 2;
   }
 
@@ -43,6 +50,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   nmine::bench::PrintReport(report, std::cout);
+  if (!summary_out.empty()) {
+    // Append, not truncate: CI job summaries accumulate sections from
+    // several steps in the same file.
+    std::ofstream out(summary_out, std::ios::app);
+    if (!out) {
+      std::fprintf(stderr, "bench_compare: cannot open summary file '%s'\n",
+                   summary_out.c_str());
+      return 2;
+    }
+    nmine::bench::PrintMarkdownSummary(report, threshold, out);
+  }
+  if (!report.errors.empty()) {
+    std::printf("FAIL: %zu scenario(s) could not be compared\n",
+                report.errors.size());
+    return 1;
+  }
   if (report.has_regression) {
     std::printf("FAIL: at least one bench regressed beyond %.0f%% + noise\n",
                 threshold * 100.0);

@@ -34,6 +34,24 @@
 //                         current phase, scan counts, and elapsed time;
 //                         forces info-level stderr logging if logging is off
 //
+// Live introspection (see README "Observability" and DESIGN.md section 13):
+//   --statusz-port PORT   serve /healthz /statusz /metricsz /profilez
+//                         /flightz over HTTP on 127.0.0.1:PORT (0 picks an
+//                         ephemeral port; the bound port is printed to
+//                         stderr)
+//   --telemetry-out FILE  append a JSON-lines time series of metric
+//                         snapshots, deltas, and rates (one row per
+//                         --telemetry-interval; a final row is flushed on
+//                         every exit, including SIGINT/SIGTERM/--deadline)
+//   --telemetry-interval S  seconds between telemetry rows (default 1)
+//   --openmetrics-out FILE  rewrite FILE with the OpenMetrics/Prometheus
+//                         text rendering on every telemetry sample
+//                         (default: <telemetry-out>.prom)
+//   --flight-recorder FILE  keep a lock-free in-memory ring of the last
+//                         1024 structured events (spans, phases, governor
+//                         steps, retries, checkpoints) and dump it to FILE
+//                         on SIGSEGV/SIGABRT and on exit codes 2/3
+//
 // Fault-tolerance flags for `mine` (drills and recovery; see README
 // "Robustness"):
 //   --scan-retries N        retries per failed scan (default 2; 0 disables)
@@ -64,6 +82,9 @@
 // an exhausted memory budget), 3 when the run was cancelled (signal) or
 // hit its --deadline — state is checkpointed when --run-checkpoint (or
 // --phase3-checkpoint) is set, so a rerun resumes where it stopped.
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <csignal>
 #include <condition_variable>
@@ -98,11 +119,15 @@
 #include "nmine/mining/levelwise_miner.h"
 #include "nmine/mining/max_miner.h"
 #include "nmine/mining/toivonen_miner.h"
+#include "nmine/net/status_server.h"
+#include "nmine/obs/export/telemetry_sampler.h"
+#include "nmine/obs/flight_recorder.h"
 #include "nmine/obs/logger.h"
 #include "nmine/obs/metrics.h"
 #include "nmine/obs/profiler.h"
 #include "nmine/obs/trace.h"
 #include "nmine/runtime/run_control.h"
+#include "nmine/runtime/run_status.h"
 
 namespace nmine {
 namespace {
@@ -113,6 +138,26 @@ runtime::RunControl g_run_control;
 
 extern "C" void HandleStopSignal(int /*signum*/) {
   g_run_control.RequestCancel();
+}
+
+// Crash-dump path for the SIGSEGV/SIGABRT handlers. Written once during
+// flag parsing (before any handler can fire) into static storage, so the
+// handler never touches std::string.
+char g_flight_crash_path[4096] = {0};
+
+extern "C" void HandleCrashSignal(int signum) {
+  // Async-signal-safe path only: open(2) + FlightRecorder::DumpToFd
+  // (atomics, write(2), stack-local formatting) + re-raise with the
+  // default disposition so the process still dies with the right status.
+  if (g_flight_crash_path[0] != '\0') {
+    int fd = ::open(g_flight_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      nmine::obs::FlightRecorder::Global().DumpToFd(fd);
+      ::close(fd);
+    }
+  }
+  std::signal(signum, SIG_DFL);
+  ::raise(signum);
 }
 
 /// Minimal --flag value parser: flags may appear in any order after the
@@ -236,10 +281,107 @@ class ObsSession {
       }
       StartHeartbeat(interval_s);
     }
+
+    // --- Live introspection: flight recorder, telemetry, statusz. ---
+    flight_dump_path_ = flags.Get("flight-recorder", "");
+    const bool want_statusz = flags.Has("statusz-port");
+    const std::string telemetry_out = flags.Get("telemetry-out", "");
+    if (!flight_dump_path_.empty() || want_statusz || !telemetry_out.empty()) {
+      // The ring is cheap (one fetch_add + bounded copy per event), so any
+      // introspection surface turns it on; /flightz and crash dumps then
+      // always have a recent-event tail to show.
+      obs::FlightRecorder::Global().Enable();
+    }
+    if (!flight_dump_path_.empty()) {
+      if (flight_dump_path_.size() >= sizeof(g_flight_crash_path)) {
+        std::fprintf(stderr, "--flight-recorder path too long\n");
+        return;
+      }
+      std::memcpy(g_flight_crash_path, flight_dump_path_.c_str(),
+                  flight_dump_path_.size() + 1);
+      std::signal(SIGSEGV, HandleCrashSignal);
+      std::signal(SIGABRT, HandleCrashSignal);
+      std::signal(SIGBUS, HandleCrashSignal);
+    }
+    if (!telemetry_out.empty()) {
+      double interval_s = flags.GetDouble("telemetry-interval", 1.0);
+      if (interval_s <= 0.0) {
+        std::fprintf(stderr,
+                     "bad --telemetry-interval '%s' (want seconds > 0)\n",
+                     flags.Get("telemetry-interval", "").c_str());
+        return;
+      }
+      obs::TelemetrySampler::Options sampler_options;
+      sampler_options.jsonl_path = telemetry_out;
+      sampler_options.openmetrics_path =
+          flags.Get("openmetrics-out", telemetry_out + ".prom");
+      sampler_options.interval_s = interval_s;
+      sampler_ = std::make_unique<obs::TelemetrySampler>();
+      if (!sampler_->Start(sampler_options)) {
+        std::fprintf(stderr, "cannot open --telemetry-out file '%s'\n",
+                     telemetry_out.c_str());
+        return;
+      }
+    }
+    if (want_statusz) {
+      long long port = flags.GetInt("statusz-port", 0);
+      if (port < 0 || port > 65535) {
+        std::fprintf(stderr, "bad --statusz-port '%lld' (want 0..65535)\n",
+                     port);
+        return;
+      }
+      net::StatusServer::Options server_options;
+      server_options.port = static_cast<uint16_t>(port);
+      server_ = std::make_unique<net::StatusServer>();
+      std::string error;
+      if (!server_->Start(server_options, &error)) {
+        std::fprintf(stderr, "cannot start --statusz-port server: %s\n",
+                     error.c_str());
+        return;
+      }
+      // Printed unconditionally so scripts (and the CI drill) can pick up
+      // an ephemeral port without enabling logging.
+      std::fprintf(stderr, "statusz: listening on http://127.0.0.1:%u\n",
+                   server_->port());
+    }
     ok_ = true;
   }
 
+  /// Flushes the exit-time introspection artifacts and passes `code`
+  /// through: a final telemetry row tagged with how the run ended, and a
+  /// flight-recorder dump when the run failed or was cancelled. Called by
+  /// Main around the command's exit code, so SIGINT/SIGTERM/--deadline
+  /// exits (which return through CmdMine) flush exactly like clean ones.
+  int Finalize(int code) {
+    if (sampler_ != nullptr) {
+      sampler_->Stop();
+      const char* reason = code == 0   ? "exit"
+                           : code == 3 ? "cancelled"
+                           : code == 2 ? "fault"
+                                       : "error";
+      sampler_->FlushFinal(reason);
+    }
+    if (server_ != nullptr) {
+      server_->Stop();
+    }
+    if ((code == 2 || code == 3) && !flight_dump_path_.empty()) {
+      if (obs::FlightRecorder::Global().DumpJsonFile(flight_dump_path_)) {
+        std::fprintf(stderr, "flight recorder dumped to '%s'\n",
+                     flight_dump_path_.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write --flight-recorder file '%s'\n",
+                     flight_dump_path_.c_str());
+      }
+    }
+    return code;
+  }
+
   ~ObsSession() {
+    // Failed-construction and early-usage-error paths that skip
+    // Finalize(): make sure the server and sampler threads are down
+    // before their objects die.
+    if (server_ != nullptr) server_->Stop();
+    if (sampler_ != nullptr) sampler_->Stop();
     if (progress_thread_.joinable()) {
       {
         std::lock_guard<std::mutex> lock(progress_mutex_);
@@ -294,6 +436,9 @@ class ObsSession {
   bool ok_ = false;
   std::string metrics_out_;
   std::string trace_out_;
+  std::string flight_dump_path_;
+  std::unique_ptr<obs::TelemetrySampler> sampler_;
+  std::unique_ptr<net::StatusServer> server_;
   bool progress_stop_ = false;
   std::mutex progress_mutex_;
   std::condition_variable progress_cv_;
@@ -576,6 +721,19 @@ int CmdMine(const Flags& flags) {
   std::string algorithm = flags.Get("algorithm", "collapse");
   std::string calibrate = flags.Get("calibrate", "none");
 
+  // Publish the run on the status board so /statusz and the telemetry
+  // sampler see it (string literals only — the board stores raw
+  // pointers).
+  const char* algo_name = calibrate != "none"    ? "levelwise_calibrated"
+                          : algorithm == "collapse"   ? "collapse"
+                          : algorithm == "levelwise"  ? "levelwise"
+                          : algorithm == "maxminer"   ? "maxminer"
+                          : algorithm == "toivonen"   ? "toivonen"
+                          : algorithm == "depthfirst" ? "depthfirst"
+                                                      : "unknown";
+  runtime::RunStatusBoard::Global().BeginRun("mine", algo_name);
+  runtime::RunStatusBoard::Global().SetRunControl(&g_run_control);
+
   MiningResult result;
   if (calibrate != "none") {
     if (algorithm != "levelwise") {
@@ -659,11 +817,11 @@ int Main(int argc, char** argv) {
   Flags flags(argc, argv, 2);
   ObsSession obs_session(flags);
   if (!obs_session.ok()) return 1;
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "import") return CmdImport(flags);
-  if (command == "info") return CmdInfo(flags);
-  if (command == "matrix") return CmdMatrix(flags);
-  if (command == "mine") return CmdMine(flags);
+  if (command == "generate") return obs_session.Finalize(CmdGenerate(flags));
+  if (command == "import") return obs_session.Finalize(CmdImport(flags));
+  if (command == "info") return obs_session.Finalize(CmdInfo(flags));
+  if (command == "matrix") return obs_session.Finalize(CmdMatrix(flags));
+  if (command == "mine") return obs_session.Finalize(CmdMine(flags));
   return Usage();
 }
 
