@@ -143,7 +143,8 @@ Status DiskSequenceDatabase::Scan(const Visitor& visitor,
         attempt.status =
             StreamFile(&visitor, &n, &total, &attempt.delivered_records);
         return attempt;
-      });
+      },
+      options_.retry_budget);
 }
 
 Status DiskSequenceDatabase::StreamFile(const Visitor* visitor,

@@ -32,6 +32,9 @@ class DiskSequenceDatabase : public SequenceDatabase {
     RetryPolicy retry;
     /// Sleep dependency; null means the real clock.
     Sleeper* sleeper = nullptr;
+    /// Optional per-run cap on cumulative retries across every Scan() of
+    /// this database (see RetryBudget). Must outlive the database.
+    RetryBudget* retry_budget = nullptr;
   };
 
   /// Opens `path`, validating the header and pre-scanning once (not counted)

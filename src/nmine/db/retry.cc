@@ -27,6 +27,35 @@ Sleeper* Sleeper::Real() {
   return &sleeper;
 }
 
+RetryBudget::RetryBudget(int64_t total) : total_(total) {
+  PublishRemaining();
+}
+
+int64_t RetryBudget::remaining() const {
+  if (unlimited()) return INT64_MAX;
+  int64_t left = total_ - used_.load(std::memory_order_relaxed);
+  return left < 0 ? 0 : left;
+}
+
+bool RetryBudget::TryConsume() {
+  if (unlimited()) return true;
+  int64_t u = used_.load(std::memory_order_relaxed);
+  while (u < total_) {
+    if (used_.compare_exchange_weak(u, u + 1, std::memory_order_relaxed)) {
+      PublishRemaining();
+      return true;
+    }
+  }
+  return false;
+}
+
+void RetryBudget::PublishRemaining() const {
+  if (unlimited()) return;
+  obs::MetricsRegistry::Global()
+      .GetGauge("db.scan.retry_budget_remaining")
+      .Set(static_cast<double>(remaining()));
+}
+
 double BackoffMs(const RetryPolicy& policy, int failure_index, Rng* rng) {
   double base = policy.initial_backoff_ms *
                 std::pow(policy.multiplier, static_cast<double>(failure_index));
@@ -40,7 +69,8 @@ double BackoffMs(const RetryPolicy& policy, int failure_index, Rng* rng) {
 Status RunScanWithRetry(
     const RetryPolicy& policy, Sleeper* sleeper, bool can_replay,
     const char* what,
-    const std::function<ScanAttempt(int attempt)>& attempt) {
+    const std::function<ScanAttempt(int attempt)>& attempt,
+    RetryBudget* budget) {
   if (sleeper == nullptr) sleeper = Sleeper::Real();
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   Rng jitter_rng(policy.jitter_seed);
@@ -68,6 +98,17 @@ Status RunScanWithRetry(
           .Num("gave_up_mid_stream",
                static_cast<int64_t>(transient && !replay_safe ? 1 : 0));
       return outcome.status;
+    }
+    if (budget != nullptr && !budget->TryConsume()) {
+      reg.GetCounter("db.scan.retry_budget_exhausted").Increment();
+      NMINE_LOG(kWarn, "db")
+          .Msg("retry budget exhausted; surfacing scan failure")
+          .Str("op", what)
+          .Str("status", outcome.status.ToString())
+          .Num("budget", budget->total());
+      return Status(outcome.status.code(),
+                    outcome.status.message() + " (run retry budget of " +
+                        std::to_string(budget->total()) + " exhausted)");
     }
     double backoff = BackoffMs(policy, i, &jitter_rng);
     reg.GetCounter("db.scan.retries").Increment();

@@ -1,6 +1,7 @@
 #ifndef NMINE_DB_RETRY_H_
 #define NMINE_DB_RETRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -56,6 +57,35 @@ class FakeSleeper : public Sleeper {
 /// Backoff for the given 0-based failure index, jittered from `rng`.
 double BackoffMs(const RetryPolicy& policy, int failure_index, Rng* rng);
 
+/// Per-run cap on CUMULATIVE retries across all scans, on top of the
+/// per-scan attempt limit in RetryPolicy. A flapping disk can pass every
+/// per-scan retry check and still burn hours over a long run (hundreds of
+/// probe scans x max_attempts each); sharing one budget across the run
+/// bounds the total. Thread-safe: concurrent scans consume from the same
+/// pool. The remaining count is mirrored to the metrics-registry gauge
+/// `db.scan.retry_budget_remaining` so /statusz and telemetry can watch it
+/// drain. A negative `total` means unlimited (nothing is tracked).
+class RetryBudget {
+ public:
+  explicit RetryBudget(int64_t total);
+
+  bool unlimited() const { return total_ < 0; }
+  int64_t total() const { return total_; }
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  /// Retries still allowed; INT64_MAX when unlimited.
+  int64_t remaining() const;
+
+  /// Consumes one retry from the budget; false when it is already spent
+  /// (the caller must then surface the scan failure instead of retrying).
+  bool TryConsume();
+
+ private:
+  void PublishRemaining() const;
+
+  int64_t total_;
+  std::atomic<int64_t> used_{0};
+};
+
 /// Outcome of one scan attempt: its status plus whether any record reached
 /// the visitor. A failed attempt that already delivered records may only be
 /// retried when the caller supplied a restart callback (so accumulated
@@ -72,10 +102,13 @@ struct ScanAttempt {
 ///   db.scan.faults  — failed attempts (of any kind)
 ///   db.scan.retries — retries actually performed
 /// `what` labels log lines (e.g. "disk scan"). `sleeper` may be null
-/// (defaults to Sleeper::Real()).
+/// (defaults to Sleeper::Real()). `budget`, when non-null, is consulted
+/// before every retry: an exhausted budget surfaces the failure instead of
+/// retrying (counter db.scan.retry_budget_exhausted).
 Status RunScanWithRetry(const RetryPolicy& policy, Sleeper* sleeper,
                         bool can_replay, const char* what,
-                        const std::function<ScanAttempt(int attempt)>& attempt);
+                        const std::function<ScanAttempt(int attempt)>& attempt,
+                        RetryBudget* budget = nullptr);
 
 }  // namespace nmine
 

@@ -18,7 +18,8 @@ Status RetryingDatabase::Scan(const Visitor& visitor,
             restart);
         attempt.delivered_records = delivered;
         return attempt;
-      });
+      },
+      budget_);
 }
 
 }  // namespace nmine

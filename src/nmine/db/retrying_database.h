@@ -17,9 +17,12 @@ namespace nmine {
 class RetryingDatabase : public SequenceDatabase {
  public:
   /// `inner` must outlive this object. `sleeper` may be null (real clock).
+  /// `budget`, when non-null, caps cumulative retries across all scans of
+  /// this database for the run (see RetryBudget); it must outlive this
+  /// object too.
   RetryingDatabase(const SequenceDatabase* inner, RetryPolicy policy,
-                   Sleeper* sleeper = nullptr)
-      : inner_(inner), policy_(policy), sleeper_(sleeper) {}
+                   Sleeper* sleeper = nullptr, RetryBudget* budget = nullptr)
+      : inner_(inner), policy_(policy), sleeper_(sleeper), budget_(budget) {}
 
   size_t NumSequences() const override { return inner_->NumSequences(); }
   uint64_t TotalSymbols() const override { return inner_->TotalSymbols(); }
@@ -30,6 +33,7 @@ class RetryingDatabase : public SequenceDatabase {
   const SequenceDatabase* inner_;
   RetryPolicy policy_;
   Sleeper* sleeper_;
+  RetryBudget* budget_;
 };
 
 }  // namespace nmine

@@ -20,6 +20,11 @@
 #include "nmine/obs/profiler.h"
 #include "nmine/runtime/run_status.h"
 
+#include <map>
+#include <vector>
+
+#include "nmine/obs/json_util.h"
+
 namespace nmine {
 namespace net {
 namespace {
@@ -29,6 +34,25 @@ struct Response {
   const char* content_type = "application/json";
   std::string body;
 };
+
+/// Process-wide extra endpoints (RegisterEndpoint). Guarded by a leaked
+/// mutex so registration from static initializers and dispatch from accept
+/// workers never race; lookups copy the handler out under the lock.
+std::mutex& ExtraEndpointsMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::map<std::string, std::function<std::string()>>& ExtraEndpoints() {
+  static auto* map = new std::map<std::string, std::function<std::string()>>();
+  return *map;
+}
+
+/// Poll-over-poll baseline for the "scan retries climbing" health signal:
+/// the previous /healthz poll's db.scan.retries value, or -1 before the
+/// first poll (the first poll only records the baseline, it never
+/// degrades).
+std::atomic<int64_t> g_health_last_retries{-1};
 
 const char* ReasonPhrase(int status) {
   switch (status) {
@@ -71,13 +95,7 @@ Response Dispatch(const std::string& method, const std::string& path) {
     return r;
   }
   if (path == "/healthz") {
-    r.body = "{\"status\": \"ok\", \"uptime_s\": ";
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.3f",
-                  static_cast<double>(
-                      runtime::RunStatusBoard::Global().uptime_us()) /
-                      1e6);
-    r.body.append(buf).append("}\n");
+    r.body = StatusServer::HealthzBody();
   } else if (path == "/statusz") {
     r.body = runtime::RunStatusBoard::Global().StatusJson();
   } else if (path == "/metricsz") {
@@ -91,6 +109,16 @@ Response Dispatch(const std::string& method, const std::string& path) {
   } else if (path == "/flightz") {
     r.body = obs::FlightRecorder::Global().SnapshotJson();
   } else {
+    std::function<std::string()> handler;
+    {
+      std::lock_guard<std::mutex> lock(ExtraEndpointsMutex());
+      auto it = ExtraEndpoints().find(path);
+      if (it != ExtraEndpoints().end()) handler = it->second;
+    }
+    if (handler) {
+      r.body = handler();
+      return r;
+    }
     r.status = 404;
     r.body =
         "{\"error\": \"unknown path\", \"endpoints\": [\"/healthz\", "
@@ -102,6 +130,45 @@ Response Dispatch(const std::string& method, const std::string& path) {
 }  // namespace
 
 StatusServer::~StatusServer() { Stop(); }
+
+void StatusServer::RegisterEndpoint(const std::string& path,
+                                    std::function<std::string()> handler) {
+  std::lock_guard<std::mutex> lock(ExtraEndpointsMutex());
+  ExtraEndpoints()[path] = std::move(handler);
+}
+
+std::string StatusServer::HealthzBody() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  runtime::RunStatusBoard& board = runtime::RunStatusBoard::Global();
+
+  // Degradation signals, most severe first. All are "keep serving but let
+  // the load balancer route around me" conditions — liveness stays 200.
+  std::vector<std::string> reasons;
+  if (board.governor_degradation_steps() > 0) {
+    reasons.push_back("governor_ladder_engaged");
+  }
+  const int64_t retries = reg.CounterValue("db.scan.retries");
+  const int64_t last =
+      g_health_last_retries.exchange(retries, std::memory_order_relaxed);
+  if (last >= 0 && retries > last) {
+    reasons.push_back("scan_retries_climbing");
+  }
+  if (reg.CounterValue("db.scan.retry_budget_exhausted") > 0) {
+    reasons.push_back("retry_budget_exhausted");
+  }
+
+  std::string body = "{\"status\": ";
+  obs::AppendJsonString(reasons.empty() ? "ok" : "degraded", &body);
+  body.append(", \"uptime_s\": ");
+  obs::AppendJsonNumber(static_cast<double>(board.uptime_us()) / 1e6, &body);
+  body.append(", \"reasons\": [");
+  for (size_t i = 0; i < reasons.size(); ++i) {
+    if (i > 0) body.append(", ");
+    obs::AppendJsonString(reasons[i], &body);
+  }
+  body.append("]}\n");
+  return body;
+}
 
 bool StatusServer::Start(const Options& options, std::string* error) {
   if (running_.load(std::memory_order_acquire)) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -15,13 +16,23 @@ namespace net {
 /// nmine_server daemon's socket layer.
 ///
 /// Endpoints (GET only):
-///   /healthz   {"status": "ok", ...} — liveness probe
+///   /healthz   {"status": "ok"|"degraded", ...} — liveness + load-shedding
+///              probe: still HTTP 200 when degraded, but the body flips to
+///              "degraded" (with machine-readable reasons) when the
+///              ResourceGovernor ladder is engaged, scan retries climbed
+///              since the previous /healthz poll, or the run's retry
+///              budget ran out — so a load balancer can drain the instance
+///              before it fails
 ///   /statusz   runtime::RunStatusBoard::StatusJson(): current phase,
 ///              progress counters, deadline remaining, governor ladder
 ///              state, checkpoint age
 ///   /metricsz  OpenMetrics text rendering of the metrics registry
 ///   /profilez  obs::Profiler::Global().SnapshotJson()
 ///   /flightz   obs::FlightRecorder::Global().SnapshotJson()
+///
+/// Subsystems can add process-wide endpoints with RegisterEndpoint (the
+/// serving layer registers /jobsz this way); registered paths are served
+/// by every StatusServer in the process.
 ///
 /// The accept loop is blocking and runs as one task on the shared
 /// exec::ThreadPool; Start() grows the pool by one worker first, so the
@@ -60,6 +71,19 @@ class StatusServer {
   uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
+
+  /// Registers (or replaces) a process-wide GET endpoint, e.g. "/jobsz".
+  /// `handler` returns the JSON body; it is invoked on the server's accept
+  /// worker and must be safe to call from any thread at any time.
+  /// Registrations are permanent (like metrics registry entries).
+  static void RegisterEndpoint(const std::string& path,
+                               std::function<std::string()> handler);
+
+  /// Computes the /healthz body — {"status": "ok"|"degraded", "uptime_s":
+  /// ..., "reasons": [...]} — and updates the poll-over-poll retry
+  /// baseline. Exposed for the CLI-free health test and the serving
+  /// layer's drain decision.
+  static std::string HealthzBody();
 
  private:
   void AcceptLoop();

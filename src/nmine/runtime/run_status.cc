@@ -115,6 +115,11 @@ std::string RunStatusBoard::StatusJson() const {
     out.append(": ");
     obs::AppendJsonNumber(static_cast<double>(reg.CounterValue(name)), &out);
   }
+  // The retry-budget gauge rides along with the counters: a flapping disk
+  // shows up here as the budget draining scan over scan.
+  out.append(", \"db.scan.retry_budget_remaining\": ");
+  obs::AppendJsonNumber(reg.GaugeValue("db.scan.retry_budget_remaining"),
+                        &out);
   out.append("}}\n");
   return out;
 }

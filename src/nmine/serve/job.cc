@@ -1,0 +1,354 @@
+#include "nmine/serve/job.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+
+#include "nmine/core/compatibility_matrix.h"
+#include "nmine/core/matrix_io.h"
+#include "nmine/db/disk_database.h"
+#include "nmine/db/fault_injecting_database.h"
+#include "nmine/db/retrying_database.h"
+#include "nmine/eval/table.h"
+#include "nmine/gen/matrix_generator.h"
+#include "nmine/mining/border_collapse_miner.h"
+#include "nmine/mining/depth_first_miner.h"
+#include "nmine/mining/levelwise_miner.h"
+#include "nmine/mining/max_miner.h"
+#include "nmine/mining/toivonen_miner.h"
+#include "nmine/obs/json_util.h"
+#include "nmine/obs/logger.h"
+
+namespace nmine {
+namespace serve {
+
+const char* ToString(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+std::optional<JobState> ParseJobState(const std::string& text) {
+  if (text == "queued") return JobState::kQueued;
+  if (text == "running") return JobState::kRunning;
+  if (text == "done") return JobState::kDone;
+  if (text == "failed") return JobState::kFailed;
+  return std::nullopt;
+}
+
+void JobSpec::AppendJson(std::string* out) const {
+  out->append("{\"db\": ");
+  obs::AppendJsonString(db_path, out);
+  out->append(", \"algorithm\": ");
+  obs::AppendJsonString(algorithm, out);
+  out->append(", \"metric\": ");
+  obs::AppendJsonString(metric, out);
+  out->append(", \"matrix\": ");
+  obs::AppendJsonString(matrix_path, out);
+  out->append(", \"uniform_alpha\": ");
+  obs::AppendJsonNumber(uniform_alpha, out);
+  out->append(", \"threshold\": ");
+  obs::AppendJsonNumber(threshold, out);
+  out->append(", \"max_span\": ");
+  obs::AppendJsonNumber(static_cast<double>(max_span), out);
+  out->append(", \"max_gap\": ");
+  obs::AppendJsonNumber(static_cast<double>(max_gap), out);
+  out->append(", \"max_level\": ");
+  obs::AppendJsonNumber(static_cast<double>(max_level), out);
+  out->append(", \"sample\": ");
+  obs::AppendJsonNumber(static_cast<double>(sample_size), out);
+  out->append(", \"delta\": ");
+  obs::AppendJsonNumber(delta, out);
+  out->append(", \"seed\": ");
+  obs::AppendJsonNumber(static_cast<double>(seed), out);
+  out->append(", \"threads\": ");
+  obs::AppendJsonNumber(static_cast<double>(num_threads), out);
+  out->append(", \"fault_plan\": ");
+  obs::AppendJsonString(fault_plan, out);
+  out->append(", \"scan_retries\": ");
+  obs::AppendJsonNumber(static_cast<double>(scan_retries), out);
+  out->append(", \"retry_backoff_ms\": ");
+  obs::AppendJsonNumber(retry_backoff_ms, out);
+  out->append(", \"retry_budget\": ");
+  obs::AppendJsonNumber(static_cast<double>(retry_budget), out);
+  out->append(", \"deadline_s\": ");
+  obs::AppendJsonNumber(deadline_s, out);
+  out->append(", \"memory_budget\": ");
+  obs::AppendJsonNumber(static_cast<double>(memory_budget), out);
+  out->append("}");
+}
+
+std::optional<JobSpec> JobSpec::FromJson(const obs::JsonValue& value,
+                                         std::string* error) {
+  if (!value.is_object()) {
+    if (error != nullptr) *error = "job spec must be a JSON object";
+    return std::nullopt;
+  }
+  JobSpec spec;
+  const obs::JsonValue* db = value.Get("db");
+  if (db == nullptr || !db->is_string() || db->string_value.empty()) {
+    if (error != nullptr) *error = "job spec needs a non-empty \"db\" path";
+    return std::nullopt;
+  }
+  spec.db_path = db->string_value;
+  const obs::JsonValue* v;
+  if ((v = value.Get("algorithm")) != nullptr && v->is_string()) {
+    spec.algorithm = v->string_value;
+  }
+  if ((v = value.Get("metric")) != nullptr && v->is_string()) {
+    spec.metric = v->string_value;
+  }
+  if ((v = value.Get("matrix")) != nullptr && v->is_string()) {
+    spec.matrix_path = v->string_value;
+  }
+  if ((v = value.Get("fault_plan")) != nullptr && v->is_string()) {
+    spec.fault_plan = v->string_value;
+  }
+  spec.uniform_alpha = value.GetNumber("uniform_alpha", spec.uniform_alpha);
+  spec.threshold = value.GetNumber("threshold", spec.threshold);
+  spec.max_span = static_cast<uint64_t>(
+      value.GetNumber("max_span", static_cast<double>(spec.max_span)));
+  spec.max_gap = static_cast<uint64_t>(
+      value.GetNumber("max_gap", static_cast<double>(spec.max_gap)));
+  spec.max_level = static_cast<uint64_t>(
+      value.GetNumber("max_level", static_cast<double>(spec.max_level)));
+  spec.sample_size = static_cast<uint64_t>(
+      value.GetNumber("sample", static_cast<double>(spec.sample_size)));
+  spec.delta = value.GetNumber("delta", spec.delta);
+  spec.seed = static_cast<uint64_t>(
+      value.GetNumber("seed", static_cast<double>(spec.seed)));
+  spec.num_threads = static_cast<uint64_t>(
+      value.GetNumber("threads", static_cast<double>(spec.num_threads)));
+  spec.scan_retries = static_cast<int64_t>(
+      value.GetNumber("scan_retries", static_cast<double>(spec.scan_retries)));
+  spec.retry_backoff_ms =
+      value.GetNumber("retry_backoff_ms", spec.retry_backoff_ms);
+  spec.retry_budget = static_cast<int64_t>(
+      value.GetNumber("retry_budget", static_cast<double>(spec.retry_budget)));
+  spec.deadline_s = value.GetNumber("deadline_s", spec.deadline_s);
+  spec.memory_budget = static_cast<uint64_t>(
+      value.GetNumber("memory_budget", static_cast<double>(spec.memory_budget)));
+
+  static const char* kAlgorithms[] = {"collapse", "levelwise", "maxminer",
+                                      "toivonen", "depthfirst"};
+  if (std::find_if(std::begin(kAlgorithms), std::end(kAlgorithms),
+                   [&](const char* a) { return spec.algorithm == a; }) ==
+      std::end(kAlgorithms)) {
+    if (error != nullptr) *error = "unknown algorithm '" + spec.algorithm + "'";
+    return std::nullopt;
+  }
+  if (spec.metric != "match" && spec.metric != "support") {
+    if (error != nullptr) *error = "unknown metric '" + spec.metric + "'";
+    return std::nullopt;
+  }
+  return spec;
+}
+
+void JobResult::AppendJson(std::string* out) const {
+  out->append("{\"ok\": ");
+  out->append(ok ? "true" : "false");
+  if (!ok) {
+    out->append(", \"error\": ");
+    obs::AppendJsonString(error_code, out);
+    out->append(", \"message\": ");
+    obs::AppendJsonString(message, out);
+  }
+  out->append(", \"rows\": [");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out->append(", ");
+    out->append("[");
+    obs::AppendJsonString(rows[i].first, out);
+    out->append(", ");
+    obs::AppendJsonString(rows[i].second, out);
+    out->append("]");
+  }
+  out->append("], \"scans\": ");
+  obs::AppendJsonNumber(static_cast<double>(scans), out);
+  out->append(", \"truncated\": ");
+  out->append(truncated ? "true" : "false");
+  out->append(", \"resumed\": ");
+  out->append(resumed_from_checkpoint ? "true" : "false");
+  out->append("}");
+}
+
+std::optional<JobResult> JobResult::FromJson(const obs::JsonValue& value) {
+  if (!value.is_object()) return std::nullopt;
+  const obs::JsonValue* ok = value.Get("ok");
+  if (ok == nullptr || ok->type != obs::JsonValue::Type::kBool) {
+    return std::nullopt;
+  }
+  JobResult result;
+  result.ok = ok->bool_value;
+  const obs::JsonValue* v;
+  if ((v = value.Get("error")) != nullptr && v->is_string()) {
+    result.error_code = v->string_value;
+  }
+  if ((v = value.Get("message")) != nullptr && v->is_string()) {
+    result.message = v->string_value;
+  }
+  if ((v = value.Get("rows")) != nullptr && v->is_array()) {
+    for (const obs::JsonValue& row : v->array) {
+      if (!row.is_array() || row.array.size() != 2 ||
+          !row.array[0].is_string() || !row.array[1].is_string()) {
+        return std::nullopt;
+      }
+      result.rows.emplace_back(row.array[0].string_value,
+                               row.array[1].string_value);
+    }
+  }
+  result.scans = static_cast<int64_t>(value.GetNumber("scans", 0.0));
+  if ((v = value.Get("truncated")) != nullptr) {
+    result.truncated = v->bool_value;
+  }
+  if ((v = value.Get("resumed")) != nullptr) {
+    result.resumed_from_checkpoint = v->bool_value;
+  }
+  return result;
+}
+
+namespace {
+
+JobResult TypedError(const Status& status) {
+  JobResult r;
+  r.ok = false;
+  r.error_code = ToString(status.code());
+  r.message = status.message();
+  return r;
+}
+
+}  // namespace
+
+JobResult RunJob(const JobSpec& spec, const std::string& checkpoint_path,
+                 const runtime::RunControl* run) {
+  // Mirrors nmine_cli's CmdMine step for step: same defaults, same probe
+  // scan, same matrix resolution, same row formatting — so the chaos drill
+  // can diff server output against a solo CLI run byte for byte.
+  RetryPolicy retry;
+  retry.max_attempts = 1 + static_cast<int>(std::max<int64_t>(
+                               0, spec.scan_retries));
+  retry.initial_backoff_ms = spec.retry_backoff_ms;
+
+  std::optional<RetryBudget> retry_budget;
+  if (spec.retry_budget >= 0) retry_budget.emplace(spec.retry_budget);
+
+  Status error;
+  DiskSequenceDatabase::Options db_options;
+  db_options.retry = retry;
+  db_options.retry_budget =
+      retry_budget.has_value() ? &*retry_budget : nullptr;
+  std::unique_ptr<DiskSequenceDatabase> db =
+      DiskSequenceDatabase::Open(spec.db_path, db_options, &error);
+  if (db == nullptr) return TypedError(error);
+
+  std::unique_ptr<FaultInjectingDatabase> injector;
+  std::unique_ptr<RetryingDatabase> retrier;
+  const SequenceDatabase* mine_db = db.get();
+  if (!spec.fault_plan.empty()) {
+    std::string plan_error;
+    std::optional<FaultPlan> plan =
+        FaultPlan::Parse(spec.fault_plan, &plan_error);
+    if (!plan.has_value()) {
+      return TypedError(Status::InvalidArgument(plan_error));
+    }
+    injector =
+        std::make_unique<FaultInjectingDatabase>(db.get(), std::move(*plan));
+    retrier = std::make_unique<RetryingDatabase>(
+        injector.get(), retry, /*sleeper=*/nullptr,
+        retry_budget.has_value() ? &*retry_budget : nullptr);
+    mine_db = retrier.get();
+  }
+
+  SymbolId max_symbol = -1;
+  Status probe_status = db->Scan(
+      [&](const SequenceRecord& r) {
+        for (SymbolId s : r.symbols) max_symbol = std::max(max_symbol, s);
+      },
+      /*restart=*/[&] { max_symbol = -1; });
+  if (!probe_status.ok()) return TypedError(probe_status);
+  size_t m = static_cast<size_t>(max_symbol + 1);
+
+  std::optional<CompatibilityMatrix> c;
+  if (!spec.matrix_path.empty()) {
+    MatrixIoResult merr;
+    c = ReadCompatibilityMatrixFile(spec.matrix_path, &merr);
+    if (!c.has_value()) {
+      return TypedError(Status::InvalidArgument(merr.message));
+    }
+    if (c->size() < m) {
+      return TypedError(Status::InvalidArgument(
+          "matrix is " + std::to_string(c->size()) + "x" +
+          std::to_string(c->size()) + " but the data uses " +
+          std::to_string(m) + " symbols"));
+    }
+  } else if (spec.uniform_alpha >= 0.0) {
+    c = UniformNoiseMatrix(m, spec.uniform_alpha);
+  } else {
+    c = CompatibilityMatrix::Identity(m);
+  }
+
+  Metric metric = spec.metric == "support" ? Metric::kSupport : Metric::kMatch;
+  MinerOptions options;
+  options.min_threshold = spec.threshold;
+  options.space.max_span = static_cast<size_t>(spec.max_span);
+  options.space.max_gap = static_cast<size_t>(spec.max_gap);
+  options.max_level = static_cast<size_t>(
+      spec.max_level == 0 ? spec.max_span : spec.max_level);
+  options.sample_size = static_cast<size_t>(spec.sample_size);
+  options.delta = spec.delta;
+  options.seed = spec.seed;
+  options.num_threads = static_cast<size_t>(spec.num_threads);
+  options.memory_budget_bytes = static_cast<size_t>(spec.memory_budget);
+  options.run_control = run;
+  options.run_checkpoint_path = checkpoint_path;
+
+  const bool had_checkpoint =
+      !checkpoint_path.empty() &&
+      std::filesystem::exists(std::filesystem::path(checkpoint_path));
+
+  MiningResult result;
+  if (spec.algorithm == "collapse") {
+    result = BorderCollapseMiner(metric, options).Mine(*mine_db, *c);
+  } else if (spec.algorithm == "levelwise") {
+    result = LevelwiseMiner(metric, options).Mine(*mine_db, *c);
+  } else if (spec.algorithm == "maxminer") {
+    result = MaxMiner(metric, options).Mine(*mine_db, *c);
+  } else if (spec.algorithm == "toivonen") {
+    result = ToivonenMiner(metric, options).Mine(*mine_db, *c);
+  } else if (spec.algorithm == "depthfirst") {
+    result = DepthFirstMiner(metric, options).Mine(*mine_db, *c);
+  } else {
+    return TypedError(
+        Status::InvalidArgument("unknown algorithm '" + spec.algorithm + "'"));
+  }
+
+  if (!result.ok()) {
+    JobResult r = TypedError(result.status);
+    r.scans = result.scans;
+    r.resumed_from_checkpoint = had_checkpoint;
+    return r;
+  }
+
+  JobResult r;
+  r.ok = true;
+  r.scans = result.scans;
+  r.truncated = result.truncated;
+  r.resumed_from_checkpoint = had_checkpoint;
+  for (const Pattern& p : result.border.ToSortedVector()) {
+    auto it = result.values.find(p);
+    r.rows.emplace_back(
+        p.ToString(),
+        it == result.values.end() ? "-" : Table::Num(it->second, 5));
+  }
+  return r;
+}
+
+}  // namespace serve
+}  // namespace nmine

@@ -1,0 +1,119 @@
+#ifndef NMINE_SERVE_JOB_H_
+#define NMINE_SERVE_JOB_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nmine/obs/json_parse.h"
+#include "nmine/runtime/run_control.h"
+
+namespace nmine {
+namespace serve {
+
+/// Lifecycle of one mining job inside the server.
+///
+///   queued --> running --> done
+///                 |   \--> failed        (typed error to the client)
+///                 \--> queued            (drain interrupt / crash; the job
+///                                         is re-admitted on restart and
+///                                         resumes from its checkpoint)
+enum class JobState {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kFailed = 3,
+};
+
+const char* ToString(JobState state);
+std::optional<JobState> ParseJobState(const std::string& text);
+
+/// One mining request, the unit of admission, journaling, and execution.
+/// Field names and defaults mirror `nmine_cli mine` so a job run by the
+/// server is bit-identical to the same flags run solo (the chaos drill
+/// diffs the two).
+struct JobSpec {
+  std::string db_path;               // required
+  std::string algorithm = "collapse";
+  std::string metric = "match";      // match|support
+  std::string matrix_path;           // wins over uniform_alpha when set
+  double uniform_alpha = -1.0;       // < 0: identity matrix
+  double threshold = 0.1;
+  uint64_t max_span = 10;
+  uint64_t max_gap = 0;
+  uint64_t max_level = 0;            // 0: use max_span
+  uint64_t sample_size = 1000;
+  double delta = 1e-4;
+  uint64_t seed = 42;
+  uint64_t num_threads = 1;
+  std::string fault_plan;            // drill fault injection, may be empty
+  int64_t scan_retries = 2;
+  double retry_backoff_ms = 5.0;
+  int64_t retry_budget = -1;         // < 0: unlimited
+  double deadline_s = 0.0;           // per-job; 0: none
+  uint64_t memory_budget = 0;        // bytes; 0: unlimited
+
+  /// Appends this spec as a JSON object (used by the wire protocol and the
+  /// job journal — one codec, so a journaled job replays exactly).
+  void AppendJson(std::string* out) const;
+
+  /// Parses a spec from a JSON object. Unknown members are ignored
+  /// (forward compatibility); a missing/empty `db` is an error.
+  static std::optional<JobSpec> FromJson(const obs::JsonValue& value,
+                                         std::string* error);
+};
+
+/// Terminal outcome of a job: either the result rows (exactly the CLI's
+/// pattern/value table cells, preformatted so no float re-rendering can
+/// drift) or a typed error.
+struct JobResult {
+  bool ok = false;
+  std::string error_code;  // StatusCode wire name ("DATA_LOSS", ...) if !ok
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> rows;
+  int64_t scans = 0;
+  bool truncated = false;
+  /// True when the run continued from an existing RunCheckpoint instead of
+  /// starting over (recovered jobs must set this — the drill asserts it).
+  bool resumed_from_checkpoint = false;
+
+  void AppendJson(std::string* out) const;
+  static std::optional<JobResult> FromJson(const obs::JsonValue& value);
+};
+
+/// One job as tracked by the server: spec + lifecycle + its cancellation
+/// token. State transitions and result publication happen under the
+/// server's job mutex; the RunControl is the only field touched from
+/// other threads (it is lock-free by design).
+struct Job {
+  uint64_t id = 0;
+  std::string client;
+  std::string tag;  // client idempotency key; empty = no dedup
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  int64_t submit_us = 0;
+  int64_t start_us = 0;
+  int64_t finish_us = 0;
+  JobResult result;
+  std::string checkpoint_path;
+  runtime::RunControl run_control;
+};
+
+/// Executes `spec` as one governed mining run: opens the database (with
+/// retry policy / budget / fault plan from the spec), resolves the
+/// compatibility matrix, mines with the requested algorithm under `run`,
+/// checkpointing to `checkpoint_path` (border-collapsing runs resume from
+/// it when it exists). Never throws and never returns a partial answer:
+/// the outcome is either ok with the full rows, or a typed error.
+/// kCancelled / kDeadlineExceeded surface as a !ok result with the
+/// corresponding wire code — the caller decides whether that means
+/// "re-queue" (drain) or "failed" (per-job deadline).
+JobResult RunJob(const JobSpec& spec, const std::string& checkpoint_path,
+                 const runtime::RunControl* run);
+
+}  // namespace serve
+}  // namespace nmine
+
+#endif  // NMINE_SERVE_JOB_H_

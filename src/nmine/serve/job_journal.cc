@@ -1,0 +1,246 @@
+#include "nmine/serve/job_journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "nmine/obs/json_parse.h"
+#include "nmine/obs/json_util.h"
+#include "nmine/obs/logger.h"
+#include "nmine/runtime/checkpoint_io.h"
+
+namespace nmine {
+namespace serve {
+namespace {
+
+void AppendSubmitLine(const Job& job, std::string* out) {
+  out->append("{\"event\": \"submit\", \"id\": ");
+  obs::AppendJsonNumber(static_cast<double>(job.id), out);
+  out->append(", \"client\": ");
+  obs::AppendJsonString(job.client, out);
+  out->append(", \"tag\": ");
+  obs::AppendJsonString(job.tag, out);
+  out->append(", \"submit_us\": ");
+  obs::AppendJsonNumber(static_cast<double>(job.submit_us), out);
+  out->append(", \"spec\": ");
+  job.spec.AppendJson(out);
+  out->append("}\n");
+}
+
+void AppendStateLine(uint64_t id, JobState state, std::string* out) {
+  out->append("{\"event\": \"state\", \"id\": ");
+  obs::AppendJsonNumber(static_cast<double>(id), out);
+  out->append(", \"state\": ");
+  obs::AppendJsonString(ToString(state), out);
+  out->append("}\n");
+}
+
+void AppendResultLine(uint64_t id, const JobResult& result, std::string* out) {
+  out->append("{\"event\": \"result\", \"id\": ");
+  obs::AppendJsonNumber(static_cast<double>(id), out);
+  out->append(", \"result\": ");
+  result.AppendJson(out);
+  out->append("}\n");
+}
+
+/// Applies one journal line to the board. Unparseable lines are skipped:
+/// only the torn trailing write of a crash should ever be malformed, and
+/// a torn line by construction carries an event the client was never
+/// acknowledged for.
+void Replay(const std::string& line, std::map<uint64_t, Job>* board) {
+  std::optional<obs::JsonValue> value = obs::ParseJson(line);
+  if (!value.has_value() || !value->is_object()) return;
+  const obs::JsonValue* event = value->Get("event");
+  const obs::JsonValue* id_value = value->Get("id");
+  if (event == nullptr || !event->is_string() || id_value == nullptr ||
+      !id_value->is_number()) {
+    return;
+  }
+  const uint64_t id = static_cast<uint64_t>(id_value->number_value);
+
+  if (event->string_value == "submit") {
+    const obs::JsonValue* spec_value = value->Get("spec");
+    if (spec_value == nullptr) return;
+    std::string spec_error;
+    std::optional<JobSpec> spec = JobSpec::FromJson(*spec_value, &spec_error);
+    if (!spec.has_value()) return;
+    Job& job = (*board)[id];
+    job.id = id;
+    job.spec = std::move(*spec);
+    job.state = JobState::kQueued;
+    const obs::JsonValue* v;
+    if ((v = value->Get("client")) != nullptr && v->is_string()) {
+      job.client = v->string_value;
+    }
+    if ((v = value->Get("tag")) != nullptr && v->is_string()) {
+      job.tag = v->string_value;
+    }
+    job.submit_us = static_cast<int64_t>(value->GetNumber("submit_us", 0.0));
+    return;
+  }
+
+  auto it = board->find(id);
+  if (it == board->end()) return;  // state/result without a submit: torn file
+
+  if (event->string_value == "state") {
+    const obs::JsonValue* state_value = value->Get("state");
+    if (state_value == nullptr || !state_value->is_string()) return;
+    std::optional<JobState> state = ParseJobState(state_value->string_value);
+    if (state.has_value()) it->second.state = *state;
+    return;
+  }
+  if (event->string_value == "result") {
+    const obs::JsonValue* result_value = value->Get("result");
+    if (result_value == nullptr) return;
+    std::optional<JobResult> result = JobResult::FromJson(*result_value);
+    if (!result.has_value()) return;
+    it->second.result = std::move(*result);
+    it->second.state =
+        it->second.result.ok ? JobState::kDone : JobState::kFailed;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<JobJournal> JobJournal::Open(const std::string& state_dir,
+                                             std::map<uint64_t, Job>* recovered,
+                                             uint64_t* next_id,
+                                             std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(state_dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create state dir '" + state_dir + "': " + ec.message();
+    }
+    return nullptr;
+  }
+  const std::string path =
+      (std::filesystem::path(state_dir) / "jobs.journal").string();
+
+  // Replay. Reading line-wise naturally tolerates the torn tail: the
+  // unterminated final line parses as garbage and is skipped.
+  recovered->clear();
+  size_t replayed_lines = 0;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      Replay(line, recovered);
+      ++replayed_lines;
+    }
+  }
+
+  // Rewind crash-interrupted jobs: running means the server died mid-run.
+  // The job's RunCheckpoint (if the run got far enough to cut one) holds
+  // the progress; re-queueing re-enters RunJob which resumes from it.
+  uint64_t max_id = 0;
+  size_t rewound = 0;
+  for (auto& [id, job] : *recovered) {
+    max_id = std::max(max_id, id);
+    if (job.state == JobState::kRunning) {
+      job.state = JobState::kQueued;
+      ++rewound;
+    }
+  }
+  *next_id = max_id + 1;
+
+  // Compact: rewrite the replayed board as a fresh journal, dropping the
+  // oldest terminal jobs beyond the cap. Atomic write, so a crash during
+  // compaction keeps the old journal.
+  std::vector<const Job*> terminal;
+  for (const auto& [id, job] : *recovered) {
+    if (job.state == JobState::kDone || job.state == JobState::kFailed) {
+      terminal.push_back(&job);
+    }
+  }
+  if (terminal.size() > kMaxTerminalKept) {
+    std::sort(terminal.begin(), terminal.end(),
+              [](const Job* a, const Job* b) { return a->id < b->id; });
+    const size_t drop = terminal.size() - kMaxTerminalKept;
+    for (size_t i = 0; i < drop; ++i) recovered->erase(terminal[i]->id);
+  }
+  std::string compacted;
+  for (const auto& [id, job] : *recovered) {
+    AppendSubmitLine(job, &compacted);
+    if (job.state != JobState::kQueued) {
+      AppendStateLine(id, job.state, &compacted);
+    }
+    if (job.state == JobState::kDone || job.state == JobState::kFailed) {
+      AppendResultLine(id, job.result, &compacted);
+    }
+  }
+  Status write_status = runtime::AtomicWriteFile(path, compacted);
+  if (!write_status.ok()) {
+    if (error != nullptr) *error = write_status.ToString();
+    return nullptr;
+  }
+
+  std::unique_ptr<JobJournal> journal(new JobJournal(path));
+  journal->fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  if (journal->fd_ < 0) {
+    if (error != nullptr) {
+      *error = "cannot open journal '" + path +
+               "' for append: " + std::string(strerror(errno));
+    }
+    return nullptr;
+  }
+  if (replayed_lines > 0) {
+    NMINE_LOG(kInfo, "serve")
+        .Msg("job journal replayed")
+        .Num("lines", static_cast<int64_t>(replayed_lines))
+        .Num("jobs", static_cast<int64_t>(recovered->size()))
+        .Num("rewound_to_queued", static_cast<int64_t>(rewound));
+  }
+  return journal;
+}
+
+JobJournal::~JobJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status JobJournal::AppendLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t done = 0;
+  while (done < line.size()) {
+    ssize_t w = ::write(fd_, line.data() + done, line.size() - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("journal write failed: " +
+                                 std::string(strerror(errno)));
+    }
+    done += static_cast<size_t>(w);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Unavailable("journal fsync failed: " +
+                               std::string(strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status JobJournal::AppendSubmit(const Job& job) {
+  std::string line;
+  AppendSubmitLine(job, &line);
+  return AppendLine(line);
+}
+
+Status JobJournal::AppendState(uint64_t id, JobState state) {
+  std::string line;
+  AppendStateLine(id, state, &line);
+  return AppendLine(line);
+}
+
+Status JobJournal::AppendResult(uint64_t id, const JobResult& result) {
+  std::string line;
+  AppendResultLine(id, result, &line);
+  return AppendLine(line);
+}
+
+}  // namespace serve
+}  // namespace nmine

@@ -1,0 +1,75 @@
+#include "nmine/serve/job_queue.h"
+
+#include <algorithm>
+
+namespace nmine {
+namespace serve {
+
+bool BoundedFairQueue::PushLocked(const std::string& client, uint64_t id) {
+  std::deque<uint64_t>& fifo = clients_[client];
+  if (fifo.empty() &&
+      std::find(rotation_.begin(), rotation_.end(), client) ==
+          rotation_.end()) {
+    rotation_.push_back(client);
+  }
+  fifo.push_back(id);
+  ++size_;
+  return true;
+}
+
+bool BoundedFairQueue::TryPush(const std::string& client, uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (size_ >= capacity_) return false;
+    PushLocked(client, id);
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void BoundedFairQueue::PushRecovered(const std::string& client, uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PushLocked(client, id);
+  }
+  cv_.notify_one();
+}
+
+bool BoundedFairQueue::Pop(uint64_t* id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return size_ > 0 || stopped_; });
+  if (size_ == 0) return false;
+
+  if (next_ >= rotation_.size()) next_ = 0;
+  const std::string client = rotation_[next_];
+  std::deque<uint64_t>& fifo = clients_[client];
+  *id = fifo.front();
+  fifo.pop_front();
+  --size_;
+  if (fifo.empty()) {
+    // Drop the drained client from the rotation. erase() shifts the next
+    // client into this slot, so the cursor is NOT advanced — otherwise the
+    // shifted client would be skipped a turn.
+    clients_.erase(client);
+    rotation_.erase(rotation_.begin() + static_cast<ptrdiff_t>(next_));
+  } else {
+    ++next_;
+  }
+  return true;
+}
+
+void BoundedFairQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t BoundedFairQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_;
+}
+
+}  // namespace serve
+}  // namespace nmine

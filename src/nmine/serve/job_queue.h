@@ -1,0 +1,66 @@
+#ifndef NMINE_SERVE_JOB_QUEUE_H_
+#define NMINE_SERVE_JOB_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nmine {
+namespace serve {
+
+/// Bounded admission queue with per-client fair scheduling.
+///
+/// Each client gets its own FIFO; Pop() serves clients round-robin, so a
+/// client that bulk-submits 100 jobs cannot starve a client that submits
+/// one (per-client order is still FIFO — a client's own jobs never
+/// reorder). The bound is on the TOTAL queued count: when full, TryPush
+/// refuses and the server sheds the submit with a typed
+/// RESOURCE_EXHAUSTED instead of queueing unboundedly.
+///
+/// PushRecovered bypasses the bound: jobs replayed from the journal were
+/// already admitted before the crash — shedding them on restart would
+/// break the at-most-once contract the journal exists to keep.
+class BoundedFairQueue {
+ public:
+  explicit BoundedFairQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Admits job `id` for `client`. False (and no state change) when the
+  /// queue is at capacity.
+  bool TryPush(const std::string& client, uint64_t id);
+
+  /// Admits unconditionally (crash recovery only).
+  void PushRecovered(const std::string& client, uint64_t id);
+
+  /// Blocks until a job is available or Stop() was called. False only on
+  /// stop-and-empty: after Stop(), remaining jobs still drain.
+  bool Pop(uint64_t* id);
+
+  /// Wakes all Pop() waiters; queued jobs remain poppable.
+  void Stop();
+
+  size_t size() const;
+
+ private:
+  bool PushLocked(const std::string& client, uint64_t id);
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  size_t size_ = 0;
+  /// Per-client FIFOs plus the round-robin rotation over the clients that
+  /// currently have queued work.
+  std::map<std::string, std::deque<uint64_t>> clients_;
+  std::vector<std::string> rotation_;
+  size_t next_ = 0;
+};
+
+}  // namespace serve
+}  // namespace nmine
+
+#endif  // NMINE_SERVE_JOB_QUEUE_H_

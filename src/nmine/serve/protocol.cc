@@ -1,0 +1,81 @@
+#include "nmine/serve/protocol.h"
+
+#include "nmine/obs/json_util.h"
+
+namespace nmine {
+namespace serve {
+
+std::optional<Request> ParseRequest(const std::string& line,
+                                    std::string* error) {
+  std::optional<obs::JsonValue> value = obs::ParseJson(line);
+  if (!value.has_value() || !value->is_object()) {
+    if (error != nullptr) *error = "request must be one JSON object per line";
+    return std::nullopt;
+  }
+  Request request;
+  const obs::JsonValue* op = value->Get("op");
+  if (op == nullptr || !op->is_string()) {
+    if (error != nullptr) *error = "request needs a string \"op\"";
+    return std::nullopt;
+  }
+  request.op = op->string_value;
+
+  const obs::JsonValue* v;
+  if ((v = value->Get("client")) != nullptr && v->is_string()) {
+    request.client = v->string_value;
+  }
+  if ((v = value->Get("tag")) != nullptr && v->is_string()) {
+    request.tag = v->string_value;
+  }
+  if ((v = value->Get("id")) != nullptr && v->is_number()) {
+    request.job_id = static_cast<uint64_t>(v->number_value);
+    request.has_job_id = true;
+  }
+
+  if (request.op == "submit") {
+    const obs::JsonValue* spec = value->Get("spec");
+    if (spec == nullptr) {
+      if (error != nullptr) *error = "submit needs a \"spec\" object";
+      return std::nullopt;
+    }
+    std::string spec_error;
+    request.spec = JobSpec::FromJson(*spec, &spec_error);
+    if (!request.spec.has_value()) {
+      if (error != nullptr) *error = spec_error;
+      return std::nullopt;
+    }
+  } else if (request.op == "status" || request.op == "wait") {
+    if (!request.has_job_id) {
+      if (error != nullptr) *error = request.op + " needs a numeric \"id\"";
+      return std::nullopt;
+    }
+  } else if (request.op != "jobs" && request.op != "ping") {
+    if (error != nullptr) *error = "unknown op '" + request.op + "'";
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::string ErrorResponse(const std::string& code, const std::string& message,
+                          double retry_after_s) {
+  std::string out = "{\"ok\": false, \"error\": ";
+  obs::AppendJsonString(code, &out);
+  out.append(", \"message\": ");
+  obs::AppendJsonString(message, &out);
+  if (retry_after_s >= 0.0) {
+    out.append(", \"retry_after_s\": ");
+    obs::AppendJsonNumber(retry_after_s, &out);
+  }
+  out.append("}\n");
+  return out;
+}
+
+std::string OkResponse(const std::string& extra_members) {
+  std::string out = "{\"ok\": true";
+  out.append(extra_members);
+  out.append("}\n");
+  return out;
+}
+
+}  // namespace serve
+}  // namespace nmine

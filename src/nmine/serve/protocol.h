@@ -1,0 +1,54 @@
+#ifndef NMINE_SERVE_PROTOCOL_H_
+#define NMINE_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "nmine/serve/job.h"
+
+namespace nmine {
+namespace serve {
+
+/// Wire protocol of nmine_server: line-JSON over TCP. Each request is one
+/// JSON object on one line; the server answers with exactly one JSON
+/// object on one line. Requests:
+///
+///   {"op": "ping"}
+///   {"op": "submit", "client": C, "tag": T, "spec": {JobSpec...}}
+///   {"op": "status", "id": N}
+///   {"op": "wait",   "id": N}        blocks until the job is terminal
+///   {"op": "jobs"}                   board snapshot (same shape as /jobsz)
+///
+/// Responses always carry "ok": true|false. Failures are TYPED: "error" is
+/// a StatusCode wire name ("RESOURCE_EXHAUSTED", "INVALID_ARGUMENT",
+/// "NOT_FOUND", "UNAVAILABLE", ...) plus a human "message"; shed submits
+/// additionally carry "retry_after_s" so clients back off instead of
+/// hammering an overloaded server.
+struct Request {
+  std::string op;
+  std::string client;         // fair-scheduling + idempotency namespace
+  std::string tag;            // idempotency key for submit; may be empty
+  uint64_t job_id = 0;        // status / wait
+  bool has_job_id = false;
+  std::optional<JobSpec> spec;  // submit only
+};
+
+/// Parses one request line. nullopt with *error set on malformed JSON, an
+/// unknown op, or a submit without a valid spec.
+std::optional<Request> ParseRequest(const std::string& line,
+                                    std::string* error);
+
+/// {"ok": false, "error": CODE, "message": ..., ["retry_after_s": S]}\n
+/// `code` is a StatusCode wire name. retry_after_s is emitted when >= 0.
+std::string ErrorResponse(const std::string& code, const std::string& message,
+                          double retry_after_s = -1.0);
+
+/// {"ok": true}\n with optional extra members spliced in (caller provides
+/// `", \"id\": 7"` style fragments — already JSON-encoded).
+std::string OkResponse(const std::string& extra_members = "");
+
+}  // namespace serve
+}  // namespace nmine
+
+#endif  // NMINE_SERVE_PROTOCOL_H_

@@ -1,0 +1,566 @@
+#include "nmine/serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "nmine/exec/thread_pool.h"
+#include "nmine/net/status_server.h"
+#include "nmine/obs/json_util.h"
+#include "nmine/obs/logger.h"
+#include "nmine/obs/metrics.h"
+#include "nmine/runtime/checkpoint_io.h"
+
+namespace nmine {
+namespace serve {
+namespace {
+
+/// Process-wide pointer behind the /jobsz endpoint. A leaked mutex (the
+/// endpoint handler outlives every server) guards it; Start publishes,
+/// Shutdown retracts before any member state is torn down.
+std::mutex& ActiveServerMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+MiningServer*& ActiveServer() {
+  static MiningServer* server = nullptr;
+  return server;
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t w =
+        ::send(fd, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (w <= 0) return;
+    done += static_cast<size_t>(w);
+  }
+}
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed;
+}
+
+}  // namespace
+
+MiningServer::~MiningServer() { Stop(); }
+
+std::string MiningServer::CheckpointPathFor(uint64_t id) const {
+  return (std::filesystem::path(options_.state_dir) /
+          ("job-" + std::to_string(id) + ".ckpt"))
+      .string();
+}
+
+bool MiningServer::Start(const Options& options, std::string* error) {
+  if (running_.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "mining server already running";
+    return false;
+  }
+  if (options.state_dir.empty()) {
+    if (error != nullptr) *error = "mining server needs a state_dir";
+    return false;
+  }
+  options_ = options;
+  stopping_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+
+  // Recover the board from the journal. Queued jobs (including the ones a
+  // crash or drain interrupted mid-run) are re-admitted, bypassing the
+  // admission bound: they were already accepted once.
+  jobs_.clear();
+  dedup_.clear();
+  journal_ = JobJournal::Open(options_.state_dir, &jobs_, &next_id_, error);
+  if (journal_ == nullptr) return false;
+
+  queue_ = std::make_unique<BoundedFairQueue>(options_.queue_capacity);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  size_t recovered_queued = 0;
+  for (auto& [id, job] : jobs_) {
+    job.checkpoint_path = CheckpointPathFor(id);
+    if (!job.tag.empty()) dedup_[{job.client, job.tag}] = id;
+    if (job.state == JobState::kQueued) {
+      queue_->PushRecovered(job.client, id);
+      ++recovered_queued;
+    }
+  }
+  if (recovered_queued > 0) {
+    reg.GetCounter("serve.jobs.recovered")
+        .Add(static_cast<int64_t>(recovered_queued));
+  }
+  reg.GetGauge("serve.queue.depth")
+      .Set(static_cast<double>(queue_->size()));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = "socket(): " + std::string(strerror(errno));
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    if (error != nullptr) {
+      *error = "bad bind address '" + options.bind_address + "'";
+    }
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "bind(" + options.bind_address + ":" +
+               std::to_string(options.port) +
+               "): " + std::string(strerror(errno));
+    }
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 64) != 0) {
+    if (error != nullptr) *error = "listen(): " + std::string(strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  // Same non-blocking + poll() discipline as net::StatusServer: a blocked
+  // accept() is not woken by close() on Linux.
+  int fd_flags = ::fcntl(fd, F_GETFL, 0);
+  if (fd_flags >= 0) ::fcntl(fd, F_SETFL, fd_flags | O_NONBLOCK);
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = options.port;
+  }
+  listen_fd_ = fd;
+
+  {
+    std::lock_guard<std::mutex> lock(accept_done_mutex_);
+    accept_done_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+
+  {
+    std::lock_guard<std::mutex> lock(ActiveServerMutex());
+    ActiveServer() = this;
+  }
+  static bool jobsz_registered = [] {
+    net::StatusServer::RegisterEndpoint("/jobsz", [] {
+      std::lock_guard<std::mutex> lock(ActiveServerMutex());
+      MiningServer* server = ActiveServer();
+      if (server == nullptr) {
+        return std::string("{\"error\": \"no mining server running\"}\n");
+      }
+      return server->JobszJson();
+    });
+    return true;
+  }();
+  (void)jobsz_registered;
+
+  // One reserved pool worker for the accept loop, one per executor: a
+  // serving process must never let its service loops starve (or be
+  // starved by) the scan shards of the jobs it runs.
+  exec::ThreadPool& pool = exec::ThreadPool::Shared();
+  pool.ReserveWorker();
+  pool.Submit([this] { AcceptLoop(); });
+  executors_live_.store(static_cast<int>(options_.max_running),
+                        std::memory_order_release);
+  for (size_t i = 0; i < options_.max_running; ++i) {
+    pool.ReserveWorker();
+    pool.Submit([this] { ExecutorLoop(); });
+  }
+
+  NMINE_LOG(kInfo, "serve")
+      .Msg("mining server listening")
+      .Str("address", options_.bind_address)
+      .Num("port", static_cast<int64_t>(port_))
+      .Str("state_dir", options_.state_dir)
+      .Num("recovered_jobs", static_cast<int64_t>(jobs_.size()))
+      .Num("recovered_queued", static_cast<int64_t>(recovered_queued));
+  return true;
+}
+
+void MiningServer::Drain() { Shutdown(/*graceful=*/true); }
+
+void MiningServer::Stop() { Shutdown(/*graceful=*/false); }
+
+void MiningServer::Shutdown(bool graceful) {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (graceful) draining_.store(true, std::memory_order_release);
+  stopping_.store(true, std::memory_order_release);
+
+  // Cancel in-flight jobs cooperatively: the miners observe the token at
+  // their next boundary, flush their RunCheckpoints, and return
+  // kCancelled, which RunOne turns into "back to queued" (graceful) or
+  // leaves un-journaled (abrupt — the journal then looks exactly like a
+  // SIGKILL's).
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    for (auto& [id, job] : jobs_) {
+      if (job.state == JobState::kRunning) job.run_control.RequestCancel();
+    }
+    jobs_cv_.notify_all();
+  }
+
+  queue_->Stop();
+  {
+    std::unique_lock<std::mutex> lock(exec_done_mutex_);
+    exec_done_cv_.wait(lock, [this] {
+      return executors_live_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(accept_done_mutex_);
+    accept_done_cv_.wait(lock, [this] { return accept_done_; });
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (std::thread& t : connection_threads_) {
+      if (t.joinable()) t.join();
+    }
+    connection_threads_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(ActiveServerMutex());
+    if (ActiveServer() == this) ActiveServer() = nullptr;
+  }
+  NMINE_LOG(kInfo, "serve")
+      .Msg(graceful ? "mining server drained" : "mining server stopped")
+      .Num("jobs_tracked", static_cast<int64_t>(jobs_.size()));
+}
+
+void MiningServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      break;
+    }
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_threads_.emplace_back(
+        [this, client] { ConnectionLoop(client); });
+  }
+  std::lock_guard<std::mutex> lock(accept_done_mutex_);
+  accept_done_ = true;
+  accept_done_cv_.notify_all();
+}
+
+void MiningServer::ConnectionLoop(int fd) {
+  // Short receive timeout so the loop can observe the stopping flag; a
+  // connection idles in 100ms poll steps, it is never parked in a
+  // blocking recv the shutdown cannot reach.
+  timeval timeout;
+  timeout.tv_sec = 0;
+  timeout.tv_usec = 100 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r == 0) break;  // peer closed
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(r));
+    if (buffer.size() > (1u << 20)) {
+      SendAll(fd, ErrorResponse("INVALID_ARGUMENT",
+                                "request line exceeds 1 MiB"));
+      break;
+    }
+    size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.empty() || line == "\r") continue;
+      std::string parse_error;
+      std::optional<Request> request = ParseRequest(line, &parse_error);
+      SendAll(fd, request.has_value()
+                      ? HandleRequest(*request)
+                      : ErrorResponse("INVALID_ARGUMENT", parse_error));
+    }
+  }
+  ::close(fd);
+}
+
+std::string MiningServer::HandleRequest(const Request& request) {
+  if (request.op == "ping") return OkResponse();
+  if (request.op == "submit") return HandleSubmit(request);
+  if (request.op == "jobs") {
+    std::string board = JobszJson();
+    if (!board.empty() && board.back() == '\n') board.pop_back();
+    return OkResponse(", \"board\": " + board);
+  }
+  // status / wait
+  std::unique_lock<std::mutex> lock(jobs_mutex_);
+  auto it = jobs_.find(request.job_id);
+  if (it == jobs_.end()) {
+    return ErrorResponse(
+        "NOT_FOUND", "no job " + std::to_string(request.job_id));
+  }
+  if (request.op == "wait") {
+    // Re-find on every wake: the failed-journal path of a concurrent
+    // submit may erase entries, which would invalidate a held iterator.
+    jobs_cv_.wait(lock, [&] {
+      auto i = jobs_.find(request.job_id);
+      return i == jobs_.end() || IsTerminal(i->second.state) ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    it = jobs_.find(request.job_id);
+    if (it == jobs_.end()) {
+      return ErrorResponse(
+          "NOT_FOUND", "no job " + std::to_string(request.job_id));
+    }
+    if (!IsTerminal(it->second.state)) {
+      return ErrorResponse("UNAVAILABLE",
+                           "server stopping before job " +
+                               std::to_string(request.job_id) +
+                               " finished; it resumes after restart",
+                           options_.shed_retry_after_s);
+    }
+  }
+  return StatusResponseLocked(it->second);
+}
+
+std::string MiningServer::HandleSubmit(const Request& request) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (stopping_.load(std::memory_order_acquire) ||
+      draining_.load(std::memory_order_acquire)) {
+    return ErrorResponse("UNAVAILABLE",
+                         "server is draining; resubmit after restart",
+                         options_.shed_retry_after_s);
+  }
+
+  // submit_mutex_ serializes capacity-check -> journal -> enqueue: the
+  // executor must not be able to pop (let alone finish) a job whose
+  // submit record is not durable yet, or a crash could replay its
+  // lifecycle events before its submit line.
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+
+  if (!request.tag.empty()) {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    auto dup = dedup_.find({request.client, request.tag});
+    if (dup != dedup_.end()) {
+      // Idempotent resubmit (the client lost our ack): same job, no new
+      // admission, no second run.
+      return OkResponse(", \"id\": " + std::to_string(dup->second) +
+                        ", \"deduped\": true");
+    }
+  }
+
+  if (queue_->size() >= options_.queue_capacity) {
+    reg.GetCounter("serve.jobs.shed").Increment();
+    return ErrorResponse(
+        "RESOURCE_EXHAUSTED",
+        "admission queue full (" + std::to_string(options_.queue_capacity) +
+            " queued jobs); retry later",
+        options_.shed_retry_after_s);
+  }
+
+  uint64_t id;
+  const Job* new_job = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    id = next_id_++;
+    Job& job = jobs_[id];
+    job.id = id;
+    job.client = request.client;
+    job.tag = request.tag;
+    job.spec = *request.spec;
+    job.state = JobState::kQueued;
+    job.submit_us = NowMicros();
+    job.checkpoint_path = CheckpointPathFor(id);
+    if (!request.tag.empty()) dedup_[{request.client, request.tag}] = id;
+    new_job = &job;  // map nodes are address-stable; only submits erase
+  }
+
+  // Journal BEFORE enqueue and BEFORE the ok goes out. A crash right here
+  // means the client never saw ok and resubmits; the idempotency tag
+  // dedups against the journaled record if it did land.
+  Status journaled = journal_->AppendSubmit(*new_job);
+  if (!journaled.ok()) {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_.erase(id);
+    if (!request.tag.empty()) dedup_.erase({request.client, request.tag});
+    return ErrorResponse("UNAVAILABLE",
+                         "cannot journal submit: " + journaled.message());
+  }
+
+  queue_->PushRecovered(request.client, id);  // capacity checked above
+  reg.GetCounter("serve.jobs.admitted").Increment();
+  reg.GetGauge("serve.queue.depth").Set(static_cast<double>(queue_->size()));
+  return OkResponse(", \"id\": " + std::to_string(id));
+}
+
+void MiningServer::ExecutorLoop() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  uint64_t id;
+  while (queue_->Pop(&id)) {
+    reg.GetGauge("serve.queue.depth").Set(static_cast<double>(queue_->size()));
+    if (stopping_.load(std::memory_order_acquire)) continue;
+    RunOne(id);
+  }
+  if (executors_live_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(exec_done_mutex_);
+    exec_done_cv_.notify_all();
+  }
+}
+
+void MiningServer::RunOne(uint64_t id) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  JobSpec spec;
+  std::string checkpoint_path;
+  const runtime::RunControl* run = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second.state != JobState::kQueued) return;
+    Job& job = it->second;
+    job.state = JobState::kRunning;
+    job.start_us = NowMicros();
+    if (job.spec.deadline_s > 0.0) {
+      job.run_control.SetDeadlineAfter(job.spec.deadline_s);
+    }
+    spec = job.spec;
+    checkpoint_path = job.checkpoint_path;
+    run = &job.run_control;
+  }
+  journal_->AppendState(id, JobState::kRunning);
+
+  JobResult result = RunJob(spec, checkpoint_path, run);
+
+  const bool interrupted =
+      !result.ok && result.error_code == "CANCELLED" &&
+      stopping_.load(std::memory_order_acquire);
+  if (interrupted) {
+    // Drain: journal the rewind so a restart re-admits the job; its
+    // RunCheckpoint already holds the flushed progress. Abrupt Stop():
+    // skip the journal write — the file must look SIGKILL-torn.
+    if (draining_.load(std::memory_order_acquire)) {
+      journal_->AppendState(id, JobState::kQueued);
+      reg.GetCounter("serve.jobs.interrupted").Increment();
+    }
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    auto it = jobs_.find(id);
+    if (it != jobs_.end()) it->second.state = JobState::kQueued;
+    return;
+  }
+
+  // Terminal. Journal first, then publish: a waiter only ever sees a
+  // result that survives a crash.
+  journal_->AppendResult(id, result);
+  reg.GetCounter(result.ok ? "serve.jobs.completed" : "serve.jobs.failed")
+      .Increment();
+  if (result.ok) {
+    runtime::BestEffortRemoveFile(checkpoint_path, "serve");
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    auto it = jobs_.find(id);
+    if (it != jobs_.end()) {
+      Job& job = it->second;
+      job.result = std::move(result);
+      job.state = job.result.ok ? JobState::kDone : JobState::kFailed;
+      job.finish_us = NowMicros();
+    }
+    jobs_cv_.notify_all();
+  }
+}
+
+std::string MiningServer::StatusResponseLocked(const Job& job) const {
+  std::string out = "{\"ok\": true, \"id\": ";
+  obs::AppendJsonNumber(static_cast<double>(job.id), &out);
+  out.append(", \"state\": ");
+  obs::AppendJsonString(ToString(job.state), &out);
+  if (IsTerminal(job.state)) {
+    out.append(", \"result\": ");
+    job.result.AppendJson(&out);
+  }
+  out.append("}\n");
+  return out;
+}
+
+std::string MiningServer::JobszJson() {
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  size_t counts[4] = {0, 0, 0, 0};
+  for (const auto& [id, job] : jobs_) {
+    counts[static_cast<int>(job.state)]++;
+  }
+  std::string out = "{\"version\": \"nmine.jobsz.v1\", \"queue_depth\": ";
+  obs::AppendJsonNumber(static_cast<double>(queue_->size()), &out);
+  out.append(", \"counts\": {\"queued\": ");
+  obs::AppendJsonNumber(static_cast<double>(counts[0]), &out);
+  out.append(", \"running\": ");
+  obs::AppendJsonNumber(static_cast<double>(counts[1]), &out);
+  out.append(", \"done\": ");
+  obs::AppendJsonNumber(static_cast<double>(counts[2]), &out);
+  out.append(", \"failed\": ");
+  obs::AppendJsonNumber(static_cast<double>(counts[3]), &out);
+  out.append("}, \"jobs\": [");
+  bool first = true;
+  for (const auto& [id, job] : jobs_) {
+    if (!first) out.append(", ");
+    first = false;
+    out.append("{\"id\": ");
+    obs::AppendJsonNumber(static_cast<double>(id), &out);
+    out.append(", \"client\": ");
+    obs::AppendJsonString(job.client, &out);
+    out.append(", \"state\": ");
+    obs::AppendJsonString(ToString(job.state), &out);
+    out.append(", \"algorithm\": ");
+    obs::AppendJsonString(job.spec.algorithm, &out);
+    out.append(", \"submit_us\": ");
+    obs::AppendJsonNumber(static_cast<double>(job.submit_us), &out);
+    if (IsTerminal(job.state)) {
+      out.append(", \"ok\": ");
+      out.append(job.result.ok ? "true" : "false");
+      if (!job.result.ok) {
+        out.append(", \"error\": ");
+        obs::AppendJsonString(job.result.error_code, &out);
+      }
+      if (job.result.resumed_from_checkpoint) {
+        out.append(", \"resumed\": true");
+      }
+    }
+    out.append("}");
+  }
+  out.append("]}\n");
+  return out;
+}
+
+}  // namespace serve
+}  // namespace nmine

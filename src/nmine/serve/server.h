@@ -1,0 +1,142 @@
+#ifndef NMINE_SERVE_SERVER_H_
+#define NMINE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "nmine/serve/job.h"
+#include "nmine/serve/job_journal.h"
+#include "nmine/serve/job_queue.h"
+#include "nmine/serve/protocol.h"
+
+namespace nmine {
+namespace serve {
+
+/// nmine_server's core: accepts line-JSON mining jobs over TCP,
+/// multiplexes them onto executor workers from the shared thread pool,
+/// and keeps every admitted job durable in a write-ahead journal so a
+/// SIGKILL loses nothing a client was ever acknowledged for.
+///
+/// Robustness spine:
+///   - bounded admission (BoundedFairQueue): full queue => typed
+///     RESOURCE_EXHAUSTED shed with a retry_after_s hint, never unbounded
+///     memory
+///   - per-job fault isolation: a job's failure (fault plan, corrupt db,
+///     bad spec, deadline) becomes a typed result for that job only
+///   - graceful drain (Drain(), wired to SIGTERM by the tool): stop
+///     admitting, cancel in-flight jobs via their RunControl so the
+///     miners flush RunCheckpoints, journal them back to queued, exit
+///   - crash recovery (Start() on an existing state_dir): replay the
+///     journal, re-admit queued/interrupt jobs, resume them from their
+///     per-job checkpoints; finished jobs keep their cached results
+///   - idempotent submits: a (client, tag) pair maps to one job id
+///     forever, so a client that resubmits after losing the ack gets the
+///     original job instead of a duplicate run
+///
+/// Metrics: serve.jobs.{admitted,shed,completed,failed,recovered,
+/// interrupted} counters and the serve.queue.depth gauge. The job board
+/// is exported process-wide as /jobsz via StatusServer::RegisterEndpoint.
+class MiningServer {
+ public:
+  struct Options {
+    /// TCP port; 0 picks an ephemeral port (see port()).
+    uint16_t port = 0;
+    std::string bind_address = "127.0.0.1";
+    /// Directory for the job journal and per-job run checkpoints.
+    /// Required; created when missing. Reusing a dir = crash recovery.
+    std::string state_dir;
+    /// Admission bound: queued (not yet running) jobs beyond this are
+    /// shed with RESOURCE_EXHAUSTED.
+    size_t queue_capacity = 64;
+    /// Executor workers (concurrent jobs). 0 = admit-only mode: jobs
+    /// queue and journal but never start (deterministic-shedding tests).
+    size_t max_running = 1;
+    /// retry_after_s hint attached to shed responses.
+    double shed_retry_after_s = 1.0;
+  };
+
+  MiningServer() = default;
+  ~MiningServer();
+  MiningServer(const MiningServer&) = delete;
+  MiningServer& operator=(const MiningServer&) = delete;
+
+  /// Opens (or recovers) the state dir, binds the socket, starts the
+  /// accept loop and executors, and registers /jobsz. False with *error
+  /// set on any setup failure.
+  bool Start(const Options& options, std::string* error);
+
+  /// Graceful drain (SIGTERM path): stop admitting (submits get a typed
+  /// UNAVAILABLE), cancel in-flight jobs cooperatively so they flush
+  /// their checkpoints, journal them back to queued, join everything.
+  /// The journal then holds exactly the work a restarted server resumes.
+  void Drain();
+
+  /// Abrupt stop: like Drain() but in-flight jobs are NOT journaled back
+  /// to queued — their last journaled state stays "running", exactly as
+  /// after a SIGKILL. In-process crash-recovery tests use this; real
+  /// servers should Drain().
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+
+  /// The /jobsz body: board snapshot with per-state counts and one entry
+  /// per tracked job.
+  std::string JobszJson();
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+  void ExecutorLoop();
+  void RunOne(uint64_t id);
+  std::string HandleRequest(const Request& request);
+  std::string HandleSubmit(const Request& request);
+  std::string StatusResponseLocked(const Job& job) const;
+  std::string CheckpointPathFor(uint64_t id) const;
+  void Shutdown(bool graceful);
+
+  Options options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+
+  std::unique_ptr<JobJournal> journal_;
+  std::unique_ptr<BoundedFairQueue> queue_;
+
+  /// Serializes the capacity-check -> journal -> enqueue sequence of a
+  /// submit, so an executor can never observe (and finish!) a job before
+  /// its submit record is durable.
+  std::mutex submit_mutex_;
+
+  /// Board state: jobs_, dedup index, id counter. The cv signals job
+  /// completion (wait op) and shutdown.
+  std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;
+  std::map<uint64_t, Job> jobs_;
+  std::map<std::pair<std::string, std::string>, uint64_t> dedup_;
+  uint64_t next_id_ = 1;
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::atomic<int> executors_live_{0};
+  std::mutex exec_done_mutex_;
+  std::condition_variable exec_done_cv_;
+  std::mutex accept_done_mutex_;
+  std::condition_variable accept_done_cv_;
+  bool accept_done_ = true;
+};
+
+}  // namespace serve
+}  // namespace nmine
+
+#endif  // NMINE_SERVE_SERVER_H_

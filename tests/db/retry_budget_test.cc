@@ -1,0 +1,132 @@
+// RetryBudget: the per-run cap on cumulative retries across all scans.
+// Covers the counting contract, the published gauge, thread-safety of the
+// shared pool, and the RunScanWithRetry integration (exhaustion surfaces
+// the failure with a typed message instead of retrying forever).
+#include <atomic>
+#include <climits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nmine/core/status.h"
+#include "nmine/db/retry.h"
+#include "nmine/obs/metrics.h"
+
+namespace nmine {
+namespace {
+
+TEST(RetryBudgetTest, UnlimitedBudgetNeverBlocks) {
+  RetryBudget budget(-1);
+  EXPECT_TRUE(budget.unlimited());
+  EXPECT_EQ(budget.remaining(), INT64_MAX);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(budget.TryConsume());
+  EXPECT_EQ(budget.used(), 0);  // unlimited pools track nothing
+}
+
+TEST(RetryBudgetTest, CountsDownAndPublishesTheGauge) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  RetryBudget budget(3);
+  EXPECT_EQ(budget.remaining(), 3);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("db.scan.retry_budget_remaining"), 3.0);
+
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("db.scan.retry_budget_remaining"), 1.0);
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_FALSE(budget.TryConsume());  // spent
+  EXPECT_FALSE(budget.TryConsume());  // stays spent
+  EXPECT_EQ(budget.remaining(), 0);
+  EXPECT_EQ(budget.used(), 3);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("db.scan.retry_budget_remaining"), 0.0);
+}
+
+TEST(RetryBudgetTest, ConcurrentConsumersNeverOverspend) {
+  constexpr int64_t kTotal = 100;
+  RetryBudget budget(kTotal);
+  std::atomic<int64_t> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&budget, &granted] {
+      for (int i = 0; i < 50; ++i) {
+        if (budget.TryConsume()) granted.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(granted.load(), kTotal);  // 400 asked, exactly 100 granted
+  EXPECT_EQ(budget.remaining(), 0);
+}
+
+TEST(RetryBudgetTest, ExhaustionStopsRunScanWithRetry) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const int64_t exhausted_before =
+      reg.CounterValue("db.scan.retry_budget_exhausted");
+
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryBudget budget(1);
+  FakeSleeper sleeper;
+  int attempts = 0;
+  Status status = RunScanWithRetry(
+      policy, &sleeper, /*can_replay=*/true, "test scan",
+      [&attempts](int) {
+        ++attempts;
+        ScanAttempt outcome;
+        outcome.status = Status::Unavailable("disk flapping");
+        return outcome;
+      },
+      &budget);
+
+  // First attempt + the single budgeted retry; the per-scan limit of 5
+  // never gets a say.
+  EXPECT_EQ(attempts, 2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("run retry budget of 1 exhausted"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(reg.CounterValue("db.scan.retry_budget_exhausted"),
+            exhausted_before + 1);
+}
+
+TEST(RetryBudgetTest, BudgetIsSharedAcrossScansOfOneRun) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryBudget budget(2);
+  FakeSleeper sleeper;
+
+  // Two scans that each fail once then recover: each spends one retry.
+  for (int scan = 0; scan < 2; ++scan) {
+    Status status = RunScanWithRetry(
+        policy, &sleeper, /*can_replay=*/true, "test scan",
+        [](int attempt) {
+          ScanAttempt outcome;
+          if (attempt == 0) {
+            outcome.status = Status::Unavailable("hiccup");
+          }
+          return outcome;
+        },
+        &budget);
+    EXPECT_TRUE(status.ok()) << "scan " << scan;
+  }
+  EXPECT_EQ(budget.remaining(), 0);
+
+  // The third scan's transient failure can no longer be retried.
+  int attempts = 0;
+  Status status = RunScanWithRetry(
+      policy, &sleeper, /*can_replay=*/true, "test scan",
+      [&attempts](int) {
+        ++attempts;
+        ScanAttempt outcome;
+        outcome.status = Status::Unavailable("hiccup");
+        return outcome;
+      },
+      &budget);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace nmine

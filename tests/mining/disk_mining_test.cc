@@ -28,7 +28,13 @@ class DiskMiningTest : public ::testing::Test {
     spec.seed = 77;
     workload_ = MakeUniformNoiseWorkload(spec, 0.1);
 
-    path_ = std::string(::testing::TempDir()) + "/disk_mining.nmsq";
+    // Unique per test: under `ctest -j` sibling tests run concurrently in
+    // separate processes, and a shared path lets one test's TearDown
+    // delete the file another is still scanning.
+    path_ =
+        std::string(::testing::TempDir()) + "/disk_mining_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".nmsq";
     ASSERT_TRUE(
         dbformat::WriteDatabaseFile(path_, workload_.test.records()).ok);
     Status error;

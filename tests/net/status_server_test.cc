@@ -99,6 +99,67 @@ TEST_F(StatusServerTest, HealthzReportsOk) {
   EXPECT_GE(doc->GetNumber("uptime_s", -1.0), 0.0);
 }
 
+/// True when the /healthz "reasons" array contains `reason`.
+bool HasReason(const obs::JsonValue& doc, const std::string& reason) {
+  const obs::JsonValue* reasons = doc.Get("reasons");
+  if (reasons == nullptr || !reasons->is_array()) return false;
+  for (const obs::JsonValue& r : reasons->array) {
+    if (r.string_value == reason) return true;
+  }
+  return false;
+}
+
+std::optional<obs::JsonValue> PollHealthz(uint16_t port) {
+  std::optional<HttpResult> r = HttpGet(port, "/healthz");
+  if (!r.has_value() || r->status != 200) return std::nullopt;
+  return obs::ParseJson(r->body);
+}
+
+TEST_F(StatusServerTest, HealthzDegradesWhenGovernorLadderEngaged) {
+  runtime::RunStatusBoard::Global().PublishGovernor(1 << 20, 3 << 20, 2);
+  std::optional<obs::JsonValue> doc = PollHealthz(server_.port());
+  ASSERT_TRUE(doc.has_value());
+  // Degraded, not dead: liveness stays 200 (PollHealthz checked it) and
+  // the body names the cause so a balancer can route around this node.
+  EXPECT_EQ(doc->Get("status")->string_value, "degraded");
+  EXPECT_TRUE(HasReason(*doc, "governor_ladder_engaged"));
+
+  runtime::RunStatusBoard::Global().Reset();
+  doc = PollHealthz(server_.port());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Get("status")->string_value, "ok");  // recovers
+}
+
+TEST_F(StatusServerTest, HealthzDegradesWhileScanRetriesClimb) {
+  // First poll records the retry-counter baseline.
+  std::optional<obs::JsonValue> doc = PollHealthz(server_.port());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(HasReason(*doc, "scan_retries_climbing"));
+
+  obs::MetricsRegistry::Global().GetCounter("db.scan.retries").Add(3);
+  doc = PollHealthz(server_.port());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Get("status")->string_value, "degraded");
+  EXPECT_TRUE(HasReason(*doc, "scan_retries_climbing"));
+
+  // No further retries between polls: the signal clears on its own.
+  doc = PollHealthz(server_.port());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(HasReason(*doc, "scan_retries_climbing"));
+}
+
+// Keep this after every test that expects "ok": the exhausted-budget
+// signal is deliberately sticky for the life of the process.
+TEST_F(StatusServerTest, HealthzDegradesAfterRetryBudgetExhaustion) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("db.scan.retry_budget_exhausted")
+      .Increment();
+  std::optional<obs::JsonValue> doc = PollHealthz(server_.port());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Get("status")->string_value, "degraded");
+  EXPECT_TRUE(HasReason(*doc, "retry_budget_exhausted"));
+}
+
 TEST_F(StatusServerTest, StatuszServesTheRunBoard) {
   runtime::RunStatusBoard::Global().BeginRun("mine", "collapse");
   runtime::RunStatusBoard::Global().SetPhase("phase2");

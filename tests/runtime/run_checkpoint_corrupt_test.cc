@@ -235,5 +235,46 @@ TEST_F(RunCheckpointCorruptTest, Phase3AdapterSurvivesTheSameCorpus) {
   std::remove(victim.c_str());
 }
 
+TEST_F(RunCheckpointCorruptTest, SigtermMidWriteNeverTearsTheCheckpoint) {
+  // The atomic-rename contract under an ill-timed SIGTERM/SIGKILL: the
+  // writer stages the new checkpoint at `path + ".tmp"` and renames only
+  // after a full flush. Dying at ANY point of the staged write must leave
+  // the previous checkpoint at `path` fully loadable — simulated here by
+  // materializing every prefix of the new bytes into the .tmp path.
+  const std::string path = Path("sigterm.ckpt");
+  runtime::RunCheckpoint old_cp =
+      MakeCheckpoint(runtime::RunStage::kPhase2Done);
+  ASSERT_TRUE(runtime::WriteRunCheckpoint(path, old_cp).ok());
+
+  runtime::RunCheckpoint new_cp =
+      MakeCheckpoint(runtime::RunStage::kPhase3Progress);
+  new_cp.scans_completed = 9;
+  const std::string tmp = Path("sigterm_new.ckpt");
+  ASSERT_TRUE(runtime::WriteRunCheckpoint(tmp, new_cp).ok());
+  const std::string new_bytes = ReadBytes(tmp);
+  ASSERT_GT(new_bytes.size(), 0u);
+  std::remove(tmp.c_str());
+
+  for (size_t cut = 0; cut <= new_bytes.size(); ++cut) {
+    WriteBytes(path + ".tmp", new_bytes.substr(0, cut));
+    runtime::RunCheckpoint loaded;
+    ASSERT_TRUE(runtime::LoadRunCheckpoint(path, Guard(), &loaded).ok())
+        << "torn .tmp of " << cut << " bytes leaked into the checkpoint";
+    EXPECT_EQ(loaded.stage, runtime::RunStage::kPhase2Done)
+        << "cut at byte " << cut;
+    EXPECT_TRUE(SameContents(old_cp, loaded)) << "cut at byte " << cut;
+  }
+
+  // Resume-after-restart: the rerun overwrites the stale .tmp and lands
+  // the new checkpoint; the next load sees the new state, whole.
+  ASSERT_TRUE(runtime::WriteRunCheckpoint(path, new_cp).ok());
+  runtime::RunCheckpoint loaded;
+  ASSERT_TRUE(runtime::LoadRunCheckpoint(path, Guard(), &loaded).ok());
+  EXPECT_EQ(loaded.stage, runtime::RunStage::kPhase3Progress);
+  EXPECT_EQ(loaded.scans_completed, 9u);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
 }  // namespace
 }  // namespace nmine

@@ -1,0 +1,118 @@
+// BoundedFairQueue: admission bound, round-robin fairness between
+// clients, per-client FIFO order, and drain-after-stop semantics.
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nmine/serve/job_queue.h"
+
+namespace nmine {
+namespace serve {
+namespace {
+
+TEST(JobQueueTest, BoundIsEnforced) {
+  BoundedFairQueue queue(3);
+  EXPECT_TRUE(queue.TryPush("a", 1));
+  EXPECT_TRUE(queue.TryPush("a", 2));
+  EXPECT_TRUE(queue.TryPush("b", 3));
+  EXPECT_FALSE(queue.TryPush("a", 4));  // full: shed
+  EXPECT_FALSE(queue.TryPush("c", 5));  // full for new clients too
+  EXPECT_EQ(queue.size(), 3u);
+
+  uint64_t id;
+  ASSERT_TRUE(queue.Pop(&id));
+  EXPECT_TRUE(queue.TryPush("c", 5));  // slot freed
+}
+
+TEST(JobQueueTest, RecoveryBypassesTheBound) {
+  BoundedFairQueue queue(1);
+  EXPECT_TRUE(queue.TryPush("a", 1));
+  queue.PushRecovered("a", 2);
+  queue.PushRecovered("b", 3);
+  EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(JobQueueTest, RoundRobinsBetweenClientsFifoWithin) {
+  BoundedFairQueue queue(16);
+  // Client a floods first; b and c each submit one job afterwards.
+  for (uint64_t id = 1; id <= 6; ++id) ASSERT_TRUE(queue.TryPush("a", id));
+  ASSERT_TRUE(queue.TryPush("b", 100));
+  ASSERT_TRUE(queue.TryPush("c", 200));
+
+  std::vector<uint64_t> order;
+  uint64_t id;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.Pop(&id));
+    order.push_back(id);
+  }
+  // The flood does not starve b or c: they are served within the first
+  // rotation, interleaved with a's FIFO (1, 2, 3, ...).
+  std::vector<uint64_t> expected = {1, 100, 200, 2, 3, 4, 5, 6};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(JobQueueTest, StopDrainsRemainingThenReleases) {
+  BoundedFairQueue queue(8);
+  ASSERT_TRUE(queue.TryPush("a", 1));
+  ASSERT_TRUE(queue.TryPush("a", 2));
+  queue.Stop();
+
+  uint64_t id;
+  EXPECT_TRUE(queue.Pop(&id));
+  EXPECT_EQ(id, 1u);
+  EXPECT_TRUE(queue.Pop(&id));
+  EXPECT_EQ(id, 2u);
+  EXPECT_FALSE(queue.Pop(&id));  // stopped and empty
+}
+
+TEST(JobQueueTest, StopWakesABlockedPopper) {
+  BoundedFairQueue queue(4);
+  std::thread popper([&queue] {
+    uint64_t id;
+    EXPECT_FALSE(queue.Pop(&id));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Stop();
+  popper.join();
+}
+
+TEST(JobQueueTest, ConcurrentPushersAndPoppersLoseNothing) {
+  BoundedFairQueue queue(1024);
+  constexpr int kPerClient = 100;
+  std::vector<std::thread> pushers;
+  for (int c = 0; c < 4; ++c) {
+    pushers.emplace_back([&queue, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        ASSERT_TRUE(queue.TryPush("client-" + std::to_string(c),
+                                  static_cast<uint64_t>(c * 1000 + i)));
+      }
+    });
+  }
+  std::vector<uint64_t> popped;
+  std::mutex popped_mutex;
+  std::vector<std::thread> poppers;
+  for (int p = 0; p < 2; ++p) {
+    poppers.emplace_back([&] {
+      uint64_t id;
+      while (queue.Pop(&id)) {
+        std::lock_guard<std::mutex> lock(popped_mutex);
+        popped.push_back(id);
+      }
+    });
+  }
+  for (std::thread& t : pushers) t.join();
+  while (queue.size() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  queue.Stop();
+  for (std::thread& t : poppers) t.join();
+  EXPECT_EQ(popped.size(), 4u * kPerClient);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace nmine

@@ -1,0 +1,402 @@
+// MiningServer integration: the in-process half of the chaos drill.
+// Exercises the full robustness spine deterministically — typed shedding
+// under an undersized queue, idempotent resubmits, per-job fault
+// isolation, graceful drain re-queueing an in-flight job, and crash
+// recovery (abrupt stop + restart on the same state dir) finishing every
+// admitted job with results identical to a solo run. The CI drill repeats
+// this across real processes with SIGKILL.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "nmine/db/format.h"
+#include "nmine/gen/workload.h"
+#include "nmine/obs/json_parse.h"
+#include "nmine/obs/metrics.h"
+#include "nmine/serve/job.h"
+#include "nmine/serve/server.h"
+
+namespace nmine {
+namespace serve {
+namespace {
+
+/// One request -> one response over a fresh connection (the protocol is
+/// stateless per line, so this is all a test needs; `wait` simply keeps
+/// the connection open until the job is terminal).
+std::optional<std::string> LineRequest(uint16_t port,
+                                       const std::string& line) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  size_t done = 0;
+  while (done < line.size()) {
+    ssize_t w = ::send(fd, line.data() + done, line.size() - done, 0);
+    if (w <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    done += static_cast<size_t>(w);
+  }
+  std::string buffer;
+  char chunk[4096];
+  while (buffer.find('\n') == std::string::npos) {
+    ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  size_t nl = buffer.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  return buffer.substr(0, nl);
+}
+
+std::optional<obs::JsonValue> Ask(uint16_t port, const std::string& line) {
+  std::optional<std::string> response = LineRequest(port, line);
+  if (!response.has_value()) return std::nullopt;
+  return obs::ParseJson(*response);
+}
+
+std::string SubmitLine(const std::string& client, const std::string& tag,
+                       const JobSpec& spec) {
+  std::string line =
+      "{\"op\": \"submit\", \"client\": \"" + client + "\", \"tag\": \"" +
+      tag + "\", \"spec\": ";
+  spec.AppendJson(&line);
+  line.append("}\n");
+  return line;
+}
+
+class MiningServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string(::testing::TempDir()) + "/serve_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+
+    WorkloadSpec wspec;
+    wspec.num_sequences = 60;
+    wspec.min_length = 15;
+    wspec.max_length = 30;
+    wspec.num_planted = 2;
+    wspec.planted_symbols_min = 3;
+    wspec.planted_symbols_max = 4;
+    wspec.seed = 11;
+    NoisyWorkload workload = MakeUniformNoiseWorkload(wspec, 0.1);
+    db_path_ = dir_ + "/db.nmsq";
+    ASSERT_TRUE(
+        dbformat::WriteDatabaseFile(db_path_, workload.test.records()).ok);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  JobSpec QuickSpec() const {
+    JobSpec spec;
+    spec.db_path = db_path_;
+    spec.uniform_alpha = 0.1;
+    spec.threshold = 0.3;
+    spec.max_span = 4;
+    spec.sample_size = 60;
+    spec.delta = 0.05;
+    return spec;
+  }
+
+  MiningServer::Options ServerOptions() const {
+    MiningServer::Options options;
+    options.state_dir = dir_ + "/state";
+    return options;
+  }
+
+  /// Waits for job `id` on `port` and returns the parsed response.
+  std::optional<obs::JsonValue> Wait(uint16_t port, uint64_t id) {
+    return Ask(port,
+               "{\"op\": \"wait\", \"id\": " + std::to_string(id) + "}\n");
+  }
+
+  static JobResult ResultOf(const obs::JsonValue& response) {
+    const obs::JsonValue* payload = response.Get("result");
+    EXPECT_NE(payload, nullptr);
+    std::optional<JobResult> result = JobResult::FromJson(*payload);
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(JobResult{});
+  }
+
+  std::string dir_;
+  std::string db_path_;
+};
+
+TEST_F(MiningServerTest, SubmitWaitMatchesASoloRunBitForBit) {
+  MiningServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(ServerOptions(), &error)) << error;
+
+  std::optional<obs::JsonValue> ack =
+      Ask(server.port(), SubmitLine("alice", "t1", QuickSpec()));
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_TRUE(ack->Get("ok")->bool_value);
+  const uint64_t id = static_cast<uint64_t>(ack->GetNumber("id", 0.0));
+  ASSERT_GT(id, 0u);
+
+  std::optional<obs::JsonValue> done = Wait(server.port(), id);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->Get("state")->string_value, "done");
+  JobResult via_server = ResultOf(*done);
+  ASSERT_TRUE(via_server.ok);
+
+  JobResult solo = RunJob(QuickSpec(), "", nullptr);
+  ASSERT_TRUE(solo.ok);
+  EXPECT_EQ(via_server.rows, solo.rows);  // preformatted: bit-identity
+  EXPECT_EQ(via_server.scans, solo.scans);
+  server.Drain();
+}
+
+TEST_F(MiningServerTest, FullQueueShedsWithTypedRetryHint) {
+  MiningServer::Options options = ServerOptions();
+  options.max_running = 0;  // admit-only: the queue fills deterministically
+  options.queue_capacity = 2;
+  options.shed_retry_after_s = 2.5;
+  MiningServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const int64_t shed_before = reg.CounterValue("serve.jobs.shed");
+
+  for (int i = 0; i < 2; ++i) {
+    std::optional<obs::JsonValue> ack = Ask(
+        server.port(),
+        SubmitLine("alice", "tag-" + std::to_string(i), QuickSpec()));
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_TRUE(ack->Get("ok")->bool_value) << "submit " << i;
+  }
+  std::optional<obs::JsonValue> shed =
+      Ask(server.port(), SubmitLine("alice", "tag-over", QuickSpec()));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_FALSE(shed->Get("ok")->bool_value);
+  EXPECT_EQ(shed->Get("error")->string_value, "RESOURCE_EXHAUSTED");
+  EXPECT_DOUBLE_EQ(shed->GetNumber("retry_after_s", -1.0), 2.5);
+  EXPECT_EQ(reg.CounterValue("serve.jobs.shed"), shed_before + 1);
+
+  // A shed job was never journaled: it does not haunt the next restart.
+  server.Stop();
+  MiningServer reborn;
+  ASSERT_TRUE(reborn.Start(options, &error)) << error;
+  std::optional<obs::JsonValue> board =
+      Ask(reborn.port(), "{\"op\": \"jobs\"}\n");
+  ASSERT_TRUE(board.has_value());
+  EXPECT_DOUBLE_EQ(
+      board->Get("board")->Get("counts")->GetNumber("queued", -1.0), 2.0);
+  reborn.Stop();
+}
+
+TEST_F(MiningServerTest, ResubmitWithSameTagReattachesToTheSameJob) {
+  MiningServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(ServerOptions(), &error)) << error;
+
+  std::optional<obs::JsonValue> first =
+      Ask(server.port(), SubmitLine("alice", "once", QuickSpec()));
+  ASSERT_TRUE(first.has_value());
+  const double id = first->GetNumber("id", 0.0);
+  std::optional<obs::JsonValue> second =
+      Ask(server.port(), SubmitLine("alice", "once", QuickSpec()));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->Get("ok")->bool_value);
+  EXPECT_DOUBLE_EQ(second->GetNumber("id", -1.0), id);
+  EXPECT_NE(second->Get("deduped"), nullptr);
+
+  // A different client reusing the tag text is NOT deduped.
+  std::optional<obs::JsonValue> other =
+      Ask(server.port(), SubmitLine("bob", "once", QuickSpec()));
+  ASSERT_TRUE(other.has_value());
+  EXPECT_NE(other->GetNumber("id", -1.0), id);
+  server.Drain();
+}
+
+TEST_F(MiningServerTest, JobFaultsAreIsolatedAndTyped) {
+  MiningServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(ServerOptions(), &error)) << error;
+
+  // Unrecoverable corruption: typed DATA_LOSS failure for this job only.
+  JobSpec corrupt = QuickSpec();
+  corrupt.fault_plan = "corrupt-from:0";
+  corrupt.scan_retries = 1;
+  std::optional<obs::JsonValue> ack =
+      Ask(server.port(), SubmitLine("alice", "bad", corrupt));
+  ASSERT_TRUE(ack.has_value());
+  const uint64_t bad_id = static_cast<uint64_t>(ack->GetNumber("id", 0.0));
+  std::optional<obs::JsonValue> failed = Wait(server.port(), bad_id);
+  ASSERT_TRUE(failed.has_value());
+  EXPECT_EQ(failed->Get("state")->string_value, "failed");
+  JobResult bad = ResultOf(*failed);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error_code, "DATA_LOSS");
+
+  // An unparseable spec is refused before admission, also typed.
+  std::optional<obs::JsonValue> refused = Ask(
+      server.port(),
+      "{\"op\": \"submit\", \"spec\": {\"db\": \"x\", "
+      "\"algorithm\": \"quantum\"}}\n");
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_FALSE(refused->Get("ok")->bool_value);
+  EXPECT_EQ(refused->Get("error")->string_value, "INVALID_ARGUMENT");
+
+  // The server keeps serving healthy jobs afterwards.
+  ack = Ask(server.port(), SubmitLine("alice", "good", QuickSpec()));
+  ASSERT_TRUE(ack.has_value());
+  std::optional<obs::JsonValue> done = Wait(
+      server.port(), static_cast<uint64_t>(ack->GetNumber("id", 0.0)));
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->Get("state")->string_value, "done");
+  server.Drain();
+}
+
+TEST_F(MiningServerTest, UnknownJobIsNotFound) {
+  MiningServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(ServerOptions(), &error)) << error;
+  std::optional<obs::JsonValue> r =
+      Ask(server.port(), "{\"op\": \"status\", \"id\": 424242}\n");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->Get("ok")->bool_value);
+  EXPECT_EQ(r->Get("error")->string_value, "NOT_FOUND");
+  server.Drain();
+}
+
+TEST_F(MiningServerTest, AbruptStopThenRestartFinishesEveryAdmittedJob) {
+  // Phase 1: admit-only server takes the jobs and "crashes" (abrupt stop
+  // journals nothing extra — the journal looks exactly SIGKILL'd).
+  MiningServer::Options admit_only = ServerOptions();
+  admit_only.max_running = 0;
+  uint64_t ids[3];
+  {
+    MiningServer server;
+    std::string error;
+    ASSERT_TRUE(server.Start(admit_only, &error)) << error;
+    for (int i = 0; i < 3; ++i) {
+      JobSpec spec = QuickSpec();
+      spec.seed = 42 + static_cast<uint64_t>(i);
+      std::optional<obs::JsonValue> ack = Ask(
+          server.port(),
+          SubmitLine("client-" + std::to_string(i % 2),
+                     "job-" + std::to_string(i), spec));
+      ASSERT_TRUE(ack.has_value());
+      ASSERT_TRUE(ack->Get("ok")->bool_value);
+      ids[i] = static_cast<uint64_t>(ack->GetNumber("id", 0.0));
+    }
+    server.Stop();
+  }
+
+  // Phase 2: restart on the same state dir; every admitted job must reach
+  // done with the same rows a solo run produces.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const int64_t recovered_before = reg.CounterValue("serve.jobs.recovered");
+  MiningServer::Options serving = ServerOptions();
+  serving.max_running = 2;
+  MiningServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(serving, &error)) << error;
+  EXPECT_EQ(reg.CounterValue("serve.jobs.recovered"), recovered_before + 3);
+
+  for (int i = 0; i < 3; ++i) {
+    std::optional<obs::JsonValue> done = Wait(server.port(), ids[i]);
+    ASSERT_TRUE(done.has_value()) << "job " << ids[i];
+    ASSERT_TRUE(done->Get("ok")->bool_value);
+    EXPECT_EQ(done->Get("state")->string_value, "done") << "job " << ids[i];
+    JobSpec spec = QuickSpec();
+    spec.seed = 42 + static_cast<uint64_t>(i);
+    JobResult solo = RunJob(spec, "", nullptr);
+    EXPECT_EQ(ResultOf(*done).rows, solo.rows) << "job " << ids[i];
+  }
+
+  // The idempotency index survived the crash: resubmitting an old tag
+  // reattaches instead of re-running.
+  std::optional<obs::JsonValue> again = Ask(
+      server.port(), SubmitLine("client-0", "job-0", QuickSpec()));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_DOUBLE_EQ(again->GetNumber("id", 0.0),
+                   static_cast<double>(ids[0]));
+  EXPECT_NE(again->Get("deduped"), nullptr);
+  server.Drain();
+}
+
+TEST_F(MiningServerTest, DrainRequeuesInFlightJobAndRestartResumes) {
+  // A seeded flaky fault plan makes the job slow (real retry backoffs)
+  // without changing its result, so the drain reliably lands mid-run —
+  // after the run checkpoint exists, which the test waits for.
+  JobSpec slow = QuickSpec();
+  slow.fault_plan = "flaky:0.7, seed:5";
+  slow.scan_retries = 30;
+  slow.retry_backoff_ms = 40.0;
+
+  MiningServer::Options options = ServerOptions();
+  uint64_t id;
+  {
+    MiningServer server;
+    std::string error;
+    ASSERT_TRUE(server.Start(options, &error)) << error;
+    std::optional<obs::JsonValue> ack =
+        Ask(server.port(), SubmitLine("alice", "slow", slow));
+    ASSERT_TRUE(ack.has_value());
+    ASSERT_TRUE(ack->Get("ok")->bool_value);
+    id = static_cast<uint64_t>(ack->GetNumber("id", 0.0));
+
+    // Wait until the job has flushed its first run checkpoint, then pull
+    // the plug gracefully while it is still mining.
+    const std::string ckpt =
+        options.state_dir + "/job-" + std::to_string(id) + ".ckpt";
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!std::filesystem::exists(ckpt) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(std::filesystem::exists(ckpt))
+        << "job never flushed a checkpoint";
+    server.Drain();
+  }
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  EXPECT_GE(reg.CounterValue("serve.jobs.interrupted"), 1);
+
+  // Restart: the job is re-admitted and resumes from its checkpoint.
+  MiningServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  std::optional<obs::JsonValue> done = Wait(server.port(), id);
+  ASSERT_TRUE(done.has_value());
+  ASSERT_TRUE(done->Get("ok")->bool_value) << "wait failed";
+  EXPECT_EQ(done->Get("state")->string_value, "done");
+  JobResult resumed = ResultOf(*done);
+  ASSERT_TRUE(resumed.ok);
+  EXPECT_TRUE(resumed.resumed_from_checkpoint);
+
+  // Bit-identical to an uninterrupted, fault-free solo run.
+  JobResult solo = RunJob(QuickSpec(), "", nullptr);
+  ASSERT_TRUE(solo.ok);
+  EXPECT_EQ(resumed.rows, solo.rows);
+  server.Drain();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace nmine

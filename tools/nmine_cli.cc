@@ -56,6 +56,10 @@
 // "Robustness"):
 //   --scan-retries N        retries per failed scan (default 2; 0 disables)
 //   --retry-backoff-ms B    initial backoff, doubled per retry (default 5)
+//   --retry-budget N        cap on CUMULATIVE retries across all scans of
+//                           the run (default unlimited); a flapping disk
+//                           then fails the run instead of retrying forever
+//                           (gauge db.scan.retry_budget_remaining)
 //   --fault-plan SPEC       inject scan faults, e.g. "open-fail:1" or
 //                           "corrupt-from:0" (see db/fault_injecting_database.h)
 //   --phase3-checkpoint F   checkpoint border-collapsing probe state to F
@@ -613,9 +617,23 @@ int CmdMine(const Flags& flags) {
       1 + static_cast<int>(std::max(0LL, flags.GetInt("scan-retries", 2)));
   retry.initial_backoff_ms = flags.GetDouble("retry-backoff-ms", 5.0);
 
+  // Per-run retry budget shared by the disk layer and the drill retrier,
+  // so cumulative retries are capped no matter which layer performs them.
+  std::optional<RetryBudget> retry_budget;
+  if (flags.Has("retry-budget")) {
+    long long budget_value = flags.GetInt("retry-budget", -1);
+    if (budget_value < 0) {
+      std::fprintf(stderr, "mine: bad --retry-budget '%s' (want >= 0)\n",
+                   flags.Get("retry-budget", "").c_str());
+      return 1;
+    }
+    retry_budget.emplace(budget_value);
+  }
+
   Status error;
   DiskSequenceDatabase::Options db_options;
   db_options.retry = retry;
+  db_options.retry_budget = retry_budget.has_value() ? &*retry_budget : nullptr;
   std::unique_ptr<DiskSequenceDatabase> db = DiskSequenceDatabase::Open(
       flags.positional()[0], db_options, &error);
   if (db == nullptr) {
@@ -641,7 +659,9 @@ int CmdMine(const Flags& flags) {
     }
     injector =
         std::make_unique<FaultInjectingDatabase>(db.get(), std::move(*plan));
-    retrier = std::make_unique<RetryingDatabase>(injector.get(), retry);
+    retrier = std::make_unique<RetryingDatabase>(
+        injector.get(), retry, /*sleeper=*/nullptr,
+        retry_budget.has_value() ? &*retry_budget : nullptr);
     mine_db = retrier.get();
   }
 
