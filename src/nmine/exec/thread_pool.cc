@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "nmine/obs/trace_context.h"
+
 namespace nmine {
 namespace exec {
 
@@ -59,6 +61,18 @@ size_t ThreadPool::reserved_workers() const {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Trace-context propagation: every pool task carries the submitting
+  // thread's request identity onto whichever worker runs it, so spans,
+  // log lines, and flight events inside ParallelFor bodies attribute to
+  // the right job even when two jobs share the pool. Inactive contexts
+  // (process-level work, service loops) skip the wrapper entirely.
+  const obs::TraceContext& ctx = obs::CurrentTraceContext();
+  if (ctx.active()) {
+    task = [ctx, inner = std::move(task)] {
+      obs::ScopedTraceContext scope(ctx);
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));

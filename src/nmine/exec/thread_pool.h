@@ -55,6 +55,11 @@ class ThreadPool {
 
   /// Enqueues a task for execution on some worker thread. Tasks must not
   /// block on other queued tasks (workers are a finite resource).
+  ///
+  /// If the submitting thread carries an active obs::TraceContext, the
+  /// task is wrapped so the same context is installed on the worker for
+  /// the task's duration — request attribution follows work across the
+  /// pool (see obs/trace_context.h).
   void Submit(std::function<void()> task);
 
  private:

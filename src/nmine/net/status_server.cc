@@ -43,8 +43,19 @@ std::mutex& ExtraEndpointsMutex() {
   return *m;
 }
 
-std::map<std::string, std::function<std::string()>>& ExtraEndpoints() {
-  static auto* map = new std::map<std::string, std::function<std::string()>>();
+using QueryHandler = std::function<std::string(const std::string&)>;
+
+std::map<std::string, QueryHandler>& ExtraEndpoints() {
+  static auto* map = new std::map<std::string, QueryHandler>();
+  return *map;
+}
+
+/// Process-wide /healthz contributors (RegisterHealthSignal), same
+/// locking discipline as the endpoint map.
+using HealthSignal = std::function<std::string(std::vector<std::string>*)>;
+
+std::map<std::string, HealthSignal>& HealthSignals() {
+  static auto* map = new std::map<std::string, HealthSignal>();
   return *map;
 }
 
@@ -87,7 +98,8 @@ void SendResponse(int fd, const Response& response) {
   }
 }
 
-Response Dispatch(const std::string& method, const std::string& path) {
+Response Dispatch(const std::string& method, const std::string& path,
+                  const std::string& query) {
   Response r;
   if (method != "GET") {
     r.status = 405;
@@ -109,14 +121,14 @@ Response Dispatch(const std::string& method, const std::string& path) {
   } else if (path == "/flightz") {
     r.body = obs::FlightRecorder::Global().SnapshotJson();
   } else {
-    std::function<std::string()> handler;
+    QueryHandler handler;
     {
       std::lock_guard<std::mutex> lock(ExtraEndpointsMutex());
       auto it = ExtraEndpoints().find(path);
       if (it != ExtraEndpoints().end()) handler = it->second;
     }
     if (handler) {
-      r.body = handler();
+      r.body = handler(query);
       return r;
     }
     r.status = 404;
@@ -134,7 +146,23 @@ StatusServer::~StatusServer() { Stop(); }
 void StatusServer::RegisterEndpoint(const std::string& path,
                                     std::function<std::string()> handler) {
   std::lock_guard<std::mutex> lock(ExtraEndpointsMutex());
+  ExtraEndpoints()[path] = [handler = std::move(handler)](
+                               const std::string&) { return handler(); };
+}
+
+void StatusServer::RegisterQueryEndpoint(
+    const std::string& path,
+    std::function<std::string(const std::string& query)> handler) {
+  std::lock_guard<std::mutex> lock(ExtraEndpointsMutex());
   ExtraEndpoints()[path] = std::move(handler);
+}
+
+void StatusServer::RegisterHealthSignal(
+    const std::string& name,
+    std::function<std::string(std::vector<std::string>* reasons)>
+        contributor) {
+  std::lock_guard<std::mutex> lock(ExtraEndpointsMutex());
+  HealthSignals()[name] = std::move(contributor);
 }
 
 std::string StatusServer::HealthzBody() {
@@ -157,6 +185,20 @@ std::string StatusServer::HealthzBody() {
     reasons.push_back("retry_budget_exhausted");
   }
 
+  // Registered contributors (e.g. the serving layer's queue staleness
+  // signal) add their reasons and optional extra body members.
+  std::vector<HealthSignal> signals;
+  {
+    std::lock_guard<std::mutex> lock(ExtraEndpointsMutex());
+    signals.reserve(HealthSignals().size());
+    for (const auto& [name, fn] : HealthSignals()) signals.push_back(fn);
+  }
+  std::vector<std::string> extra_members;
+  for (const HealthSignal& signal : signals) {
+    std::string member = signal(&reasons);
+    if (!member.empty()) extra_members.push_back(std::move(member));
+  }
+
   std::string body = "{\"status\": ";
   obs::AppendJsonString(reasons.empty() ? "ok" : "degraded", &body);
   body.append(", \"uptime_s\": ");
@@ -166,7 +208,12 @@ std::string StatusServer::HealthzBody() {
     if (i > 0) body.append(", ");
     obs::AppendJsonString(reasons[i], &body);
   }
-  body.append("]}\n");
+  body.append("]");
+  for (const std::string& member : extra_members) {
+    body.append(", ");
+    body.append(member);
+  }
+  body.append("}\n");
   return body;
 }
 
@@ -316,9 +363,10 @@ void StatusServer::HandleConnection(int client_fd) {
   if (have == 0) return;
   buf[have] = '\0';
 
-  // Parse "METHOD SP path SP version".
+  // Parse "METHOD SP path['?'query] SP version".
   std::string method;
   std::string path;
+  std::string query;
   const char* p = buf;
   while (*p != '\0' && *p != ' ' && *p != '\r' && *p != '\n') {
     method.push_back(*p++);
@@ -327,11 +375,17 @@ void StatusServer::HandleConnection(int client_fd) {
   while (*p != '\0' && *p != ' ' && *p != '\r' && *p != '\n' && *p != '?') {
     path.push_back(*p++);
   }
+  if (*p == '?') {
+    ++p;
+    while (*p != '\0' && *p != ' ' && *p != '\r' && *p != '\n') {
+      query.push_back(*p++);
+    }
+  }
   requests_.fetch_add(1, std::memory_order_relaxed);
   obs::MetricsRegistry::Global().GetCounter("net.statusz.requests")
       .Increment();
 
-  SendResponse(client_fd, Dispatch(method, path));
+  SendResponse(client_fd, Dispatch(method, path, query));
 }
 
 }  // namespace net

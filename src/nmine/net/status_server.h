@@ -7,6 +7,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace nmine {
 namespace net {
@@ -78,6 +79,24 @@ class StatusServer {
   /// Registrations are permanent (like metrics registry entries).
   static void RegisterEndpoint(const std::string& path,
                                std::function<std::string()> handler);
+
+  /// Like RegisterEndpoint, but the handler receives the raw query string
+  /// (the text after '?', without it; empty when absent), e.g.
+  /// GET /tracez?id=abc -> handler("id=abc"). Registering the same path
+  /// via either overload replaces the previous handler.
+  static void RegisterQueryEndpoint(
+      const std::string& path,
+      std::function<std::string(const std::string& query)> handler);
+
+  /// Registers a process-wide /healthz contributor. On every /healthz
+  /// render the contributor may push degradation reason strings into
+  /// `reasons` and may return one extra JSON object member (e.g.
+  /// "\"queue\": {...}" — no leading comma, or empty for none) spliced
+  /// into the body. Keyed by `name`; re-registering replaces.
+  static void RegisterHealthSignal(
+      const std::string& name,
+      std::function<std::string(std::vector<std::string>* reasons)>
+          contributor);
 
   /// Computes the /healthz body — {"status": "ok"|"degraded", "uptime_s":
   /// ..., "reasons": [...]} — and updates the poll-over-poll retry

@@ -3,11 +3,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "nmine/obs/clock.h"
 #include "nmine/obs/json_util.h"
+#include "nmine/obs/trace_context.h"
 
 namespace nmine {
 namespace obs {
@@ -42,6 +44,14 @@ void AppendInt(int64_t value, char* buf, size_t cap, size_t* len) {
   char tmp[24];
   size_t n = FormatInt(value, tmp);
   for (size_t i = 0; i < n && *len < cap; ++i) buf[(*len)++] = tmp[i];
+}
+
+/// Signal-safe 16-lowercase-hex-digit rendering (zero padded).
+void AppendHex16(uint64_t value, char* buf, size_t cap, size_t* len) {
+  static const char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0 && *len < cap; shift -= 4) {
+    buf[(*len)++] = kHex[(value >> shift) & 0xf];
+  }
 }
 
 void WriteAll(int fd, const char* buf, size_t len) {
@@ -115,6 +125,14 @@ void FlightRecorder::Record(FlightEventType type, const char* name,
   e.name[i] = '\0';
   e.a = a;
   e.b = b;
+  // Attribute the event to the recording thread's active request, if any.
+  // The thread-local is plain zero-initialized data, so this read stays
+  // allocation-free (and safe from the cooperative signal paths that
+  // record cancel events).
+  const TraceContext& ctx = CurrentTraceContext();
+  e.trace_hi = ctx.trace_hi;
+  e.trace_lo = ctx.trace_lo;
+  e.span_id = ctx.span_id;
   slot.marker.store(seq, std::memory_order_release);
 }
 
@@ -159,6 +177,17 @@ std::string FlightRecorder::SnapshotJson() const {
     AppendJsonNumber(static_cast<double>(e.a), &out);
     out.append(", \"b\": ");
     AppendJsonNumber(static_cast<double>(e.b), &out);
+    if ((e.trace_hi | e.trace_lo) != 0) {
+      out.append(", \"trace_id\": \"");
+      out.append(FormatTraceId(e.trace_hi, e.trace_lo));
+      out.push_back('"');
+      if (e.span_id != 0) {
+        char hex[32];
+        std::snprintf(hex, sizeof(hex), ", \"span_id\": \"%llx\"",
+                      static_cast<unsigned long long>(e.span_id));
+        out.append(hex);
+      }
+    }
     out.append("}");
   }
   out.append(events.empty() ? "]}\n" : "\n]}\n");
@@ -174,7 +203,7 @@ bool FlightRecorder::DumpJsonFile(const std::string& path) const {
 
 void FlightRecorder::DumpToFd(int fd) const {
   if (slots_ == nullptr) return;
-  char line[192];
+  char line[256];
   size_t len = 0;
   AppendRaw("{\"schema\":\"nmine.flight.v1\",\"crash_dump\":true,"
             "\"total_recorded\":",
@@ -212,6 +241,14 @@ void FlightRecorder::DumpToFd(int fd) const {
     AppendInt(e.a, line, sizeof(line), &len);
     AppendRaw(",\"b\":", line, sizeof(line), &len);
     AppendInt(e.b, line, sizeof(line), &len);
+    if ((e.trace_hi | e.trace_lo) != 0) {
+      AppendRaw(",\"trace_id\":\"", line, sizeof(line), &len);
+      AppendHex16(e.trace_hi, line, sizeof(line), &len);
+      AppendHex16(e.trace_lo, line, sizeof(line), &len);
+      AppendRaw("\",\"span_id\":\"", line, sizeof(line), &len);
+      AppendHex16(e.span_id, line, sizeof(line), &len);
+      AppendRaw("\"", line, sizeof(line), &len);
+    }
     AppendRaw("}\n", line, sizeof(line), &len);
     WriteAll(fd, line, len);
   }

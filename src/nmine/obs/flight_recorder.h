@@ -27,6 +27,9 @@ const char* ToString(FlightEventType type);
 
 /// One recorded event. `name` is a truncated copy of the call site's tag;
 /// `a` and `b` carry two event-specific integers (documented per type).
+/// The trace triple is stamped from the recording thread's TraceContext
+/// (obs/trace_context.h) so a crash dump attributes its breadcrumbs to
+/// the request that produced them; all-zero means process-level work.
 struct FlightEvent {
   int64_t t_us = 0;  // microseconds since the shared process clock epoch
   uint64_t seq = 0;  // global record sequence number (1-based)
@@ -34,6 +37,9 @@ struct FlightEvent {
   char name[39] = {0};
   int64_t a = 0;
   int64_t b = 0;
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
 };
 
 /// Lock-free ring buffer holding the last N structured events — the

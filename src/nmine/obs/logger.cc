@@ -5,6 +5,7 @@
 
 #include "nmine/obs/clock.h"
 #include "nmine/obs/json_util.h"
+#include "nmine/obs/trace_context.h"
 
 namespace nmine {
 namespace obs {
@@ -144,6 +145,19 @@ void Logger::ClearSinks() {
 
 void Logger::Submit(LogRecord record) {
   record.ts_us = NowUs();
+  // Stamp the active request's trace identity so one job's log lines can
+  // be filtered out of an interleaved server log by trace_id.
+  const TraceContext& ctx = CurrentTraceContext();
+  if (ctx.active()) {
+    record.fields.emplace_back("trace_id",
+                               FormatTraceId(ctx.trace_hi, ctx.trace_lo));
+    if (ctx.span_id != 0) {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%llx",
+                    static_cast<unsigned long long>(ctx.span_id));
+      record.fields.emplace_back("span_id", buf);
+    }
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   for (const std::unique_ptr<LogSink>& sink : sinks_) {
     sink->Write(record);

@@ -1,14 +1,32 @@
 #include "nmine/obs/trace.h"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 
 #include "nmine/obs/clock.h"
 #include "nmine/obs/flight_recorder.h"
 #include "nmine/obs/json_util.h"
+#include "nmine/obs/metrics.h"
 
 namespace nmine {
 namespace obs {
+
+namespace {
+
+int64_t WallNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int32_t ThreadLaneId() {
+  static std::atomic<int32_t> next{1};
+  thread_local int32_t lane = next.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
 
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();
@@ -17,12 +35,18 @@ Tracer& Tracer::Global() {
 
 void Tracer::Start() {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (enabled_.load(std::memory_order_relaxed)) return;
   events_.clear();
+  start_ = 0;
+  dropped_ = 0;
   // All trace timestamps sit on the shared process clock base
   // (obs/clock.h), the same one the telemetry sampler and the flight
   // recorder stamp with — so spans, telemetry rows, and flight events
   // correlate directly, whenever tracing was started.
   epoch_ns_ = ProcessEpochNs();
+  // Anchor trace timestamp 0 to the wall clock so traces from different
+  // processes (client, server) can be laid on one real-time axis.
+  wall_epoch_us_ = WallNowUs() - (MonotonicNowNs() - epoch_ns_) / 1000;
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -34,10 +58,59 @@ int64_t Tracer::NowUs() const {
   return (MonotonicNowNs() - epoch_ns_) / 1000;
 }
 
+int64_t Tracer::WallEpochUs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wall_epoch_us_;
+}
+
+size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity < 1) capacity = 1;
+  if (capacity == capacity_) return;
+  std::vector<TraceEvent> linear;
+  LinearizedLocked(&linear);
+  if (linear.size() > capacity) {
+    linear.erase(linear.begin(),
+                 linear.begin() + (linear.size() - capacity));
+  }
+  events_ = std::move(linear);
+  start_ = 0;
+  capacity_ = capacity;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
 void Tracer::AddComplete(TraceEvent event) {
   if (!enabled()) return;
+  if (event.tid == 0) event.tid = ThreadLaneId();
+  if ((event.trace_hi | event.trace_lo) == 0) {
+    const TraceContext& ctx = CurrentTraceContext();
+    event.trace_hi = ctx.trace_hi;
+    event.trace_lo = ctx.trace_lo;
+    if (event.span_id == 0) event.span_id = ctx.span_id;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  events_.push_back(std::move(event));
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  // Ring is full: overwrite the oldest event and account for the drop.
+  events_[start_] = std::move(event);
+  start_ = (start_ + 1) % capacity_;
+  ++dropped_;
+  if (dropped_counter_ == nullptr) {
+    dropped_counter_ =
+        &MetricsRegistry::Global().GetCounter("obs.trace.dropped");
+  }
+  dropped_counter_->Increment();
 }
 
 size_t Tracer::NumEvents() const {
@@ -45,36 +118,99 @@ size_t Tracer::NumEvents() const {
   return events_.size();
 }
 
+void Tracer::LinearizedLocked(std::vector<TraceEvent>* out) const {
+  out->clear();
+  out->reserve(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out->push_back(events_[(start_ + i) % events_.size()]);
+  }
+}
+
 std::vector<TraceEvent> Tracer::Events() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return events_;
+  std::vector<TraceEvent> out;
+  LinearizedLocked(&out);
+  return out;
+}
+
+void Tracer::AppendEventJson(const TraceEvent& e, int64_t ts_shift_us,
+                             std::string* out) const {
+  out->append("{\"name\": ");
+  AppendJsonString(e.name, out);
+  out->append(", \"cat\": ");
+  AppendJsonString(e.category, out);
+  out->append(", \"ph\": \"X\", \"ts\": ");
+  AppendJsonNumber(static_cast<double>(e.ts_us + ts_shift_us), out);
+  out->append(", \"dur\": ");
+  AppendJsonNumber(static_cast<double>(e.dur_us), out);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ", \"pid\": 1, \"tid\": %d, \"args\": {",
+                static_cast<int>(e.tid == 0 ? 1 : e.tid));
+  out->append(buf);
+  bool first = true;
+  if ((e.trace_hi | e.trace_lo) != 0) {
+    out->append("\"trace_id\": \"");
+    out->append(FormatTraceId(e.trace_hi, e.trace_lo));
+    out->push_back('"');
+    first = false;
+  }
+  if (e.span_id != 0) {
+    std::snprintf(buf, sizeof(buf), "%s\"span_id\": \"%llx\"",
+                  first ? "" : ", ",
+                  static_cast<unsigned long long>(e.span_id));
+    out->append(buf);
+    first = false;
+  }
+  if (e.parent_span_id != 0) {
+    std::snprintf(buf, sizeof(buf), "%s\"parent_span_id\": \"%llx\"",
+                  first ? "" : ", ",
+                  static_cast<unsigned long long>(e.parent_span_id));
+    out->append(buf);
+    first = false;
+  }
+  for (size_t a = 0; a < e.args.size(); ++a) {
+    if (!first) out->append(", ");
+    first = false;
+    AppendJsonString(e.args[a].first, out);
+    out->append(": ");
+    AppendJsonString(e.args[a].second, out);
+  }
+  out->append("}}");
 }
 
 std::string Tracer::SnapshotJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> linear;
+  LinearizedLocked(&linear);
   std::string out = "{\"traceEvents\": [";
-  for (size_t i = 0; i < events_.size(); ++i) {
-    const TraceEvent& e = events_[i];
-    out.append(i == 0 ? "\n" : ",\n");
-    out.append("  {\"name\": ");
-    AppendJsonString(e.name, &out);
-    out.append(", \"cat\": ");
-    AppendJsonString(e.category, &out);
-    out.append(", \"ph\": \"X\", \"ts\": ");
-    AppendJsonNumber(static_cast<double>(e.ts_us), &out);
-    out.append(", \"dur\": ");
-    AppendJsonNumber(static_cast<double>(e.dur_us), &out);
-    out.append(", \"pid\": 1, \"tid\": 1, \"args\": {");
-    for (size_t a = 0; a < e.args.size(); ++a) {
-      if (a > 0) out.append(", ");
-      AppendJsonString(e.args[a].first, &out);
-      out.append(": ");
-      AppendJsonString(e.args[a].second, &out);
-    }
-    out.append("}}");
+  for (size_t i = 0; i < linear.size(); ++i) {
+    out.append(i == 0 ? "\n  " : ",\n  ");
+    AppendEventJson(linear[i], 0, &out);
   }
-  out.append(events_.empty() ? "],\n" : "\n],\n");
+  out.append(linear.empty() ? "],\n" : "\n],\n");
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " \"wallClockEpochUs\": %lld,\n",
+                static_cast<long long>(wall_epoch_us_));
+  out.append(buf);
   out.append(" \"displayTimeUnit\": \"ms\"}\n");
+  return out;
+}
+
+std::string Tracer::TraceJson(uint64_t trace_hi, uint64_t trace_lo) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> linear;
+  LinearizedLocked(&linear);
+  // Single-line output so the document can travel as one line-JSON
+  // protocol string member and one /tracez response body.
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : linear) {
+    if (e.trace_hi != trace_hi || e.trace_lo != trace_lo) continue;
+    if (!first) out.append(", ");
+    first = false;
+    AppendEventJson(e, wall_epoch_us_, &out);
+  }
+  out.append("], \"displayTimeUnit\": \"ms\"}");
   return out;
 }
 
@@ -86,6 +222,22 @@ bool Tracer::WriteJsonFile(const std::string& path) const {
 }
 
 TraceSpan::TraceSpan(const char* name, const char* category) {
+  Tracer& tracer = Tracer::Global();
+  const bool tracer_on = tracer.enabled();
+  const TraceContext& ctx = CurrentTraceContext();
+  if (tracer_on || ctx.active()) {
+    // Allocate our span id and become the thread's current span so nested
+    // spans (and pool tasks dispatched from inside us) parent correctly.
+    event_.trace_hi = ctx.trace_hi;
+    event_.trace_lo = ctx.trace_lo;
+    event_.parent_span_id = ctx.span_id;
+    event_.span_id = NextSpanId();
+    saved_context_ = ctx;
+    TraceContext own = ctx;
+    own.span_id = event_.span_id;
+    internal::SetCurrentTraceContext(own);
+    pushed_context_ = true;
+  }
   // The flight recorder shadows the coarse span structure even when the
   // tracer is off: span enter/exit events are exactly the breadcrumbs a
   // crash dump needs, and TraceSpans only mark phase/level/scan-grain
@@ -95,11 +247,11 @@ TraceSpan::TraceSpan(const char* name, const char* category) {
     recorder.Record(FlightEventType::kSpanEnter, name);
     fr_name_ = name;
   }
-  Tracer& tracer = Tracer::Global();
-  if (!tracer.enabled()) return;
+  if (!tracer_on) return;
   armed_ = true;
   event_.name = name;
   event_.category = category;
+  event_.tid = ThreadLaneId();
   event_.ts_us = tracer.NowUs();
 }
 
@@ -110,6 +262,7 @@ TraceSpan::~TraceSpan() {
                                                  event_.ts_us
                                            : 0);
   }
+  if (pushed_context_) internal::SetCurrentTraceContext(saved_context_);
   if (!armed_) return;
   Tracer& tracer = Tracer::Global();
   event_.dur_us = tracer.NowUs() - event_.ts_us;

@@ -8,18 +8,35 @@
 #include <utility>
 #include <vector>
 
+#include "nmine/obs/trace_context.h"
+
 namespace nmine {
 namespace obs {
 
+class Counter;
+
 /// One Chrome trace_event "complete" event (ph = "X"): a named span with
 /// a start timestamp and duration in microseconds, plus string args.
+/// `tid` is a process-unique lane id for the thread that produced the
+/// span (assigned on first use per thread), so concurrent spans land on
+/// separate rows in Perfetto. The trace/span id triple attributes the
+/// span to one request (all zero = unattributed process-level work).
 struct TraceEvent {
   std::string name;
   std::string category;
   int64_t ts_us = 0;
   int64_t dur_us = 0;
+  int32_t tid = 0;
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
   std::vector<std::pair<std::string, std::string>> args;
 };
+
+/// A process-unique small-integer lane id for the calling thread (>= 1,
+/// assigned on first call). Used as the trace "tid" field.
+int32_t ThreadLaneId();
 
 /// Process-wide span collector. Disabled (and free apart from one atomic
 /// load per span) until Start() is called; spans recorded while enabled
@@ -27,19 +44,40 @@ struct TraceEvent {
 /// trace_event "JSON object format":
 ///
 ///   {"traceEvents": [{"name": ..., "cat": ..., "ph": "X", "ts": ...,
-///                     "dur": ..., "pid": 1, "tid": 1, "args": {...}}, ...],
+///                     "dur": ..., "pid": 1, "tid": N, "args": {...}}, ...],
 ///    "displayTimeUnit": "ms"}
 ///
 /// The output loads directly in chrome://tracing and Perfetto.
+///
+/// Bounded buffer: events live in a ring of capacity() entries
+/// (kDefaultCapacity = 64Ki unless SetCapacity() is called). When the
+/// ring is full each new event overwrites the oldest one and the
+/// `obs.trace.dropped` counter is incremented — a long-lived server
+/// therefore holds the most recent ~64k spans at a bounded memory cost
+/// instead of growing without limit. Size the ring via SetCapacity()
+/// (or `nmine_server --trace-buffer`) if jobs emit more spans than the
+/// default window keeps.
+///
+/// Wall-clock anchoring: event timestamps are monotonic microseconds
+/// since the process epoch (obs/clock.h). Start() additionally records
+/// the wall-clock time corresponding to timestamp zero (WallEpochUs());
+/// TraceJson() emits timestamps shifted onto that wall-clock base so
+/// traces exported from different processes (client and server) align on
+/// one real-time axis.
 class Tracer {
  public:
+  static constexpr size_t kDefaultCapacity = 64 * 1024;
+
   static Tracer& Global();
 
   Tracer() = default;
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// Clears any buffered events and starts capturing.
+  /// Starts capturing. When currently stopped, clears any buffered events
+  /// and re-anchors the wall clock; when already started, a no-op (so a
+  /// component restart inside a long-lived server never discards the
+  /// buffer of another in-flight trace).
   void Start();
   /// Stops capturing (buffered events are kept for snapshotting).
   void Stop();
@@ -48,7 +86,23 @@ class Tracer {
   /// Microseconds since Start() (0 when never started).
   int64_t NowUs() const;
 
-  /// Appends one complete event (no-op when disabled).
+  /// Wall-clock microseconds since the Unix epoch corresponding to trace
+  /// timestamp 0 (0 when never started).
+  int64_t WallEpochUs() const;
+
+  /// Ring capacity in events; see the class comment for the bound's
+  /// semantics.
+  size_t capacity() const;
+  /// Resizes the ring, keeping the most recent events that fit. Values
+  /// below 1 are clamped to 1.
+  void SetCapacity(size_t capacity);
+  /// Events overwritten since Start() (also exported as the
+  /// `obs.trace.dropped` counter).
+  uint64_t dropped() const;
+
+  /// Appends one complete event (no-op when disabled). Stamps the calling
+  /// thread's lane id and trace context onto the event unless the caller
+  /// already set them (tid != 0 / trace id halves nonzero).
   void AddComplete(TraceEvent event);
 
   size_t NumEvents() const;
@@ -57,19 +111,41 @@ class Tracer {
   /// All buffered events in trace_event JSON object format.
   std::string SnapshotJson() const;
 
+  /// Only the events attributed to trace (hi, lo), as a single-line
+  /// Chrome trace JSON document with timestamps shifted onto the
+  /// wall-clock base (see WallEpochUs()) so per-job traces from client
+  /// and server line up. Empty traceEvents when nothing matches.
+  std::string TraceJson(uint64_t trace_hi, uint64_t trace_lo) const;
+
   /// Writes SnapshotJson() to `path`; returns false on IO failure.
   bool WriteJsonFile(const std::string& path) const;
 
  private:
+  void AppendEventJson(const TraceEvent& e, int64_t ts_shift_us,
+                       std::string* out) const;
+  /// Events in chronological order; caller holds mutex_.
+  void LinearizedLocked(std::vector<TraceEvent>* out) const;
+
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> events_;  // ring storage; oldest at start_
+  size_t start_ = 0;
+  size_t capacity_ = kDefaultCapacity;
+  uint64_t dropped_ = 0;
+  Counter* dropped_counter_ = nullptr;
   int64_t epoch_ns_ = 0;
+  int64_t wall_epoch_us_ = 0;
 };
 
 /// RAII span against the global tracer: records a complete event covering
 /// its own lifetime. When the tracer is disabled the constructor is a
 /// single atomic load and the destructor a branch.
+///
+/// When the calling thread carries an active TraceContext (or the tracer
+/// is enabled), the span allocates its own span id, records the context's
+/// open span as its parent, and installs itself as the thread's current
+/// span for its lifetime — so spans nested under it (including on pool
+/// workers the context propagates to) parent correctly.
 class TraceSpan {
  public:
   TraceSpan(const char* name, const char* category);
@@ -90,9 +166,11 @@ class TraceSpan {
 
  private:
   bool armed_ = false;
+  bool pushed_context_ = false;
   /// Non-null when the flight recorder logged our enter event and expects
   /// the matching exit (independent of the tracer being enabled).
   const char* fr_name_ = nullptr;
+  TraceContext saved_context_;
   TraceEvent event_;
 };
 

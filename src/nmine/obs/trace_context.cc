@@ -1,0 +1,99 @@
+#include "nmine/obs/trace_context.h"
+
+#include <atomic>
+#include <cstdio>
+#include <random>
+
+#include "nmine/obs/clock.h"
+
+namespace nmine {
+namespace obs {
+
+namespace {
+
+thread_local TraceContext g_current_context;
+
+uint64_t MixBits(uint64_t x) {
+  // splitmix64 finalizer: cheap, well-distributed, and deterministic given
+  // its input — good enough for id uniqueness.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t RandomSeed() {
+  std::random_device rd;
+  uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  return seed ^ static_cast<uint64_t>(MonotonicNowNs());
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+const TraceContext& CurrentTraceContext() { return g_current_context; }
+
+namespace internal {
+void SetCurrentTraceContext(const TraceContext& ctx) {
+  g_current_context = ctx;
+}
+}  // namespace internal
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext MintTraceContext() {
+  static std::atomic<uint64_t> counter{RandomSeed()};
+  TraceContext ctx;
+  do {
+    uint64_t base = counter.fetch_add(1, std::memory_order_relaxed);
+    ctx.trace_hi = MixBits(base);
+    ctx.trace_lo = MixBits(base ^ 0xa5a5a5a5a5a5a5a5ULL);
+  } while (!ctx.active());
+  // A freshly minted context is a usable root: spans opened under it
+  // parent to this id.
+  ctx.span_id = NextSpanId();
+  return ctx;
+}
+
+std::string FormatTraceId(uint64_t hi, uint64_t lo) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+bool ParseTraceId(const std::string& text, uint64_t* hi, uint64_t* lo) {
+  if (text.size() != 32) return false;
+  uint64_t parsed_hi = 0;
+  uint64_t parsed_lo = 0;
+  for (size_t i = 0; i < 32; ++i) {
+    int digit = HexDigit(text[i]);
+    if (digit < 0) return false;
+    uint64_t& half = i < 16 ? parsed_hi : parsed_lo;
+    half = (half << 4) | static_cast<uint64_t>(digit);
+  }
+  if ((parsed_hi | parsed_lo) == 0) return false;
+  *hi = parsed_hi;
+  *lo = parsed_lo;
+  return true;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : saved_(g_current_context) {
+  g_current_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_current_context = saved_; }
+
+}  // namespace obs
+}  // namespace nmine

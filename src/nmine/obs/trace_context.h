@@ -1,0 +1,72 @@
+#ifndef NMINE_OBS_TRACE_CONTEXT_H_
+#define NMINE_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nmine {
+namespace obs {
+
+/// Per-request trace identity carried in thread-local storage while work
+/// attributed to one request (one server job) runs. A context is a 128-bit
+/// trace id (split into two 64-bit halves; the all-zero id means "no
+/// context") plus the 64-bit id of the span currently open on this thread,
+/// which becomes the parent of any span opened next.
+///
+/// The context rides across thread boundaries by value: exec::ThreadPool
+/// captures the submitting thread's context with each task and installs it
+/// on the worker for the task's duration, so ParallelFor bodies, miner
+/// spans, log lines, and flight-recorder events produced on behalf of a
+/// job all carry that job's trace id no matter which pooled thread ran
+/// them.
+struct TraceContext {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+
+  bool active() const { return (trace_hi | trace_lo) != 0; }
+};
+
+/// The calling thread's current context (inactive when none installed).
+const TraceContext& CurrentTraceContext();
+
+/// Allocates a process-unique nonzero span id.
+uint64_t NextSpanId();
+
+/// Mints a fresh context: random-ish 128-bit trace id (never zero) with no
+/// open span. Uniqueness, not unpredictability, is the goal.
+TraceContext MintTraceContext();
+
+/// Renders a 128-bit trace id as 32 lowercase hex digits (W3C
+/// traceparent's trace-id field format).
+std::string FormatTraceId(uint64_t hi, uint64_t lo);
+
+/// Parses a 32-lowercase-or-uppercase-hex-digit trace id. Returns false
+/// (leaving outputs untouched) on wrong length, non-hex characters, or the
+/// all-zero id.
+bool ParseTraceId(const std::string& text, uint64_t* hi, uint64_t* lo);
+
+namespace internal {
+/// Low-level setter used by ScopedTraceContext and TraceSpan; prefer the
+/// RAII wrappers, which guarantee the previous context is restored.
+void SetCurrentTraceContext(const TraceContext& ctx);
+}  // namespace internal
+
+/// RAII installer: saves the thread's current context, installs `ctx`, and
+/// restores the saved one on destruction. Used at task-dispatch and
+/// span-open boundaries.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+  ~ScopedTraceContext();
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace obs
+}  // namespace nmine
+
+#endif  // NMINE_OBS_TRACE_CONTEXT_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "nmine/obs/flight_recorder.h"
+#include "nmine/obs/trace.h"
 #include "nmine/runtime/checkpoint_io.h"
 #include "nmine/runtime/run_status.h"
 
@@ -71,6 +72,10 @@ const char* ToString(RunStage stage) {
 }
 
 Status WriteRunCheckpoint(const std::string& path, const RunCheckpoint& cp) {
+  // Checkpoint cuts are a job-lifecycle edge worth seeing per trace: when
+  // a traced run flushes a checkpoint the span attributes to that job.
+  obs::TraceSpan span("runtime.checkpoint.write", "runtime");
+  span.Arg("stage", ToString(cp.stage));
   std::string out;
   out.reserve(4096);
   out.append(kMagic).append(" v").append(std::to_string(kVersion));
@@ -152,6 +157,7 @@ Status WriteRunCheckpoint(const std::string& path, const RunCheckpoint& cp) {
 
 Status LoadRunCheckpoint(const std::string& path,
                          const RunCheckpoint& expected, RunCheckpoint* cp) {
+  obs::TraceSpan span("runtime.checkpoint.load", "runtime");
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("no run checkpoint at '" + path + "'");

@@ -87,6 +87,13 @@ struct JobResult {
 /// token. State transitions and result publication happen under the
 /// server's job mutex; the RunControl is the only field touched from
 /// other threads (it is lock-free by design).
+///
+/// Every job carries a 128-bit trace id (client-minted or server-minted at
+/// admission) that names its end-to-end trace, and `root_span_id`, the
+/// lifecycle root span all of the job's spans descend from. The *_tus
+/// timestamps are on the tracer's clock base (obs::SinceEpochUs()) so
+/// lifecycle spans can be emitted with exact queue-wait and run bounds;
+/// the *_us wall-clock fields remain what /jobsz and the journal report.
 struct Job {
   uint64_t id = 0;
   std::string client;
@@ -96,6 +103,14 @@ struct Job {
   int64_t submit_us = 0;
   int64_t start_us = 0;
   int64_t finish_us = 0;
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t root_span_id = 0;
+  int64_t submit_tus = 0;  // trace clock: admitted to the queue
+  int64_t start_tus = 0;   // trace clock: last admitted to run
+  int64_t finish_tus = 0;  // trace clock: reached a terminal state
+  int64_t requeues = 0;    // drain/crash re-admissions
+  int64_t resubmits = 0;   // idempotent duplicate submits absorbed
   JobResult result;
   std::string checkpoint_path;
   runtime::RunControl run_control;

@@ -14,6 +14,7 @@
 #include "nmine/obs/json_parse.h"
 #include "nmine/obs/json_util.h"
 #include "nmine/obs/logger.h"
+#include "nmine/obs/trace_context.h"
 #include "nmine/runtime/checkpoint_io.h"
 
 namespace nmine {
@@ -29,6 +30,11 @@ void AppendSubmitLine(const Job& job, std::string* out) {
   obs::AppendJsonString(job.tag, out);
   out->append(", \"submit_us\": ");
   obs::AppendJsonNumber(static_cast<double>(job.submit_us), out);
+  if ((job.trace_hi | job.trace_lo) != 0) {
+    out->append(", \"trace_id\": ");
+    obs::AppendJsonString(obs::FormatTraceId(job.trace_hi, job.trace_lo),
+                          out);
+  }
   out->append(", \"spec\": ");
   job.spec.AppendJson(out);
   out->append("}\n");
@@ -83,6 +89,12 @@ void Replay(const std::string& line, std::map<uint64_t, Job>* board) {
       job.tag = v->string_value;
     }
     job.submit_us = static_cast<int64_t>(value->GetNumber("submit_us", 0.0));
+    if ((v = value->Get("trace_id")) != nullptr && v->is_string()) {
+      // Best-effort: a journal written before tracing existed simply has
+      // no trace_id; the server mints one at recovery so every live job
+      // is traceable.
+      obs::ParseTraceId(v->string_value, &job.trace_hi, &job.trace_lo);
+    }
     return;
   }
 

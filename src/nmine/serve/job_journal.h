@@ -20,7 +20,8 @@ namespace serve {
 /// `<state_dir>/jobs.journal` as one JSON line BEFORE the client sees a
 /// response:
 ///
-///   {"event": "submit", "id": N, "client": C, "tag": T, "spec": {...}}
+///   {"event": "submit", "id": N, "client": C, "tag": T,
+///    ["trace_id": H,] "spec": {...}}
 ///   {"event": "state",  "id": N, "state": "running"|"queued"|...}
 ///   {"event": "result", "id": N, "result": {...}}
 ///

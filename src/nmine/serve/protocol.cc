@@ -1,6 +1,7 @@
 #include "nmine/serve/protocol.h"
 
 #include "nmine/obs/json_util.h"
+#include "nmine/obs/trace_context.h"
 
 namespace nmine {
 namespace serve {
@@ -33,6 +34,18 @@ std::optional<Request> ParseRequest(const std::string& line,
   }
 
   if (request.op == "submit") {
+    if ((v = value->Get("trace_id")) != nullptr) {
+      uint64_t hi = 0;
+      uint64_t lo = 0;
+      if (!v->is_string() ||
+          !obs::ParseTraceId(v->string_value, &hi, &lo)) {
+        if (error != nullptr) {
+          *error = "\"trace_id\" must be 32 hex digits (nonzero)";
+        }
+        return std::nullopt;
+      }
+      request.trace_id = v->string_value;
+    }
     const obs::JsonValue* spec = value->Get("spec");
     if (spec == nullptr) {
       if (error != nullptr) *error = "submit needs a \"spec\" object";
@@ -44,7 +57,8 @@ std::optional<Request> ParseRequest(const std::string& line,
       if (error != nullptr) *error = spec_error;
       return std::nullopt;
     }
-  } else if (request.op == "status" || request.op == "wait") {
+  } else if (request.op == "status" || request.op == "wait" ||
+             request.op == "trace") {
     if (!request.has_job_id) {
       if (error != nullptr) *error = request.op + " needs a numeric \"id\"";
       return std::nullopt;

@@ -15,9 +15,11 @@ namespace serve {
 /// object on one line. Requests:
 ///
 ///   {"op": "ping"}
-///   {"op": "submit", "client": C, "tag": T, "spec": {JobSpec...}}
+///   {"op": "submit", "client": C, "tag": T, "spec": {JobSpec...},
+///    ["trace_id": H]}                H = 32 hex digits (client-minted)
 ///   {"op": "status", "id": N}
 ///   {"op": "wait",   "id": N}        blocks until the job is terminal
+///   {"op": "trace",  "id": N}        the job's per-trace Chrome JSON
 ///   {"op": "jobs"}                   board snapshot (same shape as /jobsz)
 ///
 /// Responses always carry "ok": true|false. Failures are TYPED: "error" is
@@ -25,12 +27,20 @@ namespace serve {
 /// "NOT_FOUND", "UNAVAILABLE", ...) plus a human "message"; shed submits
 /// additionally carry "retry_after_s" so clients back off instead of
 /// hammering an overloaded server.
+///
+/// Tracing: a submit may carry "trace_id" — 32 lowercase/uppercase hex
+/// digits naming a 128-bit id (obs::ParseTraceId). The submit ack, status,
+/// and wait responses echo it back as "trace_id" so either side can
+/// correlate with the server's /tracez. Unknown request members are
+/// ignored (old servers simply don't attribute), keeping old and new
+/// binaries wire-compatible in both directions.
 struct Request {
   std::string op;
   std::string client;         // fair-scheduling + idempotency namespace
   std::string tag;            // idempotency key for submit; may be empty
-  uint64_t job_id = 0;        // status / wait
+  uint64_t job_id = 0;        // status / wait / trace
   bool has_job_id = false;
+  std::string trace_id;       // submit only; empty = server mints one
   std::optional<JobSpec> spec;  // submit only
 };
 

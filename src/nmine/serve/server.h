@@ -18,6 +18,10 @@
 #include "nmine/serve/protocol.h"
 
 namespace nmine {
+namespace obs {
+class HistogramMetric;
+}  // namespace obs
+
 namespace serve {
 
 /// nmine_server's core: accepts line-JSON mining jobs over TCP,
@@ -42,8 +46,18 @@ namespace serve {
 ///     original job instead of a duplicate run
 ///
 /// Metrics: serve.jobs.{admitted,shed,completed,failed,recovered,
-/// interrupted} counters and the serve.queue.depth gauge. The job board
-/// is exported process-wide as /jobsz via StatusServer::RegisterEndpoint.
+/// interrupted} counters, the serve.queue.depth gauge, and the
+/// serve.job.queue_wait_ms / serve.job.run_ms lifecycle histograms. The
+/// job board is exported process-wide as /jobsz (and, with tracing on,
+/// per-job traces as /tracez) via StatusServer::RegisterEndpoint.
+///
+/// Tracing (Options::tracing): every job is bound to a 128-bit trace id
+/// through its whole lifecycle — received, journaled, queued, admitted,
+/// running, checkpointing, drained/requeued, done/failed. The server
+/// emits "job" (root), "job.queue_wait", and "job.run" spans per job plus
+/// requeue/cancel markers, and installs the job's TraceContext around
+/// RunJob so every miner span, log line, and flight event the run
+/// produces carries the job's ids (see DESIGN.md §15).
 class MiningServer {
  public:
   struct Options {
@@ -61,6 +75,15 @@ class MiningServer {
     size_t max_running = 1;
     /// retry_after_s hint attached to shed responses.
     double shed_retry_after_s = 1.0;
+    /// Enables per-job request tracing: starts the global Tracer, binds
+    /// every job to a 128-bit trace id (client-minted via the protocol's
+    /// "trace_id" or server-minted at admission), emits lifecycle spans,
+    /// and serves /tracez. Off by default — the lifecycle histograms and
+    /// /jobsz latency block work either way.
+    bool tracing = false;
+    /// When > 0 and tracing is on, resizes the Tracer ring to this many
+    /// events before starting it (see obs::Tracer::kDefaultCapacity).
+    size_t trace_buffer = 0;
   };
 
   MiningServer() = default;
@@ -88,9 +111,23 @@ class MiningServer {
   bool running() const { return running_.load(std::memory_order_acquire); }
   uint16_t port() const { return port_; }
 
-  /// The /jobsz body: board snapshot with per-state counts and one entry
-  /// per tracked job.
+  /// The /jobsz body: board snapshot with per-state counts, queue-wait /
+  /// run-latency quantiles (serve.job.queue_wait_ms / serve.job.run_ms),
+  /// current max queue wait + oldest-queued-job age, a slow-job exemplar
+  /// table, and one entry per tracked job (with its trace_id).
   std::string JobszJson();
+
+  /// The /tracez body. Empty query: {"version": "nmine.tracez.v1",
+  /// "traces": [...]} — the most recent completed job traces with their
+  /// phase breakdowns. Query "id=<32 hex>": that trace as single-line
+  /// Chrome trace JSON (wall-clock anchored), loadable in Perfetto.
+  std::string TracezJson(const std::string& query);
+
+  /// The /healthz queue-staleness contributor: returns the
+  /// "queue": {...} member (depth, oldest queued age, max queue wait)
+  /// and pushes "queue_stalled" into `reasons` when the oldest queued
+  /// job has waited implausibly long for an executor.
+  std::string HealthQueueMember(std::vector<std::string>* reasons);
 
  private:
   void AcceptLoop();
@@ -102,6 +139,9 @@ class MiningServer {
   std::string StatusResponseLocked(const Job& job) const;
   std::string CheckpointPathFor(uint64_t id) const;
   void Shutdown(bool graceful);
+  /// Oldest-queued-job age on the trace clock, 0 when nothing is queued.
+  /// Caller holds jobs_mutex_.
+  int64_t OldestQueuedAgeMsLocked() const;
 
   Options options_;
   uint16_t port_ = 0;
@@ -112,6 +152,11 @@ class MiningServer {
 
   std::unique_ptr<JobJournal> journal_;
   std::unique_ptr<BoundedFairQueue> queue_;
+
+  /// Lifecycle latency histograms (registry-owned, stable for the
+  /// process); fetched once at Start.
+  obs::HistogramMetric* queue_wait_hist_ = nullptr;
+  obs::HistogramMetric* run_hist_ = nullptr;
 
   /// Serializes the capacity-check -> journal -> enqueue sequence of a
   /// submit, so an executor can never observe (and finish!) a job before

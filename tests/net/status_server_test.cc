@@ -225,6 +225,58 @@ TEST_F(StatusServerTest, CountsRequestsAndIgnoresQueryStrings) {
   EXPECT_GT(server_.requests_served(), before);
 }
 
+TEST_F(StatusServerTest, QueryEndpointReceivesQueryString) {
+  // Registrations are process-permanent, so use a test-scoped path.
+  StatusServer::RegisterQueryEndpoint(
+      "/test_queryz", [](const std::string& query) {
+        return "{\"query\": \"" + query + "\"}\n";
+      });
+  std::optional<HttpResult> r = HttpGet(server_.port(), "/test_queryz?id=7");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 200);
+  std::optional<obs::JsonValue> doc = obs::ParseJson(r->body);
+  ASSERT_TRUE(doc.has_value()) << r->body;
+  EXPECT_EQ(doc->Get("query")->string_value, "id=7");
+
+  r = HttpGet(server_.port(), "/test_queryz");
+  ASSERT_TRUE(r.has_value());
+  doc = obs::ParseJson(r->body);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Get("query")->string_value, "");  // no '?': empty query
+}
+
+TEST_F(StatusServerTest, HealthSignalContributesReasonAndMember) {
+  bool degrade = true;
+  StatusServer::RegisterHealthSignal(
+      "test.signal", [&degrade](std::vector<std::string>* reasons) {
+        if (degrade) reasons->push_back("test_signal_tripped");
+        return std::string("\"test_member\": {\"value\": 42}");
+      });
+  std::optional<obs::JsonValue> doc = PollHealthz(server_.port());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Get("status")->string_value, "degraded");
+  EXPECT_TRUE(HasReason(*doc, "test_signal_tripped"));
+  const obs::JsonValue* member = doc->Get("test_member");
+  ASSERT_NE(member, nullptr);
+  EXPECT_DOUBLE_EQ(member->GetNumber("value", -1.0), 42.0);
+
+  // The signal clears -> healthz recovers, the member stays informational.
+  degrade = false;
+  doc = PollHealthz(server_.port());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(HasReason(*doc, "test_signal_tripped"));
+  EXPECT_NE(doc->Get("test_member"), nullptr);
+
+  // Keyed registration: replacing the contributor takes effect (and
+  // neutralizes this test's signal for later tests in the process).
+  StatusServer::RegisterHealthSignal(
+      "test.signal",
+      [](std::vector<std::string>*) { return std::string(); });
+  doc = PollHealthz(server_.port());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Get("test_member"), nullptr);
+}
+
 TEST(StatusServerLifecycleTest, StopIsIdempotentAndRestartable) {
   StatusServer server;
   std::string error;

@@ -1,0 +1,210 @@
+#include "nmine/obs/trace_context.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nmine/exec/parallel_for.h"
+#include "nmine/exec/thread_pool.h"
+#include "nmine/obs/trace.h"
+
+namespace nmine {
+namespace obs {
+namespace {
+
+/// Every test starts and ends with no trace context on the main thread
+/// and the global tracer stopped.
+class TraceContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Stop();
+    ASSERT_FALSE(CurrentTraceContext().active());
+  }
+  void TearDown() override {
+    Tracer::Global().Stop();
+    EXPECT_FALSE(CurrentTraceContext().active());
+  }
+};
+
+TEST_F(TraceContextTest, FormatAndParseRoundTrip) {
+  TraceContext ctx;
+  ctx.trace_hi = 0x0123456789abcdefULL;
+  ctx.trace_lo = 0xfedcba9876543210ULL;
+  std::string hex = FormatTraceId(ctx.trace_hi, ctx.trace_lo);
+  EXPECT_EQ(hex, "0123456789abcdeffedcba9876543210");
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  ASSERT_TRUE(ParseTraceId(hex, &hi, &lo));
+  EXPECT_EQ(hi, ctx.trace_hi);
+  EXPECT_EQ(lo, ctx.trace_lo);
+  // Uppercase input parses too (ids are case-insensitive on the wire).
+  ASSERT_TRUE(ParseTraceId("0123456789ABCDEFFEDCBA9876543210", &hi, &lo));
+  EXPECT_EQ(hi, ctx.trace_hi);
+  EXPECT_EQ(lo, ctx.trace_lo);
+}
+
+TEST_F(TraceContextTest, ParseRejectsMalformedIds) {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  EXPECT_FALSE(ParseTraceId("", &hi, &lo));
+  EXPECT_FALSE(ParseTraceId("abc", &hi, &lo));                // too short
+  EXPECT_FALSE(ParseTraceId(std::string(33, 'a'), &hi, &lo));  // too long
+  EXPECT_FALSE(ParseTraceId("0123456789abcdeffedcba987654321g", &hi, &lo));
+  EXPECT_FALSE(ParseTraceId(std::string(32, '0'), &hi, &lo));  // all zero
+  EXPECT_FALSE(ParseTraceId("0123456789abcdef fedcba987654321", &hi, &lo));
+}
+
+TEST_F(TraceContextTest, MintedIdsAreNonzeroAndDistinct) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 64; ++i) {
+    TraceContext ctx = MintTraceContext();
+    EXPECT_TRUE(ctx.active());
+    EXPECT_NE(ctx.span_id, 0u);
+    seen.insert(FormatTraceId(ctx.trace_hi, ctx.trace_lo));
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST_F(TraceContextTest, NextSpanIdNeverRepeatsOrReturnsZero) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t id = NextSpanId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST_F(TraceContextTest, ScopedContextInstallsAndRestores) {
+  TraceContext outer = MintTraceContext();
+  {
+    ScopedTraceContext scope(outer);
+    EXPECT_EQ(CurrentTraceContext().trace_lo, outer.trace_lo);
+    TraceContext inner = MintTraceContext();
+    {
+      ScopedTraceContext nested(inner);
+      EXPECT_EQ(CurrentTraceContext().trace_lo, inner.trace_lo);
+    }
+    EXPECT_EQ(CurrentTraceContext().trace_lo, outer.trace_lo);
+  }
+  EXPECT_FALSE(CurrentTraceContext().active());
+}
+
+TEST_F(TraceContextTest, SpanInstallsItselfAsParentForNestedSpans) {
+  Tracer::Global().Start();
+  TraceContext job = MintTraceContext();
+  {
+    ScopedTraceContext scope(job);
+    TraceSpan outer("outer", "test");
+    {
+      TraceSpan inner("inner", "test");
+    }
+  }
+  Tracer::Global().Stop();
+  std::vector<TraceEvent> events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.trace_hi, job.trace_hi);
+  EXPECT_EQ(inner.trace_lo, job.trace_lo);
+  EXPECT_EQ(outer.parent_span_id, job.span_id);
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  EXPECT_NE(inner.span_id, outer.span_id);
+}
+
+TEST_F(TraceContextTest, ThreadPoolSubmitPropagatesContext) {
+  exec::ThreadPool::Shared().EnsureWorkers(2);
+  TraceContext job = MintTraceContext();
+  TraceContext seen_on_worker;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  {
+    ScopedTraceContext scope(job);
+    exec::ThreadPool::Shared().Submit([&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      seen_on_worker = CurrentTraceContext();
+      done = true;
+      cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done; });
+  EXPECT_EQ(seen_on_worker.trace_hi, job.trace_hi);
+  EXPECT_EQ(seen_on_worker.trace_lo, job.trace_lo);
+  EXPECT_EQ(seen_on_worker.span_id, job.span_id);
+}
+
+TEST_F(TraceContextTest, InactiveContextSubmitsUnwrapped) {
+  exec::ThreadPool::Shared().EnsureWorkers(2);
+  TraceContext seen_on_worker = MintTraceContext();  // sentinel: nonzero
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  exec::ThreadPool::Shared().Submit([&] {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen_on_worker = CurrentTraceContext();
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done; });
+  EXPECT_FALSE(seen_on_worker.active());
+}
+
+/// The cross-attribution guarantee the tracing model rests on: two jobs
+/// running concurrently, each fanning out over the shared pool with
+/// ParallelFor, must produce bit-exactly partitioned spans — every span a
+/// job's workers emit carries that job's trace id and no other. Run under
+/// TSan this also proves the context handoff is race-free.
+TEST_F(TraceContextTest, ConcurrentJobsNeverCrossAttributeSpans) {
+  exec::ThreadPool::Shared().EnsureWorkers(8);
+  Tracer::Global().Stop();
+  Tracer::Global().SetCapacity(Tracer::kDefaultCapacity);
+  Tracer::Global().Start();
+
+  const TraceContext job_a = MintTraceContext();
+  const TraceContext job_b = MintTraceContext();
+  constexpr size_t kIters = 64;
+  auto run_job = [](const TraceContext& job, const char* span_name) {
+    ScopedTraceContext scope(job);
+    TraceSpan root("job.root", "test");
+    exec::ParallelFor(4, kIters, [&](size_t) {
+      TraceSpan span(span_name, "test");
+    });
+  };
+  std::thread a(run_job, std::cref(job_a), "job_a.work");
+  std::thread b(run_job, std::cref(job_b), "job_b.work");
+  a.join();
+  b.join();
+  Tracer::Global().Stop();
+
+  size_t a_spans = 0;
+  size_t b_spans = 0;
+  for (const TraceEvent& e : Tracer::Global().Events()) {
+    if (e.name == "job_a.work") {
+      ++a_spans;
+      EXPECT_EQ(e.trace_hi, job_a.trace_hi);
+      EXPECT_EQ(e.trace_lo, job_a.trace_lo);
+      EXPECT_NE(e.span_id, 0u);
+      EXPECT_NE(e.parent_span_id, 0u);
+    } else if (e.name == "job_b.work") {
+      ++b_spans;
+      EXPECT_EQ(e.trace_hi, job_b.trace_hi);
+      EXPECT_EQ(e.trace_lo, job_b.trace_lo);
+      EXPECT_NE(e.span_id, 0u);
+      EXPECT_NE(e.parent_span_id, 0u);
+    }
+  }
+  EXPECT_EQ(a_spans, kIters);
+  EXPECT_EQ(b_spans, kIters);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace nmine

@@ -114,15 +114,93 @@ TEST_F(TracerTest, EmptySnapshotStillParses) {
   EXPECT_TRUE(parsed->Get("traceEvents")->array.empty());
 }
 
-TEST_F(TracerTest, StartClearsPreviousEvents) {
+TEST_F(TracerTest, RestartClearsButRedundantStartKeepsBuffer) {
   Tracer::Global().Start();
   {
     TraceSpan span("old", "test");
   }
   EXPECT_EQ(Tracer::Global().NumEvents(), 1u);
+  // Start() on a running tracer is a no-op: a component (re)starting
+  // inside a live server must not discard other traces' buffered spans.
+  Tracer::Global().Start();
+  EXPECT_EQ(Tracer::Global().NumEvents(), 1u);
+  // A full stop/start cycle does clear.
+  Tracer::Global().Stop();
   Tracer::Global().Start();
   EXPECT_EQ(Tracer::Global().NumEvents(), 0u);
   Tracer::Global().Stop();
+}
+
+TEST_F(TracerTest, StartAnchorsWallClock) {
+  EXPECT_EQ(Tracer::Global().WallEpochUs(), 0);
+  Tracer::Global().Start();
+  // Trace ts 0 is the process epoch, which is in the past: the anchor
+  // must be a plausible recent wall-clock time (after 2020-01-01).
+  EXPECT_GT(Tracer::Global().WallEpochUs(), 1577836800LL * 1000000LL);
+  Tracer::Global().Stop();
+}
+
+TEST_F(TracerTest, RingCapacityBoundsBufferAndCountsDrops) {
+  Tracer::Global().SetCapacity(4);
+  Tracer::Global().Start();
+  uint64_t dropped_before = Tracer::Global().dropped();
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.name = "e" + std::to_string(i);
+    e.category = "test";
+    e.ts_us = i;
+    Tracer::Global().AddComplete(std::move(e));
+  }
+  Tracer::Global().Stop();
+  EXPECT_EQ(Tracer::Global().NumEvents(), 4u);
+  EXPECT_EQ(Tracer::Global().dropped() - dropped_before, 6u);
+  // The ring keeps the most recent events, in order.
+  std::vector<TraceEvent> events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "e6");
+  EXPECT_EQ(events[3].name, "e9");
+  Tracer::Global().SetCapacity(Tracer::kDefaultCapacity);
+}
+
+TEST_F(TracerTest, TraceJsonFiltersByTraceIdAndShiftsToWallClock) {
+  Tracer::Global().Start();
+  const int64_t wall_epoch = Tracer::Global().WallEpochUs();
+  TraceEvent mine;
+  mine.name = "job.run";
+  mine.category = "serve";
+  mine.ts_us = 100;
+  mine.dur_us = 50;
+  mine.trace_hi = 0xabc;
+  mine.trace_lo = 0xdef;
+  mine.span_id = 7;
+  Tracer::Global().AddComplete(std::move(mine));
+  TraceEvent other;
+  other.name = "unrelated";
+  other.category = "serve";
+  other.trace_hi = 1;
+  other.trace_lo = 2;
+  Tracer::Global().AddComplete(std::move(other));
+  Tracer::Global().Stop();
+
+  std::string json = Tracer::Global().TraceJson(0xabc, 0xdef);
+  // Single line (it is embedded as one line-JSON response member).
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  auto parsed = testjson::ParseJson(json);
+  ASSERT_TRUE(parsed.has_value());
+  const testjson::JsonValue* events = parsed->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 1u);
+  const testjson::JsonValue& e = events->array[0];
+  EXPECT_EQ(e.Get("name")->string_value, "job.run");
+  EXPECT_EQ(e.Get("ts")->number_value,
+            static_cast<double>(wall_epoch + 100));
+  EXPECT_EQ(e.Get("args")->Get("trace_id")->string_value,
+            "0000000000000abc0000000000000def");
+
+  // No matches -> still a valid document with an empty event array.
+  auto empty = testjson::ParseJson(Tracer::Global().TraceJson(9, 9));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->Get("traceEvents")->array.empty());
 }
 
 }  // namespace

@@ -52,6 +52,82 @@ TEST(ProtocolTest, ParsesSubmitWithSpec) {
   EXPECT_EQ(r->spec->scan_retries, 2);
 }
 
+TEST(ProtocolTest, ParsesTraceOp) {
+  std::string error;
+  std::optional<Request> r =
+      ParseRequest("{\"op\": \"trace\", \"id\": 4}", &error);
+  ASSERT_TRUE(r.has_value()) << error;
+  EXPECT_EQ(r->op, "trace");
+  EXPECT_TRUE(r->has_job_id);
+  EXPECT_EQ(r->job_id, 4u);
+  EXPECT_FALSE(ParseRequest("{\"op\": \"trace\"}", &error).has_value());
+}
+
+TEST(ProtocolTest, ParsesSubmitTraceId) {
+  std::string error;
+  std::optional<Request> r = ParseRequest(
+      "{\"op\": \"submit\", \"client\": \"c1\", "
+      "\"trace_id\": \"0123456789abcdeffedcba9876543210\", "
+      "\"spec\": {\"db\": \"/x.nmsq\"}}",
+      &error);
+  ASSERT_TRUE(r.has_value()) << error;
+  EXPECT_EQ(r->trace_id, "0123456789abcdeffedcba9876543210");
+
+  // Absent trace_id is fine (the server mints one).
+  r = ParseRequest(
+      "{\"op\": \"submit\", \"client\": \"c1\", "
+      "\"spec\": {\"db\": \"/x.nmsq\"}}",
+      &error);
+  ASSERT_TRUE(r.has_value()) << error;
+  EXPECT_TRUE(r->trace_id.empty());
+}
+
+TEST(ProtocolTest, RejectsMalformedTraceId) {
+  std::string error;
+  // Wrong length / non-hex / all-zero / non-string all get a typed reject.
+  EXPECT_FALSE(ParseRequest("{\"op\": \"submit\", \"client\": \"c\", "
+                            "\"trace_id\": \"abc\", "
+                            "\"spec\": {\"db\": \"/x\"}}",
+                            &error)
+                   .has_value());
+  EXPECT_NE(error.find("trace_id"), std::string::npos);
+  EXPECT_FALSE(ParseRequest("{\"op\": \"submit\", \"client\": \"c\", "
+                            "\"trace_id\": "
+                            "\"zzzz456789abcdeffedcba9876543210\", "
+                            "\"spec\": {\"db\": \"/x\"}}",
+                            &error)
+                   .has_value());
+  EXPECT_FALSE(ParseRequest("{\"op\": \"submit\", \"client\": \"c\", "
+                            "\"trace_id\": "
+                            "\"00000000000000000000000000000000\", "
+                            "\"spec\": {\"db\": \"/x\"}}",
+                            &error)
+                   .has_value());
+  EXPECT_FALSE(ParseRequest("{\"op\": \"submit\", \"client\": \"c\", "
+                            "\"trace_id\": 7, "
+                            "\"spec\": {\"db\": \"/x\"}}",
+                            &error)
+                   .has_value());
+}
+
+TEST(ProtocolTest, UnknownMembersAreIgnoredForCompatibility) {
+  // An older server receiving a newer client's request must not choke on
+  // members it does not know (this is how trace_id itself shipped).
+  std::string error;
+  std::optional<Request> r = ParseRequest(
+      "{\"op\": \"submit\", \"client\": \"c1\", "
+      "\"future_field\": \"x\", \"another\": {\"deep\": [1, 2]}, "
+      "\"spec\": {\"db\": \"/x.nmsq\", \"future_knob\": 9}}",
+      &error);
+  ASSERT_TRUE(r.has_value()) << error;
+  EXPECT_EQ(r->client, "c1");
+  ASSERT_TRUE(r->spec.has_value());
+  EXPECT_EQ(r->spec->db_path, "/x.nmsq");
+
+  r = ParseRequest("{\"op\": \"ping\", \"novel\": true}", &error);
+  ASSERT_TRUE(r.has_value()) << error;
+}
+
 TEST(ProtocolTest, RejectsMalformedRequests) {
   std::string error;
   EXPECT_FALSE(ParseRequest("not json", &error).has_value());

@@ -16,13 +16,16 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "nmine/db/format.h"
 #include "nmine/gen/workload.h"
+#include "nmine/net/status_server.h"
 #include "nmine/obs/json_parse.h"
 #include "nmine/obs/metrics.h"
+#include "nmine/obs/trace.h"
 #include "nmine/serve/job.h"
 #include "nmine/serve/server.h"
 
@@ -395,6 +398,233 @@ TEST_F(MiningServerTest, DrainRequeuesInFlightJobAndRestartResumes) {
   ASSERT_TRUE(solo.ok);
   EXPECT_EQ(resumed.rows, solo.rows);
   server.Drain();
+}
+
+TEST_F(MiningServerTest, TracingBindsEverySpanToTheJobsTraceId) {
+  MiningServer::Options options = ServerOptions();
+  options.tracing = true;
+  MiningServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+
+  const std::string trace_id = "00c0ffee00c0ffee00c0ffee00c0ffee";
+  std::string line =
+      "{\"op\": \"submit\", \"client\": \"alice\", \"tag\": \"traced\", "
+      "\"trace_id\": \"" +
+      trace_id + "\", \"spec\": ";
+  QuickSpec().AppendJson(&line);
+  line.append("}\n");
+  std::optional<obs::JsonValue> ack = Ask(server.port(), line);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_TRUE(ack->Get("ok")->bool_value);
+  // The ack echoes the binding trace id.
+  ASSERT_NE(ack->Get("trace_id"), nullptr);
+  EXPECT_EQ(ack->Get("trace_id")->string_value, trace_id);
+  const uint64_t id = static_cast<uint64_t>(ack->GetNumber("id", 0.0));
+
+  std::optional<obs::JsonValue> done = Wait(server.port(), id);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->Get("state")->string_value, "done");
+  ASSERT_NE(done->Get("trace_id"), nullptr);
+  EXPECT_EQ(done->Get("trace_id")->string_value, trace_id);
+
+  // Fetch the per-job trace over the protocol and validate it.
+  std::optional<obs::JsonValue> traced = Ask(
+      server.port(), "{\"op\": \"trace\", \"id\": " + std::to_string(id) +
+                         "}\n");
+  ASSERT_TRUE(traced.has_value());
+  ASSERT_TRUE(traced->Get("ok")->bool_value);
+  const obs::JsonValue* payload = traced->Get("trace_json");
+  ASSERT_NE(payload, nullptr);
+  ASSERT_TRUE(payload->is_string());
+  std::optional<obs::JsonValue> trace = obs::ParseJson(payload->string_value);
+  ASSERT_TRUE(trace.has_value()) << payload->string_value;
+  const obs::JsonValue* events = trace->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->array.empty());
+
+  bool saw_root = false;
+  bool saw_queue_wait = false;
+  bool saw_run = false;
+  bool saw_miner_span = false;
+  for (const obs::JsonValue& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    // Every span in the job's trace carries the job's trace id.
+    ASSERT_NE(e.Get("args"), nullptr);
+    ASSERT_NE(e.Get("args")->Get("trace_id"), nullptr);
+    EXPECT_EQ(e.Get("args")->Get("trace_id")->string_value, trace_id);
+    EXPECT_GE(e.GetNumber("dur", -1.0), 0.0);
+    const std::string& name = e.Get("name")->string_value;
+    if (name == "job") saw_root = true;
+    if (name == "job.queue_wait") saw_queue_wait = true;
+    if (name == "job.run") saw_run = true;
+    const std::string& cat = e.Get("cat")->string_value;
+    if (cat == "mining" || cat == "phase1" || cat == "phase2" ||
+        cat == "phase3") {
+      saw_miner_span = true;
+    }
+  }
+  // The lifecycle spine: queued -> admitted (job.queue_wait), running ->
+  // done (job.run), and the root span covering the whole job.
+  EXPECT_TRUE(saw_root);
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_run);
+  // Context propagated into the miner: the run's own phase spans
+  // attributed to this job.
+  EXPECT_TRUE(saw_miner_span);
+
+  // /tracez lists the completed trace with a phase breakdown.
+  std::string tracez = server.TracezJson("");
+  std::optional<obs::JsonValue> listing = obs::ParseJson(tracez);
+  ASSERT_TRUE(listing.has_value()) << tracez;
+  EXPECT_EQ(listing->Get("version")->string_value, "nmine.tracez.v1");
+  const obs::JsonValue* traces = listing->Get("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_FALSE(traces->array.empty());
+  const obs::JsonValue& row = traces->array[0];
+  EXPECT_EQ(row.Get("trace_id")->string_value, trace_id);
+  EXPECT_GE(row.GetNumber("run_ms", -1.0), 0.0);
+  ASSERT_NE(row.Get("phases_ms"), nullptr);
+
+  // /tracez?id=<hex> serves the same Chrome JSON as the trace op.
+  std::optional<obs::JsonValue> by_id =
+      obs::ParseJson(server.TracezJson("id=" + trace_id));
+  ASSERT_TRUE(by_id.has_value());
+  EXPECT_FALSE(by_id->Get("traceEvents")->array.empty());
+
+  server.Drain();
+  obs::Tracer::Global().Stop();
+}
+
+TEST_F(MiningServerTest, ServerMintsTraceIdWhenClientSendsNone) {
+  MiningServer::Options options = ServerOptions();
+  options.tracing = true;
+  MiningServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+
+  std::optional<obs::JsonValue> ack =
+      Ask(server.port(), SubmitLine("alice", "untraced", QuickSpec()));
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_TRUE(ack->Get("ok")->bool_value);
+  ASSERT_NE(ack->Get("trace_id"), nullptr);
+  const std::string& minted = ack->Get("trace_id")->string_value;
+  ASSERT_EQ(minted.size(), 32u);
+  EXPECT_NE(minted, std::string(32, '0'));
+
+  // A deduping resubmit keeps the original binding, even when the retry
+  // carries a different (or no) trace id.
+  std::optional<obs::JsonValue> again =
+      Ask(server.port(), SubmitLine("alice", "untraced", QuickSpec()));
+  ASSERT_TRUE(again.has_value());
+  ASSERT_NE(again->Get("trace_id"), nullptr);
+  EXPECT_EQ(again->Get("trace_id")->string_value, minted);
+
+  server.Drain();
+  obs::Tracer::Global().Stop();
+}
+
+TEST_F(MiningServerTest, TraceOpWithoutTracingIsFailedPrecondition) {
+  MiningServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(ServerOptions(), &error)) << error;
+  std::optional<obs::JsonValue> ack =
+      Ask(server.port(), SubmitLine("alice", "t", QuickSpec()));
+  ASSERT_TRUE(ack.has_value());
+  const uint64_t id = static_cast<uint64_t>(ack->GetNumber("id", 0.0));
+  ASSERT_TRUE(Wait(server.port(), id).has_value());
+  std::optional<obs::JsonValue> traced = Ask(
+      server.port(), "{\"op\": \"trace\", \"id\": " + std::to_string(id) +
+                         "}\n");
+  ASSERT_TRUE(traced.has_value());
+  EXPECT_FALSE(traced->Get("ok")->bool_value);
+  EXPECT_EQ(traced->Get("error")->string_value, "FAILED_PRECONDITION");
+  server.Drain();
+}
+
+TEST_F(MiningServerTest, JobszReportsLatencyQuantilesAndQueueAges) {
+  // Admit-only server: the submitted job stays queued, so the board must
+  // report a growing oldest-queued age and count it as the current max
+  // queue wait.
+  MiningServer::Options options = ServerOptions();
+  options.max_running = 0;
+  MiningServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  ASSERT_TRUE(
+      Ask(server.port(), SubmitLine("alice", "parked", QuickSpec()))
+          .has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  std::optional<obs::JsonValue> board = obs::ParseJson(server.JobszJson());
+  ASSERT_TRUE(board.has_value());
+  const double oldest = board->GetNumber("oldest_queued_age_ms", -1.0);
+  EXPECT_GE(oldest, 25.0);
+  EXPECT_GE(board->GetNumber("max_queue_wait_ms", -1.0), oldest);
+  const obs::JsonValue* latency = board->Get("latency");
+  ASSERT_NE(latency, nullptr);
+  ASSERT_NE(latency->Get("queue_wait_ms"), nullptr);
+  ASSERT_NE(latency->Get("run_ms"), nullptr);
+  EXPECT_GE(latency->Get("run_ms")->GetNumber("p99", -1.0), 0.0);
+
+  // The /healthz queue contributor reports the same staleness data.
+  std::vector<std::string> reasons;
+  std::optional<obs::JsonValue> queue =
+      obs::ParseJson("{" + server.HealthQueueMember(&reasons) + "}");
+  ASSERT_TRUE(queue.has_value());
+  const obs::JsonValue* member = queue->Get("queue");
+  ASSERT_NE(member, nullptr);
+  EXPECT_DOUBLE_EQ(member->GetNumber("depth", -1.0), 1.0);
+  EXPECT_GE(member->GetNumber("oldest_queued_age_ms", -1.0), 25.0);
+  EXPECT_GE(member->GetNumber("max_queue_wait_ms", -1.0),
+            member->GetNumber("oldest_queued_age_ms", -1.0));
+  EXPECT_TRUE(reasons.empty());  // 30ms is nowhere near stalled
+  // End-to-end: the member and ages appear in the process /healthz body.
+  std::optional<obs::JsonValue> healthz =
+      obs::ParseJson(net::StatusServer::HealthzBody());
+  ASSERT_TRUE(healthz.has_value());
+  ASSERT_NE(healthz->Get("queue"), nullptr);
+  EXPECT_GE(healthz->Get("queue")->GetNumber("oldest_queued_age_ms", -1.0),
+            25.0);
+  server.Stop();
+
+  // A served job moves the ages back to zero and lands in the latency
+  // histograms and the slow-job exemplar table.
+  MiningServer::Options serving = ServerOptions();
+  serving.state_dir = dir_ + "/state2";
+  MiningServer worker;
+  ASSERT_TRUE(worker.Start(serving, &error)) << error;
+  std::optional<obs::JsonValue> ack =
+      Ask(worker.port(), SubmitLine("alice", "served", QuickSpec()));
+  ASSERT_TRUE(ack.has_value());
+  const uint64_t id = static_cast<uint64_t>(ack->GetNumber("id", 0.0));
+  std::optional<obs::JsonValue> done = Wait(worker.port(), id);
+  ASSERT_TRUE(done.has_value());
+  ASSERT_EQ(done->Get("state")->string_value, "done");
+
+  board = obs::ParseJson(worker.JobszJson());
+  ASSERT_TRUE(board.has_value());
+  EXPECT_DOUBLE_EQ(board->GetNumber("oldest_queued_age_ms", -1.0), 0.0);
+  latency = board->Get("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->Get("run_ms")->GetNumber("count", 0.0), 1.0);
+  EXPECT_GE(latency->Get("queue_wait_ms")->GetNumber("count", 0.0), 1.0);
+  const obs::JsonValue* slowest = board->Get("slowest");
+  ASSERT_NE(slowest, nullptr);
+  ASSERT_TRUE(slowest->is_array());
+  ASSERT_FALSE(slowest->array.empty());
+  EXPECT_DOUBLE_EQ(slowest->array[0].GetNumber("id", -1.0),
+                   static_cast<double>(id));
+  EXPECT_GE(slowest->array[0].GetNumber("run_ms", -1.0), 0.0);
+  ASSERT_NE(slowest->array[0].Get("trace_id"), nullptr);
+  // Per-job board entries carry their trace ids and terminal latencies.
+  const obs::JsonValue* jobs = board->Get("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_FALSE(jobs->array.empty());
+  ASSERT_NE(jobs->array[0].Get("trace_id"), nullptr);
+  EXPECT_GE(jobs->array[0].GetNumber("run_ms", -1.0), 0.0);
+  worker.Drain();
 }
 
 }  // namespace

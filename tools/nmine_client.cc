@@ -27,6 +27,16 @@
 //   --client C    logical client name: the server's fair scheduler
 //                 round-robins between clients (default "cli-<pid>")
 //
+// Tracing flags (submit; server must run with --trace for span capture):
+//   --trace-id H  attach this 128-bit trace id (32 hex digits, nonzero) to
+//                 the job instead of minting one. The id rides the submit
+//                 request, is echoed in the ack (printed as "trace_id: H"
+//                 on stderr), and stamps every server-side span, log line,
+//                 and flight event of the job.
+//   --trace-out F with --wait (or the wait op): after the job reaches a
+//                 terminal state, fetch its trace ({"op": "trace"}) and
+//                 write the Chrome trace JSON to F (open in Perfetto)
+//
 // Exit status: 0 success; 1 usage/connection failure (timeout included);
 // 2 the job failed with a typed runtime error; 3 the job was cancelled or
 // hit its deadline.
@@ -51,6 +61,7 @@
 #include "nmine/eval/table.h"
 #include "nmine/obs/json_parse.h"
 #include "nmine/obs/json_util.h"
+#include "nmine/obs/trace_context.h"
 #include "nmine/serve/job.h"
 #include "nmine/stats/random.h"
 
@@ -244,10 +255,57 @@ serve::JobSpec SpecFromFlags(const Flags& flags) {
   return spec;
 }
 
+/// Fetches job `job_id`'s trace ({"op": "trace", "id": N}) and writes the
+/// Chrome trace JSON to `path`. Best-effort: a failure warns on stderr but
+/// never changes the exit code — the mining result already happened.
+void SaveTrace(Connection& connection, uint64_t job_id,
+               const std::string& path) {
+  std::string request =
+      "{\"op\": \"trace\", \"id\": " + std::to_string(job_id) + "}\n";
+  std::optional<std::string> line = connection.RoundTrip(request);
+  if (!line.has_value()) {
+    std::fprintf(stderr, "nmine_client: --trace-out: trace fetch timed out\n");
+    return;
+  }
+  std::optional<obs::JsonValue> response = obs::ParseJson(*line);
+  if (!response.has_value() || !response->is_object()) {
+    std::fprintf(stderr, "nmine_client: --trace-out: malformed response\n");
+    return;
+  }
+  const obs::JsonValue* ok = response->Get("ok");
+  if (ok == nullptr || ok->type != obs::JsonValue::Type::kBool ||
+      !ok->bool_value) {
+    const obs::JsonValue* message = response->Get("message");
+    std::fprintf(stderr, "nmine_client: --trace-out: %s\n",
+                 message != nullptr && message->is_string()
+                     ? message->string_value.c_str()
+                     : "trace op failed");
+    return;
+  }
+  const obs::JsonValue* trace_json = response->Get("trace_json");
+  if (trace_json == nullptr || !trace_json->is_string()) {
+    std::fprintf(stderr,
+                 "nmine_client: --trace-out: response carries no trace\n");
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "nmine_client: --trace-out: cannot open '%s'\n",
+                 path.c_str());
+    return;
+  }
+  std::fputs(trace_json->string_value.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "trace written to %s\n", path.c_str());
+}
+
 /// Prints a terminal job result the way `nmine_cli mine --csv` prints a
-/// solo run (the drill diffs them), or the typed error. Returns the
+/// solo run (the drill diffs them), or the typed error (plus the job's
+/// trace_id, so a failure can be chased through /tracez). Returns the
 /// process exit code.
-int ReportResult(const obs::JsonValue& response, bool csv) {
+int ReportResult(const obs::JsonValue& response, bool csv,
+                 const std::string& trace_id) {
   const obs::JsonValue* result = response.Get("result");
   if (result == nullptr) {
     std::fprintf(stderr, "nmine_client: response carries no result\n");
@@ -262,6 +320,9 @@ int ReportResult(const obs::JsonValue& response, bool csv) {
   if (!job_result->ok) {
     std::fprintf(stderr, "nmine_client: job failed: %s: %s\n",
                  job_result->error_code.c_str(), job_result->message.c_str());
+    if (!trace_id.empty()) {
+      std::fprintf(stderr, "nmine_client: trace_id: %s\n", trace_id.c_str());
+    }
     return job_result->error_code == "CANCELLED" ||
                    job_result->error_code == "DEADLINE_EXCEEDED"
                ? 3
@@ -325,12 +386,33 @@ int Main(int argc, char** argv) {
   std::string request;
   bool is_submit = op == "submit";
   uint64_t job_id = 0;
+  std::string trace_id;
   if (is_submit) {
     serve::JobSpec spec = SpecFromFlags(flags);
     if (spec.db_path.empty()) {
       std::fprintf(stderr, "nmine_client: submit needs --db\n");
       return 1;
     }
+    // The client mints the trace id (or forwards --trace-id) so the
+    // request is traceable before the server ever sees it; the ack echoes
+    // the binding id (the original job's on a deduped resubmit).
+    uint64_t trace_hi = 0;
+    uint64_t trace_lo = 0;
+    if (flags.Has("trace-id")) {
+      if (!obs::ParseTraceId(flags.Get("trace-id", ""), &trace_hi,
+                             &trace_lo)) {
+        std::fprintf(stderr,
+                     "nmine_client: bad --trace-id '%s' (want 32 hex "
+                     "digits, nonzero)\n",
+                     flags.Get("trace-id", "").c_str());
+        return 1;
+      }
+    } else {
+      obs::TraceContext minted = obs::MintTraceContext();
+      trace_hi = minted.trace_hi;
+      trace_lo = minted.trace_lo;
+    }
+    trace_id = obs::FormatTraceId(trace_hi, trace_lo);
     std::string tag = flags.Get(
         "tag", client + "-seed" + std::to_string(spec.seed) + "-" +
                    spec.algorithm);
@@ -338,6 +420,8 @@ int Main(int argc, char** argv) {
     obs::AppendJsonString(client, &request);
     request.append(", \"tag\": ");
     obs::AppendJsonString(tag, &request);
+    request.append(", \"trace_id\": ");
+    obs::AppendJsonString(trace_id, &request);
     request.append(", \"spec\": ");
     spec.AppendJson(&request);
     request.append("}\n");
@@ -399,11 +483,16 @@ int Main(int argc, char** argv) {
 
     if (is_submit) {
       job_id = static_cast<uint64_t>(response->GetNumber("id", 0.0));
+      const obs::JsonValue* echoed = response->Get("trace_id");
+      if (echoed != nullptr && echoed->is_string()) {
+        trace_id = echoed->string_value;
+      }
       // To stderr: with --wait --csv, stdout carries only the result rows
       // so it can be diffed against `nmine_cli mine --csv` output.
       std::fprintf(stderr, "submitted job %llu%s\n",
                    static_cast<unsigned long long>(job_id),
                    response->Get("deduped") != nullptr ? " (deduped)" : "");
+      std::fprintf(stderr, "trace_id: %s\n", trace_id.c_str());
       if (!flags.Has("wait")) return 0;
       // Switch the loop over to waiting on the job we just got.
       is_submit = false;
@@ -414,13 +503,21 @@ int Main(int argc, char** argv) {
     }
     if (op == "status" || op == "wait") {
       const obs::JsonValue* state = response->Get("state");
+      const obs::JsonValue* bound = response->Get("trace_id");
+      if (bound != nullptr && bound->is_string()) {
+        trace_id = bound->string_value;
+      }
       if (op == "status") {
         std::printf("job %llu: %s\n",
                     static_cast<unsigned long long>(job_id),
                     state != nullptr ? state->string_value.c_str() : "?");
         if (response->Get("result") == nullptr) return 0;
       }
-      return ReportResult(*response, flags.Has("csv"));
+      int code = ReportResult(*response, flags.Has("csv"), trace_id);
+      if (flags.Has("trace-out") && response->Get("result") != nullptr) {
+        SaveTrace(connection, job_id, flags.Get("trace-out", ""));
+      }
+      return code;
     }
     // ping / jobs
     std::printf("%s\n", response_line->c_str());

@@ -7,7 +7,7 @@
 // Usage:
 //   nmine_server --state-dir DIR [--port P] [--queue-capacity N]
 //       [--max-running N] [--shed-retry-after S] [--statusz-port P]
-//       [--port-file FILE] [--log-level L]
+//       [--port-file FILE] [--log-level L] [--trace] [--trace-buffer N]
 //
 // Flags:
 //   --state-dir DIR        job journal + per-job run checkpoints (required;
@@ -27,6 +27,13 @@
 //   --port-file FILE       write "<job_port> <statusz_port>\n" once both
 //                          listeners are up (scripts poll for this file)
 //   --log-level L          trace|debug|info|warn|error|off (default info)
+//   --trace                per-job request tracing: bind every job to a
+//                          128-bit trace id, emit lifecycle + miner spans,
+//                          serve per-job Chrome trace JSON via the "trace"
+//                          op and /tracez (see DESIGN.md §15)
+//   --trace-buffer N       tracer ring capacity in events (default 65536);
+//                          full ring drops oldest, counted by
+//                          obs.trace.dropped
 //
 // Lifecycle: SIGTERM or SIGINT triggers a graceful drain — stop admitting
 // (submits get a typed UNAVAILABLE), cancel in-flight jobs cooperatively
@@ -117,6 +124,9 @@ int Main(int argc, char** argv) {
   options.max_running =
       static_cast<size_t>(std::max(0LL, flags.GetInt("max-running", 1)));
   options.shed_retry_after_s = flags.GetDouble("shed-retry-after", 1.0);
+  options.tracing = flags.Has("trace");
+  options.trace_buffer =
+      static_cast<size_t>(std::max(0LL, flags.GetInt("trace-buffer", 0)));
 
   serve::MiningServer server;
   std::string error;
