@@ -15,6 +15,7 @@
 
 #include "harness.h"
 #include "nmine/core/match.h"
+#include "nmine/core/match_kernel.h"
 #include "nmine/db/format.h"
 #include "nmine/gen/matrix_generator.h"
 #include "nmine/gen/sequence_generator.h"
@@ -138,6 +139,30 @@ void RunNaiveSharedPrefixes(const bench::BenchContext&) {
   }
 }
 
+/// Runs `fn` under the widest kernel this build and host support, then
+/// restores the harness-selected kernel. The *_simd scenarios force the
+/// vector kernel regardless of --simd, so one run always produces the
+/// (baseline-kernel, vector-kernel) pair the speedup gate compares; on
+/// hosts without a vector unit they degenerate to the scalar scenario and
+/// the pair shows ~1x.
+void RunWithWidestKernel(const bench::BenchContext& ctx,
+                         void (*fn)(const bench::BenchContext&)) {
+  SimdLevel previous = ActiveMatchKernel().level();
+  SimdLevel widest = SimdLevel::kScalar;
+  ResolveSimdLevel("auto", DetectCpuFeatures(), &widest, nullptr);
+  SetActiveMatchKernel(widest, nullptr);
+  fn(ctx);
+  SetActiveMatchKernel(previous, nullptr);
+}
+
+void RunSequenceMatchSimd(const bench::BenchContext& ctx) {
+  RunWithWidestKernel(ctx, RunSequenceMatch);
+}
+
+void RunTrieBatchCountSimd(const bench::BenchContext& ctx) {
+  RunWithWidestKernel(ctx, RunTrieBatchCount);
+}
+
 void RunSymbolScan(const bench::BenchContext&) {
   static const CompatibilityMatrix c = Matrix20();
   static const InMemorySequenceDatabase db = MakeDb(1000, 200);
@@ -193,8 +218,12 @@ int main(int argc, char** argv) {
   using nmine::bench::RegisterScenario;
   RegisterScenario("micro.sequence_match", nmine::RunSequenceMatch,
                    {.smoke = true});
+  RegisterScenario("micro.sequence_match_simd", nmine::RunSequenceMatchSimd,
+                   {.smoke = true});
   RegisterScenario("micro.trie_batch_count", nmine::RunTrieBatchCount,
                    {.smoke = true});
+  RegisterScenario("micro.trie_batch_count_simd",
+                   nmine::RunTrieBatchCountSimd, {.smoke = true});
   RegisterScenario("micro.naive_batch_count", nmine::RunNaiveBatchCount);
   RegisterScenario("micro.trie_shared_prefixes",
                    nmine::RunTrieSharedPrefixes);

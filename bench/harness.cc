@@ -11,6 +11,7 @@
 #include <fstream>
 #include <utility>
 
+#include "nmine/core/match_kernel.h"
 #include "nmine/obs/json_util.h"
 #include "nmine/obs/metrics.h"
 #include "nmine/obs/profiler.h"
@@ -76,6 +77,7 @@ double NowSecondsSince(std::chrono::steady_clock::time_point start) {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--reps=N] [--warmup=N] [--threads=N]\n"
+               "          [--simd=auto|avx2|neon|scalar]\n"
                "          [--filter=SUBSTRING] [--smoke] [--list]\n"
                "          [--out-dir=DIR]\n",
                argv0);
@@ -115,6 +117,15 @@ BuildFingerprint CurrentFingerprint() {
   fp.flags = NMINE_BUILD_FLAGS;
   fp.build_type = NMINE_BUILD_TYPE;
   fp.cpu = CpuModel();
+  // Kernel + feature identity: two snapshots taken with different match
+  // kernels (or on hosts with different vector units) are flagged by the
+  // fingerprint before their timings are compared.
+  fp.simd_kernel = ActiveMatchKernelName();
+  CpuFeatures features = DetectCpuFeatures();
+  std::string feats;
+  if (features.avx2) feats += "avx2";
+  if (features.neon) feats += feats.empty() ? "neon" : "+neon";
+  fp.cpu_features = feats.empty() ? "none" : feats;
   return fp;
 }
 
@@ -167,7 +178,9 @@ std::string BenchJsonV2(const std::string& name, const RepStats& stats) {
   AppendField("compiler", fp.compiler, false, &out);
   AppendField("flags", fp.flags, false, &out);
   AppendField("build_type", fp.build_type, false, &out);
-  AppendField("cpu", fp.cpu, true, &out);
+  AppendField("cpu", fp.cpu, false, &out);
+  AppendField("simd_kernel", fp.simd_kernel, false, &out);
+  AppendField("cpu_features", fp.cpu_features, true, &out);
   out.append("  },\n  \"metrics\": ");
   out.append(obs::MetricsRegistry::Global().SnapshotJson());
   out.append(",\n  \"profile\": ");
@@ -200,6 +213,7 @@ int BenchMain(int argc, char** argv, HarnessDefaults defaults) {
   int reps = defaults.reps;
   int warmup = defaults.warmup;
   long long threads = 1;
+  std::string simd_flag = "auto";
   std::string filter;
   std::string out_dir_flag;
   bool smoke_only = false;
@@ -220,6 +234,8 @@ int BenchMain(int argc, char** argv, HarnessDefaults defaults) {
       warmup = std::atoi(value.c_str());
     } else if (key == "--threads") {
       threads = std::atoll(value.c_str());
+    } else if (key == "--simd") {
+      simd_flag = value;
     } else if (key == "--filter") {
       filter = value;
     } else if (key == "--out-dir") {
@@ -237,6 +253,17 @@ int BenchMain(int argc, char** argv, HarnessDefaults defaults) {
   if (reps < 1) reps = 1;
   if (warmup < 0) warmup = 0;
   if (threads < 0) threads = 1;
+
+  // Install the process-wide match kernel before any scenario runs so the
+  // fingerprint and the measured code path agree.
+  SimdLevel simd_level;
+  std::string simd_error;
+  if (!ResolveSimdLevel(simd_flag, DetectCpuFeatures(), &simd_level,
+                        &simd_error) ||
+      !SetActiveMatchKernel(simd_level, &simd_error)) {
+    std::fprintf(stderr, "%s\n", simd_error.c_str());
+    return 2;
+  }
 
   std::vector<const Scenario*> selected;
   for (const Scenario& s : Registry()) {

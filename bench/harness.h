@@ -64,6 +64,9 @@ struct HarnessDefaults {
 ///   --warmup=N    untimed warmup executions per scenario
 ///   --threads=N   worker threads handed to scenarios via
 ///                 BenchContext::threads (default 1; 0 = hardware)
+///   --simd=LEVEL  match kernel for M(P,s): auto|avx2|neon|scalar
+///                 (default auto; the active kernel is stamped into every
+///                 snapshot's fingerprint as "simd_kernel")
 ///   --filter=SUB  only scenarios whose name contains SUB
 ///   --smoke       only scenarios registered with smoke=true
 ///   --list        print scenario names and exit
@@ -92,6 +95,8 @@ struct BuildFingerprint {
   std::string flags;
   std::string build_type;
   std::string cpu;  // "model name" from /proc/cpuinfo, "unknown" elsewhere
+  std::string simd_kernel;   // active match kernel ("scalar", "avx2", ...)
+  std::string cpu_features;  // detected vector features ("avx2", "none", ...)
 };
 
 BuildFingerprint CurrentFingerprint();

@@ -1,0 +1,59 @@
+#ifndef NMINE_CORE_COLUMN_INDEX_H_
+#define NMINE_CORE_COLUMN_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nmine/core/compatibility_matrix.h"
+#include "nmine/core/sequence.h"
+
+namespace nmine {
+
+/// Per-position compatibility-column pointers for one sequence.
+///
+/// Every sliding window that crosses position j reads factors from the
+/// same column C(., seq[j]), so the column pointer is hoisted out of the
+/// innermost product once per sequence: Build() resolves cols()[j] ==
+/// c.Column(seq[j]). Short sequences stay on an internal stack buffer;
+/// longer ones spill to a heap vector whose capacity is kept across
+/// Build() calls, so a scan-loop scratch instance allocates at most once.
+///
+/// Shared by SequenceMatch, PatternTrie::BestMatches, the batch counters,
+/// and the match kernels' exact re-evaluation path.
+class ColumnIndex {
+ public:
+  ColumnIndex() = default;
+  // The stack buffer makes the type address-sensitive; scratch owners keep
+  // one instance per worker instead of copying it around.
+  ColumnIndex(const ColumnIndex&) = delete;
+  ColumnIndex& operator=(const ColumnIndex&) = delete;
+
+  void Build(const CompatibilityMatrix& c, const Sequence& seq) {
+    size_ = seq.size();
+    const double** cols = stack_;
+    if (size_ > kStackPositions) {
+      if (heap_.size() < size_) heap_.resize(size_);
+      cols = heap_.data();
+    }
+    for (size_t j = 0; j < size_; ++j) {
+      cols[j] = c.Column(seq[j]);
+    }
+    cols_ = cols;
+  }
+
+  /// cols()[j] is the column for seq[j]; valid until the next Build() and
+  /// only as long as the matrix outlives this index.
+  const double* const* cols() const { return cols_; }
+  size_t size() const { return size_; }
+
+ private:
+  static constexpr size_t kStackPositions = 512;
+  const double* stack_[kStackPositions];
+  std::vector<const double*> heap_;
+  const double* const* cols_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace nmine
+
+#endif  // NMINE_CORE_COLUMN_INDEX_H_

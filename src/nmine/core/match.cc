@@ -1,10 +1,16 @@
 #include "nmine/core/match.h"
 
 #include <cassert>
-#include <vector>
+
+#include "nmine/core/match_kernel.h"
 
 namespace nmine {
 
+// SegmentMatch is the semantics reference for the whole kernel stack: the
+// SIMD kernels' exact re-evaluation path (detail::ExactWindowProduct) is
+// this loop — same factor order, same zero short-circuit — which is what
+// makes mined pattern sets bit-identical across --simd levels. Keep the
+// two in lockstep; MatchKernelTest.SegmentMatchIsTheExactReference pins it.
 double SegmentMatch(const CompatibilityMatrix& c, const Pattern& p,
                     const Sequence& seq, size_t offset) {
   assert(offset + p.length() <= seq.size());
@@ -23,32 +29,14 @@ double SegmentMatch(const CompatibilityMatrix& c, const Pattern& p,
 double SequenceMatch(const CompatibilityMatrix& c, const Pattern& p,
                      const Sequence& seq) {
   if (seq.size() < p.length()) return 0.0;
-  // Hoist the per-position column lookup out of the sliding windows: each
-  // sequence position is visited by up to p.length() windows, and the
-  // column pointer depends only on the observed symbol at that position.
-  constexpr size_t kStackPositions = 512;
-  const double* stack_cols[kStackPositions];
-  std::vector<const double*> heap_cols;
-  const double** cols = stack_cols;
-  if (seq.size() > kStackPositions) {
-    heap_cols.resize(seq.size());
-    cols = heap_cols.data();
-  }
-  for (size_t j = 0; j < seq.size(); ++j) {
-    cols[j] = c.Column(seq[j]);
-  }
+  // Single-pattern entry to the process-wide match kernel (scalar or SIMD,
+  // chosen by --simd / runtime dispatch). Prepared-set and scratch buffers
+  // are reused per thread so steady-state calls allocate nothing.
+  thread_local PreparedPatternSet prep;
+  thread_local MatchScratch scratch;
+  prep.Prepare(c, p);
   double best = 0.0;
-  const size_t windows = seq.size() - p.length() + 1;
-  for (size_t offset = 0; offset < windows; ++offset) {
-    double match = 1.0;
-    for (size_t i = 0; i < p.length(); ++i) {
-      SymbolId true_sym = p[i];
-      if (IsWildcard(true_sym)) continue;
-      match *= cols[offset + i][static_cast<size_t>(true_sym)];
-      if (match == 0.0) break;
-    }
-    if (match > best) best = match;
-  }
+  ActiveMatchKernel().BestMatches(prep, seq, &scratch, &best);
   return best;
 }
 

@@ -1,0 +1,90 @@
+#ifndef NMINE_CORE_MATCH_KERNEL_DETAIL_H_
+#define NMINE_CORE_MATCH_KERNEL_DETAIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nmine/core/symbol.h"
+
+namespace nmine {
+namespace detail {
+
+// Plain-data views shared between the kernel dispatcher (match_kernel.cc)
+// and the per-ISA translation units (match_kernel_avx2.cc / _neon.cc).
+//
+// The per-ISA files are compiled with wider instruction sets enabled
+// (-mavx2), so they must not instantiate inline functions from the wider
+// library: the linker could pick the ISA-flagged copy for the whole
+// binary and leak vector encodings into the portable build. This header
+// therefore carries raw pointers only; everything with a body lives in
+// match_kernel.cc, which is compiled with baseline flags.
+
+/// One pattern's sliding-window evaluation, prepared against one sequence.
+///
+/// Log-space screen: window w's screening score is
+///   sum_t plane[term_rows[t] * plane_stride + w + term_offsets[t]]
+/// (float adds of precomputed log-compatibility rows; -inf marks a zero
+/// factor), or the same sum gathered straight from the log table when no
+/// plane was built. Any window whose exact double product can exceed the
+/// running best scores above ScreenThreshold(best, guard) — see the
+/// guard-band derivation in DESIGN.md section 16 — so survivors are
+/// re-derived with ExactWindowProduct and results stay bit-identical to
+/// the scalar oracle.
+struct WindowPlan {
+  const float* plane = nullptr;          // SoA rows, one per plane symbol
+  size_t plane_stride = 0;               // row length == sequence length
+  const int32_t* term_rows = nullptr;    // plane row per non-wildcard pos
+  const int32_t* term_offsets = nullptr; // window offset per such position
+  const SymbolId* term_syms = nullptr;   // true symbol per such position
+  size_t num_terms = 0;
+  float guard = 0.0f;                    // screening guard band (log space)
+  const SymbolId* seq = nullptr;         // the sequence (observed symbols)
+  size_t pattern_length = 0;             // full length incl. wildcards
+  // Column bases: column s of the double matrix is cols_base + s*m, row s
+  // of the float log table is log_rows + s*m. Columns resolve lazily from
+  // `seq` — screening leaves so few exact re-derivations that hoisting a
+  // per-position column array costs more than it saves.
+  const double* cols_base = nullptr;
+  const float* log_rows = nullptr;
+  size_t m = 0;                          // alphabet size (row/col stride)
+};
+
+/// The exact double product of window `w` — the same factors, in the same
+/// order, with the same zero short-circuit as SegmentMatch (the semantics
+/// reference). Every kernel funnels accepted windows through this.
+double ExactWindowProduct(const WindowPlan& p, size_t w);
+
+/// Float screening threshold for the current best: conservatively below
+/// log(best) by `guard`, and -inf (screen nothing with a finite score)
+/// when best is small enough that the exact product could be subnormal.
+float ScreenThreshold(double best, float guard);
+
+/// Max-over-windows exact match; the scalar reference loop.
+double BestWindowsScalar(const WindowPlan& p, size_t windows);
+
+/// Per-ISA window loops: 8 (AVX2) / 4 (NEON) windows advance per step
+/// with a per-lane early-abandon test; candidates re-derive through
+/// ExactWindowProduct. The Fused variant skips the plane and gathers
+/// screening terms straight from the log table — the win for single
+/// patterns, where a plane would cost as much as the match itself.
+/// Defined only in their translation units — the dispatcher gates on
+/// NMINE_HAVE_AVX2 / NMINE_HAVE_NEON.
+double BestWindowsAvx2(const WindowPlan& p, size_t windows);
+double BestWindowsFusedAvx2(const WindowPlan& p, size_t windows);
+double BestWindowsNeon(const WindowPlan& p, size_t windows);
+
+/// Gather-accelerated plane row fill: dst[j] = lrow[seq[j]] for j < n.
+void PlaneRowAvx2(float* dst, const float* lrow, const SymbolId* seq,
+                  size_t n);
+
+/// Trie leaf runs: for j < count, best[idx[j]] gets
+/// max(best[idx[j]], product * col[syms[j]]). One vector multiply per 4
+/// children on AVX2; lane products are single IEEE multiplies, so results
+/// are bit-identical to the scalar loop.
+void LeafRunMaxAvx2(const double* col, double product, const SymbolId* syms,
+                    const int32_t* idx, size_t count, double* best);
+
+}  // namespace detail
+}  // namespace nmine
+
+#endif  // NMINE_CORE_MATCH_KERNEL_DETAIL_H_

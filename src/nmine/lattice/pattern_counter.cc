@@ -44,45 +44,72 @@ PatternTrie::PatternTrie(const std::vector<Pattern>& patterns)
     nodes_[static_cast<size_t>(node)].pattern_indices.push_back(
         static_cast<int32_t>(pi));
   }
+  // Pack leaf runs: a child that is childless, ends exactly one pattern,
+  // and sits on a non-wildcard edge needs no recursion — its whole
+  // contribution is best[pi] = max(best[pi], product * col[sym]), which
+  // the match kernel finishes for the entire run at once (patterns never
+  // end in a wildcard, so every final-position edge is eligible). Children
+  // ending several duplicate patterns, or with subtrees, keep walking.
+  for (Node& n : nodes_) {
+    n.leaf_first = static_cast<uint32_t>(leaf_syms_.size());
+    size_t keep = 0;
+    for (const auto& [sym, child] : n.children) {
+      const Node& cn = nodes_[static_cast<size_t>(child)];
+      if (!IsWildcard(sym) && cn.children.empty() &&
+          cn.pattern_indices.size() == 1) {
+        leaf_syms_.push_back(sym);
+        leaf_pattern_idx_.push_back(cn.pattern_indices[0]);
+      } else {
+        n.children[keep++] = {sym, child};
+      }
+    }
+    n.children.resize(keep);
+    n.leaf_count =
+        static_cast<uint32_t>(leaf_syms_.size()) - n.leaf_first;
+  }
 }
 
 void PatternTrie::BestMatches(const CompatibilityMatrix& c,
                               const Sequence& seq,
                               std::vector<double>* best) const {
   best->assign(num_patterns_, 0.0);
+  ColumnIndex cols;
+  BestMatchesInto(c, seq, &cols, best->data());
+}
+
+void PatternTrie::BestMatchesInto(const CompatibilityMatrix& c,
+                                  const Sequence& seq, ColumnIndex* cols,
+                                  double* best) const {
   // Hoist the per-position column lookup once per sequence: every trie
   // walk that crosses position j reads factors from the same column
   // C(., seq[j]), so the walk's inner loop is a single indexed load.
-  constexpr size_t kStackPositions = 512;
-  const double* stack_cols[kStackPositions];
-  std::vector<const double*> heap_cols;
-  const double** cols = stack_cols;
-  if (seq.size() > kStackPositions) {
-    heap_cols.resize(seq.size());
-    cols = heap_cols.data();
-  }
-  for (size_t j = 0; j < seq.size(); ++j) {
-    cols[j] = c.Column(seq[j]);
-  }
+  cols->Build(c, seq);
+  const MatchKernel& kernel = ActiveMatchKernel();
   for (size_t offset = 0; offset < seq.size(); ++offset) {
-    WalkMatch(cols, seq, offset, 0, 1.0, best);
+    WalkMatch(kernel, cols->cols(), seq, offset, 0, 1.0, best);
   }
 }
 
-void PatternTrie::WalkMatch(const double* const* cols, const Sequence& seq,
+void PatternTrie::WalkMatch(const MatchKernel& kernel,
+                            const double* const* cols, const Sequence& seq,
                             size_t offset, size_t node, double product,
-                            std::vector<double>* best) const {
+                            double* best) const {
   const Node& n = nodes_[node];
   for (int32_t pi : n.pattern_indices) {
-    double& slot = (*best)[static_cast<size_t>(pi)];
+    double& slot = best[static_cast<size_t>(pi)];
     if (product > slot) slot = product;
   }
   if (offset >= seq.size()) return;  // window exhausted; deeper needs symbols
   const double* col = cols[offset];
+  if (n.leaf_count > 0) {
+    kernel.LeafRunMax(col, product, leaf_syms_.data() + n.leaf_first,
+                      leaf_pattern_idx_.data() + n.leaf_first, n.leaf_count,
+                      best);
+  }
   for (const auto& [sym, child] : n.children) {
     double factor = IsWildcard(sym) ? 1.0 : col[static_cast<size_t>(sym)];
     if (factor == 0.0) continue;
-    WalkMatch(cols, seq, offset + 1, static_cast<size_t>(child),
+    WalkMatch(kernel, cols, seq, offset + 1, static_cast<size_t>(child),
               product * factor, best);
   }
 }
@@ -90,19 +117,28 @@ void PatternTrie::WalkMatch(const double* const* cols, const Sequence& seq,
 void PatternTrie::BestSupports(const Sequence& seq,
                                std::vector<double>* best) const {
   best->assign(num_patterns_, 0.0);
+  BestSupportsInto(seq, best->data());
+}
+
+void PatternTrie::BestSupportsInto(const Sequence& seq, double* best) const {
   for (size_t offset = 0; offset < seq.size(); ++offset) {
     WalkSupport(seq, offset, 0, best);
   }
 }
 
 void PatternTrie::WalkSupport(const Sequence& seq, size_t offset, size_t node,
-                              std::vector<double>* best) const {
+                              double* best) const {
   const Node& n = nodes_[node];
   for (int32_t pi : n.pattern_indices) {
-    (*best)[static_cast<size_t>(pi)] = 1.0;
+    best[static_cast<size_t>(pi)] = 1.0;
   }
   if (offset >= seq.size()) return;
   SymbolId observed = seq[offset];
+  for (uint32_t r = 0; r < n.leaf_count; ++r) {
+    if (leaf_syms_[n.leaf_first + r] == observed) {
+      best[static_cast<size_t>(leaf_pattern_idx_[n.leaf_first + r])] = 1.0;
+    }
+  }
   for (const auto& [sym, child] : n.children) {
     if (IsWildcard(sym) || sym == observed) {
       WalkSupport(seq, offset + 1, static_cast<size_t>(child), best);
@@ -121,64 +157,49 @@ bool UseTrieForMatrix(const CompatibilityMatrix& c) {
   return c.Sparsity() >= 0.5;
 }
 
-/// Per-sequence evaluator: either the trie or the flat per-pattern loop.
+/// Per-sequence evaluator: either the trie or the flat per-pattern batch,
+/// which now runs through the process-wide match kernel (scalar or SIMD).
 /// The evaluator itself is immutable after construction and shared across
-/// scan workers; all mutable state lives in a per-shard Scratch.
+/// scan workers; all mutable state lives in a per-shard Scratch whose
+/// buffers are sized once — the per-record loop does no allocation (the
+/// trie path zero-fills, the kernel path overwrites unconditionally).
 class BatchEvaluator {
  public:
   struct Scratch {
+    explicit Scratch(size_t num_patterns) : best(num_patterns, 0.0) {}
     std::vector<double> best;
-    std::vector<const double*> cols;  // flat path: per-position columns
+    MatchScratch kernel;  // column index + SoA log plane, grow-only
   };
 
   BatchEvaluator(const std::vector<Pattern>& patterns,
                  const CompatibilityMatrix* c)
-      : patterns_(patterns), c_(c) {
+      : c_(c) {
     if (c == nullptr || UseTrieForMatrix(*c)) {
       trie_.emplace(patterns);
+    } else {
+      prep_.Prepare(*c, patterns);
     }
   }
 
   void Best(const Sequence& seq, Scratch* scratch) const {
     if (trie_.has_value()) {
+      std::fill(scratch->best.begin(), scratch->best.end(), 0.0);
       if (c_ != nullptr) {
-        trie_->BestMatches(*c_, seq, &scratch->best);
+        trie_->BestMatchesInto(*c_, seq, &scratch->kernel.cols,
+                               scratch->best.data());
       } else {
-        trie_->BestSupports(seq, &scratch->best);
+        trie_->BestSupportsInto(seq, scratch->best.data());
       }
       return;
     }
-    // Flat path: the per-position column pointers are shared by ALL
-    // patterns in the batch, so hoist them once per sequence.
-    scratch->best.assign(patterns_.size(), 0.0);
-    scratch->cols.resize(seq.size());
-    for (size_t j = 0; j < seq.size(); ++j) {
-      scratch->cols[j] = c_->Column(seq[j]);
-    }
-    const double* const* cols = scratch->cols.data();
-    for (size_t i = 0; i < patterns_.size(); ++i) {
-      const Pattern& p = patterns_[i];
-      if (seq.size() < p.length()) continue;
-      double best = 0.0;
-      const size_t windows = seq.size() - p.length() + 1;
-      for (size_t offset = 0; offset < windows; ++offset) {
-        double match = 1.0;
-        for (size_t k = 0; k < p.length(); ++k) {
-          SymbolId true_sym = p[k];
-          if (IsWildcard(true_sym)) continue;
-          match *= cols[offset + k][static_cast<size_t>(true_sym)];
-          if (match == 0.0) break;
-        }
-        if (match > best) best = match;
-      }
-      scratch->best[i] = best;
-    }
+    ActiveMatchKernel().BestMatches(prep_, seq, &scratch->kernel,
+                                    scratch->best.data());
   }
 
  private:
-  const std::vector<Pattern>& patterns_;
   const CompatibilityMatrix* c_;
   std::optional<PatternTrie> trie_;
+  PreparedPatternSet prep_;  // flat path only
 };
 
 /// Per-shard kernel over a shared evaluator. The window-sliding section
@@ -188,7 +209,7 @@ exec::RecordFnFactory MakeCountKernelFactory(
     const BatchEvaluator& evaluator, obs::Profiler::Section* window_section,
     size_t num_patterns) {
   return [&evaluator, window_section, num_patterns]() -> exec::RecordFn {
-    auto scratch = std::make_shared<BatchEvaluator::Scratch>();
+    auto scratch = std::make_shared<BatchEvaluator::Scratch>(num_patterns);
     return [&evaluator, window_section, num_patterns,
             scratch](const SequenceRecord& r, std::vector<double>* partial) {
       obs::SectionTimer timer(window_section);

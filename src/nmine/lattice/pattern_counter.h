@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <vector>
 
+#include "nmine/core/column_index.h"
 #include "nmine/core/compatibility_matrix.h"
 #include "nmine/core/match.h"
+#include "nmine/core/match_kernel.h"
 #include "nmine/core/pattern.h"
 #include "nmine/db/sequence_database.h"
 #include "nmine/exec/policy.h"
@@ -38,21 +40,35 @@ class PatternTrie {
   /// in `seq`, else 0.0.
   void BestSupports(const Sequence& seq, std::vector<double>* best) const;
 
+  /// Scan-loop variants: `best` must hold num_patterns() zeros (the caller
+  /// hoists the resize/zero and the column index out of the per-record
+  /// loop), and leaf runs go through the process-wide match kernel.
+  void BestMatchesInto(const CompatibilityMatrix& c, const Sequence& seq,
+                       ColumnIndex* cols, double* best) const;
+  void BestSupportsInto(const Sequence& seq, double* best) const;
+
  private:
   struct Node {
     // Sorted by symbol for deterministic traversal; small linear scans beat
     // hashing at the fan-outs seen in mining workloads.
     std::vector<std::pair<SymbolId, int32_t>> children;
     std::vector<int32_t> pattern_indices;  // patterns ending at this node
+    // Leaf run: this node's childless single-pattern non-wildcard children,
+    // packed into leaf_syms_/leaf_pattern_idx_ so the match kernel can
+    // finish them as one vector multiply instead of |run| recursive calls.
+    uint32_t leaf_first = 0;
+    uint32_t leaf_count = 0;
   };
 
-  void WalkMatch(const double* const* cols, const Sequence& seq,
-                 size_t offset, size_t node, double product,
-                 std::vector<double>* best) const;
+  void WalkMatch(const MatchKernel& kernel, const double* const* cols,
+                 const Sequence& seq, size_t offset, size_t node,
+                 double product, double* best) const;
   void WalkSupport(const Sequence& seq, size_t offset, size_t node,
-                   std::vector<double>* best) const;
+                   double* best) const;
 
   std::vector<Node> nodes_;
+  std::vector<SymbolId> leaf_syms_;
+  std::vector<int32_t> leaf_pattern_idx_;
   size_t num_patterns_ = 0;
 };
 

@@ -74,6 +74,9 @@ std::string RunStatusBoard::StatusJson() const {
     std::string section = obs::Profiler::Global().CurrentSection();
     obs::AppendJsonString(section.empty() ? "idle" : section, &out);
   }
+  out.append(", \"simd_kernel\": ");
+  const char* simd = simd_kernel();
+  obs::AppendJsonString(simd == nullptr ? "scalar" : simd, &out);
   out.append(", \"uptime_s\": ");
   obs::AppendJsonNumber(static_cast<double>(uptime_us()) / 1e6, &out);
 
@@ -138,6 +141,7 @@ void RunStatusBoard::Reset() {
   command_.store(nullptr, std::memory_order_relaxed);
   algorithm_.store(nullptr, std::memory_order_relaxed);
   phase_.store(nullptr, std::memory_order_relaxed);
+  simd_kernel_.store(nullptr, std::memory_order_relaxed);
   run_control_.store(nullptr, std::memory_order_relaxed);
   run_start_us_.store(0, std::memory_order_relaxed);
   checkpoint_flush_us_.store(-1, std::memory_order_relaxed);

@@ -37,6 +37,17 @@ class RunStatusBoard {
     run_control_.store(run, std::memory_order_release);
   }
 
+  /// The active match kernel ("scalar", "avx2", "neon"); `kernel` must
+  /// point to static storage (SimdLevelName does). Published by the CLI /
+  /// server after --simd resolution so /statusz reports which code path
+  /// the run's M(P,s) evaluations take.
+  void SetSimdKernel(const char* kernel) {
+    simd_kernel_.store(kernel, std::memory_order_release);
+  }
+  const char* simd_kernel() const {
+    return simd_kernel_.load(std::memory_order_acquire);
+  }
+
   /// --- Miner-side publishing ---
 
   /// `phase` must point to static storage ("phase1", "phase2", ...).
@@ -93,6 +104,7 @@ class RunStatusBoard {
   std::atomic<const char*> command_{nullptr};
   std::atomic<const char*> algorithm_{nullptr};
   std::atomic<const char*> phase_{nullptr};
+  std::atomic<const char*> simd_kernel_{nullptr};
   std::atomic<const RunControl*> run_control_{nullptr};
   std::atomic<int64_t> run_start_us_{0};
   std::atomic<int64_t> checkpoint_flush_us_{-1};

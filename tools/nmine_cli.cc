@@ -14,6 +14,7 @@
 //       [--algorithm collapse|levelwise|maxminer|toivonen|depthfirst]
 //       [--threshold T] [--max-span K] [--max-gap G] [--max-level K]
 //       [--sample N] [--delta D] [--seed S] [--threads N]
+//       [--simd auto|avx2|neon|scalar]
 //       [--calibrate none|expected|survival] [--csv]
 //
 // Parallelism:
@@ -22,6 +23,14 @@
 //                  bit-identical for every N, and the accounted scan count
 //                  does not change: parallelism splits the evaluation work
 //                  of one pass, never the pass itself.
+//   --simd LEVEL   match-kernel instruction set for M(P,s) evaluation
+//                  (default auto = widest kernel both this build and this
+//                  CPU support; requesting an unavailable level is an
+//                  error). Mined pattern sets are bit-identical across
+//                  levels: vector kernels screen windows in log space and
+//                  re-derive survivors with the exact scalar product. The
+//                  active kernel is reported in /statusz ("simd_kernel")
+//                  and bench fingerprints.
 //
 // Observability (every command accepts these; see README "Observability"):
 //   --log-level trace|debug|info|warn|error|off   leveled stderr logging
@@ -107,6 +116,7 @@
 
 #include "nmine/bio/blosum.h"
 #include "nmine/bio/fasta.h"
+#include "nmine/core/match_kernel.h"
 #include "nmine/core/matrix_io.h"
 #include "nmine/core/status.h"
 #include "nmine/db/disk_database.h"
@@ -737,6 +747,21 @@ int CmdMine(const Flags& flags) {
     return 1;
   }
   if (deadline_s > 0.0) g_run_control.SetDeadlineAfter(deadline_s);
+
+  // Match-kernel selection: resolve --simd against the real host (auto
+  // picks the widest kernel this build AND this CPU support) and install
+  // the process-wide kernel before any mining threads exist. Mined
+  // pattern sets are bit-identical across kernels; only speed changes.
+  std::string simd_flag = flags.Get("simd", "auto");
+  SimdLevel simd_level;
+  std::string simd_error;
+  if (!ResolveSimdLevel(simd_flag, DetectCpuFeatures(), &simd_level,
+                        &simd_error) ||
+      !SetActiveMatchKernel(simd_level, &simd_error)) {
+    std::fprintf(stderr, "mine: %s\n", simd_error.c_str());
+    return 1;
+  }
+  runtime::RunStatusBoard::Global().SetSimdKernel(SimdLevelName(simd_level));
 
   std::string algorithm = flags.Get("algorithm", "collapse");
   std::string calibrate = flags.Get("calibrate", "none");

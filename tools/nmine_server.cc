@@ -8,6 +8,7 @@
 //   nmine_server --state-dir DIR [--port P] [--queue-capacity N]
 //       [--max-running N] [--shed-retry-after S] [--statusz-port P]
 //       [--port-file FILE] [--log-level L] [--trace] [--trace-buffer N]
+//       [--simd auto|avx2|neon|scalar]
 //
 // Flags:
 //   --state-dir DIR        job journal + per-job run checkpoints (required;
@@ -34,6 +35,10 @@
 //   --trace-buffer N       tracer ring capacity in events (default 65536);
 //                          full ring drops oldest, counted by
 //                          obs.trace.dropped
+//   --simd LEVEL           match-kernel instruction set for all jobs
+//                          (default auto = widest supported; mined results
+//                          are bit-identical across levels; reported in
+//                          /statusz as "simd_kernel")
 //
 // Lifecycle: SIGTERM or SIGINT triggers a graceful drain — stop admitting
 // (submits get a typed UNAVAILABLE), cancel in-flight jobs cooperatively
@@ -52,9 +57,11 @@
 #include <string>
 #include <thread>
 
+#include "nmine/core/match_kernel.h"
 #include "nmine/net/status_server.h"
 #include "nmine/obs/logger.h"
 #include "nmine/runtime/checkpoint_io.h"
+#include "nmine/runtime/run_status.h"
 #include "nmine/serve/server.h"
 
 namespace nmine {
@@ -115,6 +122,18 @@ int Main(int argc, char** argv) {
     return 1;
   }
   obs::Logger::Global().SetLevel(*level);
+
+  // Match-kernel selection for every job this server runs (process-wide;
+  // results are bit-identical across kernels, only speed changes).
+  SimdLevel simd_level;
+  std::string simd_error;
+  if (!ResolveSimdLevel(flags.Get("simd", "auto"), DetectCpuFeatures(),
+                        &simd_level, &simd_error) ||
+      !SetActiveMatchKernel(simd_level, &simd_error)) {
+    std::fprintf(stderr, "nmine_server: %s\n", simd_error.c_str());
+    return 1;
+  }
+  runtime::RunStatusBoard::Global().SetSimdKernel(SimdLevelName(simd_level));
 
   serve::MiningServer::Options options;
   options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
