@@ -1,5 +1,6 @@
 #include "nmine/db/disk_database.h"
 
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -115,7 +116,7 @@ std::unique_ptr<DiskSequenceDatabase> DiskSequenceDatabase::Open(
         total = 0;
         ScanAttempt attempt;
         attempt.status =
-            db->StreamFile(/*visitor=*/nullptr, &n, &total,
+            db->StreamFile(/*visitor=*/nullptr, 0, SIZE_MAX, &n, &total,
                            &attempt.delivered_records);
         return attempt;
       });
@@ -140,14 +141,33 @@ Status DiskSequenceDatabase::Scan(const Visitor& visitor,
         size_t n = 0;
         uint64_t total = 0;
         ScanAttempt attempt;
-        attempt.status =
-            StreamFile(&visitor, &n, &total, &attempt.delivered_records);
+        attempt.status = StreamFile(&visitor, 0, SIZE_MAX, &n, &total,
+                                    &attempt.delivered_records);
+        return attempt;
+      },
+      options_.retry_budget);
+}
+
+Status DiskSequenceDatabase::ScanRange(size_t begin_record, size_t end_record,
+                                       const Visitor& visitor,
+                                       const RestartFn& restart) const {
+  return RunScanWithRetry(
+      options_.retry, options_.sleeper,
+      /*can_replay=*/static_cast<bool>(restart), "disk range scan", [&](int) {
+        if (restart) restart();
+        size_t n = 0;
+        uint64_t total = 0;
+        ScanAttempt attempt;
+        attempt.status = StreamFile(&visitor, begin_record, end_record, &n,
+                                    &total, &attempt.delivered_records);
         return attempt;
       },
       options_.retry_budget);
 }
 
 Status DiskSequenceDatabase::StreamFile(const Visitor* visitor,
+                                        size_t begin_record,
+                                        size_t end_record,
                                         size_t* num_sequences,
                                         uint64_t* total_symbols,
                                         bool* delivered_records) const {
@@ -200,11 +220,14 @@ Status DiskSequenceDatabase::StreamFile(const Visitor* visitor,
     }
     *total_symbols += record.symbols.size();
     ++*num_sequences;
-    if (visitor != nullptr) {
+    if (visitor != nullptr && i >= begin_record && i < end_record) {
       if (delivered_records != nullptr) *delivered_records = true;
       db_telemetry::RecordSequenceVisited();
       (*visitor)(record);
     }
+    // Range scan: everything past the range is irrelevant — stop parsing
+    // (so the trailing-garbage check below only guards full streams).
+    if (i + 1 >= end_record) return Status::Ok();
   }
   if (!reader.AtEof()) {
     return Status::DataLoss("trailing garbage after last record");

@@ -54,13 +54,27 @@ class DiskSequenceDatabase : public SequenceDatabase {
   Status Scan(const Visitor& visitor, const RestartFn& restart) const override;
   uint64_t TotalSymbols() const override { return total_symbols_; }
 
+  /// Streams only the records whose 0-based ordinal falls in
+  /// [begin_record, end_record): the prefix is decode-skipped and the scan
+  /// stops right after the range (distributed workers count their shard
+  /// without paying for the whole file). Failures follow the same retry
+  /// policy as Scan(); a mid-range retry replays the visitor from
+  /// begin_record via `restart`. Range scans are partial by design and are
+  /// NOT charged to scan_count() — distributed scan accounting lives with
+  /// the coordinator, not with each worker's slice.
+  Status ScanRange(size_t begin_record, size_t end_record,
+                   const Visitor& visitor, const RestartFn& restart) const;
+
   const std::string& path() const { return path_; }
 
  private:
   DiskSequenceDatabase(std::string path, Options options);
 
-  /// Streams the file once, invoking `visitor` per record when non-null.
-  Status StreamFile(const Visitor* visitor, size_t* num_sequences,
+  /// Streams the file once, invoking `visitor` per record with ordinal in
+  /// [begin_record, end_record) when non-null; parsing stops after
+  /// end_record (the trailing-garbage check only runs on full streams).
+  Status StreamFile(const Visitor* visitor, size_t begin_record,
+                    size_t end_record, size_t* num_sequences,
                     uint64_t* total_symbols, bool* delivered_records) const;
 
   std::string path_;

@@ -275,6 +275,29 @@ std::vector<double> AverageOverRecords(
 
 }  // namespace
 
+struct BatchCountKernel::Impl {
+  Impl(const std::vector<Pattern>& patterns, const CompatibilityMatrix* c)
+      : evaluator(patterns, c),
+        window_section(obs::ResolveSection("count.window_slide")),
+        num_patterns(patterns.size()) {}
+
+  BatchEvaluator evaluator;
+  obs::Profiler::Section* window_section;
+  size_t num_patterns;
+};
+
+BatchCountKernel::BatchCountKernel(const std::vector<Pattern>& patterns,
+                                   const CompatibilityMatrix* c)
+    : impl_(std::make_unique<Impl>(patterns, c)),
+      num_patterns_(patterns.size()) {}
+
+BatchCountKernel::~BatchCountKernel() = default;
+
+exec::RecordFn BatchCountKernel::MakeRecordFn() const {
+  return MakeCountKernelFactory(impl_->evaluator, impl_->window_section,
+                                impl_->num_patterns)();
+}
+
 Status TryCountMatches(const SequenceDatabase& db,
                        const CompatibilityMatrix& c,
                        const std::vector<Pattern>& patterns,

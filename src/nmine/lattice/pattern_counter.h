@@ -2,6 +2,7 @@
 #define NMINE_LATTICE_PATTERN_COUNTER_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "nmine/core/column_index.h"
@@ -11,6 +12,7 @@
 #include "nmine/core/pattern.h"
 #include "nmine/db/sequence_database.h"
 #include "nmine/exec/policy.h"
+#include "nmine/exec/sharded_reduce.h"
 
 namespace nmine {
 
@@ -112,6 +114,35 @@ std::vector<double> CountMatches(const SequenceDatabase& db,
 std::vector<double> CountSupports(const SequenceDatabase& db,
                                   const std::vector<Pattern>& patterns,
                                   const exec::ExecPolicy& exec = {});
+
+/// The per-record counting kernel behind TryCountMatches/TryCountSupports,
+/// exported for out-of-process scan sharding (distributed workers). A
+/// kernel is built once per candidate batch (it owns the trie-vs-flat
+/// strategy choice and the prepared pattern set) and hands out fresh
+/// per-shard RecordFns — fold one exec shard's records, in order, into a
+/// zeroed partial of num_patterns() doubles, exactly as ShardedScanReducer
+/// does. A worker that merges those partials in ascending shard order
+/// reproduces the serial counters bit for bit.
+class BatchCountKernel {
+ public:
+  /// `c` == nullptr counts binary supports; otherwise matches under `c`.
+  /// Both `patterns` and `c` must outlive the kernel.
+  BatchCountKernel(const std::vector<Pattern>& patterns,
+                   const CompatibilityMatrix* c);
+  ~BatchCountKernel();
+  BatchCountKernel(const BatchCountKernel&) = delete;
+  BatchCountKernel& operator=(const BatchCountKernel&) = delete;
+
+  /// A fresh kernel with fresh scratch; safe to call concurrently.
+  exec::RecordFn MakeRecordFn() const;
+
+  size_t num_patterns() const { return num_patterns_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  size_t num_patterns_ = 0;
+};
 
 /// In-memory variants used for the sample (no scan is charged).
 std::vector<double> CountMatchesInRecords(

@@ -490,9 +490,17 @@ MiningResult BorderCollapseMiner::Mine(const SequenceDatabase& db,
             .Num("probe_size", probe.size())
             .Str("status", scan_status.ToString());
       }
-      scan_status = metric_ == Metric::kMatch
-                        ? TryCountMatches(db, c, probe, &values, exec)
-                        : TryCountSupports(db, probe, &values, exec);
+      if (options_.phase3_count_override) {
+        // Distributed counting: the hook scans out of process. Charge it
+        // like a database scan (the db's own counter does not move) so
+        // checkpointed scan totals match an all-local run.
+        ++result.scans;
+        scan_status = options_.phase3_count_override(probe, &values);
+      } else {
+        scan_status = metric_ == Metric::kMatch
+                          ? TryCountMatches(db, c, probe, &values, exec)
+                          : TryCountSupports(db, probe, &values, exec);
+      }
       if (scan_status.ok() || !scan_status.IsTransient()) break;
     }
     if (!scan_status.ok()) {

@@ -3,10 +3,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "nmine/core/metric.h"
+#include "nmine/core/pattern.h"
+#include "nmine/core/status.h"
 #include "nmine/exec/policy.h"
 #include "nmine/lattice/candidate_gen.h"
 #include "nmine/runtime/run_control.h"
@@ -69,6 +73,19 @@ struct MinerOptions {
   /// retrying the database itself performs. Only the unresolved probe
   /// batch is re-counted; resolved patterns are never re-probed.
   size_t phase3_scan_retries = 1;
+
+  /// When set, Phase-3 probe scans are delegated to this hook instead of
+  /// scanning the database in-process (distributed counting: the
+  /// coordinator farms the batch out to sharded workers). The hook MUST
+  /// return values bit-identical to TryCountMatches/TryCountSupports —
+  /// i.e. merge per-exec-shard partials in ascending shard order and
+  /// divide by the sequence count once — or distributed results drift
+  /// from the serial CLI. Each invocation is charged as one scan (the
+  /// database's own scan counter does not move); transient failures are
+  /// retried like any other probe scan. Phases 1-2 always run locally.
+  std::function<Status(const std::vector<Pattern>& probe,
+                       std::vector<double>* values)>
+      phase3_count_override;
 
   /// When non-empty, Phase-3 probe state is checkpointed to this file
   /// after every successful scan. A later run with the same options and

@@ -1,0 +1,49 @@
+#ifndef NMINE_NET_RETRY_H_
+#define NMINE_NET_RETRY_H_
+
+#include "nmine/db/retry.h"
+#include "nmine/stats/random.h"
+
+namespace nmine {
+namespace net {
+
+/// The reconnect schedule shared by every nmine network client
+/// (nmine_client -> server, dist worker -> coordinator): the db/retry.h
+/// jittered exponential backoff, tuned for TCP reconnects rather than
+/// disk-scan retries — a 50 ms first step (a refused connect is cheap but
+/// a restarting server needs a beat) capped at 2 s so a client never sits
+/// out a long hole while the peer is already back.
+inline RetryPolicy ReconnectPolicy() {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 50.0;
+  policy.max_backoff_ms = 2000.0;
+  return policy;
+}
+
+/// Stateful backoff for one connection: each failure sleeps the next step
+/// of the schedule. The jitter stream is seeded from the policy, so tests
+/// can assert the exact sleep sequence.
+class ReconnectBackoff {
+ public:
+  explicit ReconnectBackoff(const RetryPolicy& policy = ReconnectPolicy())
+      : policy_(policy), rng_(policy.jitter_seed) {}
+
+  /// Backoff for the next failure, in milliseconds (advances the state).
+  double NextBackoffMs() { return BackoffMs(policy_, failure_index_++, &rng_); }
+
+  /// Restarts the schedule (call after a sustained healthy period).
+  void Reset() { failure_index_ = 0; }
+
+  int failures() const { return failure_index_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int failure_index_ = 0;
+};
+
+}  // namespace net
+}  // namespace nmine
+
+#endif  // NMINE_NET_RETRY_H_

@@ -228,6 +228,11 @@ JobResult TypedError(const Status& status) {
 
 JobResult RunJob(const JobSpec& spec, const std::string& checkpoint_path,
                  const runtime::RunControl* run) {
+  return RunJob(spec, checkpoint_path, run, RunJobHooks());
+}
+
+JobResult RunJob(const JobSpec& spec, const std::string& checkpoint_path,
+                 const runtime::RunControl* run, const RunJobHooks& hooks) {
   // Mirrors nmine_cli's CmdMine step for step: same defaults, same probe
   // scan, same matrix resolution, same row formatting — so the chaos drill
   // can diff server output against a solo CLI run byte for byte.
@@ -308,6 +313,13 @@ JobResult RunJob(const JobSpec& spec, const std::string& checkpoint_path,
   options.memory_budget_bytes = static_cast<size_t>(spec.memory_budget);
   options.run_control = run;
   options.run_checkpoint_path = checkpoint_path;
+  if (hooks.phase3_count) {
+    options.phase3_count_override = [&hooks, metric](
+                                        const std::vector<Pattern>& probe,
+                                        std::vector<double>* values) {
+      return hooks.phase3_count(metric, probe, values);
+    };
+  }
 
   const bool had_checkpoint =
       !checkpoint_path.empty() &&

@@ -2,11 +2,15 @@
 #define NMINE_SERVE_JOB_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "nmine/core/metric.h"
+#include "nmine/core/pattern.h"
+#include "nmine/core/status.h"
 #include "nmine/obs/json_parse.h"
 #include "nmine/runtime/run_control.h"
 
@@ -127,6 +131,22 @@ struct Job {
 /// "re-queue" (drain) or "failed" (per-job deadline).
 JobResult RunJob(const JobSpec& spec, const std::string& checkpoint_path,
                  const runtime::RunControl* run);
+
+/// Extension points a distributed driver splices into the run. The driver
+/// reuses ALL of RunJob (database open, matrix resolution, checkpointing,
+/// row formatting) so its output stays byte-identical to a solo run by
+/// construction; only the hooked stage differs.
+struct RunJobHooks {
+  /// Counts one Phase-3 probe batch out of process (collapse algorithm
+  /// only; other algorithms ignore it). Must be bit-identical to the
+  /// in-process counters — see MinerOptions::phase3_count_override.
+  std::function<Status(Metric metric, const std::vector<Pattern>& probe,
+                       std::vector<double>* values)>
+      phase3_count;
+};
+
+JobResult RunJob(const JobSpec& spec, const std::string& checkpoint_path,
+                 const runtime::RunControl* run, const RunJobHooks& hooks);
 
 }  // namespace serve
 }  // namespace nmine

@@ -1,9 +1,25 @@
 #include "nmine/serve/job_queue.h"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
 namespace nmine {
 namespace serve {
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+BoundedFairQueue::BoundedFairQueue(size_t capacity,
+                                   std::function<int64_t()> now_us)
+    : capacity_(capacity),
+      now_us_(now_us ? std::move(now_us) : SteadyNowUs) {}
 
 bool BoundedFairQueue::PushLocked(const std::string& client, uint64_t id) {
   std::deque<uint64_t>& fifo = clients_[client];
@@ -46,6 +62,8 @@ bool BoundedFairQueue::Pop(uint64_t* id) {
   *id = fifo.front();
   fifo.pop_front();
   --size_;
+  pop_times_us_.push_back(now_us_());
+  if (pop_times_us_.size() > kDrainWindow) pop_times_us_.pop_front();
   if (fifo.empty()) {
     // Drop the drained client from the rotation. erase() shifts the next
     // client into this slot, so the cursor is NOT advanced — otherwise the
@@ -69,6 +87,20 @@ void BoundedFairQueue::Stop() {
 size_t BoundedFairQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return size_;
+}
+
+double BoundedFairQueue::RetryAfterS(double fallback_s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pop_times_us_.size() < 2) return fallback_s;
+  const int64_t span_us = pop_times_us_.back() - pop_times_us_.front();
+  const double intervals = static_cast<double>(pop_times_us_.size() - 1);
+  // Mean seconds between pops over the window. A burst of instantaneous
+  // pops (span 0) means the queue drains faster than we can measure —
+  // the minimum clamp answers for it.
+  const double mean_interval_s =
+      static_cast<double>(span_us) / intervals / 1e6;
+  const double estimate_s = static_cast<double>(size_) * mean_interval_s;
+  return std::clamp(estimate_s, kMinRetryAfterS, kMaxRetryAfterS);
 }
 
 }  // namespace serve

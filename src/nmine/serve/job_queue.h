@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -27,7 +28,10 @@ namespace serve {
 /// break the at-most-once contract the journal exists to keep.
 class BoundedFairQueue {
  public:
-  explicit BoundedFairQueue(size_t capacity) : capacity_(capacity) {}
+  /// `now_us` overrides the clock behind the drain-rate estimate (tests);
+  /// null means the real steady clock.
+  explicit BoundedFairQueue(size_t capacity,
+                            std::function<int64_t()> now_us = nullptr);
 
   /// Admits job `id` for `client`. False (and no state change) when the
   /// queue is at capacity.
@@ -45,14 +49,29 @@ class BoundedFairQueue {
 
   size_t size() const;
 
+  /// Load-aware hint, in seconds, for how long a shed client should wait
+  /// before resubmitting: current depth divided by the recent drain rate
+  /// (the timestamps of the last kDrainWindow pops), clamped to
+  /// [kMinRetryAfterS, kMaxRetryAfterS]. Until two pops have been observed
+  /// there is no rate to speak of and `fallback_s` is returned unclamped —
+  /// a cold server's estimate would be pure fiction.
+  double RetryAfterS(double fallback_s) const;
+
+  static constexpr size_t kDrainWindow = 32;
+  static constexpr double kMinRetryAfterS = 0.1;
+  static constexpr double kMaxRetryAfterS = 60.0;
+
  private:
   bool PushLocked(const std::string& client, uint64_t id);
 
   const size_t capacity_;
+  std::function<int64_t()> now_us_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopped_ = false;
   size_t size_ = 0;
+  /// Steady-clock timestamps of the most recent pops, oldest first.
+  std::deque<int64_t> pop_times_us_;
   /// Per-client FIFOs plus the round-robin rotation over the clients that
   /// currently have queued work.
   std::map<std::string, std::deque<uint64_t>> clients_;

@@ -7,7 +7,9 @@ namespace nmine {
 namespace serve {
 
 std::optional<Request> ParseRequest(const std::string& line,
-                                    std::string* error) {
+                                    std::string* error,
+                                    std::string* error_code) {
+  if (error_code != nullptr) *error_code = "INVALID_ARGUMENT";
   std::optional<obs::JsonValue> value = obs::ParseJson(line);
   if (!value.has_value() || !value->is_object()) {
     if (error != nullptr) *error = "request must be one JSON object per line";
@@ -22,6 +24,24 @@ std::optional<Request> ParseRequest(const std::string& line,
   request.op = op->string_value;
 
   const obs::JsonValue* v;
+  if ((v = value->Get("v")) != nullptr) {
+    // "v" must be this protocol's version when present; absence means 1
+    // (pre-versioning frames). A mismatch is FAILED_PRECONDITION, not
+    // INVALID_ARGUMENT: the frame may be perfectly well-formed for a
+    // protocol this server simply does not speak.
+    if (!v->is_number() ||
+        static_cast<int>(v->number_value) != kProtocolVersion ||
+        v->number_value != static_cast<double>(
+                               static_cast<int>(v->number_value))) {
+      if (error != nullptr) {
+        *error = "unsupported protocol version (this server speaks v" +
+                 std::to_string(kProtocolVersion) + ")";
+      }
+      if (error_code != nullptr) *error_code = "FAILED_PRECONDITION";
+      return std::nullopt;
+    }
+    request.version = static_cast<int>(v->number_value);
+  }
   if ((v = value->Get("client")) != nullptr && v->is_string()) {
     request.client = v->string_value;
   }

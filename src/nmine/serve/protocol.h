@@ -34,8 +34,17 @@ namespace serve {
 /// correlate with the server's /tracez. Unknown request members are
 /// ignored (old servers simply don't attribute), keeping old and new
 /// binaries wire-compatible in both directions.
+///
+/// Versioning: a request may carry "v", the protocol version the client
+/// speaks. Absent means 1 (every frame ever sent before versioning
+/// existed is a v1 frame). A version this server does not speak is a
+/// typed FAILED_PRECONDITION — distinct from INVALID_ARGUMENT garbage, so
+/// clients can tell "upgrade me" from "you sent junk".
+inline constexpr int kProtocolVersion = 1;
+
 struct Request {
   std::string op;
+  int version = kProtocolVersion;
   std::string client;         // fair-scheduling + idempotency namespace
   std::string tag;            // idempotency key for submit; may be empty
   uint64_t job_id = 0;        // status / wait / trace
@@ -45,9 +54,13 @@ struct Request {
 };
 
 /// Parses one request line. nullopt with *error set on malformed JSON, an
-/// unknown op, or a submit without a valid spec.
+/// unknown op, a submit without a valid spec, or an unsupported protocol
+/// version. When `error_code` is non-null it receives the StatusCode wire
+/// name to answer with: "FAILED_PRECONDITION" for a version mismatch,
+/// "INVALID_ARGUMENT" for everything else.
 std::optional<Request> ParseRequest(const std::string& line,
-                                    std::string* error);
+                                    std::string* error,
+                                    std::string* error_code = nullptr);
 
 /// {"ok": false, "error": CODE, "message": ..., ["retry_after_s": S]}\n
 /// `code` is a StatusCode wire name. retry_after_s is emitted when >= 0.

@@ -379,10 +379,12 @@ void MiningServer::ConnectionLoop(int fd) {
       buffer.erase(0, nl + 1);
       if (line.empty() || line == "\r") continue;
       std::string parse_error;
-      std::optional<Request> request = ParseRequest(line, &parse_error);
+      std::string parse_error_code;
+      std::optional<Request> request =
+          ParseRequest(line, &parse_error, &parse_error_code);
       SendAll(fd, request.has_value()
                       ? HandleRequest(*request)
-                      : ErrorResponse("INVALID_ARGUMENT", parse_error));
+                      : ErrorResponse(parse_error_code, parse_error));
     }
   }
   ::close(fd);
@@ -484,11 +486,15 @@ std::string MiningServer::HandleSubmit(const Request& request) {
 
   if (queue_->size() >= options_.queue_capacity) {
     reg.GetCounter("serve.jobs.shed").Increment();
+    // The hint tracks load: current depth over the recent drain rate, so
+    // a shed client behind a deep slow queue waits longer than one shed
+    // during a brief burst (options_.shed_retry_after_s is only the
+    // cold-start fallback).
     return ErrorResponse(
         "RESOURCE_EXHAUSTED",
         "admission queue full (" + std::to_string(options_.queue_capacity) +
             " queued jobs); retry later",
-        options_.shed_retry_after_s);
+        queue_->RetryAfterS(options_.shed_retry_after_s));
   }
 
   // Bind the trace identity at admission: the client's minted id when it

@@ -1,0 +1,483 @@
+// The distributed miner's whole contract, in process: the coordinator +
+// N workers must mine the exact byte-for-byte pattern set of a solo
+// serve::RunJob at any worker count, through worker death mid-task
+// (lease reassignment + resume from the journaled checkpoint), a zombie
+// worker firing poisoned stale-epoch results (fenced, never counted),
+// and a coordinator crash mid-scan (journal adoption on restart). The CI
+// chaos drill repeats the same story across real processes with SIGKILL.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nmine/db/format.h"
+#include "nmine/dist/coordinator.h"
+#include "nmine/dist/worker.h"
+#include "nmine/gen/workload.h"
+#include "nmine/obs/json_parse.h"
+#include "nmine/obs/metrics.h"
+#include "nmine/serve/job.h"
+
+namespace nmine {
+namespace dist {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One worker on its own thread with its own stop token.
+struct WorkerHarness {
+  runtime::RunControl run;
+  DistWorker worker;
+  std::thread thread;
+  Status status = Status::Ok();
+
+  void Start(uint16_t port, const std::string& name, int64_t throttle_ms) {
+    thread = std::thread([this, port, name, throttle_ms] {
+      DistWorker::Options options;
+      options.port = port;
+      options.name = name;
+      options.throttle_ms = throttle_ms;
+      options.run = &run;
+      status = worker.Run(options);
+    });
+  }
+
+  void Join() {
+    if (thread.joinable()) thread.join();
+  }
+
+  ~WorkerHarness() {
+    run.RequestCancel();
+    Join();
+  }
+};
+
+/// Raw blocking socket speaking the dist wire protocol — the "zombie"
+/// below needs full manual control over what it sends and when.
+class RawConnection {
+ public:
+  explicit RawConnection(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  std::optional<obs::JsonValue> RoundTrip(const std::string& line) {
+    size_t done = 0;
+    while (done < line.size()) {
+      ssize_t w = ::send(fd_, line.data() + done, line.size() - done, 0);
+      if (w <= 0) return std::nullopt;
+      done += static_cast<size_t>(w);
+    }
+    char chunk[65536];
+    while (buffer_.find('\n') == std::string::npos) {
+      ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (r <= 0) return std::nullopt;
+      buffer_.append(chunk, static_cast<size_t>(r));
+    }
+    size_t nl = buffer_.find('\n');
+    std::string response = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return obs::ParseJson(response);
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+class DistMiningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string(::testing::TempDir()) + "/dist_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+
+    // 600 records: 3 exec shards of 256, so record-aligned dist shards
+    // genuinely split the scan (records_per_task below controls how).
+    WorkloadSpec wspec;
+    wspec.num_sequences = 600;
+    wspec.min_length = 6;
+    wspec.max_length = 12;
+    wspec.num_planted = 2;
+    wspec.planted_symbols_min = 3;
+    wspec.planted_symbols_max = 3;
+    wspec.seed = 17;
+    NoisyWorkload workload = MakeUniformNoiseWorkload(wspec, 0.1);
+    db_path_ = dir_ + "/db.nmsq";
+    ASSERT_TRUE(
+        dbformat::WriteDatabaseFile(db_path_, workload.test.records()).ok);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  serve::JobSpec Spec() const {
+    serve::JobSpec spec;
+    spec.db_path = db_path_;
+    spec.uniform_alpha = 0.1;
+    spec.threshold = 0.3;
+    spec.max_span = 4;
+    spec.sample_size = 80;
+    spec.delta = 0.05;
+    return spec;
+  }
+
+  Coordinator::Options CoordinatorOptions(const std::string& state_subdir,
+                                          int64_t lease_ms,
+                                          uint64_t records_per_task) const {
+    Coordinator::Options options;
+    options.state_dir = dir_ + "/" + state_subdir;
+    options.spec = Spec();
+    options.lease_ms = lease_ms;
+    options.records_per_task = records_per_task;
+    return options;
+  }
+
+  serve::JobResult Solo() { return serve::RunJob(Spec(), "", nullptr); }
+
+  /// Polls ShardzJson until `pred` holds or ~10 s pass.
+  template <typename Pred>
+  bool WaitForShardz(Coordinator& coordinator, Pred pred) {
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::seconds(10);
+    while (Clock::now() < deadline) {
+      std::optional<obs::JsonValue> shardz =
+          obs::ParseJson(coordinator.ShardzJson());
+      if (shardz.has_value() && pred(*shardz)) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  }
+
+  std::string dir_;
+  std::string db_path_;
+};
+
+TEST_F(DistMiningTest, BitIdenticalToSoloAtOneTwoAndFourWorkers) {
+  serve::JobResult solo = Solo();
+  ASSERT_TRUE(solo.ok);
+  for (int num_workers : {1, 2, 4}) {
+    Coordinator coordinator;
+    std::string error;
+    ASSERT_TRUE(coordinator.Start(
+        CoordinatorOptions("state_w" + std::to_string(num_workers),
+                           /*lease_ms=*/2000, /*records_per_task=*/256),
+        &error))
+        << error;
+    std::vector<std::unique_ptr<WorkerHarness>> workers;
+    for (int i = 0; i < num_workers; ++i) {
+      workers.push_back(std::make_unique<WorkerHarness>());
+      workers.back()->Start(coordinator.port(),
+                            "w" + std::to_string(i), /*throttle_ms=*/0);
+    }
+    serve::JobResult result = coordinator.Run();
+    for (auto& worker : workers) {
+      worker->Join();
+      EXPECT_TRUE(worker->status.ok()) << worker->status.ToString();
+    }
+    coordinator.Stop();
+    ASSERT_TRUE(result.ok) << result.message;
+    EXPECT_EQ(result.rows, solo.rows) << num_workers << " workers";
+    EXPECT_EQ(result.scans, solo.scans) << num_workers << " workers";
+  }
+}
+
+TEST_F(DistMiningTest, DeadWorkersShardIsReassignedAndResumed) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const int64_t reassigned_before = reg.CounterValue("dist.shards.reassigned");
+  const int64_t retaken_before = reg.CounterValue("dist.shards.resumed") +
+                                 reg.CounterValue("dist.shards.restarted");
+
+  Coordinator coordinator;
+  std::string error;
+  // 512-record tasks = 2 exec shards each: a worker can die BETWEEN its
+  // task's exec shards, leaving journaled progress to resume from.
+  ASSERT_TRUE(coordinator.Start(CoordinatorOptions("state", /*lease_ms=*/300,
+                                                   /*records_per_task=*/512),
+                                &error))
+      << error;
+
+  serve::JobResult result;
+  std::thread run_thread([&] { result = coordinator.Run(); });
+
+  // The doomed worker crawls (400 ms per exec shard, longer than the
+  // lease) and is killed as soon as it has delivered one progress frame.
+  WorkerHarness doomed;
+  doomed.Start(coordinator.port(), "doomed", /*throttle_ms=*/400);
+  ASSERT_TRUE(WaitForShardz(coordinator, [](const obs::JsonValue& shardz) {
+    const obs::JsonValue* shards = shardz.Get("shards");
+    if (shards == nullptr || !shards->is_array()) return false;
+    for (const obs::JsonValue& shard : shards->array) {
+      if (shard.GetNumber("done", 0.0) > 0.0) return true;
+    }
+    return false;
+  }));
+  doomed.run.RequestCancel();
+  doomed.Join();
+  EXPECT_EQ(doomed.status.code(), StatusCode::kCancelled);
+
+  // The survivor inherits the half-done shard once the lease lapses.
+  WorkerHarness survivor;
+  survivor.Start(coordinator.port(), "survivor", /*throttle_ms=*/0);
+  run_thread.join();
+  survivor.Join();
+  coordinator.Stop();
+
+  ASSERT_TRUE(result.ok) << result.message;
+  serve::JobResult solo = Solo();
+  ASSERT_TRUE(solo.ok);
+  EXPECT_EQ(result.rows, solo.rows);
+  EXPECT_EQ(result.scans, solo.scans);
+  EXPECT_GT(reg.CounterValue("dist.shards.reassigned"), reassigned_before);
+  EXPECT_GT(reg.CounterValue("dist.shards.resumed") +
+                reg.CounterValue("dist.shards.restarted"),
+            retaken_before);
+}
+
+TEST_F(DistMiningTest, ZombieWithStaleEpochIsFencedAndNeverCounted) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const int64_t fenced_before = reg.CounterValue("dist.results.fenced");
+
+  Coordinator coordinator;
+  std::string error;
+  ASSERT_TRUE(coordinator.Start(CoordinatorOptions("state", /*lease_ms=*/250,
+                                                   /*records_per_task=*/256),
+                                &error))
+      << error;
+  serve::JobResult result;
+  std::thread run_thread([&] { result = coordinator.Run(); });
+
+  // The zombie grabs a task, then goes silent past its lease.
+  RawConnection zombie(coordinator.port());
+  ASSERT_TRUE(zombie.ok());
+  std::optional<obs::JsonValue> hello = zombie.RoundTrip(
+      "{\"v\": 1, \"op\": \"hello\", \"worker\": \"zombie\"}\n");
+  ASSERT_TRUE(hello.has_value());
+  uint64_t scan = 0, shard = 0, epoch = 0;
+  size_t width = 0, num_exec = 0;
+  {
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::seconds(10);
+    bool granted = false;
+    while (!granted && Clock::now() < deadline) {
+      std::optional<obs::JsonValue> reply = zombie.RoundTrip(
+          "{\"v\": 1, \"op\": \"poll\", \"worker\": \"zombie\"}\n");
+      ASSERT_TRUE(reply.has_value());
+      std::optional<PollReply> parsed = ParsePollReply(*reply);
+      ASSERT_TRUE(parsed.has_value());
+      ASSERT_FALSE(parsed->shutdown);  // job must not finish without us
+      if (parsed->task.has_value()) {
+        scan = parsed->task->scan;
+        shard = parsed->task->shard;
+        epoch = parsed->task->epoch;
+        width = parsed->task->patterns.size();
+        const uint64_t records =
+            parsed->task->end_record - parsed->task->begin_record;
+        num_exec = static_cast<size_t>((records + 255) / 256);
+        granted = true;
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    ASSERT_TRUE(granted);
+  }
+
+  // A live worker picks up the slack; wait until the coordinator has
+  // re-granted the zombie's shard at a higher epoch.
+  WorkerHarness worker;
+  worker.Start(coordinator.port(), "live", /*throttle_ms=*/0);
+  ASSERT_TRUE(WaitForShardz(coordinator, [&](const obs::JsonValue& shardz) {
+    const obs::JsonValue* shards = shardz.Get("shards");
+    if (shards == nullptr || !shards->is_array()) return false;
+    for (const obs::JsonValue& s : shards->array) {
+      if (static_cast<uint64_t>(s.GetNumber("id", 0.0)) == shard &&
+          static_cast<uint64_t>(s.GetNumber("epoch", 0.0)) > epoch) {
+        return true;
+      }
+    }
+    // The whole scan may already be over — that also outruns the zombie.
+    const obs::JsonValue* active = shardz.Get("scan_active");
+    return active != nullptr && !active->bool_value;
+  }));
+
+  // The zombie wakes up and reports a COMPLETE, POISONED count under its
+  // stale epoch. The coordinator must refuse it with a typed error.
+  std::string poison = "{\"v\": 1, \"op\": \"progress\", \"worker\": "
+                       "\"zombie\", \"scan\": " +
+                       std::to_string(scan) +
+                       ", \"shard\": " + std::to_string(shard) +
+                       ", \"epoch\": " + std::to_string(epoch) +
+                       ", \"done\": " + std::to_string(num_exec) +
+                       ", \"complete\": true, \"partials\": [";
+  for (size_t k = 0; k < num_exec; ++k) {
+    if (k > 0) poison.append(", ");
+    poison.append("[");
+    for (size_t i = 0; i < width; ++i) {
+      if (i > 0) poison.append(", ");
+      poison.append("\"" + EncodeDoubleBits(999.0) + "\"");
+    }
+    poison.append("]");
+  }
+  poison.append("]}\n");
+  std::optional<obs::JsonValue> verdict = zombie.RoundTrip(poison);
+  ASSERT_TRUE(verdict.has_value());
+  const obs::JsonValue* ok = verdict->Get("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_FALSE(ok->bool_value);
+  const obs::JsonValue* code = verdict->Get("error");
+  ASSERT_NE(code, nullptr);
+  EXPECT_EQ(code->string_value, "FAILED_PRECONDITION");
+
+  run_thread.join();
+  worker.Join();
+  coordinator.Stop();
+
+  EXPECT_GT(reg.CounterValue("dist.results.fenced"), fenced_before);
+  ASSERT_TRUE(result.ok) << result.message;
+  serve::JobResult solo = Solo();
+  ASSERT_TRUE(solo.ok);
+  // The poison never landed: bit-identical rows.
+  EXPECT_EQ(result.rows, solo.rows);
+}
+
+TEST_F(DistMiningTest, CoordinatorRestartAdoptsTheJournaledScan) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const int64_t adopted_before = reg.CounterValue("dist.scans.adopted");
+  const std::string state_subdir = "state";
+
+  serve::JobResult first_result;
+  {
+    Coordinator coordinator;
+    std::string error;
+    // Tight lease so the workerless coordinator starts counting locally
+    // (through the journaled grant/progress path) almost immediately.
+    ASSERT_TRUE(coordinator.Start(
+        CoordinatorOptions(state_subdir, /*lease_ms=*/100,
+                           /*records_per_task=*/256),
+        &error))
+        << error;
+    std::thread run_thread([&] { first_result = coordinator.Run(); });
+    // Kill the first life mid-scan, right after the FIRST task's progress
+    // hits the journal (the file is the durable, race-free signal — the
+    // live shardz view exposes mid-scan state only for instants). The job
+    // has exactly one distributed scan (phase 3 verifies all candidates
+    // in a single batch) of three single-exec-shard tasks, so when the
+    // first progress line lands, two full task counts still separate the
+    // scan from its scan_end — ample room for Stop() to cancel mid-scan
+    // and strand an in-flight scan WITH journaled shard progress.
+    const std::string journal_path = dir_ + "/" + state_subdir +
+                                     "/dist.journal";
+    bool mid_scan = false;
+    const Clock::time_point deadline = Clock::now() + std::chrono::seconds(10);
+    while (Clock::now() < deadline) {
+      std::ifstream in(journal_path);
+      std::string contents((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+      if (contents.find("\"event\": \"progress\"") != std::string::npos) {
+        mid_scan = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    coordinator.Stop();
+    run_thread.join();
+    ASSERT_TRUE(mid_scan);
+    EXPECT_FALSE(first_result.ok);  // the first life died mid-run
+  }
+
+  // Second life, same state dir: resumes the run from its checkpoint and
+  // adopts the in-flight scan's journaled shard progress.
+  Coordinator coordinator;
+  std::string error;
+  ASSERT_TRUE(coordinator.Start(CoordinatorOptions(state_subdir,
+                                                   /*lease_ms=*/100,
+                                                   /*records_per_task=*/256),
+                                &error))
+      << error;
+  serve::JobResult result = coordinator.Run();
+  coordinator.Stop();
+
+  ASSERT_TRUE(result.ok) << result.message;
+  EXPECT_TRUE(result.resumed_from_checkpoint);
+  EXPECT_GT(reg.CounterValue("dist.scans.adopted"), adopted_before);
+  serve::JobResult solo = Solo();
+  ASSERT_TRUE(solo.ok);
+  EXPECT_EQ(result.rows, solo.rows);
+  EXPECT_EQ(result.scans, solo.scans);
+}
+
+TEST_F(DistMiningTest, ShardzExposesOwnersLeasesAndCounters) {
+  Coordinator coordinator;
+  std::string error;
+  // 512-record tasks = 2 exec shards: after the first progress frame the
+  // worker throttles 100 ms, leaving its lease visibly held (owner set,
+  // done == 1) for the poll below to observe.
+  ASSERT_TRUE(coordinator.Start(CoordinatorOptions("state", /*lease_ms=*/5000,
+                                                   /*records_per_task=*/512),
+                                &error))
+      << error;
+  serve::JobResult result;
+  std::thread run_thread([&] { result = coordinator.Run(); });
+  WorkerHarness worker;
+  worker.Start(coordinator.port(), "observer-w", /*throttle_ms=*/100);
+
+  bool saw_owner = false;
+  WaitForShardz(coordinator, [&](const obs::JsonValue& shardz) {
+    const obs::JsonValue* shards = shardz.Get("shards");
+    if (shards == nullptr || !shards->is_array()) return false;
+    for (const obs::JsonValue& shard : shards->array) {
+      const obs::JsonValue* owner = shard.Get("owner");
+      if (owner != nullptr && owner->string_value == "observer-w" &&
+          shard.Get("lease_age_ms") != nullptr &&
+          shard.Get("reassigns") != nullptr &&
+          shard.Get("epoch") != nullptr) {
+        saw_owner = true;
+        return true;
+      }
+    }
+    return false;
+  });
+  run_thread.join();
+  worker.Join();
+  coordinator.Stop();
+
+  EXPECT_TRUE(saw_owner);
+  ASSERT_TRUE(result.ok);
+  // Run-level counters ride along on every board.
+  std::optional<obs::JsonValue> shardz =
+      obs::ParseJson(coordinator.ShardzJson());
+  ASSERT_TRUE(shardz.has_value());
+  EXPECT_NE(shardz->Get("reassigned"), nullptr);
+  EXPECT_NE(shardz->Get("fenced"), nullptr);
+  EXPECT_NE(shardz->Get("resumed"), nullptr);
+  EXPECT_NE(shardz->Get("restarted"), nullptr);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace nmine

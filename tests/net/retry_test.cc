@@ -1,0 +1,58 @@
+// The shared reconnect backoff (nmine_client and dist workers): it must
+// follow the jittered db/retry schedule exactly — reproducible from the
+// policy seed — stay inside the policy's envelope, and restart after
+// Reset().
+#include <gtest/gtest.h>
+
+#include "nmine/net/retry.h"
+
+namespace nmine {
+namespace net {
+namespace {
+
+TEST(ReconnectBackoffTest, FollowsTheSeededScheduleExactly) {
+  RetryPolicy policy = ReconnectPolicy();
+  ReconnectBackoff backoff(policy);
+  Rng rng(policy.jitter_seed);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(backoff.NextBackoffMs(), BackoffMs(policy, i, &rng))
+        << "failure " << i;
+  }
+  EXPECT_EQ(backoff.failures(), 10);
+}
+
+TEST(ReconnectBackoffTest, StepsAreBoundedByThePolicy) {
+  RetryPolicy policy = ReconnectPolicy();
+  ReconnectBackoff backoff(policy);
+  for (int i = 0; i < 32; ++i) {
+    double ms = backoff.NextBackoffMs();
+    EXPECT_GE(ms, policy.initial_backoff_ms);
+    // Deterministic part caps at max_backoff_ms; jitter adds at most
+    // `jitter` on top.
+    EXPECT_LE(ms, policy.max_backoff_ms * (1.0 + policy.jitter));
+  }
+}
+
+TEST(ReconnectBackoffTest, ResetRestartsTheSchedule) {
+  ReconnectBackoff backoff;
+  double first = backoff.NextBackoffMs();
+  for (int i = 0; i < 5; ++i) backoff.NextBackoffMs();
+  EXPECT_GT(backoff.NextBackoffMs(), first);  // schedule has grown
+  backoff.Reset();
+  EXPECT_EQ(backoff.failures(), 0);
+  // Back at the first step: within one initial step's jitter envelope.
+  double after_reset = backoff.NextBackoffMs();
+  const RetryPolicy& policy = backoff.policy();
+  EXPECT_GE(after_reset, policy.initial_backoff_ms);
+  EXPECT_LE(after_reset, policy.initial_backoff_ms * (1.0 + policy.jitter));
+}
+
+TEST(ReconnectPolicyTest, IsTunedForTcpNotDiskScans) {
+  RetryPolicy policy = ReconnectPolicy();
+  EXPECT_DOUBLE_EQ(policy.initial_backoff_ms, 50.0);
+  EXPECT_DOUBLE_EQ(policy.max_backoff_ms, 2000.0);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace nmine

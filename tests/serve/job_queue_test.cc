@@ -113,6 +113,47 @@ TEST(JobQueueTest, ConcurrentPushersAndPoppersLoseNothing) {
   EXPECT_EQ(popped.size(), 4u * kPerClient);
 }
 
+TEST(JobQueueTest, RetryAfterSFallsBackUntilTwoPopsAreObserved) {
+  int64_t clock_us = 0;
+  BoundedFairQueue queue(64, [&clock_us] { return clock_us; });
+  EXPECT_DOUBLE_EQ(queue.RetryAfterS(2.5), 2.5);  // no pops yet
+  ASSERT_TRUE(queue.TryPush("a", 1));
+  uint64_t id;
+  ASSERT_TRUE(queue.Pop(&id));
+  EXPECT_DOUBLE_EQ(queue.RetryAfterS(2.5), 2.5);  // one pop: no interval
+}
+
+TEST(JobQueueTest, RetryAfterSIsDepthTimesMeanDrainInterval) {
+  int64_t clock_us = 0;
+  BoundedFairQueue queue(64, [&clock_us] { return clock_us; });
+  for (uint64_t i = 1; i <= 6; ++i) ASSERT_TRUE(queue.TryPush("a", i));
+  uint64_t id;
+  // Four pops 100 ms apart: the mean drain interval is 0.1 s.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.Pop(&id));
+    clock_us += 100'000;
+  }
+  // Two jobs still queued at 0.1 s each: honest hint is 0.2 s, not the
+  // static fallback.
+  EXPECT_NEAR(queue.RetryAfterS(9.0), 0.2, 1e-9);
+}
+
+TEST(JobQueueTest, RetryAfterSClampsBothEnds) {
+  int64_t clock_us = 0;
+  BoundedFairQueue queue(64, [&clock_us] { return clock_us; });
+  for (uint64_t i = 1; i <= 10; ++i) ASSERT_TRUE(queue.TryPush("a", i));
+  uint64_t id;
+  // Instantaneous pops: estimate 0 is useless, clamp to the floor.
+  ASSERT_TRUE(queue.Pop(&id));
+  ASSERT_TRUE(queue.Pop(&id));
+  EXPECT_DOUBLE_EQ(queue.RetryAfterS(9.0), BoundedFairQueue::kMinRetryAfterS);
+  // Glacial drain (mean 50 s per pop, 7 still queued -> 350 s estimate):
+  // clamp to the ceiling so clients are never told to vanish for minutes.
+  clock_us += 100'000'000;
+  ASSERT_TRUE(queue.Pop(&id));
+  EXPECT_DOUBLE_EQ(queue.RetryAfterS(9.0), BoundedFairQueue::kMaxRetryAfterS);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace nmine

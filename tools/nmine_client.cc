@@ -7,6 +7,8 @@
 //       [--tag T] [--wait] [--csv]
 //   nmine_client status --port P --id N
 //   nmine_client wait   --port P --id N [--csv]
+//   nmine_client wait   --port P --distributed [--csv]   (nmine_coordinator
+//       peer: waits for the coordinator's single job, no --id)
 //   nmine_client jobs   --port P
 //
 // Job flags (forwarded into the job spec; same names and defaults as
@@ -57,13 +59,12 @@
 #include <string>
 #include <thread>
 
-#include "nmine/db/retry.h"
 #include "nmine/eval/table.h"
+#include "nmine/net/retry.h"
 #include "nmine/obs/json_parse.h"
 #include "nmine/obs/json_util.h"
 #include "nmine/obs/trace_context.h"
 #include "nmine/serve/job.h"
-#include "nmine/stats/random.h"
 
 namespace nmine {
 namespace {
@@ -107,18 +108,12 @@ class Flags {
 using Clock = std::chrono::steady_clock;
 
 /// One server connection with deadline-aware reconnect. Every failure path
-/// (connect refused, connection reset, server draining) sleeps the
-/// db/retry.h jittered backoff schedule and tries again until `deadline`.
+/// (connect refused, connection reset, server draining) sleeps the shared
+/// net/retry reconnect schedule and tries again until `deadline`.
 class Connection {
  public:
   Connection(std::string host, uint16_t port, Clock::time_point deadline)
-      : host_(std::move(host)),
-        port_(port),
-        deadline_(deadline),
-        rng_(policy_.jitter_seed) {
-    policy_.initial_backoff_ms = 50.0;
-    policy_.max_backoff_ms = 2000.0;
-  }
+      : host_(std::move(host)), port_(port), deadline_(deadline) {}
 
   ~Connection() {
     if (fd_ >= 0) ::close(fd_);
@@ -142,7 +137,7 @@ class Connection {
   /// Sleeps the next backoff step; false when it would cross the
   /// deadline (the caller then reports a timeout).
   bool BackoffOrGiveUp() {
-    double ms = BackoffMs(policy_, failure_index_++, &rng_);
+    double ms = backoff_.NextBackoffMs();
     auto wake = Clock::now() + std::chrono::duration<double, std::milli>(ms);
     if (wake >= deadline_) return false;
     std::this_thread::sleep_until(wake);
@@ -216,9 +211,7 @@ class Connection {
   uint16_t port_;
   Clock::time_point deadline_;
   int fd_ = -1;
-  RetryPolicy policy_;
-  Rng rng_;
-  int failure_index_ = 0;
+  net::ReconnectBackoff backoff_;
 };
 
 serve::JobSpec SpecFromFlags(const Flags& flags) {
@@ -426,13 +419,19 @@ int Main(int argc, char** argv) {
     spec.AppendJson(&request);
     request.append("}\n");
   } else if (op == "status" || op == "wait") {
-    if (!flags.Has("id")) {
-      std::fprintf(stderr, "nmine_client: %s needs --id\n", op.c_str());
-      return 1;
+    if (op == "wait" && flags.Has("distributed")) {
+      // Distributed mode: the peer is an nmine_coordinator, which runs
+      // exactly one job and answers an id-less wait with its result.
+      request = "{\"op\": \"wait\"}\n";
+    } else {
+      if (!flags.Has("id")) {
+        std::fprintf(stderr, "nmine_client: %s needs --id\n", op.c_str());
+        return 1;
+      }
+      job_id = static_cast<uint64_t>(flags.GetInt("id", 0));
+      request = "{\"op\": \"" + op +
+                "\", \"id\": " + std::to_string(job_id) + "}\n";
     }
-    job_id = static_cast<uint64_t>(flags.GetInt("id", 0));
-    request = "{\"op\": \"" + op +
-              "\", \"id\": " + std::to_string(job_id) + "}\n";
   } else {
     request = "{\"op\": \"" + op + "\"}\n";
   }
